@@ -1,0 +1,171 @@
+//! Criterion benches for the characterization experiments (Figures 3–11,
+//! Tables 1–3/5). Each bench measures the simulation kernel that the
+//! matching `src/bin/figNN_*` binary uses to regenerate the artifact.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use polca_cluster::ServerSpec;
+use polca_gpu::{CounterSample, DvfsModel, Gpu, GpuSpec, PhaseKind};
+use polca_llm::{InferenceConfig, InferenceModel, ModelSpec, TrainingJob};
+use polca_sim::SimRng;
+use polca_stats::CorrelationMatrix;
+use polca_telemetry::MonitorInterface;
+
+fn fig03_breakdown(c: &mut Criterion) {
+    c.bench_function("fig03_power_breakdown", |b| {
+        b.iter(|| {
+            let spec = ServerSpec::dgx_a100();
+            black_box(spec.provisioned_breakdown());
+            black_box(spec.derating_headroom_watts())
+        })
+    });
+}
+
+fn fig04_training_series(c: &mut Criterion) {
+    c.bench_function("fig04_training_timeseries", |b| {
+        let job = TrainingJob::fine_tuning(&ModelSpec::gpt_neox_20b());
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuSpec::a100_80gb());
+            black_box(job.power_series(&mut gpu, 2, 0.01))
+        })
+    });
+}
+
+fn fig05_training_capping(c: &mut Criterion) {
+    c.bench_function("fig05_training_capping", |b| {
+        let job = TrainingJob::fine_tuning(&ModelSpec::flan_t5_xxl());
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuSpec::a100_80gb());
+            gpu.set_power_cap(325.0).unwrap();
+            let capped = job.power_series(&mut gpu, 2, 0.01);
+            let dvfs = DvfsModel::default();
+            black_box((capped.peak(), job.throughput_scale(&dvfs, 0.787)))
+        })
+    });
+}
+
+fn fig06_inference_series(c: &mut Criterion) {
+    c.bench_function("fig06_inference_timeseries", |b| {
+        let bloom = InferenceModel::new(ModelSpec::bloom_176b(), GpuSpec::a100_80gb()).unwrap();
+        let cfg = InferenceConfig::new(2048, 128, 1);
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuSpec::a100_80gb());
+            black_box(bloom.power_series(&cfg, 3, &mut gpu, 0.1))
+        })
+    });
+}
+
+fn fig07_counter_matrix(c: &mut Criterion) {
+    c.bench_function("fig07_counter_correlation", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::from_seed_stream(7, 7);
+            let samples: Vec<CounterSample> = (0..2000)
+                .map(|_| CounterSample::sample(PhaseKind::Prompt, 400.0, 400.0, &mut rng))
+                .collect();
+            let columns: Vec<Vec<f64>> = (0..7)
+                .map(|i| samples.iter().map(|s| s.as_vec()[i]).collect())
+                .collect();
+            let series: Vec<(&str, &[f64])> = CounterSample::NAMES
+                .iter()
+                .zip(&columns)
+                .map(|(n, col)| (*n, col.as_slice()))
+                .collect();
+            black_box(CorrelationMatrix::from_series(&series))
+        })
+    });
+}
+
+fn fig08_profile_sweep(c: &mut Criterion) {
+    c.bench_function("fig08_config_sensitivity", |b| {
+        let deployments: Vec<InferenceModel> = ModelSpec::inference_lineup()
+            .into_iter()
+            .map(|m| InferenceModel::new(m, GpuSpec::a100_80gb()).unwrap())
+            .collect();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in &deployments {
+                for input in [256u32, 512, 1024, 2048, 4096, 8192] {
+                    let p = d.profile(&InferenceConfig::new(input, 128, 1));
+                    acc += p.peak_intensity() + p.total_time_s();
+                }
+                for batch in [1u32, 2, 4, 8, 16] {
+                    acc += d.profile(&InferenceConfig::new(1024, 128, batch)).mean_intensity();
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig09_capped_inference(c: &mut Criterion) {
+    c.bench_function("fig09_bloom_capping", |b| {
+        let bloom = InferenceModel::new(ModelSpec::bloom_176b(), GpuSpec::a100_80gb()).unwrap();
+        let cfg = InferenceConfig::new(8192, 128, 1);
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuSpec::a100_80gb());
+            gpu.set_power_cap(325.0).unwrap();
+            black_box(bloom.power_series(&cfg, 1, &mut gpu, 0.05))
+        })
+    });
+}
+
+fn fig10_frequency_sweep(c: &mut Criterion) {
+    c.bench_function("fig10_freq_sensitivity", |b| {
+        let bloom = InferenceModel::new(ModelSpec::bloom_176b(), GpuSpec::a100_80gb()).unwrap();
+        let dvfs = DvfsModel::default();
+        let profile = bloom.profile(&InferenceConfig::new(2048, 256, 1));
+        b.iter(|| {
+            let mut acc = 0.0;
+            for mhz in [1110.0f64, 1160.0, 1210.0, 1260.0, 1310.0, 1360.0, 1410.0] {
+                acc += profile.total_time_at_clock(&dvfs, mhz / 1410.0);
+                acc += dvfs.power_scale(mhz / 1410.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig11_server_peaks(c: &mut Criterion) {
+    c.bench_function("fig11_server_peaks", |b| {
+        let spec = ServerSpec::dgx_a100();
+        let deployment = InferenceModel::new(ModelSpec::bloom_176b(), spec.gpu.clone()).unwrap();
+        b.iter(|| {
+            let mut rng = SimRng::from_seed_stream(11, 0);
+            let mut acc = 0.0;
+            for _ in 0..40 {
+                let input = rng.uniform_u64(2048, 8192) as u32;
+                let p = deployment.profile(&InferenceConfig::new(input, 256, 1));
+                let gpu_watts = (spec.gpu.idle_watts
+                    + (spec.gpu.transient_peak_watts - spec.gpu.idle_watts) * p.peak_intensity())
+                    * spec.n_gpus as f64;
+                acc += spec.server_power_watts(gpu_watts);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn tables_static(c: &mut Criterion) {
+    c.bench_function("tab01_tab03_tab05_static", |b| {
+        b.iter(|| {
+            black_box(MonitorInterface::table1());
+            black_box(ModelSpec::all());
+            black_box(polca::PolcaPolicy::default())
+        })
+    });
+}
+
+criterion_group!(
+    characterization,
+    fig03_breakdown,
+    fig04_training_series,
+    fig05_training_capping,
+    fig06_inference_series,
+    fig07_counter_matrix,
+    fig08_profile_sweep,
+    fig09_capped_inference,
+    fig10_frequency_sweep,
+    fig11_server_peaks,
+    tables_static,
+);
+criterion_main!(characterization);

@@ -1,0 +1,60 @@
+//! Criterion benches for the cluster substrate (Table 4 and the
+//! discrete-event simulation kernel itself).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use polca_cluster::{ClusterSim, NoopController, RowConfig, SimConfig, TrainingCluster};
+use polca_sim::SimTime;
+use polca_trace::{ArrivalGenerator, TraceConfig};
+
+fn tab04_training_cluster(c: &mut Criterion) {
+    c.bench_function("tab04_training_cluster_series", |b| {
+        let cluster = TrainingCluster::paper_training_row();
+        b.iter(|| {
+            let ts = cluster.row_power_series(60.0, 0.1, 7);
+            black_box((ts.peak(), ts.max_rise_within(2.0)))
+        })
+    });
+}
+
+fn tab04_inference_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab04");
+    group.sample_size(10);
+    group.bench_function("tab04_inference_row_hour", |b| {
+        b.iter(|| {
+            let mut row = RowConfig::paper_inference_row();
+            row.base_servers = 8;
+            let config = TraceConfig::paper_mix(3, SimTime::from_hours(1.0)).scaled(0.2);
+            let report = ClusterSim::new(row, SimConfig::default(), NoopController)
+                .run(ArrivalGenerator::new(&config), SimTime::from_hours(1.0));
+            black_box(report.peak_row_watts)
+        })
+    });
+    group.finish();
+}
+
+fn sim_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("cluster_sim_event_kernel", |b| {
+        // A dense half hour on a small row: measures raw event-loop
+        // throughput (arrival, dispatch, phase transitions, telemetry).
+        b.iter(|| {
+            let mut row = RowConfig::paper_inference_row();
+            row.base_servers = 4;
+            let config = TraceConfig::paper_mix(5, SimTime::from_mins(30.0)).scaled(0.12);
+            let report = ClusterSim::new(row, SimConfig::default(), NoopController)
+                .run(ArrivalGenerator::new(&config), SimTime::from_mins(30.0));
+            black_box(report.completed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    cluster_sim,
+    tab04_training_cluster,
+    tab04_inference_row,
+    sim_event_throughput,
+);
+criterion_main!(cluster_sim);

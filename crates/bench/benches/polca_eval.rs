@@ -1,0 +1,113 @@
+//! Criterion benches for the POLCA evaluation pipeline (Figures 13–18,
+//! Table 6): trace replication, the controller hot path, and scaled-down
+//! policy runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use polca::{
+    NoCapController, OversubscriptionStudy, PolcaController, PolcaPolicy, PolicyKind,
+};
+use polca_cluster::{PowerController, RowConfig, RowContext};
+use polca_sim::SimTime;
+use polca_trace::replicate::{production_reference, ProductionReplicator};
+use polca_trace::WorkloadClass;
+
+fn quick_study(seed: u64) -> OversubscriptionStudy {
+    let mut row = RowConfig::paper_inference_row();
+    row.base_servers = 10;
+    let mut study = OversubscriptionStudy::new(row, PolcaPolicy::default(), 0.05, seed);
+    study.set_record_power(false);
+    study
+}
+
+fn controller_tick(c: &mut Criterion) {
+    c.bench_function("polca_controller_tick", |b| {
+        let mut controller = PolcaController::new(PolcaPolicy::default());
+        let ctx = RowContext {
+            provisioned_watts: 229_000.0,
+            n_servers: 52,
+        };
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let util = 0.7 + 0.25 * ((k as f64) * 0.01).sin();
+            black_box(controller.on_telemetry(
+                SimTime::from_secs(k as f64 * 2.0),
+                Some(util * ctx.provisioned_watts),
+                &ctx,
+            ))
+        })
+    });
+}
+
+fn trace_inversion(c: &mut Criterion) {
+    c.bench_function("trace_replication_inversion", |b| {
+        let row = RowConfig::paper_inference_row();
+        let profile = production_reference(&row, 1.0, 60.0, 3);
+        let replicator = ProductionReplicator::new(&row, &WorkloadClass::table6());
+        b.iter(|| black_box(replicator.schedule_from_profile(&profile)))
+    });
+}
+
+fn fig13_policy_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polca_runs");
+    group.sample_size(10);
+    group.bench_function("fig13_fig14_fig15_polca_point", |b| {
+        b.iter(|| {
+            let mut study = quick_study(3);
+            black_box(study.run(PolicyKind::Polca, 0.30, 1.0).brake_engagements)
+        })
+    });
+    group.bench_function("fig16_power_series_run", |b| {
+        b.iter(|| {
+            let mut row = RowConfig::paper_inference_row();
+            row.base_servers = 10;
+            let mut study = OversubscriptionStudy::new(row, PolcaPolicy::default(), 0.05, 5);
+            black_box(study.run(PolicyKind::Polca, 0.30, 1.0).row_power.len())
+        })
+    });
+    group.bench_function("fig17_fig18_policy_comparison", |b| {
+        b.iter(|| {
+            let mut study = quick_study(7);
+            let polca = study.run(PolicyKind::Polca, 0.30, 1.0);
+            let nocap = study.run(PolicyKind::NoCap, 0.30, 1.0);
+            black_box((polca.brake_engagements, nocap.brake_engagements))
+        })
+    });
+    group.bench_function("tab06_slo_evaluation", |b| {
+        b.iter(|| {
+            let mut study = quick_study(9);
+            let o = study.run(PolicyKind::Polca, 0.30, 1.0);
+            black_box(o.slo.met)
+        })
+    });
+    group.finish();
+}
+
+fn nocap_controller_tick(c: &mut Criterion) {
+    c.bench_function("nocap_controller_tick", |b| {
+        let mut controller = NoCapController::new(PolcaPolicy::default());
+        let ctx = RowContext {
+            provisioned_watts: 229_000.0,
+            n_servers: 52,
+        };
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(controller.on_telemetry(
+                SimTime::from_secs(k as f64 * 2.0),
+                Some(0.8 * ctx.provisioned_watts),
+                &ctx,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    polca_eval,
+    controller_tick,
+    nocap_controller_tick,
+    trace_inversion,
+    fig13_policy_point,
+);
+criterion_main!(polca_eval);

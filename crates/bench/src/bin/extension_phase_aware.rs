@@ -1,0 +1,69 @@
+//! Extension: §5.2 phase-aware power management.
+//!
+//! "Using lower frequencies during the token phase could help reduce
+//! power consumption without substantially impacting performance." This
+//! experiment runs POLCA with and without a phase-aware token clock and
+//! measures how much further the row can be oversubscribed.
+
+use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca_bench::{eval_days, header, seed};
+use polca_cluster::RowConfig;
+
+fn max_safe_added(study: &mut OversubscriptionStudy) -> f64 {
+    let mut best = 0.0;
+    for pct in [0u32, 10, 20, 30, 35, 40, 45, 50] {
+        let added = pct as f64 / 100.0;
+        let o = study.run(PolicyKind::Polca, added, 1.0);
+        if o.slo.met {
+            best = added;
+        }
+    }
+    best
+}
+
+fn main() {
+    header(
+        "Extension (§5.2)",
+        "Phase-aware power management: token phases at 1110 MHz, prompts at full clock",
+    );
+    let days = eval_days(2.0);
+
+    println!(
+        "{:<14} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}",
+        "mode", "mean%", "peak%", "LP p99", "HP p99", "brakes", "SLO"
+    );
+    let mut studies = Vec::new();
+    for (label, row) in [
+        ("baseline", RowConfig::paper_inference_row()),
+        (
+            "phase-aware",
+            RowConfig::paper_inference_row().with_phase_aware(1110.0),
+        ),
+    ] {
+        let mut study = OversubscriptionStudy::new(row, PolcaPolicy::default(), days, seed());
+        study.set_record_power(false);
+        let o = study.run(PolicyKind::Polca, 0.30, 1.0);
+        println!(
+            "{:<14} {:>7.1} {:>7.1} {:>7.3} {:>7.3} {:>7} {:>6}",
+            label,
+            o.mean_utilization * 100.0,
+            o.peak_utilization * 100.0,
+            o.low_normalized.p99,
+            o.high_normalized.p99,
+            o.brake_engagements,
+            if o.slo.met { "met" } else { "MISS" }
+        );
+        studies.push((label, study));
+    }
+
+    println!("\nmaximum SLO-safe oversubscription:");
+    for (label, mut study) in studies {
+        let best = max_safe_added(&mut study);
+        println!("  {label:<14} +{:.0}% servers", best * 100.0);
+    }
+    println!(
+        "\ntoken phases dominate request time but are memory-bound, so running \
+         them at 1110 MHz sheds power almost for free and buys extra headroom \
+         beyond POLCA's reactive capping"
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 3: provisioned power breakdown of an 8×A100-80GB server.
+
+use polca_bench::header;
+use polca_cluster::ServerSpec;
+
+fn main() {
+    header("Figure 3", "Provisioned power (8xA100-80GB server)");
+    let spec = ServerSpec::dgx_a100();
+    println!(
+        "{} rated at {:.1} kW:",
+        spec.name,
+        spec.provisioned_watts / 1000.0
+    );
+    for (component, watts) in spec.provisioned_breakdown() {
+        let frac = watts / spec.provisioned_watts;
+        let bar: String = std::iter::repeat('█')
+            .take((frac * 50.0).round() as usize)
+            .collect();
+        println!("{component:<8} {watts:>6.0} W  {:>5.1}%  {bar}", frac * 100.0);
+    }
+    println!(
+        "\nobserved peak {:.0} W — derating headroom {:.0} W per server (§5)",
+        spec.peak_power_watts(),
+        spec.derating_headroom_watts()
+    );
+    println!("paper: GPUs ~50%, fans ~25%, CPUs+others the rest; peak never above 5700 W");
+}

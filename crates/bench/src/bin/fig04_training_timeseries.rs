@@ -1,0 +1,46 @@
+//! Figure 4: training power timeseries under no cap, a 325 W power cap,
+//! and a 1.1 GHz frequency lock.
+
+use polca_bench::{header, sparkline};
+use polca_gpu::{Gpu, GpuSpec};
+use polca_llm::{ModelSpec, TrainingJob};
+
+fn main() {
+    header(
+        "Figure 4",
+        "Power usage time-series for training workloads under no cap, power cap, and frequency cap",
+    );
+    let tdp = GpuSpec::a100_80gb().tdp_watts;
+    for model in ModelSpec::training_lineup() {
+        let job = TrainingJob::fine_tuning(&model);
+        println!(
+            "\n{} (iteration {:.1} s):",
+            model.name,
+            job.iteration_time_s()
+        );
+        for (label, cap, lock) in [
+            ("no cap ", None, None),
+            ("325W   ", Some(325.0), None),
+            ("1.1GHz ", None, Some(1110.0)),
+        ] {
+            let mut gpu = Gpu::new(GpuSpec::a100_80gb());
+            if let Some(w) = cap {
+                gpu.set_power_cap(w).unwrap();
+            }
+            if let Some(mhz) = lock {
+                gpu.lock_clock(mhz).unwrap();
+            }
+            let ts = job.power_series(&mut gpu, 5, 0.01).resample_mean(0.1);
+            println!(
+                "  {label} peak {:>4.2}/TDP trough {:>4.2}/TDP  {}",
+                ts.peak().unwrap() / tdp,
+                ts.trough().unwrap() / tdp,
+                sparkline(&ts, 60)
+            );
+        }
+    }
+    println!(
+        "\npaper: peaks reach/exceed TDP (except RoBERTa); troughs 75%/50%/20% of TDP; \
+         capping clips peaks, locking lowers everything"
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 6: GPU power timeseries for the five inference models — prompt
+//! spikes followed by long stable token plateaus.
+
+use polca_bench::{header, sparkline};
+use polca_gpu::{Gpu, GpuSpec};
+use polca_llm::{InferenceConfig, InferenceModel, ModelSpec};
+
+fn main() {
+    header(
+        "Figure 6",
+        "GPU power usage timeseries for multiple inference models (3 requests each)",
+    );
+    let tdp = GpuSpec::a100_80gb().tdp_watts;
+    for model in ModelSpec::inference_lineup() {
+        let deployment = InferenceModel::new(model.clone(), GpuSpec::a100_80gb()).unwrap();
+        let cfg = InferenceConfig::new(2048, 128, 1);
+        let mut gpu = Gpu::new(GpuSpec::a100_80gb());
+        let ts = deployment.power_series(&cfg, 3, &mut gpu, 0.1);
+        let profile = deployment.profile(&cfg);
+        println!(
+            "{:<10} ({} GPUs)  prompt {:>4.1}s @ {:>4.2}/TDP | token {:>5.1}s @ {:>4.2}/TDP",
+            model.name,
+            deployment.n_gpus(),
+            profile.prompt.duration_s,
+            gpu.power_at(profile.prompt.intensity) / tdp,
+            profile.token.duration_s,
+            gpu.power_at(profile.token.intensity) / tdp,
+        );
+        println!("           {}", sparkline(&ts, 66));
+    }
+    println!(
+        "\npaper: spiky prompt phase at/above TDP at every request start, then a \
+         longer, stable, lower token plateau; larger models draw more"
+    );
+}

@@ -1,0 +1,73 @@
+//! Figure 8: power (mean, peak) and latency sensitivity to input, batch,
+//! and output sizes across the inference lineup.
+
+use polca_bench::header;
+use polca_gpu::{Gpu, GpuSpec};
+use polca_llm::{InferenceConfig, InferenceModel, ModelSpec};
+
+fn deployments() -> Vec<InferenceModel> {
+    ModelSpec::inference_lineup()
+        .into_iter()
+        .map(|m| InferenceModel::new(m, GpuSpec::a100_80gb()).unwrap())
+        .collect()
+}
+
+fn row(label: u32, deployments: &[InferenceModel], cfg: impl Fn(u32) -> InferenceConfig) {
+    let gpu = Gpu::new(GpuSpec::a100_80gb());
+    let tdp = gpu.spec().tdp_watts;
+    print!("{label:>6}");
+    for d in deployments {
+        let p = d.profile(&cfg(label));
+        print!(
+            " | {:>4.2}/{:>4.2} {:>6.1}s",
+            gpu.power_at(p.peak_intensity()) / tdp,
+            gpu.power_at(p.mean_intensity()) / tdp,
+            p.total_time_s()
+        );
+    }
+    println!();
+}
+
+fn head(deployments: &[InferenceModel]) {
+    print!("{:>6}", "");
+    for d in deployments {
+        print!(" | {:^16}", d.model().name);
+    }
+    println!();
+    print!("{:>6}", "size");
+    for _ in deployments {
+        print!(" | {:>9} {:>6}", "peak/mean", "lat");
+    }
+    println!();
+}
+
+fn main() {
+    header(
+        "Figure 8",
+        "Power (peak/mean, normalized to TDP) and latency sensitivity to request shape",
+    );
+    let ds = deployments();
+
+    println!("\n(a,b) input size (output=128, batch=1):");
+    head(&ds);
+    for input in [256, 512, 1024, 2048, 4096, 8192] {
+        row(input, &ds, |i| InferenceConfig::new(i, 128, 1));
+    }
+
+    println!("\n(c,d) batch size (input=1024, output=128):");
+    head(&ds);
+    for batch in [1, 2, 4, 8, 16] {
+        row(batch, &ds, |b| InferenceConfig::new(1024, 128, b));
+    }
+
+    println!("\n(e,f) output size (input=1024, batch=1):");
+    head(&ds);
+    for output in [128, 256, 512, 1024, 2048, 4096] {
+        row(output, &ds, |o| InferenceConfig::new(1024, o, 1));
+    }
+
+    println!(
+        "\npaper: peak power rises with input and batch size; mean power stays flat; \
+         output size only stretches latency linearly (Insight 5)"
+    );
+}

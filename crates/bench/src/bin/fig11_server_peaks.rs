@@ -1,0 +1,68 @@
+//! Figure 11: server and GPU peak power normalized to TDP in a
+//! production-like cluster.
+
+use polca_bench::{header, seed};
+use polca_cluster::ServerSpec;
+use polca_llm::{InferenceConfig, InferenceModel, ModelSpec};
+use polca_sim::SimRng;
+use polca_stats::{pearson, Summary};
+
+fn main() {
+    header("Figure 11", "Server and GPU peak power normalized to TDP (40 servers)");
+    let spec = ServerSpec::dgx_a100();
+    let deployment =
+        InferenceModel::new(ModelSpec::bloom_176b(), spec.gpu.clone()).unwrap();
+    let gpu_tdp_total = spec.gpu.tdp_watts * spec.n_gpus as f64;
+    let mut rng = SimRng::from_seed_stream(seed(), 0xF11);
+
+    let mut gpu_peaks = Vec::new();
+    let mut server_peaks = Vec::new();
+    let mut gpu_share = Summary::new();
+    println!("{:>6} {:>14} {:>16} {:>10}", "server", "GPU peak/TDP", "server peak/6.5kW", "GPU share");
+    for s in 0..40 {
+        // Each server's peak is set by the heaviest prompt it served.
+        let input = rng.uniform_u64(2048, 8192) as u32;
+        let profile = deployment.profile(&InferenceConfig::new(input, 256, 1));
+        let jitter = 1.0 + rng.normal(0.0, 0.01);
+        let per_gpu = spec.gpu.idle_watts
+            + (spec.gpu.transient_peak_watts - spec.gpu.idle_watts)
+                * profile.peak_intensity()
+                * jitter;
+        let gpu_watts = per_gpu * spec.n_gpus as f64;
+        let server_watts = spec.server_power_watts(gpu_watts);
+        gpu_peaks.push(gpu_watts / gpu_tdp_total);
+        server_peaks.push(server_watts / spec.provisioned_watts);
+        // Mean GPU share measured at the token-phase operating point.
+        let token_gpu = (spec.gpu.idle_watts
+            + (spec.gpu.transient_peak_watts - spec.gpu.idle_watts) * profile.token.intensity)
+            * spec.n_gpus as f64;
+        gpu_share.record(token_gpu / spec.server_power_watts(token_gpu));
+        if s < 8 {
+            println!(
+                "{:>6} {:>14.3} {:>16.3} {:>9.1}%",
+                s,
+                gpu_watts / gpu_tdp_total,
+                server_watts / spec.provisioned_watts,
+                token_gpu / spec.server_power_watts(token_gpu) * 100.0
+            );
+        }
+    }
+    println!("   ... ({} servers total)", gpu_peaks.len());
+    let corr = pearson(&gpu_peaks, &server_peaks).unwrap();
+    let gpu_peak_summary: Summary = gpu_peaks.iter().copied().collect();
+    println!(
+        "\nGPU peak/TDP range: {:.3}..{:.3} (above 1.0 ⇒ beyond TDP, up to +{:.0} W/server)",
+        gpu_peak_summary.min().unwrap(),
+        gpu_peak_summary.max().unwrap(),
+        (gpu_peak_summary.max().unwrap() - 1.0) * gpu_tdp_total
+    );
+    println!("server-vs-GPU peak correlation: {corr:.3}");
+    println!(
+        "GPU share of server power: {:.1}% on average",
+        gpu_share.mean().unwrap() * 100.0
+    );
+    println!(
+        "\npaper: GPU ≈60% of server power; GPU peaks exceed aggregate TDP by up to \
+         500 W; server and GPU peaks highly correlated"
+    );
+}

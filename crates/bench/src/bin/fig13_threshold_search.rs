@@ -1,0 +1,51 @@
+//! Figure 13: threshold space search — normalized latency and brake
+//! events vs added servers for three T1/T2 combinations.
+
+use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca_bench::{eval_days, header, seed};
+use polca_cluster::RowConfig;
+
+fn main() {
+    header(
+        "Figure 13",
+        "Threshold space search (T1/T2); gray line = max servers without power brakes",
+    );
+    let days = eval_days(2.0);
+    let added_steps = [0.0, 0.10, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45];
+    for (t1, t2) in [(0.75, 0.85), (0.80, 0.89), (0.85, 0.95)] {
+        println!("\n(T1={:.0}%, T2={:.0}%):", t1 * 100.0, t2 * 100.0);
+        println!(
+            "{:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            "added%", "LP p50", "LP p99", "HP p50", "HP p99", "brakes"
+        );
+        let mut study = OversubscriptionStudy::new(
+            RowConfig::paper_inference_row(),
+            PolcaPolicy::default().with_thresholds(t1, t2),
+            days,
+            seed(),
+        );
+        study.set_record_power(false);
+        let mut max_no_brake = 0.0;
+        for &added in &added_steps {
+            let o = study.run(PolicyKind::Polca, added, 1.0);
+            if o.brake_engagements == 0 {
+                max_no_brake = added;
+            }
+            println!(
+                "{:>7.0} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7}",
+                added * 100.0,
+                o.low_normalized.p50,
+                o.low_normalized.p99,
+                o.high_normalized.p50,
+                o.high_normalized.p99,
+                o.brake_engagements
+            );
+        }
+        println!("  max servers without power brake: +{:.0}%", max_no_brake * 100.0);
+    }
+    println!(
+        "\npaper: 75-85 and 80-89 allow ~35% more servers brake-free, 85-95 only \
+         ~32.5%; 75-85 hurts low-priority latency most; POLCA selects 80-89 and \
+         deploys +30% to stay strictly within SLOs"
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 16: row-level power utilization — default servers vs +30 %
+//! servers, at 2 s and 5 min averaging.
+
+use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca_bench::{eval_days, header, pct, seed, sparkline};
+use polca_cluster::RowConfig;
+
+fn main() {
+    header(
+        "Figure 16",
+        "Row-level power utilization, default vs +30% servers (2s and 5min averages)",
+    );
+    let days = eval_days(7.0);
+    let mut study = OversubscriptionStudy::new(
+        RowConfig::paper_inference_row(),
+        PolcaPolicy::default(),
+        days,
+        seed(),
+    );
+    let provisioned = study.row().provisioned_watts();
+    let base = study.run(PolicyKind::NoCap, 0.0, 1.0);
+    let over = study.run(PolicyKind::Polca, 0.30, 1.0);
+
+    for (label, o) in [("default servers", &base), ("+30% servers   ", &over)] {
+        let five_min = o.row_power.resample_mean(300.0).scaled(1.0 / provisioned);
+        println!("\n{label}:");
+        println!("  5min avg  {}", sparkline(&five_min, 70));
+        println!(
+            "  mean {:>6}  peak(2s) {:>6}  max 2s rise {:>6}  max 40s rise {:>6}  brakes {}",
+            pct(o.mean_utilization),
+            pct(o.peak_utilization),
+            pct(o.row_power.max_rise_within(2.0).unwrap() / provisioned),
+            pct(o.row_power.max_rise_within(40.0).unwrap() / provisioned),
+            o.brake_engagements
+        );
+    }
+    println!(
+        "\npaper: the 5min average follows the same diurnal pattern with a higher \
+         offset; spikes grow because more workloads can trigger together"
+    );
+}

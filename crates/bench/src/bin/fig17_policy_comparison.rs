@@ -1,0 +1,58 @@
+//! Figure 17: performance impact of POLCA vs the thresholding baselines
+//! at 30 % oversubscription, with and without the +5 % power drift.
+//!
+//! As in the paper, latencies are normalized against POLCA (lower is
+//! better; 1.0 = POLCA).
+
+use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy, PolicyOutcome};
+use polca_bench::{eval_days, header, seed};
+use polca_cluster::RowConfig;
+
+fn main() {
+    header(
+        "Figure 17",
+        "Performance impact of dual-threshold POLCA vs other policies at 30% oversubscription",
+    );
+    let days = eval_days(7.0);
+    let mut study = OversubscriptionStudy::new(
+        RowConfig::paper_inference_row(),
+        PolcaPolicy::default(),
+        days,
+        seed(),
+    );
+    study.set_record_power(false);
+
+    let mut outcomes: Vec<(String, PolicyOutcome)> = Vec::new();
+    for power_scale in [1.0, 1.05] {
+        for kind in PolicyKind::all() {
+            let suffix = if power_scale > 1.0 { "+5%" } else { "" };
+            let o = study.run(kind, 0.30, power_scale);
+            outcomes.push((format!("{}{}", kind.name(), suffix), o));
+        }
+    }
+    let polca = outcomes[0].1.clone();
+
+    println!(
+        "{:<22} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "policy (vs POLCA)", "LP p50", "HP p50", "LP p99", "HP p99", "LP max", "HP max"
+    );
+    for (name, o) in &outcomes {
+        let rel = |a: f64, b: f64| if b == 0.0 { 1.0 } else { a / b };
+        println!(
+            "{:<22} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+            name,
+            rel(o.low_raw.p50, polca.low_raw.p50),
+            rel(o.high_raw.p50, polca.high_raw.p50),
+            rel(o.low_raw.p99, polca.low_raw.p99),
+            rel(o.high_raw.p99, polca.high_raw.p99),
+            rel(o.low_raw.max, polca.low_raw.max),
+            rel(o.high_raw.max, polca.high_raw.max),
+        );
+    }
+    println!(
+        "\npaper: POLCA meets all SLOs; 1-Thresh-Low-Pri misses low-priority SLOs; \
+         1-Thresh-All breaches P99 for both classes; No-cap matches POLCA on \
+         medians but its unprotected brakes blow up max/P100 latency — most \
+         visibly in the +5% drift scenario, where POLCA is the most robust"
+    );
+}

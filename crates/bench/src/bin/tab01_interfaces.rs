@@ -1,0 +1,41 @@
+//! Table 1: power monitoring interfaces in an LLM cluster.
+
+use polca_bench::header;
+use polca_telemetry::{MonitorInterface, Path};
+
+fn main() {
+    header("Table 1", "Power monitoring interfaces in an LLM cluster");
+    println!(
+        "{:<14} {:<14} {:<5} {:<12}",
+        "Mechanism", "Granularity", "Path", "Interval"
+    );
+    for i in MonitorInterface::table1() {
+        let interval = if i.min_interval_s == i.max_interval_s {
+            format!("{:.0}s", i.min_interval_s)
+        } else if i.max_interval_s < 1.0 {
+            format!(
+                "{:.0}-{:.0}ms",
+                i.min_interval_s * 1000.0,
+                i.max_interval_s * 1000.0
+            )
+        } else if i.min_interval_s < 1.0 {
+            format!("{:.0}ms+", i.min_interval_s * 1000.0)
+        } else {
+            format!("{:.0}-{:.0}s", i.min_interval_s, i.max_interval_s)
+        };
+        println!(
+            "{:<14} {:<14} {:<5} {:<12}",
+            i.name,
+            format!("{:?}", i.granularity),
+            match i.path {
+                Path::InBand => "IB",
+                Path::OutOfBand => "OOB",
+            },
+            interval
+        );
+    }
+    println!(
+        "\npaper: RAPL 1-10ms IB | DCGM 100ms+ IB | SMBPBI 5s+ OOB | \
+         IPMI 1-5s OOB | Row manager 2s OOB"
+    );
+}

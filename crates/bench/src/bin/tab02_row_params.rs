@@ -1,0 +1,27 @@
+//! Table 2: row-level parameters of the evaluation cluster.
+
+use polca_bench::header;
+use polca_cluster::RowConfig;
+use polca_telemetry::interfaces::RowParameters;
+
+fn main() {
+    header("Table 2", "Row-level parameters in our study");
+    let p = RowParameters::default();
+    let row = RowConfig::paper_inference_row();
+    println!("{:<28} {}", "Number of servers", p.servers);
+    println!("{:<28} {}", "Server type", p.server_type);
+    println!("{:<28} {}s", "Power telemetry delay", p.power_telemetry_delay_s);
+    println!("{:<28} {}s", "Power brake latency", p.power_brake_latency_s);
+    println!("{:<28} {}s", "OOB control latency", p.oob_control_latency_s);
+    println!(
+        "{:<28} {:.0} kW",
+        "Row power budget (derived)",
+        row.provisioned_watts() / 1000.0
+    );
+    println!(
+        "{:<28} {}s",
+        "UPS capping deadline",
+        RowParameters::UPS_CAPPING_DEADLINE_S
+    );
+    println!("\npaper: 40 DGX-A100 servers, 2s telemetry, 5s brake, 40s OOB control");
+}

@@ -1,0 +1,40 @@
+//! Table 3: the characterized LLM zoo.
+
+use polca_bench::header;
+use polca_gpu::GpuSpec;
+use polca_llm::{DType, ModelSpec};
+
+fn main() {
+    header("Table 3", "LLM workloads that we characterize (* inference only)");
+    println!(
+        "{:<17} {:<12} {:>9} {:>16}",
+        "Category", "Model", "#Params", "#Inference GPUs"
+    );
+    let gpu = GpuSpec::a100_80gb();
+    for m in ModelSpec::all() {
+        let params = if m.params_b < 1.0 {
+            format!("{:.0}M", m.params_b * 1000.0)
+        } else {
+            format!("{:.0}B", m.params_b)
+        };
+        println!(
+            "{:<17} {:<12} {:>9} {:>16}",
+            format!("{:?}", m.architecture),
+            format!("{}{}", m.name, if m.inference_only { "*" } else { "" }),
+            params,
+            m.inference_gpus
+        );
+        // §4.2 quantization footprint check for the Llama2 models.
+        if m.name.starts_with("Llama2") {
+            for dt in DType::all() {
+                println!(
+                    "{:<17}   {} needs {} GPU(s)",
+                    "",
+                    dt.name(),
+                    dt.gpus_required(&m, &gpu)
+                );
+            }
+        }
+    }
+    println!("\npaper: RoBERTa 355M/1, Llama2 13B+70B/1-4, GPT-NeoX 20B/2, OPT 30B/4, BLOOM 176B/8, Flan-T5 11B/1");
+}

@@ -1,0 +1,67 @@
+//! Table 4: LLM cluster power usage in production — training vs
+//! inference.
+
+use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca_bench::{eval_days, header, pct, seed};
+use polca_cluster::{RowConfig, TrainingCluster};
+
+fn main() {
+    header("Table 4", "LLM cluster power usage in production");
+
+    // Training column: a synchronized 40-server training row.
+    let training = TrainingCluster::paper_training_row();
+    let t_series = training.row_power_series(600.0, 0.1, seed());
+    let t_prov = training.provisioned_watts();
+    let t_peak = t_series.peak().unwrap() / t_prov;
+    let t_spike2 = t_series.max_rise_within(2.0).unwrap() / t_prov;
+    let t_spike40 = t_series.max_rise_within(40.0).unwrap() / t_prov;
+
+    // Inference column: the production-shaped row at its base deployment.
+    let days = eval_days(2.0);
+    let mut study = OversubscriptionStudy::new(
+        RowConfig::paper_inference_row(),
+        PolcaPolicy::default(),
+        days,
+        seed(),
+    );
+    let o = study.run(PolicyKind::NoCap, 0.0, 1.0);
+    let i_peak = o.peak_utilization;
+    let i_spike2 = o.row_power.max_rise_within(2.0).unwrap()
+        / study.row().provisioned_watts();
+    let i_spike40 = o.row_power.max_rise_within(40.0).unwrap()
+        / study.row().provisioned_watts();
+
+    println!("{:<28} {:>10} {:>10}", "", "Training", "Inference");
+    println!(
+        "{:<28} {:>10} {:>10}",
+        "Peak power utilization",
+        pct(t_peak),
+        pct(i_peak)
+    );
+    println!(
+        "{:<28} {:>10} {:>10}",
+        "Power usage pattern", "coordinated", "diurnal"
+    );
+    println!(
+        "{:<28} {:>10} {:>10}",
+        "Max. power spike in 2s",
+        pct(t_spike2),
+        pct(i_spike2)
+    );
+    println!(
+        "{:<28} {:>10} {:>10}",
+        "Max. power spike in 40s",
+        pct(t_spike40),
+        pct(i_spike40)
+    );
+    println!(
+        "{:<28} {:>10} {:>10}",
+        "Oversubscription headroom",
+        pct(1.0 - t_peak),
+        pct(1.0 - i_peak)
+    );
+    println!(
+        "\npaper: peak 97% vs 79% | 2s spike 37.5% vs 9% | 40s spike n/a vs 11.8% \
+         | headroom ~3% vs ~21%"
+    );
+}

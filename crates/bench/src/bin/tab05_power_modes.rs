@@ -1,0 +1,38 @@
+//! Table 5: power modes for low- and high-priority workloads.
+
+use polca::{PolcaPolicy, PowerMode};
+use polca_bench::header;
+
+fn main() {
+    header("Table 5", "Power modes for low and high priority workloads");
+    let policy = PolcaPolicy::default();
+    println!(
+        "{:<14} {:<26} {:<26}",
+        "Mode", "Low Priority", "High Priority"
+    );
+    for (mode, label) in [
+        (PowerMode::Uncapped, "Uncapped"),
+        (PowerMode::T1, "Threshold T1"),
+        (PowerMode::T2, "Threshold T2"),
+        (PowerMode::Brake, "Power brake"),
+    ] {
+        let fmt = |clock: Option<f64>| match clock {
+            None => "Uncapped".to_string(),
+            Some(mhz) => format!("Frequency capped ({mhz:.0} MHz)"),
+        };
+        println!(
+            "{:<14} {:<26} {:<26}",
+            label,
+            fmt(mode.low_priority_clock_mhz(&policy)),
+            fmt(mode.high_priority_clock_mhz(&policy))
+        );
+    }
+    println!(
+        "\nthresholds: T1 = {:.0} %, T2 = {:.0} % of provisioned power; \
+         uncap {:.0} % below each threshold",
+        policy.t1_frac * 100.0,
+        policy.t2_frac * 100.0,
+        policy.uncap_gap * 100.0
+    );
+    println!("paper: T1 1275 MHz LP | T2 1110 MHz LP + 1305 MHz HP | brake 288 MHz");
+}

@@ -1,0 +1,72 @@
+//! Table 6: workload distribution and SLO outcomes under POLCA.
+
+use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy, SloTargets};
+use polca_bench::{eval_days, header, seed};
+use polca_cluster::RowConfig;
+use polca_trace::WorkloadClass;
+
+fn main() {
+    header("Table 6", "Workload distribution and SLOs");
+    println!(
+        "{:<12} {:<13} {:<13} {:>6} {:>9}",
+        "Workload", "Prompt size", "Output size", "Ratio", "Priority"
+    );
+    for c in WorkloadClass::table6() {
+        let priority = match c.high_priority_fraction {
+            f if f == 0.0 => "Low".to_string(),
+            f if f == 1.0 => "High".to_string(),
+            f => format!("{:.0}:{:.0}", f * 100.0, (1.0 - f) * 100.0),
+        };
+        println!(
+            "{:<12} {:<13} {:<13} {:>5.0}% {:>9}",
+            c.name,
+            format!("{}-{}", c.prompt_range.0, c.prompt_range.1),
+            format!("{}-{}", c.output_range.0, c.output_range.1),
+            c.share * 100.0,
+            priority
+        );
+    }
+
+    let days = eval_days(2.0);
+    let mut study = OversubscriptionStudy::new(
+        RowConfig::paper_inference_row(),
+        PolcaPolicy::default(),
+        days,
+        seed(),
+    );
+    let o = study.run(PolicyKind::Polca, 0.30, 1.0);
+    let slo = SloTargets::default();
+    println!("\nPOLCA at +30 % servers over {days:.0} days:");
+    println!(
+        "{:<28} {:>13} {:>13}",
+        "Metric", "High priority", "Low priority"
+    );
+    println!(
+        "{:<28} {:>12.1}% {:>12.1}%   (SLO < {:.0}% / < {:.0}%)",
+        "P50 latency impact",
+        (o.high_normalized.p50 - 1.0) * 100.0,
+        (o.low_normalized.p50 - 1.0) * 100.0,
+        (slo.high_p50 - 1.0) * 100.0,
+        (slo.low_p50 - 1.0) * 100.0
+    );
+    println!(
+        "{:<28} {:>12.1}% {:>12.1}%   (SLO < {:.0}% / < {:.0}%)",
+        "P99 latency impact",
+        (o.high_normalized.p99 - 1.0) * 100.0,
+        (o.low_normalized.p99 - 1.0) * 100.0,
+        (slo.high_p99 - 1.0) * 100.0,
+        (slo.low_p99 - 1.0) * 100.0
+    );
+    println!(
+        "{:<28} {:>13} {:>13}   (SLO = 0)",
+        "Number of power brakes", o.brake_engagements, o.brake_engagements
+    );
+    println!(
+        "\nSLOs {}",
+        if o.slo.met {
+            "met".to_string()
+        } else {
+            format!("violated: {:?}", o.slo.violations)
+        }
+    );
+}

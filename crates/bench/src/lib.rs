@@ -1,0 +1,115 @@
+//! Shared harness for the figure/table regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every table and figure in the paper's evaluation has a matching
+//! binary in `src/bin/` (`fig04_training_timeseries`,
+//! `tab04_production_stats`, …) that prints the rows/series the paper
+//! reports, and a Criterion bench in `benches/` that measures the
+//! simulation kernel behind it. See `EXPERIMENTS.md` at the workspace
+//! root for the full index and the recorded paper-vs-measured values.
+//!
+//! Binaries honor these environment variables:
+//!
+//! * `POLCA_DAYS` — trace length in days for the POLCA evaluation
+//!   figures (defaults vary per figure; Figure 16–18 default to the
+//!   paper's six weeks when unset *and* `POLCA_FULL=1`, else one week),
+//! * `POLCA_SEED` — experiment seed (default 17).
+
+use polca_stats::TimeSeries;
+
+/// Reads an `f64` environment knob with a default.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `u64` environment knob with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The evaluation trace length in days: `POLCA_DAYS` if set, else the
+/// paper's six weeks under `POLCA_FULL=1`, else `quick_default`.
+pub fn eval_days(quick_default: f64) -> f64 {
+    if let Ok(v) = std::env::var("POLCA_DAYS") {
+        if let Ok(days) = v.parse() {
+            return days;
+        }
+    }
+    if std::env::var("POLCA_FULL").is_ok_and(|v| v == "1") {
+        42.0
+    } else {
+        quick_default
+    }
+}
+
+/// The experiment seed (`POLCA_SEED`, default 17).
+pub fn seed() -> u64 {
+    env_u64("POLCA_SEED", 17)
+}
+
+/// Prints a header line for a figure/table binary.
+pub fn header(id: &str, caption: &str) {
+    println!("== {id}: {caption} ==");
+}
+
+/// Renders a small ASCII sparkline of a timeseries (for power traces in
+/// terminal output).
+pub fn sparkline(ts: &TimeSeries, width: usize) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if ts.is_empty() || width == 0 {
+        return String::new();
+    }
+    let (lo, hi) = (ts.trough().unwrap_or(0.0), ts.peak().unwrap_or(1.0));
+    let span = (hi - lo).max(f64::EPSILON);
+    let values = ts.values();
+    let chunk = (values.len() as f64 / width as f64).max(1.0);
+    (0..width.min(values.len()))
+        .map(|i| {
+            let start = (i as f64 * chunk) as usize;
+            let end = (((i + 1) as f64 * chunk) as usize).min(values.len()).max(start + 1);
+            let mean: f64 =
+                values[start..end].iter().sum::<f64>() / (end - start) as f64;
+            let idx = ((mean - lo) / span * 7.0).round() as usize;
+            GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Formats a fraction as a percent string with one decimal.
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_readers_fall_back_to_defaults() {
+        assert_eq!(env_f64("POLCA_DOES_NOT_EXIST", 3.5), 3.5);
+        assert_eq!(env_u64("POLCA_DOES_NOT_EXIST", 7), 7);
+    }
+
+    #[test]
+    fn sparkline_has_requested_width() {
+        let ts: TimeSeries = (0..100).map(|i| (i as f64, (i as f64).sin())).collect();
+        let s = sparkline(&ts, 20);
+        assert_eq!(s.chars().count(), 20);
+    }
+
+    #[test]
+    fn sparkline_of_empty_series_is_empty() {
+        assert_eq!(sparkline(&TimeSeries::new(), 10), "");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.305), "30.5%");
+    }
+}

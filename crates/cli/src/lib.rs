@@ -1,0 +1,425 @@
+//! Command-line interface for the polca toolkit.
+//!
+//! Four subcommands cover the workflows a capacity engineer needs:
+//!
+//! * `characterize` — profile one model/request shape on a simulated
+//!   A100 group, optionally under a frequency lock or power cap (§4.2),
+//! * `trace` — synthesize and summarize a production-shaped power trace
+//!   (§6.4),
+//! * `evaluate` — run one policy at one oversubscription level and
+//!   report latency/brake/SLO outcomes (§6.5–6.6),
+//! * `plan` — sweep oversubscription levels and report the SLO-safe
+//!   maximum (Figure 13's workflow).
+//!
+//! The parser is hand-rolled (`--flag value` pairs) to keep the
+//! dependency set minimal; [`parse_args`] is exposed for testing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use polca::{CostModel, OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca_cluster::RowConfig;
+use polca_gpu::{Gpu, GpuSpec};
+use polca_llm::{InferenceConfig, InferenceModel, ModelSpec};
+use polca_trace::replicate::production_reference;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The subcommand name.
+    pub command: String,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+}
+
+/// Errors surfaced to the user.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The offending value.
+        value: String,
+    },
+    /// Unknown model name.
+    UnknownModel(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "missing subcommand; try `polca-cli help`"),
+            CliError::UnknownCommand(c) => write!(f, "unknown subcommand `{c}`"),
+            CliError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            CliError::BadValue { flag, value } => {
+                write!(f, "cannot parse `{value}` for `{flag}`")
+            }
+            CliError::UnknownModel(m) => write!(f, "unknown model `{m}`; see `tab03_model_zoo`"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses `argv[1..]` into an [`Invocation`].
+///
+/// # Errors
+///
+/// Returns [`CliError`] when no subcommand is present or a flag is
+/// missing its value.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, CliError> {
+    let mut iter = args.into_iter();
+    let command = iter.next().ok_or(CliError::MissingCommand)?;
+    let mut options = HashMap::new();
+    let mut pending: Option<String> = None;
+    for arg in iter {
+        match pending.take() {
+            Some(flag) => {
+                options.insert(flag, arg);
+            }
+            None => {
+                let flag = arg.trim_start_matches("--").to_string();
+                pending = Some(flag);
+            }
+        }
+    }
+    if let Some(flag) = pending {
+        return Err(CliError::MissingValue(flag));
+    }
+    Ok(Invocation { command, options })
+}
+
+impl Invocation {
+    /// Reads an option with a default, parsing it as `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] on parse failure.
+    pub fn get<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| CliError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// Reads an optional option, parsing it as `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] on parse failure.
+    pub fn get_opt<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, CliError> {
+        match self.options.get(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::BadValue {
+                    flag: flag.to_string(),
+                    value: v.clone(),
+                }),
+        }
+    }
+}
+
+/// Resolves a model by (case-insensitive) name.
+pub fn find_model(name: &str) -> Result<ModelSpec, CliError> {
+    ModelSpec::all()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| CliError::UnknownModel(name.to_string()))
+}
+
+/// Resolves a policy by name.
+pub fn find_policy(name: &str) -> Result<PolicyKind, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "polca" => Ok(PolicyKind::Polca),
+        "1t-lp" | "one-thresh-low-pri" => Ok(PolicyKind::OneThreshLowPri),
+        "1t-all" | "one-thresh-all" => Ok(PolicyKind::OneThreshAll),
+        "nocap" | "no-cap" => Ok(PolicyKind::NoCap),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+polca-cli — power management for LLM clusters (ASPLOS'24 reproduction)
+
+USAGE: polca-cli <command> [--flag value]...
+
+COMMANDS
+  characterize  profile one request shape on a simulated A100 group
+                --model BLOOM --input 2048 --output 256 --batch 1
+                [--lock MHZ] [--cap WATTS]
+  trace         synthesize a production-shaped power trace
+                [--days 1] [--seed 17]
+  evaluate      run one policy at one oversubscription level
+                [--policy polca|1t-lp|1t-all|nocap] [--added 30]
+                [--days 2] [--seed 17] [--power-scale 1.0]
+  plan          find the SLO-safe oversubscription maximum
+                [--days 2] [--seed 17] [--servers 40]
+  help          print this text
+";
+
+/// Runs an invocation, writing human-readable output to stdout.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown commands or malformed values.
+pub fn run(inv: &Invocation) -> Result<(), CliError> {
+    match inv.command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        "characterize" => characterize(inv),
+        "trace" => trace(inv),
+        "evaluate" => evaluate(inv),
+        "plan" => plan(inv),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn characterize(inv: &Invocation) -> Result<(), CliError> {
+    let model_name: String = inv.get("model", "BLOOM".to_string())?;
+    let model = find_model(&model_name)?;
+    let input: u32 = inv.get("input", 2048)?;
+    let output: u32 = inv.get("output", 256)?;
+    let batch: u32 = inv.get("batch", 1)?;
+    let lock: Option<f64> = inv.get_opt("lock")?;
+    let cap: Option<f64> = inv.get_opt("cap")?;
+
+    let deployment = InferenceModel::new(model, GpuSpec::a100_80gb())
+        .expect("zoo models fit their Table 3 allocations");
+    let cfg = InferenceConfig::new(input, output, batch);
+    let profile = deployment.profile(&cfg);
+    let mut gpu = Gpu::new(GpuSpec::a100_80gb());
+    if let Some(mhz) = lock {
+        gpu.lock_clock(mhz).map_err(|_| CliError::BadValue {
+            flag: "lock".into(),
+            value: mhz.to_string(),
+        })?;
+    }
+    if let Some(watts) = cap {
+        gpu.set_power_cap(watts).map_err(|_| CliError::BadValue {
+            flag: "cap".into(),
+            value: watts.to_string(),
+        })?;
+    }
+    let series = deployment.power_series(&cfg, 1, &mut gpu, 0.05);
+    let tdp = gpu.spec().tdp_watts;
+    println!(
+        "{} on {} × {}:",
+        deployment.model().name,
+        deployment.n_gpus(),
+        gpu.spec().name
+    );
+    println!(
+        "  prompt {:>6.2}s at {:.2}/TDP | token {:>7.2}s at {:.2}/TDP",
+        profile.prompt.duration_s,
+        gpu.power_at(profile.prompt.intensity) / tdp,
+        profile.token.duration_s,
+        gpu.power_at(profile.token.intensity) / tdp
+    );
+    println!(
+        "  run {:.1}s  peak {:.2}/TDP  mean {:.2}/TDP",
+        series.times().last().unwrap_or(&0.0),
+        series.peak().unwrap_or(0.0) / tdp,
+        series.mean().unwrap_or(0.0) / tdp
+    );
+    Ok(())
+}
+
+fn trace(inv: &Invocation) -> Result<(), CliError> {
+    let days: f64 = inv.get("days", 1.0)?;
+    let seed: u64 = inv.get("seed", 17)?;
+    let row = RowConfig::paper_inference_row();
+    let profile = production_reference(&row, days, 2.0, seed);
+    let provisioned = row.provisioned_watts();
+    println!("production-shaped trace, {days} day(s), seed {seed}:");
+    println!(
+        "  peak {:.1}%  mean {:.1}%  trough {:.1}% of {:.0} kW provisioned",
+        profile.peak().unwrap() / provisioned * 100.0,
+        profile.mean().unwrap() / provisioned * 100.0,
+        profile.trough().unwrap() / provisioned * 100.0,
+        provisioned / 1000.0
+    );
+    println!(
+        "  max rise in 2s {:.1}%, in 40s {:.1}%",
+        profile.max_rise_within(2.0).unwrap() / provisioned * 100.0,
+        profile.max_rise_within(40.0).unwrap() / provisioned * 100.0
+    );
+    Ok(())
+}
+
+fn evaluate(inv: &Invocation) -> Result<(), CliError> {
+    let policy_name: String = inv.get("policy", "polca".to_string())?;
+    let kind = find_policy(&policy_name)?;
+    let added: f64 = inv.get("added", 30.0)?;
+    let days: f64 = inv.get("days", 2.0)?;
+    let seed: u64 = inv.get("seed", 17)?;
+    let power_scale: f64 = inv.get("power-scale", 1.0)?;
+
+    let mut study = OversubscriptionStudy::new(
+        RowConfig::paper_inference_row(),
+        PolcaPolicy::default(),
+        days,
+        seed,
+    );
+    study.set_record_power(false);
+    let o = study.run(kind, added / 100.0, power_scale);
+    println!(
+        "{} at +{added:.0}% servers, power×{power_scale}, {days} day(s):",
+        kind.name()
+    );
+    println!(
+        "  normalized latency  LP p50 {:.3} p99 {:.3} | HP p50 {:.3} p99 {:.3}",
+        o.low_normalized.p50, o.low_normalized.p99, o.high_normalized.p50, o.high_normalized.p99
+    );
+    println!(
+        "  peak util {:.1}%  brakes {}  SLO {}",
+        o.peak_utilization * 100.0,
+        o.brake_engagements,
+        if o.slo.met { "met" } else { "MISSED" }
+    );
+    let cost = CostModel::default();
+    let value = cost.oversubscription_value(study.row(), added / 100.0);
+    println!(
+        "  capacity value: {} extra servers ≈ ${:.2}M of avoided datacenter build-out",
+        value.extra_servers,
+        value.avoided_capex_usd / 1e6
+    );
+    Ok(())
+}
+
+fn plan(inv: &Invocation) -> Result<(), CliError> {
+    let days: f64 = inv.get("days", 2.0)?;
+    let seed: u64 = inv.get("seed", 17)?;
+    let servers: usize = inv.get("servers", 40)?;
+    let mut row = RowConfig::paper_inference_row();
+    row.base_servers = servers;
+    let mut study = OversubscriptionStudy::new(row, PolcaPolicy::default(), days, seed);
+    study.set_record_power(false);
+    let trainer = study.trained_thresholds();
+    study.set_policy(trainer.train());
+    println!(
+        "trained thresholds: T1 {:.0}% T2 {:.0}% (40s spike {:.1}%)",
+        trainer.t1() * 100.0,
+        trainer.t2() * 100.0,
+        trainer.max_spike_40s_frac * 100.0
+    );
+    let mut best = 0.0;
+    for pct in [0u32, 10, 20, 25, 30, 35, 40] {
+        let added = pct as f64 / 100.0;
+        let o = study.run(PolicyKind::Polca, added, 1.0);
+        let ok = o.slo.met;
+        println!(
+            "  +{pct:>2}%: brakes {:>4}, LP p99 {:.3}, HP p99 {:.3} — {}",
+            o.brake_engagements,
+            o.low_normalized.p99,
+            o.high_normalized.p99,
+            if ok { "SLO met" } else { "SLO MISSED" }
+        );
+        if ok && added > best {
+            best = added;
+        }
+    }
+    println!("plan: deploy up to +{:.0}% servers.", best * 100.0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let inv = parse_args(args(&["evaluate", "--added", "30", "--policy", "polca"])).unwrap();
+        assert_eq!(inv.command, "evaluate");
+        assert_eq!(inv.get::<f64>("added", 0.0).unwrap(), 30.0);
+        assert_eq!(inv.options.get("policy").unwrap(), "polca");
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert_eq!(parse_args(args(&[])), Err(CliError::MissingCommand));
+    }
+
+    #[test]
+    fn dangling_flag_is_an_error() {
+        assert_eq!(
+            parse_args(args(&["plan", "--days"])),
+            Err(CliError::MissingValue("days".into()))
+        );
+    }
+
+    #[test]
+    fn defaults_apply_when_flag_absent() {
+        let inv = parse_args(args(&["trace"])).unwrap();
+        assert_eq!(inv.get::<u64>("seed", 17).unwrap(), 17);
+        assert_eq!(inv.get_opt::<f64>("lock").unwrap(), None);
+    }
+
+    #[test]
+    fn bad_values_are_reported_with_flag_names() {
+        let inv = parse_args(args(&["trace", "--days", "soon"])).unwrap();
+        let err = inv.get::<f64>("days", 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::BadValue {
+                flag: "days".into(),
+                value: "soon".into()
+            }
+        );
+    }
+
+    #[test]
+    fn model_lookup_is_case_insensitive() {
+        assert_eq!(find_model("bloom").unwrap().name, "BLOOM");
+        assert_eq!(find_model("flan-t5").unwrap().name, "Flan-T5");
+        assert!(find_model("gpt5").is_err());
+    }
+
+    #[test]
+    fn policy_aliases_resolve() {
+        assert_eq!(find_policy("POLCA").unwrap(), PolicyKind::Polca);
+        assert_eq!(find_policy("1t-lp").unwrap(), PolicyKind::OneThreshLowPri);
+        assert_eq!(find_policy("no-cap").unwrap(), PolicyKind::NoCap);
+        assert!(find_policy("magic").is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors_cleanly() {
+        let inv = parse_args(args(&["frobnicate"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::UnknownCommand(_))));
+    }
+
+    #[test]
+    fn characterize_runs_end_to_end() {
+        let inv = parse_args(args(&[
+            "characterize", "--model", "GPT-NeoX", "--input", "512", "--output", "32",
+        ]))
+        .unwrap();
+        assert!(run(&inv).is_ok());
+    }
+
+    #[test]
+    fn help_prints() {
+        let inv = parse_args(args(&["help"])).unwrap();
+        assert!(run(&inv).is_ok());
+        assert!(HELP.contains("characterize"));
+    }
+}

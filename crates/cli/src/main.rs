@@ -1,0 +1,22 @@
+//! `polca-cli` entry point — see the crate docs in `lib.rs`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let inv = match polca_cli::parse_args(args) {
+        Ok(inv) => inv,
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprint!("{}", polca_cli::HELP);
+            return ExitCode::FAILURE;
+        }
+    };
+    match polca_cli::run(&inv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

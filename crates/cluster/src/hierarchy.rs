@@ -1,0 +1,142 @@
+//! The datacenter power-distribution hierarchy of Figure 2.
+//!
+//! "A datacenter floor plan is generally built around the power
+//! distribution hierarchy... power distribution units (PDUs) power rows
+//! of racks. GPU servers are deployed within each rack, and several
+//! racks make a row" (§2). POLCA aggregates at the PDU/row breaker, but
+//! rack-level views matter for placement and for validating that no
+//! single rack exceeds its own breaker.
+
+use crate::server::InferenceServer;
+
+/// Physical layout of a row: servers grouped into racks behind one PDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RackLayout {
+    servers_per_rack: usize,
+}
+
+impl RackLayout {
+    /// Creates a layout with the given rack capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers_per_rack` is zero.
+    pub fn new(servers_per_rack: usize) -> Self {
+        assert!(servers_per_rack > 0, "racks must hold at least one server");
+        RackLayout { servers_per_rack }
+    }
+
+    /// A typical GPU row: 4 DGX-A100 (6U each) per 48U rack, leaving
+    /// space for switches (§6.7: "both GPU servers and racks are power
+    /// dense").
+    pub fn dgx_row() -> Self {
+        Self::new(4)
+    }
+
+    /// Servers per rack.
+    pub fn servers_per_rack(&self) -> usize {
+        self.servers_per_rack
+    }
+
+    /// The rack index hosting `server_id`.
+    pub fn rack_of(&self, server_id: usize) -> usize {
+        server_id / self.servers_per_rack
+    }
+
+    /// Number of racks needed for `n_servers`.
+    pub fn racks_for(&self, n_servers: usize) -> usize {
+        n_servers.div_ceil(self.servers_per_rack)
+    }
+
+    /// Instantaneous power per rack, in watts, for the given servers
+    /// (indexed by id).
+    pub fn rack_powers(&self, servers: &[InferenceServer]) -> Vec<f64> {
+        let mut powers = vec![0.0; self.racks_for(servers.len())];
+        for server in servers {
+            powers[self.rack_of(server.id())] += server.power_watts();
+        }
+        powers
+    }
+
+    /// The rack-level power budget implied by a row budget spread evenly
+    /// over the racks serving `n_servers`.
+    pub fn rack_budget_watts(&self, row_budget_watts: f64, n_servers: usize) -> f64 {
+        row_budget_watts / self.racks_for(n_servers) as f64
+    }
+
+    /// Whether any rack exceeds its budget for the given servers.
+    pub fn overloaded_racks(
+        &self,
+        servers: &[InferenceServer],
+        row_budget_watts: f64,
+    ) -> Vec<usize> {
+        let budget = self.rack_budget_watts(row_budget_watts, servers.len());
+        self.rack_powers(servers)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, p)| *p > budget)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl Default for RackLayout {
+    fn default() -> Self {
+        Self::dgx_row()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::RowConfig;
+
+    fn servers(n: usize) -> Vec<InferenceServer> {
+        let mut row = RowConfig::paper_inference_row();
+        row.base_servers = n;
+        row.build_servers()
+    }
+
+    #[test]
+    fn dgx_row_packs_four_per_rack() {
+        let layout = RackLayout::dgx_row();
+        assert_eq!(layout.servers_per_rack(), 4);
+        assert_eq!(layout.rack_of(0), 0);
+        assert_eq!(layout.rack_of(3), 0);
+        assert_eq!(layout.rack_of(4), 1);
+        assert_eq!(layout.racks_for(40), 10);
+        assert_eq!(layout.racks_for(41), 11);
+    }
+
+    #[test]
+    fn rack_powers_sum_to_row_power() {
+        let servers = servers(10);
+        let layout = RackLayout::dgx_row();
+        let total: f64 = layout.rack_powers(&servers).iter().sum();
+        let direct: f64 = servers.iter().map(InferenceServer::power_watts).sum();
+        assert!((total - direct).abs() < 1e-6);
+        assert_eq!(layout.rack_powers(&servers).len(), 3);
+    }
+
+    #[test]
+    fn idle_row_has_no_overloaded_racks() {
+        let servers = servers(8);
+        let layout = RackLayout::dgx_row();
+        let row_budget = 8.0 * 5450.0 * 1.05;
+        assert!(layout.overloaded_racks(&servers, row_budget).is_empty());
+    }
+
+    #[test]
+    fn tiny_budget_flags_every_rack() {
+        let servers = servers(8);
+        let layout = RackLayout::dgx_row();
+        let overloaded = layout.overloaded_racks(&servers, 1000.0);
+        assert_eq!(overloaded, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_capacity_rejected() {
+        let _ = RackLayout::new(0);
+    }
+}

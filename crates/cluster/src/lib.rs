@@ -1,0 +1,53 @@
+//! Datacenter power hierarchy and discrete-event LLM cluster simulation.
+//!
+//! The paper's POLCA evaluation runs on "a discrete event simulator ...
+//! built for a high-traffic scenario \[that\] assumes that all the servers
+//! are serving inference with models loaded" (§6.4), over the power
+//! hierarchy of Figure 2 (servers → racks → PDU-fed rows). This crate
+//! implements that substrate:
+//!
+//! * [`server_spec`] — the DGX-A100 provisioned-power breakdown of
+//!   Figure 3 and the server-level power composition law behind
+//!   Figure 11 (GPUs ≈ 60 % of server power),
+//! * [`request`] — inference requests with the two priority classes of
+//!   Table 5/6,
+//! * [`server`] — the per-server state machine: one-request buffer,
+//!   prompt → token phase progression, frequency lock / power brake
+//!   effects on in-flight work,
+//! * [`row`] — the row of Table 2: 40 DGX-A100 servers behind one PDU,
+//! * [`sim`] — the event-driven simulator: arrivals, dispatch, phase
+//!   transitions, 2 s row telemetry with propagation delay, OOB command
+//!   delivery, and a pluggable [`sim::PowerController`]
+//!   (POLCA and its baselines live in the `polca` crate),
+//! * [`training`] — the synchronized training-cluster power model behind
+//!   Table 4's training column.
+//!
+//! # Examples
+//!
+//! ```
+//! use polca_cluster::{ClusterSim, NoopController, RowConfig, SimConfig};
+//!
+//! let row = RowConfig::paper_inference_row();
+//! let mut sim = ClusterSim::new(row, SimConfig::default(), NoopController);
+//! let report = sim.run(std::iter::empty(), polca_sim::SimTime::from_secs(10.0));
+//! assert_eq!(report.completed, 0);
+//! ```
+
+pub mod hierarchy;
+pub mod request;
+pub mod row;
+pub mod server;
+pub mod server_spec;
+pub mod sim;
+pub mod training;
+
+pub use hierarchy::RackLayout;
+pub use request::{CompletedRequest, Priority, Request};
+pub use row::RowConfig;
+pub use server::{InferenceServer, ServerState, HOT_IDLE_INTENSITY};
+pub use server_spec::ServerSpec;
+pub use sim::{
+    ClusterSim, ControlRequest, ControlTarget, NoopController, PowerController, RowContext,
+    SimConfig, SimReport,
+};
+pub use training::TrainingCluster;

@@ -1,0 +1,723 @@
+//! The discrete-event inference-cluster simulator (§6.4).
+//!
+//! The simulator drives a row of inference servers through a request
+//! trace: arrivals are dispatched to idle servers (or a one-request
+//! buffer), requests progress through prompt and token phases, the row
+//! manager samples aggregate power every 2 s with a 2 s propagation
+//! delay, and a pluggable [`PowerController`] observes the (stale)
+//! telemetry and issues control requests that travel the slow OOB plane
+//! before landing on devices. Everything is deterministic under a fixed
+//! seed, so competing policies can be compared on identical request
+//! streams.
+
+use polca_sim::{EventQueue, SimTime};
+use polca_stats::TimeSeries;
+use polca_telemetry::{ControlAction, DelayedSignal, OobControlPlane};
+
+use crate::request::{CompletedRequest, Priority, Request};
+use crate::row::RowConfig;
+use crate::server::{InferenceServer, PhaseOutcome};
+
+/// Who a control request targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlTarget {
+    /// Every server in the row.
+    All,
+    /// Every server hosting the given priority class.
+    Priority(Priority),
+    /// One specific server.
+    Server(usize),
+}
+
+/// A control decision emitted by a [`PowerController`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlRequest {
+    /// Which servers to touch.
+    pub target: ControlTarget,
+    /// What to do to them.
+    pub action: ControlAction,
+}
+
+/// Read-only facts a controller may use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowContext {
+    /// The row's provisioned power budget in watts.
+    pub provisioned_watts: f64,
+    /// Servers in the row.
+    pub n_servers: usize,
+}
+
+/// A cluster-level power-management policy.
+///
+/// The simulator invokes the controller at every row-telemetry tick
+/// (2 s) with the *delayed* power observation — `None` until the first
+/// reading propagates. POLCA and the baseline policies implement this in
+/// the `polca` crate.
+pub trait PowerController {
+    /// Reacts to a telemetry tick, returning control requests to issue
+    /// on the OOB plane.
+    fn on_telemetry(
+        &mut self,
+        now: SimTime,
+        observed_row_watts: Option<f64>,
+        ctx: &RowContext,
+    ) -> Vec<ControlRequest>;
+}
+
+/// The do-nothing controller (the paper's `No-cap` baseline, §6.6 —
+/// "lacks power brake protection").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopController;
+
+impl PowerController for NoopController {
+    fn on_telemetry(
+        &mut self,
+        _now: SimTime,
+        _observed: Option<f64>,
+        _ctx: &RowContext,
+    ) -> Vec<ControlRequest> {
+        Vec::new()
+    }
+}
+
+/// Simulator knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Experiment seed (shared by the OOB plane's latency draws).
+    pub seed: u64,
+    /// Row telemetry interval in seconds (Table 1: 2 s).
+    pub telemetry_interval_s: f64,
+    /// Row telemetry propagation delay in seconds (Table 2: 2 s).
+    pub telemetry_delay_s: f64,
+    /// OOB capping latency range in seconds (Table 2: up to 40 s).
+    pub oob_cap_latency_s: (f64, f64),
+    /// OOB brake latency range in seconds (Table 2: ≤ 5 s).
+    pub oob_brake_latency_s: (f64, f64),
+    /// Probability an OOB capping command silently fails (§3.3).
+    pub oob_failure_rate: f64,
+    /// Multiplier on all server power (the "+5 %" drift experiment).
+    pub power_scale: f64,
+    /// Whether to record the row power timeseries (large runs may skip
+    /// it to save memory).
+    pub record_power_series: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            telemetry_interval_s: 2.0,
+            telemetry_delay_s: 2.0,
+            oob_cap_latency_s: (20.0, 40.0),
+            oob_brake_latency_s: (2.0, 5.0),
+            oob_failure_rate: 0.0,
+            power_scale: 1.0,
+            record_power_series: true,
+        }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Requests offered to the cluster.
+    pub offered: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests rejected (no buffer space anywhere).
+    pub rejected: u64,
+    /// End-to-end latencies (seconds) of completed low-priority requests.
+    pub low_latencies_s: Vec<f64>,
+    /// End-to-end latencies (seconds) of completed high-priority requests.
+    pub high_latencies_s: Vec<f64>,
+    /// Completed requests per priority (low, high).
+    pub completed_by_priority: (u64, u64),
+    /// Offered requests per priority (low, high).
+    pub offered_by_priority: (u64, u64),
+    /// Rejected requests per priority (low, high).
+    pub rejected_by_priority: (u64, u64),
+    /// Row power sampled at the telemetry interval (empty when disabled).
+    pub row_power: TimeSeries,
+    /// Highest instantaneous row power seen, in watts.
+    pub peak_row_watts: f64,
+    /// Time-weighted mean row power in watts.
+    pub mean_row_watts: f64,
+    /// Row-wide power-brake engagements the controller triggered.
+    pub brake_engagements: u64,
+    /// OOB commands issued on the control plane.
+    pub commands_issued: u64,
+    /// Duration simulated.
+    pub duration: SimTime,
+}
+
+impl SimReport {
+    /// Latency samples for `priority`.
+    pub fn latencies(&self, priority: Priority) -> &[f64] {
+        match priority {
+            Priority::Low => &self.low_latencies_s,
+            Priority::High => &self.high_latencies_s,
+        }
+    }
+
+    /// Completed-request throughput in requests/s for `priority`.
+    pub fn throughput(&self, priority: Priority) -> f64 {
+        let n = match priority {
+            Priority::Low => self.completed_by_priority.0,
+            Priority::High => self.completed_by_priority.1,
+        };
+        if self.duration == SimTime::ZERO {
+            0.0
+        } else {
+            n as f64 / self.duration.as_secs()
+        }
+    }
+
+    /// Fraction of offered `priority` requests that completed (goodput
+    /// ratio); 1.0 when nothing was offered.
+    pub fn goodput(&self, priority: Priority) -> f64 {
+        let (completed, offered) = match priority {
+            Priority::Low => (self.completed_by_priority.0, self.offered_by_priority.0),
+            Priority::High => (self.completed_by_priority.1, self.offered_by_priority.1),
+        };
+        if offered == 0 {
+            1.0
+        } else {
+            completed as f64 / offered as f64
+        }
+    }
+
+    /// Peak row power as a fraction of `provisioned_watts`.
+    pub fn peak_utilization(&self, provisioned_watts: f64) -> f64 {
+        self.peak_row_watts / provisioned_watts
+    }
+}
+
+/// Internal event alphabet.
+#[derive(Debug)]
+enum Ev {
+    Arrival(Request),
+    PhaseEnd { server: usize, version: u64 },
+    Telemetry,
+    ControlDelivery,
+}
+
+/// The cluster simulator.
+pub struct ClusterSim<P> {
+    servers: Vec<InferenceServer>,
+    ctx: RowContext,
+    config: SimConfig,
+    controller: P,
+    plane: OobControlPlane,
+    row_signal: DelayedSignal,
+    queue: EventQueue<Ev>,
+    /// Cached Σ server power, maintained incrementally.
+    row_power_watts: f64,
+    /// Round-robin dispatch cursors per priority (low, high).
+    rr_cursor: (usize, usize),
+    report: SimReport,
+    /// Integral bookkeeping for mean power.
+    last_power_change: SimTime,
+    power_integral: f64,
+}
+
+impl<P: PowerController> ClusterSim<P> {
+    /// Builds a simulator over `row` with the given `controller`.
+    pub fn new(row: RowConfig, config: SimConfig, controller: P) -> Self {
+        let mut servers = row.build_servers();
+        for s in &mut servers {
+            s.set_power_scale(config.power_scale);
+        }
+        let row_power_watts: f64 = servers.iter().map(InferenceServer::power_watts).sum();
+        let plane = OobControlPlane::new(config.seed)
+            .with_cap_latency(config.oob_cap_latency_s.0, config.oob_cap_latency_s.1)
+            .with_brake_latency(config.oob_brake_latency_s.0, config.oob_brake_latency_s.1)
+            .with_failure_rate(config.oob_failure_rate);
+        let ctx = RowContext {
+            provisioned_watts: row.provisioned_watts(),
+            n_servers: servers.len(),
+        };
+        ClusterSim {
+            row_signal: DelayedSignal::new(SimTime::from_secs(config.telemetry_delay_s)),
+            plane,
+            queue: EventQueue::new(),
+            report: SimReport {
+                offered: 0,
+                completed: 0,
+                rejected: 0,
+                low_latencies_s: Vec::new(),
+                high_latencies_s: Vec::new(),
+                completed_by_priority: (0, 0),
+                offered_by_priority: (0, 0),
+                rejected_by_priority: (0, 0),
+                row_power: TimeSeries::new(),
+                peak_row_watts: row_power_watts,
+                mean_row_watts: 0.0,
+                brake_engagements: 0,
+                commands_issued: 0,
+                duration: SimTime::ZERO,
+            },
+            row_power_watts,
+            rr_cursor: (0, 0),
+            last_power_change: SimTime::ZERO,
+            power_integral: 0.0,
+            servers,
+            ctx,
+            config,
+            controller,
+        }
+    }
+
+    /// The row context (budget, server count).
+    pub fn context(&self) -> &RowContext {
+        &self.ctx
+    }
+
+    /// Immutable view of the servers (for tests and inspection).
+    pub fn servers(&self) -> &[InferenceServer] {
+        &self.servers
+    }
+
+    /// Runs the simulation over `arrivals` (which must be ordered by
+    /// arrival time) until `until`, consuming the simulator and
+    /// returning the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` yields requests out of order.
+    pub fn run(mut self, arrivals: impl IntoIterator<Item = Request>, until: SimTime) -> SimReport {
+        let mut arrivals = arrivals.into_iter();
+        if let Some(first) = arrivals.next() {
+            self.queue.schedule(first.arrival, Ev::Arrival(first));
+        }
+        self.queue.schedule(SimTime::ZERO, Ev::Telemetry);
+
+        while let Some(next_at) = self.queue.peek_time() {
+            if next_at > until {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event exists");
+            match ev {
+                Ev::Arrival(req) => {
+                    self.on_arrival(now, req);
+                    if let Some(next) = arrivals.next() {
+                        assert!(
+                            next.arrival >= now,
+                            "arrival stream out of order at request {}",
+                            next.id
+                        );
+                        self.queue.schedule(next.arrival, Ev::Arrival(next));
+                    }
+                }
+                Ev::PhaseEnd { server, version } => self.on_phase_end(now, server, version),
+                Ev::Telemetry => {
+                    self.on_telemetry(now);
+                    let next_tick = now + SimTime::from_secs(self.config.telemetry_interval_s);
+                    if next_tick <= until {
+                        self.queue.schedule(next_tick, Ev::Telemetry);
+                    }
+                }
+                Ev::ControlDelivery => self.on_control_delivery(now),
+            }
+        }
+
+        // Close out the power integral at the horizon.
+        self.accumulate_power(until);
+        self.report.duration = until;
+        self.report.mean_row_watts = if until == SimTime::ZERO {
+            self.row_power_watts
+        } else {
+            self.power_integral / until.as_secs()
+        };
+        self.report
+    }
+
+    fn accumulate_power(&mut self, now: SimTime) {
+        let dt = now.saturating_sub(self.last_power_change).as_secs();
+        self.power_integral += self.row_power_watts * dt;
+        self.last_power_change = now;
+    }
+
+    /// Runs `f` against server `idx`, keeping the cached row power and
+    /// its peak/integral in sync with the server's state change.
+    fn mutate_server<T>(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        f: impl FnOnce(&mut InferenceServer) -> T,
+    ) -> T {
+        self.accumulate_power(now);
+        let before = self.servers[idx].power_watts();
+        let out = f(&mut self.servers[idx]);
+        let after = self.servers[idx].power_watts();
+        self.row_power_watts += after - before;
+        if self.row_power_watts > self.report.peak_row_watts {
+            self.report.peak_row_watts = self.row_power_watts;
+        }
+        out
+    }
+
+    fn on_arrival(&mut self, now: SimTime, req: Request) {
+        self.report.offered += 1;
+        let priority = req.priority;
+        match priority {
+            Priority::Low => self.report.offered_by_priority.0 += 1,
+            Priority::High => self.report.offered_by_priority.1 += 1,
+        }
+        let n = self.servers.len();
+        let cursor = match priority {
+            Priority::Low => &mut self.rr_cursor.0,
+            Priority::High => &mut self.rr_cursor.1,
+        };
+        let start = *cursor;
+        // First pass: an idle matching server (round-robin for fairness).
+        let mut chosen: Option<usize> = None;
+        for off in 0..n {
+            let i = (start + off) % n;
+            if self.servers[i].priority() == priority && self.servers[i].is_idle() {
+                chosen = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = chosen {
+            *cursor = (i + 1) % n;
+            let (end_at, version) =
+                self.mutate_server(now, i, |s| s.start_request(now, req));
+            self.queue
+                .schedule(end_at, Ev::PhaseEnd { server: i, version });
+            return;
+        }
+        // Second pass: the matching server with buffer space and the
+        // shortest queue.
+        let target = self
+            .servers
+            .iter()
+            .filter(|s| s.priority() == priority && s.has_buffer_space())
+            .min_by_key(|s| s.queue_len())
+            .map(InferenceServer::id);
+        match target {
+            Some(i) => {
+                let ok = self.servers[i].enqueue(req);
+                debug_assert!(ok, "buffer space was checked");
+            }
+            None => {
+                self.report.rejected += 1;
+                match priority {
+                    Priority::Low => self.report.rejected_by_priority.0 += 1,
+                    Priority::High => self.report.rejected_by_priority.1 += 1,
+                }
+            }
+        }
+    }
+
+    fn on_phase_end(&mut self, now: SimTime, server: usize, version: u64) {
+        let outcome = self.mutate_server(now, server, |s| s.on_phase_end(now, version));
+        match outcome {
+            PhaseOutcome::Ignored => {}
+            PhaseOutcome::TokenStarted { end_at, version } => {
+                self.queue
+                    .schedule(end_at, Ev::PhaseEnd { server, version });
+            }
+            PhaseOutcome::Completed { record, next } => {
+                self.record_completion(record);
+                if let Some((end_at, version)) = next {
+                    self.queue
+                        .schedule(end_at, Ev::PhaseEnd { server, version });
+                }
+            }
+        }
+    }
+
+    fn record_completion(&mut self, record: CompletedRequest) {
+        self.report.completed += 1;
+        let latency = record.latency_s();
+        match record.request.priority {
+            Priority::Low => {
+                self.report.completed_by_priority.0 += 1;
+                self.report.low_latencies_s.push(latency);
+            }
+            Priority::High => {
+                self.report.completed_by_priority.1 += 1;
+                self.report.high_latencies_s.push(latency);
+            }
+        }
+    }
+
+    fn on_telemetry(&mut self, now: SimTime) {
+        self.accumulate_power(now);
+        self.row_signal.record(now, self.row_power_watts);
+        if self.config.record_power_series {
+            self.report.row_power.push(now.as_secs(), self.row_power_watts);
+        }
+        let observed = self.row_signal.read(now);
+        let requests = self.controller.on_telemetry(now, observed, &self.ctx);
+        for cr in requests {
+            self.issue(now, cr);
+        }
+        if let Some(at) = self.plane.next_delivery() {
+            self.queue.schedule(at.max(now), Ev::ControlDelivery);
+        }
+    }
+
+    fn issue(&mut self, now: SimTime, cr: ControlRequest) {
+        if matches!(cr.action, ControlAction::PowerBrake { on: true }) {
+            self.report.brake_engagements += 1;
+        }
+        let targets: Vec<usize> = match cr.target {
+            ControlTarget::All => (0..self.servers.len()).collect(),
+            ControlTarget::Priority(p) => self
+                .servers
+                .iter()
+                .filter(|s| s.priority() == p)
+                .map(InferenceServer::id)
+                .collect(),
+            ControlTarget::Server(i) => vec![i.min(self.servers.len().saturating_sub(1))],
+        };
+        for i in targets {
+            self.plane.issue(now, i, cr.action);
+            self.report.commands_issued += 1;
+        }
+    }
+
+    fn on_control_delivery(&mut self, now: SimTime) {
+        let due = self.plane.deliver_due(now);
+        for cmd in due {
+            let idx = cmd.server;
+            if idx >= self.servers.len() {
+                continue;
+            }
+            let resched = self.mutate_server(now, idx, |s| s.apply_action(now, cmd.action));
+            if let Some((end_at, version)) = resched {
+                self.queue
+                    .schedule(end_at, Ev::PhaseEnd { server: idx, version });
+            }
+        }
+        if let Some(at) = self.plane.next_delivery() {
+            self.queue.schedule(at.max(now), Ev::ControlDelivery);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn small_row() -> RowConfig {
+        let mut row = RowConfig::paper_inference_row();
+        row.base_servers = 4;
+        row
+    }
+
+    fn mk_request(id: u64, at: f64, priority: Priority) -> Request {
+        Request::new(id, t(at), 1024, 64, priority)
+    }
+
+    #[test]
+    fn empty_run_reports_idle_power() {
+        let sim = ClusterSim::new(small_row(), SimConfig::default(), NoopController);
+        let idle = sim.servers()[0].power_watts() * 4.0;
+        let report = sim.run(std::iter::empty(), t(100.0));
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.offered, 0);
+        assert!((report.mean_row_watts - idle).abs() < 1.0);
+        assert!((report.peak_row_watts - idle).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_request_completes_with_service_latency() {
+        let sim = ClusterSim::new(small_row(), SimConfig::default(), NoopController);
+        let reqs = vec![mk_request(1, 0.0, Priority::Low)];
+        let report = sim.run(reqs, t(500.0));
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.low_latencies_s.len(), 1);
+        // No queueing: latency equals service time, which for a
+        // 1024/64 BLOOM request is a few seconds.
+        let lat = report.low_latencies_s[0];
+        assert!((1.0..30.0).contains(&lat), "latency {lat}");
+    }
+
+    #[test]
+    fn requests_route_to_matching_priority_servers() {
+        let sim = ClusterSim::new(small_row(), SimConfig::default(), NoopController);
+        // 4 servers: 2 low, 2 high. Offer 3 concurrent high requests:
+        // two start, one queues (buffers), so all complete eventually.
+        let reqs = (0..3)
+            .map(|i| mk_request(i, 0.0, Priority::High))
+            .collect::<Vec<_>>();
+        let report = sim.run(reqs, t(1000.0));
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.completed_by_priority, (0, 3));
+    }
+
+    #[test]
+    fn overload_rejects_when_buffers_full() {
+        let sim = ClusterSim::new(small_row(), SimConfig::default(), NoopController);
+        // 2 low servers × (1 active + 1 buffered) = 4 capacity; the 5th
+        // concurrent low request is rejected.
+        let reqs = (0..5)
+            .map(|i| mk_request(i, 0.0, Priority::Low))
+            .collect::<Vec<_>>();
+        let report = sim.run(reqs, t(2000.0));
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.completed, 4);
+    }
+
+    #[test]
+    fn queued_request_pays_waiting_latency() {
+        let sim = ClusterSim::new(small_row(), SimConfig::default(), NoopController);
+        let reqs = (0..3)
+            .map(|i| mk_request(i, 0.0, Priority::Low))
+            .collect::<Vec<_>>();
+        let report = sim.run(reqs, t(2000.0));
+        let mut lats = report.low_latencies_s.clone();
+        lats.sort_by(f64::total_cmp);
+        // The buffered request waited for a full service ahead of it.
+        assert!(lats[2] > lats[0] * 1.8, "{lats:?}");
+    }
+
+    #[test]
+    fn power_rises_while_serving() {
+        let sim = ClusterSim::new(small_row(), SimConfig::default(), NoopController);
+        let idle_watts = sim.servers().iter().map(|s| s.power_watts()).sum::<f64>();
+        let reqs = (0..4)
+            .map(|i| mk_request(i, 10.0, Priority::Low))
+            .collect::<Vec<_>>();
+        let report = sim.run(reqs, t(300.0));
+        assert!(report.peak_row_watts > idle_watts + 1000.0);
+        assert!(!report.row_power.is_empty());
+        assert!(report.row_power.peak().unwrap() <= report.peak_row_watts);
+    }
+
+    #[test]
+    fn controller_commands_reach_servers_and_stretch_latency() {
+        // A controller that locks every server to 1110 MHz at t = 0.
+        struct LockAll {
+            done: bool,
+        }
+        impl PowerController for LockAll {
+            fn on_telemetry(
+                &mut self,
+                _now: SimTime,
+                _obs: Option<f64>,
+                _ctx: &RowContext,
+            ) -> Vec<ControlRequest> {
+                if self.done {
+                    return Vec::new();
+                }
+                self.done = true;
+                vec![ControlRequest {
+                    target: ControlTarget::All,
+                    action: ControlAction::LockClock { mhz: 1110.0 },
+                }]
+            }
+        }
+
+        let mut cfg = SimConfig::default();
+        cfg.oob_cap_latency_s = (1.0, 2.0); // fast plane: the lock lands before requests
+        let reqs = vec![
+            mk_request(1, 60.0, Priority::Low),
+            mk_request(2, 60.0, Priority::High),
+        ];
+        let capped = ClusterSim::new(small_row(), cfg, LockAll { done: false })
+            .run(reqs.clone(), t(2000.0));
+        let free =
+            ClusterSim::new(small_row(), SimConfig::default(), NoopController).run(reqs, t(2000.0));
+        assert_eq!(capped.completed, 2);
+        assert!(capped.commands_issued >= 4);
+        assert!(
+            capped.low_latencies_s[0] > free.low_latencies_s[0],
+            "{} vs {}",
+            capped.low_latencies_s[0],
+            free.low_latencies_s[0]
+        );
+    }
+
+    #[test]
+    fn brake_engagements_are_counted() {
+        struct BrakeOnce {
+            fired: bool,
+        }
+        impl PowerController for BrakeOnce {
+            fn on_telemetry(
+                &mut self,
+                _now: SimTime,
+                _obs: Option<f64>,
+                _ctx: &RowContext,
+            ) -> Vec<ControlRequest> {
+                if self.fired {
+                    return Vec::new();
+                }
+                self.fired = true;
+                vec![ControlRequest {
+                    target: ControlTarget::All,
+                    action: ControlAction::PowerBrake { on: true },
+                }]
+            }
+        }
+        let report = ClusterSim::new(small_row(), SimConfig::default(), BrakeOnce { fired: false })
+            .run(std::iter::empty(), t(100.0));
+        assert_eq!(report.brake_engagements, 1);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_reports() {
+        let reqs: Vec<Request> = (0..50)
+            .map(|i| mk_request(i, i as f64 * 3.0, if i % 2 == 0 { Priority::Low } else { Priority::High }))
+            .collect();
+        let a = ClusterSim::new(small_row(), SimConfig::default(), NoopController)
+            .run(reqs.clone(), t(1000.0));
+        let b = ClusterSim::new(small_row(), SimConfig::default(), NoopController)
+            .run(reqs, t(1000.0));
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.low_latencies_s, b.low_latencies_s);
+        assert_eq!(a.peak_row_watts, b.peak_row_watts);
+    }
+
+    #[test]
+    fn telemetry_observation_is_delayed() {
+        struct Probe {
+            first_observation_at: Option<f64>,
+        }
+        impl PowerController for Probe {
+            fn on_telemetry(
+                &mut self,
+                now: SimTime,
+                obs: Option<f64>,
+                _ctx: &RowContext,
+            ) -> Vec<ControlRequest> {
+                if obs.is_some() && self.first_observation_at.is_none() {
+                    self.first_observation_at = Some(now.as_secs());
+                }
+                Vec::new()
+            }
+        }
+        // Run and inspect via a side-channel: the probe mutates itself,
+        // so thread it through a report-visible effect instead — issue a
+        // brake when first observing, and check the engagement count.
+        struct BrakeWhenObserved;
+        impl PowerController for BrakeWhenObserved {
+            fn on_telemetry(
+                &mut self,
+                now: SimTime,
+                obs: Option<f64>,
+                _ctx: &RowContext,
+            ) -> Vec<ControlRequest> {
+                assert!(
+                    obs.is_none() || now.as_secs() >= 2.0,
+                    "observation available before the 2 s delay"
+                );
+                Vec::new()
+            }
+        }
+        let _ = Probe {
+            first_observation_at: None,
+        };
+        let report = ClusterSim::new(small_row(), SimConfig::default(), BrakeWhenObserved)
+            .run(std::iter::empty(), t(20.0));
+        assert_eq!(report.brake_engagements, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the cluster substrate.
+
+use proptest::prelude::*;
+
+use polca_cluster::{
+    ClusterSim, NoopController, Priority, Request, RowConfig, ServerSpec, SimConfig,
+};
+use polca_llm::InferenceModel;
+use polca_sim::SimTime;
+use polca_telemetry::ControlAction;
+
+fn requests(max: usize) -> impl Strategy<Value = Vec<(f64, u32, u32, bool)>> {
+    prop::collection::vec(
+        (0.0..500.0f64, 64u32..4096, 16u32..512, any::<bool>()),
+        0..max,
+    )
+}
+
+fn build(reqs: &[(f64, u32, u32, bool)]) -> Vec<Request> {
+    let mut sorted = reqs.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, input, output, high))| {
+            Request::new(
+                i as u64,
+                SimTime::from_secs(t),
+                input,
+                output,
+                if high { Priority::High } else { Priority::Low },
+            )
+        })
+        .collect()
+}
+
+fn small_row() -> RowConfig {
+    let mut row = RowConfig::paper_inference_row();
+    row.base_servers = 4;
+    row
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn request_accounting_balances(reqs in requests(40)) {
+        let reqs = build(&reqs);
+        let n = reqs.len() as u64;
+        let report = ClusterSim::new(small_row(), SimConfig::default(), NoopController)
+            .run(reqs, SimTime::from_secs(50_000.0));
+        prop_assert_eq!(report.offered, n);
+        prop_assert_eq!(report.completed + report.rejected, n);
+        prop_assert_eq!(
+            report.completed_by_priority.0 + report.completed_by_priority.1,
+            report.completed
+        );
+        prop_assert_eq!(
+            report.low_latencies_s.len() as u64,
+            report.completed_by_priority.0
+        );
+    }
+
+    #[test]
+    fn latencies_are_at_least_service_time(reqs in requests(20)) {
+        let reqs = build(&reqs);
+        let row = small_row();
+        let deployment = InferenceModel::new(row.model.clone(), row.server_spec.gpu.clone()).unwrap();
+        let min_service: f64 = reqs
+            .iter()
+            .map(|r| {
+                deployment
+                    .profile(&polca_llm::InferenceConfig::new(r.input_tokens, r.output_tokens, 1))
+                    .total_time_s()
+            })
+            .fold(f64::INFINITY, f64::min);
+        let report = ClusterSim::new(row, SimConfig::default(), NoopController)
+            .run(reqs.clone(), SimTime::from_secs(50_000.0));
+        if !reqs.is_empty() && report.completed > 0 {
+            for lat in report.low_latencies_s.iter().chain(&report.high_latencies_s) {
+                prop_assert!(*lat >= min_service * 0.99, "latency {lat} < min service {min_service}");
+            }
+        }
+    }
+
+    #[test]
+    fn power_stays_within_physical_envelope(reqs in requests(30)) {
+        let reqs = build(&reqs);
+        let row = small_row();
+        let ceiling = row.total_servers() as f64 * row.server_spec.peak_power_watts();
+        let report = ClusterSim::new(row, SimConfig::default(), NoopController)
+            .run(reqs, SimTime::from_secs(50_000.0));
+        prop_assert!(report.peak_row_watts <= ceiling + 1e-6);
+        prop_assert!(report.mean_row_watts > 0.0);
+        prop_assert!(report.mean_row_watts <= report.peak_row_watts + 1e-6);
+    }
+
+    #[test]
+    fn determinism_under_identical_seeds(reqs in requests(25), seed in 0u64..50) {
+        let reqs = build(&reqs);
+        let mut cfg = SimConfig::default();
+        cfg.seed = seed;
+        let a = ClusterSim::new(small_row(), cfg.clone(), NoopController)
+            .run(reqs.clone(), SimTime::from_secs(20_000.0));
+        let b = ClusterSim::new(small_row(), cfg, NoopController)
+            .run(reqs, SimTime::from_secs(20_000.0));
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.peak_row_watts, b.peak_row_watts);
+        prop_assert_eq!(a.low_latencies_s, b.low_latencies_s);
+    }
+
+    #[test]
+    fn priority_fraction_is_respected(frac in 0.0..=1.0f64, servers in 2usize..40) {
+        let row = RowConfig {
+            base_servers: servers,
+            ..RowConfig::paper_inference_row()
+        }
+        .with_low_priority_fraction(frac);
+        let built = row.build_servers();
+        let low = built.iter().filter(|s| s.priority() == Priority::Low).count();
+        let expected = (servers as f64 * frac).round() as usize;
+        prop_assert_eq!(low, expected);
+    }
+
+    #[test]
+    fn server_actions_never_break_power_envelope(
+        lock in prop::option::of(210.0..1410.0f64),
+        brake in any::<bool>(),
+    ) {
+        let spec = ServerSpec::dgx_a100();
+        let row = small_row();
+        let mut servers = row.build_servers();
+        let s = &mut servers[0];
+        if let Some(mhz) = lock {
+            s.apply_action(SimTime::ZERO, ControlAction::LockClock { mhz });
+        }
+        s.apply_action(SimTime::ZERO, ControlAction::PowerBrake { on: brake });
+        let p = s.power_watts();
+        prop_assert!(p > 0.0);
+        prop_assert!(p <= spec.peak_power_watts() + 1e-6);
+        if brake {
+            prop_assert_eq!(s.effective_clock_mhz(), 288.0);
+        }
+    }
+}

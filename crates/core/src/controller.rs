@@ -1,0 +1,525 @@
+//! POLCA's dual-threshold controller and the §6.6 baselines.
+//!
+//! All controllers are driven by the cluster simulator's 2 s row
+//! telemetry (already delayed by the Table 2 propagation lag) and issue
+//! commands over the slow OOB plane. They emit commands only on state
+//! *transitions* — re-sending the full cap set every tick would swamp a
+//! 40 s-latency control path.
+
+use polca_cluster::{ControlRequest, ControlTarget, PowerController, Priority, RowContext};
+use polca_sim::SimTime;
+use polca_telemetry::ControlAction;
+
+use crate::policy::PolcaPolicy;
+
+/// Internal mode of the dual-threshold state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Uncapped,
+    T1,
+    T2 {
+        /// Whether the high-priority gentle cap has been applied (it
+        /// only is when power stays above T2 after the low-priority cap).
+        hp_capped: bool,
+    },
+    Brake,
+}
+
+/// The POLCA power manager (§6.3).
+///
+/// # Control flow (the paper's Figure 12)
+///
+/// ```text
+///   PDU (row-level power)
+///        │  telemetry every 2 s (stale by 2 s)
+///        ▼
+///   Rack manager / power manager  ←— this type
+///        │  per-priority frequency caps / brake (state transitions only)
+///        ▼
+///   OOB control plane (SMBPBI, 20–40 s; brake 2–5 s)
+///        │
+///        ▼
+///   BMC → per-GPU clock locks on every server of the target priority
+/// ```
+///
+/// "We assume a homogeneous distribution of power and caps for fast
+/// control": decisions are made on the aggregate row power and applied
+/// uniformly to a priority class.
+///
+/// # Examples
+///
+/// ```
+/// use polca::{PolcaController, PolcaPolicy};
+/// use polca_cluster::{PowerController, RowContext};
+/// use polca_sim::SimTime;
+///
+/// let mut polca = PolcaController::new(PolcaPolicy::default());
+/// let ctx = RowContext { provisioned_watts: 260_000.0, n_servers: 52 };
+/// // Quiet cluster: no commands.
+/// let cmds = polca.on_telemetry(SimTime::from_secs(2.0), Some(150_000.0), &ctx);
+/// assert!(cmds.is_empty());
+/// // Above T1 (80 %): cap the low-priority servers.
+/// let cmds = polca.on_telemetry(SimTime::from_secs(4.0), Some(215_000.0), &ctx);
+/// assert_eq!(cmds.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolcaController {
+    policy: PolcaPolicy,
+    mode: Mode,
+    transitions: u64,
+}
+
+impl PolcaController {
+    /// Creates the controller in the uncapped state.
+    pub fn new(policy: PolcaPolicy) -> Self {
+        PolcaController {
+            policy,
+            mode: Mode::Uncapped,
+            transitions: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &PolcaPolicy {
+        &self.policy
+    }
+
+    /// Mode transitions performed so far (capping churn; the hysteresis
+    /// ablation measures this).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    fn cap_low(&self, mhz: f64) -> ControlRequest {
+        ControlRequest {
+            target: ControlTarget::Priority(Priority::Low),
+            action: ControlAction::LockClock { mhz },
+        }
+    }
+
+    fn cap_high(&self, mhz: f64) -> ControlRequest {
+        ControlRequest {
+            target: ControlTarget::Priority(Priority::High),
+            action: ControlAction::LockClock { mhz },
+        }
+    }
+
+    fn uncap(&self, priority: Priority) -> ControlRequest {
+        ControlRequest {
+            target: ControlTarget::Priority(priority),
+            action: ControlAction::UnlockClock,
+        }
+    }
+
+    fn brake(&self, on: bool) -> ControlRequest {
+        ControlRequest {
+            target: ControlTarget::All,
+            action: ControlAction::PowerBrake { on },
+        }
+    }
+}
+
+impl PowerController for PolcaController {
+    fn on_telemetry(
+        &mut self,
+        _now: SimTime,
+        observed_row_watts: Option<f64>,
+        ctx: &RowContext,
+    ) -> Vec<ControlRequest> {
+        let Some(watts) = observed_row_watts else {
+            return Vec::new();
+        };
+        let u = watts / ctx.provisioned_watts;
+        let p = &self.policy;
+        let before = self.mode;
+        let mut cmds = Vec::new();
+
+        self.mode = match self.mode {
+            Mode::Brake => {
+                if u <= p.brake_release_frac {
+                    // Release the brake but resume fully capped: the row
+                    // was at the limit moments ago.
+                    cmds.push(self.brake(false));
+                    cmds.push(self.cap_low(p.t2_low_mhz));
+                    cmds.push(self.cap_high(p.t2_high_mhz));
+                    Mode::T2 { hp_capped: true }
+                } else {
+                    Mode::Brake
+                }
+            }
+            Mode::Uncapped => {
+                if u >= p.brake_frac {
+                    cmds.push(self.brake(true));
+                    Mode::Brake
+                } else if u >= p.t2_frac {
+                    cmds.push(self.cap_low(p.t2_low_mhz));
+                    Mode::T2 { hp_capped: false }
+                } else if u >= p.t1_frac {
+                    cmds.push(self.cap_low(p.t1_low_mhz));
+                    Mode::T1
+                } else {
+                    Mode::Uncapped
+                }
+            }
+            Mode::T1 => {
+                if u >= p.brake_frac {
+                    cmds.push(self.brake(true));
+                    Mode::Brake
+                } else if u >= p.t2_frac {
+                    cmds.push(self.cap_low(p.t2_low_mhz));
+                    Mode::T2 { hp_capped: false }
+                } else if u < p.t1_uncap_frac() {
+                    cmds.push(self.uncap(Priority::Low));
+                    Mode::Uncapped
+                } else {
+                    Mode::T1
+                }
+            }
+            Mode::T2 { hp_capped } => {
+                if u >= p.brake_frac {
+                    cmds.push(self.brake(true));
+                    Mode::Brake
+                } else if u >= p.t2_frac && !hp_capped {
+                    // The low-priority cap did not bring power under T2:
+                    // gently cap high priority too (§6.3).
+                    cmds.push(self.cap_high(p.t2_high_mhz));
+                    Mode::T2 { hp_capped: true }
+                } else if u < p.t2_uncap_frac() {
+                    if hp_capped {
+                        cmds.push(self.uncap(Priority::High));
+                    }
+                    cmds.push(self.cap_low(p.t1_low_mhz));
+                    Mode::T1
+                } else {
+                    Mode::T2 { hp_capped }
+                }
+            }
+        };
+        if self.mode != before {
+            self.transitions += 1;
+        }
+        cmds
+    }
+}
+
+/// The `1-Thresh-Low-Pri` and `1-Thresh-All` baselines (§6.6): a single
+/// threshold at T2 that immediately applies the hard cap, with the same
+/// UPS brake fallback.
+#[derive(Debug, Clone)]
+pub struct SingleThresholdController {
+    policy: PolcaPolicy,
+    /// Whether the threshold caps every server or only low priority.
+    cap_all: bool,
+    capped: bool,
+    braked: bool,
+}
+
+impl SingleThresholdController {
+    /// `1-Thresh-Low-Pri`: one threshold (T2) capping low priority only.
+    pub fn low_priority_only(policy: PolcaPolicy) -> Self {
+        SingleThresholdController {
+            policy,
+            cap_all: false,
+            capped: false,
+            braked: false,
+        }
+    }
+
+    /// `1-Thresh-All`: one threshold (T2) capping every server.
+    pub fn all_workloads(policy: PolcaPolicy) -> Self {
+        SingleThresholdController {
+            policy,
+            cap_all: true,
+            capped: false,
+            braked: false,
+        }
+    }
+}
+
+impl PowerController for SingleThresholdController {
+    fn on_telemetry(
+        &mut self,
+        _now: SimTime,
+        observed_row_watts: Option<f64>,
+        ctx: &RowContext,
+    ) -> Vec<ControlRequest> {
+        let Some(watts) = observed_row_watts else {
+            return Vec::new();
+        };
+        let u = watts / ctx.provisioned_watts;
+        let p = &self.policy;
+        let mut cmds = Vec::new();
+        if self.braked {
+            if u <= p.brake_release_frac {
+                self.braked = false;
+                cmds.push(ControlRequest {
+                    target: ControlTarget::All,
+                    action: ControlAction::PowerBrake { on: false },
+                });
+            } else {
+                return cmds;
+            }
+        } else if u >= p.brake_frac {
+            self.braked = true;
+            cmds.push(ControlRequest {
+                target: ControlTarget::All,
+                action: ControlAction::PowerBrake { on: true },
+            });
+            return cmds;
+        }
+        if !self.capped && u >= p.t2_frac {
+            self.capped = true;
+            let target = if self.cap_all {
+                ControlTarget::All
+            } else {
+                ControlTarget::Priority(Priority::Low)
+            };
+            cmds.push(ControlRequest {
+                target,
+                action: ControlAction::LockClock {
+                    mhz: p.t2_low_mhz,
+                },
+            });
+        } else if self.capped && u < p.t2_uncap_frac() {
+            self.capped = false;
+            let target = if self.cap_all {
+                ControlTarget::All
+            } else {
+                ControlTarget::Priority(Priority::Low)
+            };
+            cmds.push(ControlRequest {
+                target,
+                action: ControlAction::UnlockClock,
+            });
+        }
+        cmds
+    }
+}
+
+/// The `No-cap` baseline (§6.6): no proactive capping at all. The only
+/// thing standing between the row and a power-safety incident is the
+/// involuntary UPS-triggered power brake at the provisioned limit —
+/// which is exactly what "lacks power brake protection ... impacts P99
+/// and P100 latency" costs.
+#[derive(Debug, Clone)]
+pub struct NoCapController {
+    policy: PolcaPolicy,
+    braked: bool,
+}
+
+impl NoCapController {
+    /// Creates the baseline with the default brake limits.
+    pub fn new(policy: PolcaPolicy) -> Self {
+        NoCapController {
+            policy,
+            braked: false,
+        }
+    }
+}
+
+impl PowerController for NoCapController {
+    fn on_telemetry(
+        &mut self,
+        _now: SimTime,
+        observed_row_watts: Option<f64>,
+        ctx: &RowContext,
+    ) -> Vec<ControlRequest> {
+        let Some(watts) = observed_row_watts else {
+            return Vec::new();
+        };
+        let u = watts / ctx.provisioned_watts;
+        let p = &self.policy;
+        if !self.braked && u >= p.brake_frac {
+            self.braked = true;
+            return vec![ControlRequest {
+                target: ControlTarget::All,
+                action: ControlAction::PowerBrake { on: true },
+            }];
+        }
+        if self.braked && u <= p.brake_release_frac {
+            self.braked = false;
+            return vec![ControlRequest {
+                target: ControlTarget::All,
+                action: ControlAction::PowerBrake { on: false },
+            }];
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> RowContext {
+        RowContext {
+            provisioned_watts: 100_000.0,
+            n_servers: 40,
+        }
+    }
+
+    fn tick(
+        c: &mut impl PowerController,
+        t: f64,
+        frac: f64,
+    ) -> Vec<ControlRequest> {
+        c.on_telemetry(SimTime::from_secs(t), Some(frac * 100_000.0), &ctx())
+    }
+
+    fn is_lock(cr: &ControlRequest, priority: Priority, mhz: f64) -> bool {
+        cr.target == ControlTarget::Priority(priority)
+            && cr.action == ControlAction::LockClock { mhz }
+    }
+
+    #[test]
+    fn no_observation_means_no_action() {
+        let mut c = PolcaController::new(PolcaPolicy::default());
+        assert!(c.on_telemetry(SimTime::ZERO, None, &ctx()).is_empty());
+    }
+
+    #[test]
+    fn t1_caps_low_priority_at_base_clock() {
+        let mut c = PolcaController::new(PolcaPolicy::default());
+        assert!(tick(&mut c, 0.0, 0.70).is_empty());
+        let cmds = tick(&mut c, 2.0, 0.82);
+        assert_eq!(cmds.len(), 1);
+        assert!(is_lock(&cmds[0], Priority::Low, 1275.0));
+        // Holding above T1 does not re-issue.
+        assert!(tick(&mut c, 4.0, 0.83).is_empty());
+    }
+
+    #[test]
+    fn t2_escalates_low_then_high() {
+        let mut c = PolcaController::new(PolcaPolicy::default());
+        let cmds = tick(&mut c, 0.0, 0.90);
+        assert_eq!(cmds.len(), 1);
+        assert!(is_lock(&cmds[0], Priority::Low, 1110.0));
+        // Still above T2 on the next tick: gently cap high priority.
+        let cmds = tick(&mut c, 2.0, 0.90);
+        assert_eq!(cmds.len(), 1);
+        assert!(is_lock(&cmds[0], Priority::High, 1305.0));
+        // And no further churn while it stays high (short of the brake).
+        assert!(tick(&mut c, 4.0, 0.95).is_empty());
+    }
+
+    #[test]
+    fn hysteresis_prevents_oscillation_at_threshold() {
+        let mut c = PolcaController::new(PolcaPolicy::default());
+        tick(&mut c, 0.0, 0.82); // cap at T1
+        // Dipping just below T1 must NOT uncap (uncap level is 75 %).
+        assert!(tick(&mut c, 2.0, 0.79).is_empty());
+        assert!(tick(&mut c, 4.0, 0.78).is_empty());
+        // Only below 75 % does it uncap.
+        let cmds = tick(&mut c, 6.0, 0.74);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].action, ControlAction::UnlockClock);
+        assert_eq!(c.transitions(), 2);
+    }
+
+    #[test]
+    fn t2_deescalates_to_t1_not_straight_to_uncapped() {
+        let mut c = PolcaController::new(PolcaPolicy::default());
+        tick(&mut c, 0.0, 0.90);
+        tick(&mut c, 2.0, 0.90); // hp capped
+        let cmds = tick(&mut c, 4.0, 0.80); // below T2 uncap (84 %)
+        // Expect: unlock high, relax low to the T1 clock.
+        assert_eq!(cmds.len(), 2);
+        assert!(cmds
+            .iter()
+            .any(|c| c.target == ControlTarget::Priority(Priority::High)
+                && c.action == ControlAction::UnlockClock));
+        assert!(cmds.iter().any(|c| is_lock(c, Priority::Low, 1275.0)));
+    }
+
+    #[test]
+    fn brake_fires_at_provisioned_limit_and_releases_into_t2() {
+        let mut c = PolcaController::new(PolcaPolicy::default());
+        let cmds = tick(&mut c, 0.0, 1.01);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].action, ControlAction::PowerBrake { on: true });
+        assert_eq!(cmds[0].target, ControlTarget::All);
+        // Still high: hold the brake.
+        assert!(tick(&mut c, 2.0, 0.95).is_empty());
+        // Released below 92 %: caps resume at full T2.
+        let cmds = tick(&mut c, 4.0, 0.85);
+        assert_eq!(cmds.len(), 3);
+        assert_eq!(cmds[0].action, ControlAction::PowerBrake { on: false });
+        assert!(cmds.iter().any(|c| is_lock(c, Priority::Low, 1110.0)));
+        assert!(cmds.iter().any(|c| is_lock(c, Priority::High, 1305.0)));
+    }
+
+    #[test]
+    fn zero_gap_ablation_oscillates() {
+        // Without the 5 % hysteresis gap, a load hovering at T1 churns.
+        let gapless = PolcaPolicy::default().with_uncap_gap(0.0);
+        let mut c = PolcaController::new(gapless);
+        let mut churn = 0;
+        for k in 0..50 {
+            let frac = if k % 2 == 0 { 0.805 } else { 0.795 };
+            churn += tick(&mut c, k as f64 * 2.0, frac).len();
+        }
+        assert!(churn >= 40, "expected churn, got {churn} commands");
+
+        let mut c = PolcaController::new(PolcaPolicy::default());
+        let mut calm = 0;
+        for k in 0..50 {
+            let frac = if k % 2 == 0 { 0.805 } else { 0.795 };
+            calm += tick(&mut c, k as f64 * 2.0, frac).len();
+        }
+        assert!(calm <= 1, "hysteresis should suppress churn, got {calm}");
+    }
+
+    #[test]
+    fn single_threshold_low_pri_caps_hard_immediately() {
+        let mut c = SingleThresholdController::low_priority_only(PolcaPolicy::default());
+        assert!(tick(&mut c, 0.0, 0.85).is_empty()); // below 89 %: nothing
+        let cmds = tick(&mut c, 2.0, 0.90);
+        assert_eq!(cmds.len(), 1);
+        assert!(is_lock(&cmds[0], Priority::Low, 1110.0));
+    }
+
+    #[test]
+    fn single_threshold_all_caps_everyone() {
+        let mut c = SingleThresholdController::all_workloads(PolcaPolicy::default());
+        let cmds = tick(&mut c, 0.0, 0.90);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].target, ControlTarget::All);
+        assert_eq!(cmds[0].action, ControlAction::LockClock { mhz: 1110.0 });
+        // Uncap below 84 %.
+        let cmds = tick(&mut c, 2.0, 0.83);
+        assert_eq!(cmds[0].action, ControlAction::UnlockClock);
+    }
+
+    #[test]
+    fn no_cap_only_ever_brakes() {
+        let mut c = NoCapController::new(PolcaPolicy::default());
+        assert!(tick(&mut c, 0.0, 0.95).is_empty());
+        let cmds = tick(&mut c, 2.0, 1.02);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].action, ControlAction::PowerBrake { on: true });
+        let cmds = tick(&mut c, 4.0, 0.80);
+        assert_eq!(cmds[0].action, ControlAction::PowerBrake { on: false });
+    }
+
+    #[test]
+    fn baselines_brake_where_polca_would_have_capped_first() {
+        // Ramp the same utilization trajectory through POLCA and No-cap:
+        // POLCA starts capping at 80 %, No-cap lets it ride to the limit.
+        let trajectory = [0.7, 0.82, 0.9, 0.96, 1.01];
+        let mut polca = PolcaController::new(PolcaPolicy::default());
+        let mut nocap = NoCapController::new(PolcaPolicy::default());
+        let mut polca_caps = 0;
+        let mut nocap_braked = false;
+        for (k, &f) in trajectory.iter().enumerate() {
+            polca_caps += tick(&mut polca, k as f64 * 2.0, f)
+                .iter()
+                .filter(|c| matches!(c.action, ControlAction::LockClock { .. }))
+                .count();
+            nocap_braked |= tick(&mut nocap, k as f64 * 2.0, f)
+                .iter()
+                .any(|c| c.action == ControlAction::PowerBrake { on: true });
+        }
+        assert!(polca_caps >= 2, "POLCA should have escalated caps");
+        assert!(nocap_braked, "No-cap should have hit the UPS brake");
+    }
+}

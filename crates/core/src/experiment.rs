@@ -1,0 +1,411 @@
+//! The POLCA oversubscription evaluation driver (§6.4–§6.6).
+//!
+//! [`OversubscriptionStudy`] reproduces the paper's pipeline end to end:
+//!
+//! 1. synthesize the production reference power trace (Table 4
+//!    statistics),
+//! 2. invert it into an arrival-rate schedule (§6.4's synthetic trace,
+//!    MAPE ≤ 3 %),
+//! 3. replay that trace — scaled up with the added servers — through the
+//!    cluster simulator under a policy,
+//! 4. normalize per-priority latency quantiles against the un-capped,
+//!    un-oversubscribed reference run,
+//! 5. check the Table 6 SLOs.
+
+use polca_cluster::{ClusterSim, Priority, RowConfig, SimConfig};
+use polca_sim::SimTime;
+use polca_stats::{Quantiles, TimeSeries};
+use polca_trace::replicate::{production_reference, ProductionReplicator};
+use polca_trace::{ArrivalGenerator, RateSchedule, TraceConfig, WorkloadClass};
+
+use crate::controller::{NoCapController, PolcaController, SingleThresholdController};
+use crate::policy::PolcaPolicy;
+use crate::slo::{SloReport, SloTargets};
+use crate::thresholds::ThresholdTrainer;
+
+/// The four policies compared in Figures 17 and 18.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PolicyKind {
+    /// The dual-threshold POLCA policy.
+    Polca,
+    /// `1-Thresh-Low-Pri`: single threshold, low priority capped hard.
+    OneThreshLowPri,
+    /// `1-Thresh-All`: single threshold, everyone capped hard.
+    OneThreshAll,
+    /// `No-cap`: nothing but the involuntary UPS brake.
+    NoCap,
+}
+
+impl PolicyKind {
+    /// All policies in figure order.
+    pub const fn all() -> [PolicyKind; 4] {
+        [
+            PolicyKind::Polca,
+            PolicyKind::OneThreshLowPri,
+            PolicyKind::OneThreshAll,
+            PolicyKind::NoCap,
+        ]
+    }
+
+    /// The label used in the paper's figures.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Polca => "POLCA",
+            PolicyKind::OneThreshLowPri => "1-Thresh-Low-Pri",
+            PolicyKind::OneThreshAll => "1-Thresh-All",
+            PolicyKind::NoCap => "No-cap",
+        }
+    }
+}
+
+/// Everything one policy run produces.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PolicyOutcome {
+    /// The policy that ran.
+    pub kind: PolicyKind,
+    /// Added-server fraction (0.30 = +30 %).
+    pub added_fraction: f64,
+    /// Workload power multiplier (1.05 = the "+5 %" drift experiment).
+    pub power_scale: f64,
+    /// Low-priority latency quantiles normalized to the reference run.
+    pub low_normalized: Quantiles,
+    /// High-priority latency quantiles normalized to the reference run.
+    pub high_normalized: Quantiles,
+    /// Raw low-priority latency quantiles in seconds.
+    pub low_raw: Quantiles,
+    /// Raw high-priority latency quantiles in seconds.
+    pub high_raw: Quantiles,
+    /// Power-brake events during the run.
+    pub brake_engagements: u64,
+    /// Low-priority goodput normalized to the reference run.
+    pub low_throughput_norm: f64,
+    /// High-priority goodput normalized to the reference run.
+    pub high_throughput_norm: f64,
+    /// Peak row power over provisioned power.
+    pub peak_utilization: f64,
+    /// Mean row power over provisioned power.
+    pub mean_utilization: f64,
+    /// Row power at the 2 s telemetry cadence (empty if disabled).
+    pub row_power: TimeSeries,
+    /// Table 6 SLO evaluation.
+    pub slo: SloReport,
+    /// Requests offered / completed / rejected.
+    pub counts: (u64, u64, u64),
+    /// OOB control commands issued (capping churn; the hysteresis
+    /// ablation tracks this).
+    pub commands_issued: u64,
+}
+
+/// A cached reference (un-capped, un-oversubscribed) run.
+#[derive(Debug, Clone)]
+struct Reference {
+    low: Quantiles,
+    high: Quantiles,
+    low_goodput: f64,
+    high_goodput: f64,
+}
+
+/// The end-to-end evaluation pipeline.
+#[derive(Debug, Clone)]
+pub struct OversubscriptionStudy {
+    row: RowConfig,
+    policy: PolcaPolicy,
+    days: f64,
+    seed: u64,
+    slo: SloTargets,
+    profile: TimeSeries,
+    base_schedule: RateSchedule,
+    record_power: bool,
+    reference: Option<Reference>,
+}
+
+impl OversubscriptionStudy {
+    /// Builds the study: synthesizes the production reference for
+    /// `days` days and inverts it into the base arrival schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days` is not strictly positive.
+    pub fn new(row: RowConfig, policy: PolcaPolicy, days: f64, seed: u64) -> Self {
+        assert!(days > 0.0, "study needs a positive duration");
+        let profile = production_reference(&row, days, 60.0, seed);
+        let replicator = ProductionReplicator::new(&row, &WorkloadClass::table6());
+        let base_schedule = replicator.schedule_from_profile(&profile);
+        OversubscriptionStudy {
+            row,
+            policy,
+            days,
+            seed,
+            slo: SloTargets::default(),
+            profile,
+            base_schedule,
+            record_power: true,
+            reference: None,
+        }
+    }
+
+    /// The paper-scale study: the Table 2 row (40 DGX-A100 servers) over
+    /// a six-week trace with the default POLCA policy.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self::new(
+            RowConfig::paper_inference_row(),
+            PolcaPolicy::default(),
+            42.0,
+            seed,
+        )
+    }
+
+    /// A small, fast study for demos and doc tests: a 20-server row over
+    /// a ~2.4 h trace. (20 servers keep the ±30 % oversubscription steps
+    /// evenly divisible between the two priority classes, like the
+    /// paper's 40-server row.)
+    pub fn quick_demo(seed: u64) -> Self {
+        let mut row = RowConfig::paper_inference_row();
+        row.base_servers = 20;
+        Self::new(row, PolcaPolicy::default(), 0.1, seed)
+    }
+
+    /// The synthesized production power profile driving the study.
+    pub fn production_profile(&self) -> &TimeSeries {
+        &self.profile
+    }
+
+    /// The base (non-oversubscribed) arrival-rate schedule.
+    pub fn base_schedule(&self) -> &RateSchedule {
+        &self.base_schedule
+    }
+
+    /// The row configuration (base deployment).
+    pub fn row(&self) -> &RowConfig {
+        &self.row
+    }
+
+    /// The policy parameters used for POLCA runs.
+    pub fn policy(&self) -> &PolcaPolicy {
+        &self.policy
+    }
+
+    /// Overrides the policy (threshold sweeps).
+    pub fn set_policy(&mut self, policy: PolcaPolicy) {
+        self.policy = policy;
+    }
+
+    /// Disables row-power recording (large sweeps).
+    pub fn set_record_power(&mut self, record: bool) {
+        self.record_power = record;
+    }
+
+    /// The study duration in days.
+    pub fn days(&self) -> f64 {
+        self.days
+    }
+
+    /// Trains thresholds on the first week (or the whole profile if
+    /// shorter), as §6.4 prescribes. The training trace is regenerated
+    /// at the 2 s row-telemetry resolution so that 40 s spikes are
+    /// visible (the scheduling profile itself is minute-grained).
+    pub fn trained_thresholds(&self) -> ThresholdTrainer {
+        let train_days = self.days.min(7.0);
+        let fine = production_reference(&self.row, train_days, 2.0, self.seed);
+        ThresholdTrainer::from_trace(&fine, self.row.provisioned_watts())
+    }
+
+    fn sim_config(&self, power_scale: f64) -> SimConfig {
+        SimConfig {
+            seed: self.seed,
+            power_scale,
+            record_power_series: self.record_power,
+            ..SimConfig::default()
+        }
+    }
+
+    fn trace(&self, added_fraction: f64) -> TraceConfig {
+        TraceConfig {
+            seed: self.seed,
+            horizon: SimTime::from_days(self.days),
+            schedule: self.base_schedule.scaled(1.0 + added_fraction),
+            mix: WorkloadClass::table6(),
+        }
+    }
+
+    fn quantiles_or_unit(samples: &[f64]) -> Quantiles {
+        Quantiles::from_samples(samples).unwrap_or(Quantiles {
+            p50: 1.0,
+            p90: 1.0,
+            p99: 1.0,
+            max: 1.0,
+            min: 1.0,
+            mean: 1.0,
+            count: 0,
+        })
+    }
+
+    /// Runs (and caches) the reference: no added servers, no policy.
+    fn reference(&mut self) -> Reference {
+        if let Some(r) = &self.reference {
+            return r.clone();
+        }
+        let sim = ClusterSim::new(
+            self.row.clone(),
+            self.sim_config(1.0),
+            polca_cluster::NoopController,
+        );
+        let report = sim.run(
+            ArrivalGenerator::new(&self.trace(0.0)),
+            SimTime::from_days(self.days),
+        );
+        let r = Reference {
+            low: Self::quantiles_or_unit(&report.low_latencies_s),
+            high: Self::quantiles_or_unit(&report.high_latencies_s),
+            low_goodput: report.goodput(Priority::Low),
+            high_goodput: report.goodput(Priority::High),
+        };
+        self.reference = Some(r.clone());
+        r
+    }
+
+    /// Runs `kind` with `added_fraction` more servers (and a
+    /// proportionally scaled workload) at `power_scale` workload power.
+    pub fn run(
+        &mut self,
+        kind: PolicyKind,
+        added_fraction: f64,
+        power_scale: f64,
+    ) -> PolicyOutcome {
+        let reference = self.reference();
+        let row = self.row.clone().with_added_servers(added_fraction);
+        let provisioned = row.provisioned_watts();
+        let config = self.sim_config(power_scale);
+        let arrivals = ArrivalGenerator::new(&self.trace(added_fraction));
+        let until = SimTime::from_days(self.days);
+        let report = match kind {
+            PolicyKind::Polca => {
+                ClusterSim::new(row, config, PolcaController::new(self.policy.clone()))
+                    .run(arrivals, until)
+            }
+            PolicyKind::OneThreshLowPri => ClusterSim::new(
+                row,
+                config,
+                SingleThresholdController::low_priority_only(self.policy.clone()),
+            )
+            .run(arrivals, until),
+            PolicyKind::OneThreshAll => ClusterSim::new(
+                row,
+                config,
+                SingleThresholdController::all_workloads(self.policy.clone()),
+            )
+            .run(arrivals, until),
+            PolicyKind::NoCap => ClusterSim::new(
+                row,
+                config,
+                NoCapController::new(self.policy.clone()),
+            )
+            .run(arrivals, until),
+        };
+
+        let low_raw = Self::quantiles_or_unit(&report.low_latencies_s);
+        let high_raw = Self::quantiles_or_unit(&report.high_latencies_s);
+        let low_normalized = low_raw.normalized_to(&reference.low);
+        let high_normalized = high_raw.normalized_to(&reference.high);
+        let slo = self
+            .slo
+            .check(&low_normalized, &high_normalized, report.brake_engagements);
+        PolicyOutcome {
+            kind,
+            added_fraction,
+            power_scale,
+            low_normalized,
+            high_normalized,
+            low_raw,
+            high_raw,
+            brake_engagements: report.brake_engagements,
+            low_throughput_norm: report.goodput(Priority::Low) / reference.low_goodput,
+            high_throughput_norm: report.goodput(Priority::High) / reference.high_goodput,
+            peak_utilization: report.peak_row_watts / provisioned,
+            mean_utilization: report.mean_row_watts / provisioned,
+            row_power: report.row_power,
+            slo,
+            counts: (report.offered, report.completed, report.rejected),
+            commands_issued: report.commands_issued,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> OversubscriptionStudy {
+        // 20 base servers so +25 %/+30 % splits evenly between priority
+        // classes (the paper's 40-server row has the same property).
+        let mut row = RowConfig::paper_inference_row();
+        row.base_servers = 20;
+        OversubscriptionStudy::new(row, PolcaPolicy::default(), 1.0, 9)
+    }
+
+    #[test]
+    fn reference_run_is_uncapped_and_unit_normalized() {
+        let mut s = study();
+        let outcome = s.run(PolicyKind::NoCap, 0.0, 1.0);
+        assert_eq!(outcome.brake_engagements, 0);
+        assert!((outcome.low_normalized.p50 - 1.0).abs() < 1e-9);
+        assert!((outcome.high_normalized.p50 - 1.0).abs() < 1e-9);
+        assert!(outcome.slo.met, "{:?}", outcome.slo.violations);
+        assert!(outcome.peak_utilization < 0.9);
+    }
+
+    #[test]
+    fn polca_at_thirty_percent_meets_slos_without_brakes() {
+        // The headline result (§6.5/§6.6, Table 6).
+        let mut s = study();
+        let outcome = s.run(PolicyKind::Polca, 0.30, 1.0);
+        assert_eq!(outcome.brake_engagements, 0);
+        assert!(outcome.slo.met, "violations: {:?}", outcome.slo.violations);
+        // High priority is essentially untouched.
+        assert!(outcome.high_normalized.p50 < 1.01);
+        // Low priority pays a visible but bounded cost.
+        assert!(outcome.low_normalized.p99 < 1.5);
+        // Throughput loss is minor (< 2 %, Figure 14).
+        assert!(outcome.low_throughput_norm > 0.97);
+        assert!(outcome.high_throughput_norm > 0.99);
+    }
+
+    #[test]
+    fn polca_keeps_power_under_the_budget() {
+        let mut s = study();
+        let outcome = s.run(PolicyKind::Polca, 0.30, 1.0);
+        assert!(
+            outcome.peak_utilization <= 1.0,
+            "peak {:.3}",
+            outcome.peak_utilization
+        );
+        // Oversubscription actually uses the budget harder than baseline.
+        let base = s.run(PolicyKind::NoCap, 0.0, 1.0);
+        assert!(outcome.mean_utilization > base.mean_utilization);
+    }
+
+    #[test]
+    fn thresholds_trained_from_the_profile_are_near_the_paper() {
+        let s = study();
+        let trainer = s.trained_thresholds();
+        let t2 = trainer.t2();
+        assert!((0.80..=0.95).contains(&t2), "t2 {t2}");
+        assert!(trainer.t1() < t2);
+    }
+
+    #[test]
+    fn policy_kinds_enumerate_in_figure_order() {
+        let names: Vec<&str> = PolicyKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            ["POLCA", "1-Thresh-Low-Pri", "1-Thresh-All", "No-cap"]
+        );
+    }
+
+    #[test]
+    fn quick_demo_is_consistent() {
+        let mut s = OversubscriptionStudy::quick_demo(3);
+        let outcome = s.run(PolicyKind::Polca, 0.30, 1.0);
+        assert!(outcome.counts.0 > 0, "demo must offer requests");
+    }
+}

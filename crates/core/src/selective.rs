@@ -1,0 +1,249 @@
+//! The workload-aware POLCA extension (§6.7).
+//!
+//! "POLCA could be extended to use workload-specific power profiles to
+//! reduce the impact on performance, while getting the most power
+//! savings." The dual-threshold controller caps *every* low-priority
+//! server when a threshold trips; [`SelectiveController`] instead
+//! estimates how many watts must be reclaimed and caps only the minimum
+//! number of low-priority servers that covers it, expanding or shrinking
+//! the capped set as the overshoot evolves.
+
+use polca_cluster::{ControlRequest, ControlTarget, PowerController, RowContext};
+use polca_sim::SimTime;
+use polca_telemetry::ControlAction;
+
+use crate::policy::PolcaPolicy;
+
+/// A proportional, per-server variant of the POLCA controller.
+///
+/// Above T1 it caps `ceil(overshoot / reclaim_per_server)` low-priority
+/// servers at the T1 clock (round-robin over the low-priority pool so the
+/// capping burden rotates); the brake safety net is unchanged. High
+/// priority is never touched — the selective reclaim happens entirely in
+/// the low-priority pool, maximizing power savings per unit of
+/// performance impact.
+#[derive(Debug, Clone)]
+pub struct SelectiveController {
+    policy: PolcaPolicy,
+    /// Watts one capped low-priority server reclaims (from the workload
+    /// power profile; a BLOOM token-phase server at 1110 MHz sheds
+    /// ~600 W).
+    reclaim_per_server_watts: f64,
+    /// Ids of the row's low-priority servers.
+    low_priority_servers: Vec<usize>,
+    /// How many of them are currently capped (a prefix of the rotated
+    /// pool).
+    capped: usize,
+    /// Rotation offset so the same servers are not always capped first.
+    rotation: usize,
+    braked: bool,
+}
+
+impl SelectiveController {
+    /// Creates the controller for a row whose low-priority servers are
+    /// `low_priority_servers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reclaim_per_server_watts` is not strictly positive.
+    pub fn new(
+        policy: PolcaPolicy,
+        low_priority_servers: Vec<usize>,
+        reclaim_per_server_watts: f64,
+    ) -> Self {
+        assert!(
+            reclaim_per_server_watts > 0.0,
+            "per-server reclaim must be positive"
+        );
+        SelectiveController {
+            policy,
+            reclaim_per_server_watts,
+            low_priority_servers,
+            capped: 0,
+            rotation: 0,
+            braked: false,
+        }
+    }
+
+    /// How many low-priority servers are currently capped.
+    pub fn capped_servers(&self) -> usize {
+        self.capped
+    }
+
+    fn server_at(&self, idx: usize) -> usize {
+        let n = self.low_priority_servers.len();
+        self.low_priority_servers[(self.rotation + idx) % n]
+    }
+
+    /// Adjusts the capped prefix to `target`, emitting only the deltas.
+    fn resize_capped(&mut self, target: usize, cmds: &mut Vec<ControlRequest>) {
+        let target = target.min(self.low_priority_servers.len());
+        while self.capped < target {
+            cmds.push(ControlRequest {
+                target: ControlTarget::Server(self.server_at(self.capped)),
+                action: ControlAction::LockClock {
+                    mhz: self.policy.t1_low_mhz,
+                },
+            });
+            self.capped += 1;
+        }
+        while self.capped > target {
+            self.capped -= 1;
+            cmds.push(ControlRequest {
+                target: ControlTarget::Server(self.server_at(self.capped)),
+                action: ControlAction::UnlockClock,
+            });
+        }
+        if target == 0 && !self.low_priority_servers.is_empty() {
+            // Rotate the pool so capping burden moves around.
+            self.rotation = (self.rotation + 1) % self.low_priority_servers.len();
+        }
+    }
+}
+
+impl PowerController for SelectiveController {
+    fn on_telemetry(
+        &mut self,
+        _now: SimTime,
+        observed_row_watts: Option<f64>,
+        ctx: &RowContext,
+    ) -> Vec<ControlRequest> {
+        let Some(watts) = observed_row_watts else {
+            return Vec::new();
+        };
+        let u = watts / ctx.provisioned_watts;
+        let p = &self.policy;
+        let mut cmds = Vec::new();
+
+        // Brake safety net, identical to the baseline controllers.
+        if self.braked {
+            if u <= p.brake_release_frac {
+                self.braked = false;
+                cmds.push(ControlRequest {
+                    target: ControlTarget::All,
+                    action: ControlAction::PowerBrake { on: false },
+                });
+            } else {
+                return cmds;
+            }
+        } else if u >= p.brake_frac {
+            self.braked = true;
+            return vec![ControlRequest {
+                target: ControlTarget::All,
+                action: ControlAction::PowerBrake { on: true },
+            }];
+        }
+
+        if u >= p.t1_frac {
+            // Cap exactly enough servers to bring power back to the
+            // uncap level (hysteresis built into the target).
+            let target_watts = p.t1_uncap_frac() * ctx.provisioned_watts;
+            let overshoot = watts - target_watts;
+            let needed = (overshoot / self.reclaim_per_server_watts).ceil() as usize;
+            if needed > self.capped {
+                self.resize_capped(needed, &mut cmds);
+            }
+        } else if u < p.t1_uncap_frac() && self.capped > 0 {
+            // Release one server per tick: gradual uncapping avoids the
+            // sawtooth a bulk release would cause.
+            let target = self.capped - 1;
+            self.resize_capped(target, &mut cmds);
+        }
+        cmds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> RowContext {
+        RowContext {
+            provisioned_watts: 100_000.0,
+            n_servers: 8,
+        }
+    }
+
+    fn controller() -> SelectiveController {
+        SelectiveController::new(PolcaPolicy::default(), vec![0, 2, 4, 6], 3000.0)
+    }
+
+    fn tick(c: &mut SelectiveController, t: f64, frac: f64) -> Vec<ControlRequest> {
+        c.on_telemetry(SimTime::from_secs(t), Some(frac * 100_000.0), &ctx())
+    }
+
+    #[test]
+    fn caps_proportionally_to_the_overshoot() {
+        // 82 % observed, target 75 % ⇒ 7 kW overshoot ⇒ 3 servers at
+        // 3 kW reclaim each.
+        let mut c = controller();
+        let cmds = tick(&mut c, 0.0, 0.82);
+        assert_eq!(c.capped_servers(), 3);
+        assert_eq!(cmds.len(), 3);
+        // A smaller overshoot caps fewer…
+        let mut c = controller();
+        let cmds = tick(&mut c, 0.0, 0.805);
+        assert_eq!(c.capped_servers(), 2, "{cmds:?}");
+        // …and a huge one saturates at the pool size.
+        let mut c = controller();
+        tick(&mut c, 0.0, 0.99);
+        assert_eq!(c.capped_servers(), 4);
+    }
+
+    #[test]
+    fn below_threshold_releases_gradually() {
+        let mut c = controller();
+        tick(&mut c, 0.0, 0.82);
+        assert_eq!(c.capped_servers(), 3);
+        // Well below the uncap level: one server released per tick.
+        tick(&mut c, 2.0, 0.70);
+        assert_eq!(c.capped_servers(), 2);
+        tick(&mut c, 4.0, 0.70);
+        assert_eq!(c.capped_servers(), 1);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_the_capped_set() {
+        let mut c = controller();
+        tick(&mut c, 0.0, 0.805);
+        let capped = c.capped_servers();
+        assert!(capped > 0);
+        // Between uncap (75 %) and T1 (80 %): no change either way.
+        assert!(tick(&mut c, 2.0, 0.78).is_empty());
+        assert!(tick(&mut c, 4.0, 0.76).is_empty());
+        assert_eq!(c.capped_servers(), capped);
+    }
+
+    #[test]
+    fn only_low_priority_servers_are_ever_locked() {
+        let mut c = controller();
+        for (k, frac) in [0.85, 0.9, 0.7, 0.6, 0.95].iter().enumerate() {
+            for cmd in tick(&mut c, k as f64 * 2.0, *frac) {
+                match cmd.target {
+                    ControlTarget::Server(id) => assert!([0, 2, 4, 6].contains(&id)),
+                    ControlTarget::All => {
+                        assert!(matches!(cmd.action, ControlAction::PowerBrake { .. }))
+                    }
+                    other => panic!("unexpected target {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brake_fires_at_the_limit() {
+        let mut c = controller();
+        let cmds = tick(&mut c, 0.0, 1.01);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].action, ControlAction::PowerBrake { on: true });
+        // And releases below the release threshold.
+        let cmds = tick(&mut c, 2.0, 0.80);
+        assert_eq!(cmds[0].action, ControlAction::PowerBrake { on: false });
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_reclaim_rejected() {
+        let _ = SelectiveController::new(PolcaPolicy::default(), vec![0], 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The service-level objectives of Table 6.
+
+use polca_stats::Quantiles;
+
+/// Latency and safety SLOs per Table 6: normalized latency impact caps
+/// per priority class, and zero power-brake events.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SloTargets {
+    /// Max normalized p50 latency for high priority (paper: 1.01).
+    pub high_p50: f64,
+    /// Max normalized p99 latency for high priority (paper: 1.05).
+    pub high_p99: f64,
+    /// Max normalized p50 latency for low priority (paper: 1.05).
+    pub low_p50: f64,
+    /// Max normalized p99 latency for low priority (paper: 1.50).
+    pub low_p99: f64,
+    /// Max tolerated power-brake events (paper: 0).
+    pub max_brake_events: u64,
+}
+
+impl Default for SloTargets {
+    fn default() -> Self {
+        SloTargets {
+            high_p50: 1.01,
+            high_p99: 1.05,
+            low_p50: 1.05,
+            low_p99: 1.50,
+            max_brake_events: 0,
+        }
+    }
+}
+
+/// The outcome of checking a run against [`SloTargets`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SloReport {
+    /// Whether every objective was met.
+    pub met: bool,
+    /// Human-readable violations, empty when `met`.
+    pub violations: Vec<String>,
+}
+
+impl SloTargets {
+    /// Checks normalized latency digests and the brake count against the
+    /// targets.
+    pub fn check(
+        &self,
+        low_normalized: &Quantiles,
+        high_normalized: &Quantiles,
+        brake_events: u64,
+    ) -> SloReport {
+        let mut violations = Vec::new();
+        let mut check = |name: &str, value: f64, limit: f64| {
+            if value > limit {
+                violations.push(format!("{name}: {value:.3} > {limit:.3}"));
+            }
+        };
+        check("high-priority p50", high_normalized.p50, self.high_p50);
+        check("high-priority p99", high_normalized.p99, self.high_p99);
+        check("low-priority p50", low_normalized.p50, self.low_p50);
+        check("low-priority p99", low_normalized.p99, self.low_p99);
+        if brake_events > self.max_brake_events {
+            violations.push(format!(
+                "power brakes: {brake_events} > {}",
+                self.max_brake_events
+            ));
+        }
+        SloReport {
+            met: violations.is_empty(),
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quantiles(p50: f64, p99: f64) -> Quantiles {
+        Quantiles {
+            p50,
+            p90: p50.max(p99 * 0.9),
+            p99,
+            max: p99 * 1.2,
+            min: 1.0,
+            mean: p50,
+            count: 100,
+        }
+    }
+
+    #[test]
+    fn defaults_match_table6() {
+        let t = SloTargets::default();
+        assert_eq!(t.high_p50, 1.01);
+        assert_eq!(t.high_p99, 1.05);
+        assert_eq!(t.low_p50, 1.05);
+        assert_eq!(t.low_p99, 1.50);
+        assert_eq!(t.max_brake_events, 0);
+    }
+
+    #[test]
+    fn compliant_run_passes() {
+        let report = SloTargets::default().check(
+            &quantiles(1.02, 1.30),
+            &quantiles(1.005, 1.02),
+            0,
+        );
+        assert!(report.met, "{:?}", report.violations);
+    }
+
+    #[test]
+    fn high_priority_p50_breach_is_reported() {
+        let report = SloTargets::default().check(
+            &quantiles(1.0, 1.0),
+            &quantiles(1.02, 1.0),
+            0,
+        );
+        assert!(!report.met);
+        assert!(report.violations[0].contains("high-priority p50"));
+    }
+
+    #[test]
+    fn brake_events_violate() {
+        let report =
+            SloTargets::default().check(&quantiles(1.0, 1.0), &quantiles(1.0, 1.0), 1);
+        assert!(!report.met);
+        assert!(report.violations[0].contains("power brakes"));
+    }
+
+    #[test]
+    fn low_priority_gets_more_headroom_than_high() {
+        let t = SloTargets::default();
+        assert!(t.low_p50 > t.high_p50);
+        assert!(t.low_p99 > t.high_p99);
+    }
+}

@@ -1,0 +1,135 @@
+//! Threshold selection from historical traces (§6.3, §6.5).
+//!
+//! "POLCA selects the power value for the thresholds by analyzing
+//! historical power usage traces. ... The upper threshold (T2) is chosen
+//! to avoid power brakes. POLCA sets the threshold based on the observed
+//! value of maximum power spike in 40 s (the OOB capping delay) over the
+//! available trace." The paper trains on the first week of its six-week
+//! trace and evaluates on the remaining five (§6.4).
+
+use polca_stats::TimeSeries;
+
+use crate::policy::PolcaPolicy;
+
+/// Derives POLCA thresholds from a training trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdTrainer {
+    /// Worst observed power rise within the OOB capping latency, as a
+    /// fraction of provisioned power.
+    pub max_spike_40s_frac: f64,
+    /// Worst observed rise within the 2 s telemetry window.
+    pub max_spike_2s_frac: f64,
+    /// Peak utilization of the training trace.
+    pub peak_utilization: f64,
+}
+
+impl ThresholdTrainer {
+    /// Analyzes `trace` (row power in watts) against the row's
+    /// `provisioned_watts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has fewer than two samples or
+    /// `provisioned_watts` is not strictly positive.
+    pub fn from_trace(trace: &TimeSeries, provisioned_watts: f64) -> Self {
+        assert!(provisioned_watts > 0.0, "provisioned power must be positive");
+        let spike40 = trace
+            .max_rise_within(40.0)
+            .expect("trace needs at least two samples");
+        let spike2 = trace
+            .max_rise_within(2.0)
+            .expect("trace needs at least two samples");
+        ThresholdTrainer {
+            max_spike_40s_frac: spike40 / provisioned_watts,
+            max_spike_2s_frac: spike2 / provisioned_watts,
+            peak_utilization: trace.peak().expect("non-empty trace") / provisioned_watts,
+        }
+    }
+
+    /// Safety margin subtracted on top of the observed spike: covers the
+    /// 2 s telemetry staleness and the amplification of spikes once more
+    /// servers share the row (oversubscription synchronizes more prompt
+    /// phases per burst).
+    pub const SPIKE_MARGIN: f64 = 0.05;
+
+    /// The trained upper threshold T2: provisioned power minus the
+    /// worst 40 s spike minus [`SPIKE_MARGIN`](Self::SPIKE_MARGIN),
+    /// rounded to the nearest percent (the paper lands on 89 %).
+    pub fn t2(&self) -> f64 {
+        let t2 = 1.0 - self.max_spike_40s_frac - Self::SPIKE_MARGIN;
+        (t2 * 100.0).round() / 100.0
+    }
+
+    /// The trained lower threshold T1: 9 % below T2 (the paper's 80/89
+    /// pairing), clamped to stay positive.
+    pub fn t1(&self) -> f64 {
+        (self.t2() - 0.09).max(0.01)
+    }
+
+    /// A [`PolcaPolicy`] with the trained thresholds and the Table 5
+    /// clocks.
+    pub fn train(&self) -> PolcaPolicy {
+        PolcaPolicy::default().with_thresholds(self.t1(), self.t2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trace whose worst 40 s rise is exactly `spike` of provisioned.
+    fn trace_with_spike(provisioned: f64, spike: f64) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for k in 0..200 {
+            let t = k as f64 * 2.0;
+            let base = 0.6 * provisioned;
+            let v = if (100.0..130.0).contains(&t) {
+                base + spike * provisioned
+            } else {
+                base
+            };
+            ts.push(t, v);
+        }
+        ts
+    }
+
+    #[test]
+    fn trained_thresholds_absorb_spike_plus_margin() {
+        let trace = trace_with_spike(100_000.0, 0.06);
+        let trainer = ThresholdTrainer::from_trace(&trace, 100_000.0);
+        assert!((trainer.max_spike_40s_frac - 0.06).abs() < 0.001);
+        // T2 = 1 − spike − margin = 0.89, the paper's operating point.
+        assert!((trainer.t2() - 0.89).abs() < 0.011);
+        assert!((trainer.t1() - (trainer.t2() - 0.09)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_spikes_train_lower_thresholds() {
+        let calm = ThresholdTrainer::from_trace(&trace_with_spike(1e5, 0.05), 1e5);
+        let spiky = ThresholdTrainer::from_trace(&trace_with_spike(1e5, 0.20), 1e5);
+        assert!(spiky.t2() < calm.t2());
+        assert!(spiky.t1() < calm.t1());
+    }
+
+    #[test]
+    fn trained_policy_is_valid() {
+        let trainer = ThresholdTrainer::from_trace(&trace_with_spike(1e5, 0.118), 1e5);
+        let policy = trainer.train();
+        assert!(policy.t1_frac < policy.t2_frac);
+        assert!(policy.t2_frac <= 1.0);
+        assert_eq!(policy.t1_low_mhz, 1275.0);
+    }
+
+    #[test]
+    fn spike_stats_are_ordered() {
+        let trainer = ThresholdTrainer::from_trace(&trace_with_spike(1e5, 0.118), 1e5);
+        assert!(trainer.max_spike_40s_frac >= trainer.max_spike_2s_frac);
+        assert!(trainer.peak_utilization > 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "provisioned power must be positive")]
+    fn zero_provisioned_rejected() {
+        let _ = ThresholdTrainer::from_trace(&trace_with_spike(1e5, 0.1), 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! DCGM-style GPU performance counters.
+//!
+//! §3.4 of the paper profiles power, utilization, SM activity, tensor-core
+//! activity, memory activity and PCIe TX/RX at a 100 ms interval, and
+//! Figure 7 shows their pairwise Pearson correlations separately for the
+//! prompt and token phases of BLOOM inference:
+//!
+//! * **prompt**: power is strongly correlated with SM and tensor-core
+//!   activity and *inversely* correlated with memory activity,
+//! * **token**: counters are generally uncorrelated with each other, with
+//!   lower power draw overall.
+//!
+//! [`CounterSample::sample`] generates counter vectors with exactly those
+//! phase-conditional couplings so the correlation matrix regenerates.
+
+use polca_sim::SimRng;
+
+/// Which inference phase a counter sample was taken in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Parallel, compute-intensive prompt processing.
+    Prompt,
+    /// Sequential, memory-bandwidth-bound token sampling.
+    Token,
+    /// No active request.
+    Idle,
+}
+
+impl PhaseKind {
+    /// Nominal workload intensity (fraction of maximum dynamic power) for
+    /// this phase on a large decoder model. Prompt bursts hit the
+    /// transient peak; token sampling sits at ~60 % (Figure 6).
+    pub fn nominal_intensity(self) -> f64 {
+        match self {
+            PhaseKind::Prompt => 1.0,
+            PhaseKind::Token => 0.6,
+            PhaseKind::Idle => 0.0,
+        }
+    }
+}
+
+/// One 100 ms DCGM sample of the counters in Figure 7.
+///
+/// All activity counters are fractions in `[0, 1]`; power is in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterSample {
+    /// Instantaneous board power in watts.
+    pub power_watts: f64,
+    /// Coarse GPU utilization (any kernel resident).
+    pub gpu_util: f64,
+    /// Memory (HBM bandwidth) activity.
+    pub mem_activity: f64,
+    /// Streaming-multiprocessor activity.
+    pub sm_activity: f64,
+    /// Tensor-core activity.
+    pub tensor_activity: f64,
+    /// PCIe transmit utilization.
+    pub pcie_tx: f64,
+    /// PCIe receive utilization.
+    pub pcie_rx: f64,
+}
+
+impl CounterSample {
+    /// Draws one correlated counter sample for `phase`, given the phase's
+    /// base power level and the device TDP (for normalization of the
+    /// coupling strength).
+    pub fn sample(phase: PhaseKind, base_power_watts: f64, tdp_watts: f64, rng: &mut SimRng) -> Self {
+        match phase {
+            PhaseKind::Prompt => {
+                // A shared "burst level" drives power, SM and tensor
+                // activity together, and *displaces* memory activity.
+                let burst = rng.normal(0.0, 1.0);
+                let power = base_power_watts + burst * 0.04 * tdp_watts + rng.normal(0.0, 2.0);
+                CounterSample {
+                    power_watts: power.max(0.0),
+                    gpu_util: (0.98 + 0.01 * burst + rng.normal(0.0, 0.005)).clamp(0.0, 1.0),
+                    sm_activity: (0.92 + 0.05 * burst + rng.normal(0.0, 0.01)).clamp(0.0, 1.0),
+                    tensor_activity: (0.85 + 0.06 * burst + rng.normal(0.0, 0.015)).clamp(0.0, 1.0),
+                    mem_activity: (0.30 - 0.08 * burst + rng.normal(0.0, 0.015)).clamp(0.0, 1.0),
+                    pcie_tx: (0.05 + rng.normal(0.0, 0.01)).clamp(0.0, 1.0),
+                    pcie_rx: (0.06 + rng.normal(0.0, 0.01)).clamp(0.0, 1.0),
+                }
+            }
+            PhaseKind::Token => CounterSample {
+                // Independent draws: the token phase counters decorrelate.
+                power_watts: (base_power_watts + rng.normal(0.0, 0.02 * tdp_watts)).max(0.0),
+                gpu_util: (0.95 + rng.normal(0.0, 0.02)).clamp(0.0, 1.0),
+                sm_activity: (0.45 + rng.normal(0.0, 0.05)).clamp(0.0, 1.0),
+                tensor_activity: (0.25 + rng.normal(0.0, 0.05)).clamp(0.0, 1.0),
+                mem_activity: (0.85 + rng.normal(0.0, 0.04)).clamp(0.0, 1.0),
+                pcie_tx: (0.04 + rng.normal(0.0, 0.01)).clamp(0.0, 1.0),
+                pcie_rx: (0.04 + rng.normal(0.0, 0.01)).clamp(0.0, 1.0),
+            },
+            PhaseKind::Idle => CounterSample {
+                power_watts: (base_power_watts + rng.normal(0.0, 1.0)).max(0.0),
+                gpu_util: 0.0,
+                sm_activity: 0.0,
+                tensor_activity: 0.0,
+                mem_activity: (0.01 + rng.normal(0.0, 0.003)).clamp(0.0, 1.0),
+                pcie_tx: 0.0,
+                pcie_rx: 0.0,
+            },
+        }
+    }
+
+    /// Counter names in the order Figure 7 plots them.
+    pub const NAMES: [&'static str; 7] = [
+        "Power",
+        "GPU Utilization",
+        "Memory Activity",
+        "SM Activity",
+        "Tensor Core Activity",
+        "PCIe Transmit",
+        "PCIe Receive",
+    ];
+
+    /// The sample as a vector in [`NAMES`](Self::NAMES) order.
+    pub fn as_vec(&self) -> [f64; 7] {
+        [
+            self.power_watts,
+            self.gpu_util,
+            self.mem_activity,
+            self.sm_activity,
+            self.tensor_activity,
+            self.pcie_tx,
+            self.pcie_rx,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(phase: PhaseKind, n: usize) -> Vec<CounterSample> {
+        let mut rng = SimRng::from_seed_stream(99, 7);
+        (0..n)
+            .map(|_| CounterSample::sample(phase, 400.0, 400.0, &mut rng))
+            .collect()
+    }
+
+    fn column(samples: &[CounterSample], idx: usize) -> Vec<f64> {
+        samples.iter().map(|s| s.as_vec()[idx]).collect()
+    }
+
+    fn corr(samples: &[CounterSample], a: usize, b: usize) -> f64 {
+        let xa = column(samples, a);
+        let xb = column(samples, b);
+        // Inline Pearson to avoid a circular dev-dependency on polca-stats.
+        let n = xa.len() as f64;
+        let ma = xa.iter().sum::<f64>() / n;
+        let mb = xb.iter().sum::<f64>() / n;
+        let cov: f64 = xa.iter().zip(&xb).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = xa.iter().map(|x| (x - ma) * (x - ma)).sum();
+        let vb: f64 = xb.iter().map(|y| (y - mb) * (y - mb)).sum();
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    const POWER: usize = 0;
+    const MEM: usize = 2;
+    const SM: usize = 3;
+    const TENSOR: usize = 4;
+
+    #[test]
+    fn prompt_power_correlates_with_sm_and_tensor() {
+        let s = series(PhaseKind::Prompt, 2000);
+        assert!(corr(&s, POWER, SM) > 0.7, "power-sm {}", corr(&s, POWER, SM));
+        assert!(corr(&s, POWER, TENSOR) > 0.6);
+        assert!(corr(&s, SM, TENSOR) > 0.6);
+    }
+
+    #[test]
+    fn prompt_power_anticorrelates_with_memory() {
+        let s = series(PhaseKind::Prompt, 2000);
+        assert!(corr(&s, POWER, MEM) < -0.5, "power-mem {}", corr(&s, POWER, MEM));
+    }
+
+    #[test]
+    fn token_counters_are_uncorrelated() {
+        let s = series(PhaseKind::Token, 2000);
+        for (a, b) in [(POWER, SM), (POWER, TENSOR), (POWER, MEM), (SM, MEM)] {
+            let r = corr(&s, a, b);
+            assert!(r.abs() < 0.15, "({a},{b}) corr {r}");
+        }
+    }
+
+    #[test]
+    fn token_phase_draws_less_power_than_prompt() {
+        let mut rng = SimRng::from_seed_stream(1, 1);
+        let p = CounterSample::sample(PhaseKind::Prompt, 400.0, 400.0, &mut rng);
+        let t = CounterSample::sample(PhaseKind::Token, 280.0, 400.0, &mut rng);
+        assert!(p.power_watts > t.power_watts);
+    }
+
+    #[test]
+    fn nominal_intensities_are_ordered() {
+        assert!(PhaseKind::Prompt.nominal_intensity() > PhaseKind::Token.nominal_intensity());
+        assert!(PhaseKind::Token.nominal_intensity() > PhaseKind::Idle.nominal_intensity());
+        assert_eq!(PhaseKind::Idle.nominal_intensity(), 0.0);
+    }
+
+    #[test]
+    fn activities_stay_in_unit_range() {
+        for phase in [PhaseKind::Prompt, PhaseKind::Token, PhaseKind::Idle] {
+            for s in series(phase, 500) {
+                let v = s.as_vec();
+                assert!(v[0] >= 0.0);
+                for x in &v[1..] {
+                    assert!((0.0..=1.0).contains(x), "{phase:?}: {x}");
+                }
+            }
+        }
+    }
+}

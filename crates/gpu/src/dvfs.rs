@@ -1,0 +1,170 @@
+//! DVFS power and performance scaling.
+//!
+//! The paper's central power-management lever is the SM clock: "the
+//! relationship between power reduction and performance is superlinear —
+//! significant power (up to 20 %) can be reclaimed for minimal performance
+//! loss (up to 7 %)" (Insight 7, Figure 10). Two standard models reproduce
+//! that superlinearity:
+//!
+//! * dynamic power scales as `r^α` with clock ratio `r` and `α ≈ 1.2`
+//!   (near the voltage floor of the A100's upper clock range `P ∝ f·V²`
+//!   is close to linear in `f`; the calibration reproduces the paper's
+//!   "1.1 GHz lock ⇒ ~20 % peak power reduction" measurement),
+//! * runtime scales as `c/r + (1 − c)` where `c` is the compute-bound
+//!   fraction of the phase — memory-bound work (token sampling) is largely
+//!   insensitive to the SM clock.
+
+/// Analytic DVFS scaling model shared by all simulated GPUs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsModel {
+    /// Exponent `α` of the dynamic-power-vs-clock-ratio curve.
+    pub power_exponent: f64,
+}
+
+impl Default for DvfsModel {
+    fn default() -> Self {
+        DvfsModel {
+            power_exponent: 1.2,
+        }
+    }
+}
+
+impl DvfsModel {
+    /// Creates a model with the given power exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_exponent < 1.0` (dynamic power cannot scale
+    /// sublinearly with frequency).
+    pub fn new(power_exponent: f64) -> Self {
+        assert!(
+            power_exponent >= 1.0,
+            "power exponent must be at least 1.0"
+        );
+        DvfsModel { power_exponent }
+    }
+
+    /// Dynamic-power multiplier at clock ratio `r` (`0.0..=1.0` of max
+    /// clock). `r` is clamped into `[0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polca_gpu::DvfsModel;
+    ///
+    /// let m = DvfsModel::default();
+    /// assert_eq!(m.power_scale(1.0), 1.0);
+    /// // ~21 % below max clock (the paper's 1.1 GHz lock) reclaims ~25 %
+    /// // of dynamic power.
+    /// let s = m.power_scale(1110.0 / 1410.0);
+    /// assert!(s < 0.78 && s > 0.72);
+    /// ```
+    pub fn power_scale(&self, r: f64) -> f64 {
+        r.clamp(0.0, 1.0).powf(self.power_exponent)
+    }
+
+    /// Execution-time multiplier (≥ 1) at clock ratio `r` for a phase whose
+    /// compute-bound fraction is `c` (`0` = fully memory-bound, `1` = fully
+    /// compute-bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not in `(0, 1]` or `c` not in `[0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polca_gpu::DvfsModel;
+    ///
+    /// let m = DvfsModel::default();
+    /// // A fully memory-bound phase does not slow down at all.
+    /// assert_eq!(m.slowdown(0.5, 0.0), 1.0);
+    /// // A fully compute-bound phase slows inversely with clock.
+    /// assert_eq!(m.slowdown(0.5, 1.0), 2.0);
+    /// ```
+    pub fn slowdown(&self, r: f64, c: f64) -> f64 {
+        assert!(r > 0.0 && r <= 1.0, "clock ratio must be in (0, 1]");
+        assert!((0.0..=1.0).contains(&c), "compute fraction must be in [0, 1]");
+        c / r + (1.0 - c)
+    }
+
+    /// Throughput multiplier (≤ 1), the reciprocal of [`slowdown`].
+    ///
+    /// [`slowdown`]: DvfsModel::slowdown
+    pub fn perf_scale(&self, r: f64, c: f64) -> f64 {
+        1.0 / self.slowdown(r, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_scale_endpoints() {
+        let m = DvfsModel::default();
+        assert_eq!(m.power_scale(1.0), 1.0);
+        assert_eq!(m.power_scale(0.0), 0.0);
+        // Clamped outside [0, 1].
+        assert_eq!(m.power_scale(1.5), 1.0);
+        assert_eq!(m.power_scale(-0.5), 0.0);
+    }
+
+    #[test]
+    fn power_scale_is_superlinear() {
+        let m = DvfsModel::default();
+        // Power drops faster than frequency.
+        for r in [0.95, 0.9, 0.8, 0.7] {
+            assert!(m.power_scale(r) < r, "r = {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1.0")]
+    fn sublinear_exponent_rejected() {
+        let _ = DvfsModel::new(0.5);
+    }
+
+    #[test]
+    fn slowdown_blends_by_compute_fraction() {
+        let m = DvfsModel::default();
+        let half = m.slowdown(0.5, 0.5);
+        assert!((half - 1.5).abs() < 1e-12);
+        // More compute-bound phases are hurt more by a frequency cap.
+        assert!(m.slowdown(0.8, 0.9) > m.slowdown(0.8, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock ratio")]
+    fn slowdown_rejects_zero_ratio() {
+        let _ = DvfsModel::default().slowdown(0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "compute fraction")]
+    fn slowdown_rejects_bad_fraction() {
+        let _ = DvfsModel::default().slowdown(0.5, 1.5);
+    }
+
+    #[test]
+    fn insight7_superlinear_tradeoff() {
+        // Paper: ~20 % peak power reclaimed for ≤7 % performance loss on a
+        // request whose runtime is dominated by the memory-bound token
+        // phase (compute fraction ~0.25 end to end).
+        let m = DvfsModel::default();
+        let r: f64 = 1110.0 / 1410.0; // the paper's 1.1 GHz lock
+        let idle_frac = 0.2;
+        let power_reduction = (1.0 - (idle_frac + (1.0 - idle_frac) * m.power_scale(r))) * 100.0;
+        let perf_loss = (m.slowdown(r, 0.25) - 1.0) * 100.0;
+        assert!(power_reduction > 15.0, "power reduction {power_reduction:.1}%");
+        assert!(perf_loss < 8.0, "perf loss {perf_loss:.1}%");
+        assert!(power_reduction > 2.0 * perf_loss);
+    }
+
+    #[test]
+    fn perf_scale_is_reciprocal() {
+        let m = DvfsModel::default();
+        let s = m.slowdown(0.7, 0.6);
+        assert!((m.perf_scale(0.7, 0.6) * s - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the GPU model.
+
+use proptest::prelude::*;
+
+use polca_gpu::{CapController, DvfsModel, Gpu, GpuSpec};
+
+fn specs() -> impl Strategy<Value = GpuSpec> {
+    prop_oneof![
+        Just(GpuSpec::a100_80gb()),
+        Just(GpuSpec::a100_40gb()),
+        Just(GpuSpec::h100_80gb()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn power_is_monotone_in_intensity(spec in specs(), i1 in 0.0..=1.0f64, i2 in 0.0..=1.0f64) {
+        let gpu = Gpu::new(spec);
+        let (lo, hi) = if i1 <= i2 { (i1, i2) } else { (i2, i1) };
+        prop_assert!(gpu.power_at(lo) <= gpu.power_at(hi) + 1e-9);
+    }
+
+    #[test]
+    fn power_is_monotone_in_clock(spec in specs(), intensity in 0.0..=1.0f64, m1 in 0.0..1.0f64, m2 in 0.0..1.0f64) {
+        let clock = |frac: f64, spec: &GpuSpec| {
+            spec.min_sm_clock_mhz + frac * (spec.max_sm_clock_mhz - spec.min_sm_clock_mhz)
+        };
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        let mut slow = Gpu::new(spec.clone());
+        slow.lock_clock(clock(lo, &spec)).unwrap();
+        let mut fast = Gpu::new(spec);
+        fast.lock_clock(clock(hi, slow.spec())).unwrap();
+        prop_assert!(slow.power_at(intensity) <= fast.power_at(intensity) + 1e-9);
+    }
+
+    #[test]
+    fn power_never_exceeds_transient_peak_nor_drops_below_idle(spec in specs(), intensity in 0.0..=1.0f64, brake in any::<bool>()) {
+        let mut gpu = Gpu::new(spec);
+        gpu.set_power_brake(brake);
+        let p = gpu.power_at(intensity);
+        prop_assert!(p >= gpu.spec().idle_watts - 1e-9);
+        prop_assert!(p <= gpu.spec().transient_peak_watts + 1e-9);
+    }
+
+    #[test]
+    fn dvfs_slowdown_is_at_least_one(r in 0.01..=1.0f64, c in 0.0..=1.0f64, alpha in 1.0..3.0f64) {
+        let m = DvfsModel::new(alpha);
+        prop_assert!(m.slowdown(r, c) >= 1.0 - 1e-12);
+        prop_assert!(m.perf_scale(r, c) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn dvfs_power_scale_is_superlinear_and_bounded(r in 0.0..=1.0f64, alpha in 1.0..3.0f64) {
+        let m = DvfsModel::new(alpha);
+        let s = m.power_scale(r);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!(s <= r + 1e-12, "power must fall at least as fast as clock");
+    }
+
+    #[test]
+    fn cap_controller_limit_stays_in_device_range(
+        cap in 150.0..420.0f64,
+        measurements in prop::collection::vec(0.0..425.0f64, 1..200),
+    ) {
+        let spec = GpuSpec::a100_80gb();
+        let mut ctrl = CapController::new(&spec, cap);
+        for m in measurements {
+            let limit = ctrl.step(0.1, m);
+            prop_assert!(limit >= spec.min_sm_clock_mhz);
+            prop_assert!(limit <= spec.max_sm_clock_mhz);
+        }
+    }
+
+    #[test]
+    fn sustained_overload_converges_below_cap(cap in 200.0..400.0f64) {
+        let spec = GpuSpec::a100_80gb();
+        let mut gpu = Gpu::new(spec);
+        gpu.set_power_cap(cap).unwrap();
+        let mut last = 0.0;
+        for _ in 0..200 {
+            last = gpu.advance(0.1, 1.0);
+        }
+        prop_assert!(last <= cap * 1.05, "steady power {last} vs cap {cap}");
+    }
+
+    #[test]
+    fn brake_always_wins_over_locks(spec in specs(), frac in 0.0..1.0f64) {
+        let mut gpu = Gpu::new(spec);
+        let clock = gpu.spec().min_sm_clock_mhz
+            + frac * (gpu.spec().max_sm_clock_mhz - gpu.spec().min_sm_clock_mhz);
+        gpu.lock_clock(clock).unwrap();
+        gpu.set_power_brake(true);
+        prop_assert_eq!(gpu.effective_clock_mhz(), gpu.spec().power_brake_clock_mhz());
+        gpu.set_power_brake(false);
+        prop_assert_eq!(gpu.effective_clock_mhz(), clock);
+    }
+}

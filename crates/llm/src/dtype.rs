@@ -1,0 +1,153 @@
+//! Quantization datatypes and their resource effects (§4.2).
+//!
+//! The paper runs Llama2-70B/13B with FP32, FP16 and INT8 weights via
+//! `bitsandbytes` and finds (Insight 6): quantization reduces the GPU
+//! count and therefore total power; FP16 is the fastest *and* draws the
+//! highest peak power per GPU because it hits the tensor cores with
+//! highly optimized kernels; FP32 and INT8 are slower due to footprint
+//! and unoptimized kernels respectively.
+
+use crate::zoo::ModelSpec;
+use polca_gpu::GpuSpec;
+
+/// Model weight datatype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DType {
+    /// 32-bit IEEE floating point.
+    Fp32,
+    /// 16-bit floating point (tensor-core native; the deployment default).
+    #[default]
+    Fp16,
+    /// 8-bit integer quantization (`LLM.int8()`).
+    Int8,
+}
+
+impl DType {
+    /// Bytes per parameter.
+    pub const fn bytes_per_param(self) -> f64 {
+        match self {
+            DType::Fp32 => 4.0,
+            DType::Fp16 => 2.0,
+            DType::Int8 => 1.0,
+        }
+    }
+
+    /// Effective fraction of the GPU's peak FP16 tensor throughput this
+    /// datatype achieves. FP16 kernels are "highly optimized" (1.0); FP32
+    /// runs at half tensor rate with extra memory pressure; INT8 suffers
+    /// from "less optimized CUDA kernels" (§4.2, \[18\]).
+    pub const fn compute_efficiency(self) -> f64 {
+        match self {
+            DType::Fp32 => 0.45,
+            DType::Fp16 => 1.0,
+            DType::Int8 => 0.55,
+        }
+    }
+
+    /// Effective fraction of peak HBM bandwidth this datatype's kernels
+    /// achieve during token sampling. INT8's dequantization overhead
+    /// ("less optimized CUDA kernels", §4.2) more than cancels its
+    /// smaller footprint, which is why `bitsandbytes` INT8 runs *slower*
+    /// than FP16 despite moving half the bytes.
+    pub const fn kernel_bandwidth_efficiency(self) -> f64 {
+        match self {
+            DType::Fp32 => 1.0,
+            DType::Fp16 => 1.0,
+            DType::Int8 => 0.45,
+        }
+    }
+
+    /// Relative peak-power factor per GPU: FP16's tensor-core kernels
+    /// saturate the power envelope hardest (§4.2).
+    pub const fn peak_power_factor(self) -> f64 {
+        match self {
+            DType::Fp32 => 0.93,
+            DType::Fp16 => 1.0,
+            DType::Int8 => 0.88,
+        }
+    }
+
+    /// Number of GPUs needed to serve `model` with this datatype on
+    /// `gpu`, accounting for weights plus a fixed activation/KV-cache
+    /// reserve (the footnote in §4.2: "beyond model weights, extra state
+    /// is needed for activations, KV cache, etc.").
+    ///
+    /// Reproduces the paper's Llama2-70B observations: FP32 → 4 GPUs,
+    /// FP16 → 2, INT8 → 2 (A100-80GB), and all Llama2-13B variants → 1.
+    pub fn gpus_required(self, model: &ModelSpec, gpu: &GpuSpec) -> usize {
+        const RUNTIME_RESERVE_GIB: f64 = 20.0;
+        let weights_gib = model.params_b * self.bytes_per_param();
+        let total = weights_gib + RUNTIME_RESERVE_GIB;
+        (total / gpu.memory_gib).ceil() as usize
+    }
+
+    /// All datatypes in the paper's comparison order.
+    pub const fn all() -> [DType; 3] {
+        [DType::Fp32, DType::Fp16, DType::Int8]
+    }
+
+    /// Display name as used in the paper.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DType::Fp32 => "FP32",
+            DType::Fp16 => "FP16",
+            DType::Int8 => "INT8",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama2_70b_gpu_counts_match_paper() {
+        let m = ModelSpec::llama2_70b();
+        let gpu = GpuSpec::a100_80gb();
+        assert_eq!(DType::Fp32.gpus_required(&m, &gpu), 4);
+        assert_eq!(DType::Fp16.gpus_required(&m, &gpu), 2);
+        assert_eq!(DType::Int8.gpus_required(&m, &gpu), 2);
+    }
+
+    #[test]
+    fn llama2_13b_fits_one_gpu_for_all_dtypes() {
+        let m = ModelSpec::llama2_13b();
+        let gpu = GpuSpec::a100_80gb();
+        for dt in DType::all() {
+            assert_eq!(dt.gpus_required(&m, &gpu), 1, "{}", dt.name());
+        }
+    }
+
+    #[test]
+    fn fp16_is_fastest_and_peakiest() {
+        assert!(DType::Fp16.compute_efficiency() > DType::Fp32.compute_efficiency());
+        assert!(DType::Fp16.compute_efficiency() > DType::Int8.compute_efficiency());
+        assert!(DType::Fp16.peak_power_factor() >= DType::Fp32.peak_power_factor());
+        assert!(DType::Fp16.peak_power_factor() >= DType::Int8.peak_power_factor());
+    }
+
+    #[test]
+    fn bytes_per_param() {
+        assert_eq!(DType::Fp32.bytes_per_param(), 4.0);
+        assert_eq!(DType::Fp16.bytes_per_param(), 2.0);
+        assert_eq!(DType::Int8.bytes_per_param(), 1.0);
+    }
+
+    #[test]
+    fn default_is_fp16() {
+        assert_eq!(DType::default(), DType::Fp16);
+    }
+
+    #[test]
+    fn quantization_reduces_gpu_count_monotonically() {
+        let gpu = GpuSpec::a100_80gb();
+        for m in ModelSpec::all() {
+            assert!(
+                DType::Int8.gpus_required(&m, &gpu) <= DType::Fp16.gpus_required(&m, &gpu),
+                "{}",
+                m.name
+            );
+            assert!(DType::Fp16.gpus_required(&m, &gpu) <= DType::Fp32.gpus_required(&m, &gpu));
+        }
+    }
+}

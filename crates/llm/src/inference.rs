@@ -1,0 +1,562 @@
+//! The two-phase inference model (Insight 4).
+//!
+//! An LLM inference request has a *prompt processing* phase — all input
+//! tokens contextualized in parallel, compute-intensive, brief, power
+//! spiking at or above TDP — followed by a *token sampling* phase —
+//! sequential auto-regressive generation reusing the KV-cache, memory-
+//! bandwidth-bound, long, drawing stable lower power (Figure 6).
+//!
+//! The analytics follow the standard transformer roofline:
+//!
+//! * prompt compute time ≈ `2 · params · input_tokens · batch / throughput`,
+//! * per-token time ≈ `params · bytes_per_param / memory_bandwidth`
+//!   (every generated token streams the full weight set from HBM),
+//!
+//! with per-phase compute-bound fractions derived from the same terms, so
+//! the DVFS slowdown model in `polca-gpu` automatically hurts prompt
+//! phases more than token phases (Insight 7).
+
+use std::fmt;
+
+use polca_gpu::{DvfsModel, Gpu, GpuSpec};
+use polca_stats::TimeSeries;
+
+use crate::dtype::DType;
+use crate::zoo::ModelSpec;
+
+/// Fraction of peak tensor throughput achieved during prompt processing
+/// (model-FLOPs-utilization of a well-tuned serving stack).
+const PROMPT_MFU: f64 = 0.45;
+/// Fraction of peak HBM bandwidth achieved during token sampling.
+const TOKEN_BW_EFFICIENCY: f64 = 0.6;
+/// Extra HBM needed beyond weights for activations and KV-cache, in GiB.
+const RUNTIME_RESERVE_GIB: f64 = 20.0;
+
+/// One inference request configuration (the knobs of §2 and Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceConfig {
+    /// Prompt length in tokens.
+    pub input_tokens: u32,
+    /// Number of generated tokens.
+    pub output_tokens: u32,
+    /// Requests processed together.
+    pub batch: u32,
+    /// Weight datatype.
+    pub dtype: DType,
+}
+
+impl InferenceConfig {
+    /// Creates an FP16 configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_tokens`, `output_tokens` or `batch` is zero.
+    pub fn new(input_tokens: u32, output_tokens: u32, batch: u32) -> Self {
+        assert!(input_tokens > 0, "input_tokens must be positive");
+        assert!(output_tokens > 0, "output_tokens must be positive");
+        assert!(batch > 0, "batch must be positive");
+        InferenceConfig {
+            input_tokens,
+            output_tokens,
+            batch,
+            dtype: DType::Fp16,
+        }
+    }
+
+    /// Returns this configuration with a different datatype.
+    pub fn with_dtype(mut self, dtype: DType) -> Self {
+        self.dtype = dtype;
+        self
+    }
+}
+
+/// Duration, power intensity and compute-boundedness of one phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseProfile {
+    /// Phase duration in seconds at the maximum SM clock.
+    pub duration_s: f64,
+    /// Workload intensity in `[0, 1]` (input to `Gpu::power_at`).
+    pub intensity: f64,
+    /// Compute-bound fraction in `[0, 1]` (input to `DvfsModel::slowdown`).
+    pub compute_fraction: f64,
+}
+
+impl PhaseProfile {
+    /// Phase duration at SM clock ratio `r`.
+    pub fn duration_at_clock(&self, dvfs: &DvfsModel, r: f64) -> f64 {
+        self.duration_s * dvfs.slowdown(r, self.compute_fraction)
+    }
+}
+
+/// The full prompt + token profile of one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestProfile {
+    /// Prompt-processing phase.
+    pub prompt: PhaseProfile,
+    /// Token-sampling phase (all generated tokens combined).
+    pub token: PhaseProfile,
+    /// Tokens generated (`output_tokens × batch`).
+    pub tokens_generated: u64,
+}
+
+impl RequestProfile {
+    /// End-to-end latency in seconds at the maximum SM clock.
+    pub fn total_time_s(&self) -> f64 {
+        self.prompt.duration_s + self.token.duration_s
+    }
+
+    /// End-to-end latency at SM clock ratio `r`.
+    pub fn total_time_at_clock(&self, dvfs: &DvfsModel, r: f64) -> f64 {
+        self.prompt.duration_at_clock(dvfs, r) + self.token.duration_at_clock(dvfs, r)
+    }
+
+    /// Time-weighted mean workload intensity over the request (drives the
+    /// *mean* power bars of Figure 8).
+    pub fn mean_intensity(&self) -> f64 {
+        let total = self.total_time_s();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.prompt.intensity * self.prompt.duration_s
+            + self.token.intensity * self.token.duration_s)
+            / total
+    }
+
+    /// Peak workload intensity over the request (drives the *peak* power
+    /// bars of Figure 8).
+    pub fn peak_intensity(&self) -> f64 {
+        self.prompt.intensity.max(self.token.intensity)
+    }
+}
+
+/// Error: the model does not fit in the configured GPU group's memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelFitError {
+    model: &'static str,
+    needed_gib: f64,
+    available_gib: f64,
+}
+
+impl fmt::Display for ModelFitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "model {} needs {:.0} GiB but the GPU group provides {:.0} GiB",
+            self.model, self.needed_gib, self.available_gib
+        )
+    }
+}
+
+impl std::error::Error for ModelFitError {}
+
+/// An LLM deployed for inference on a tensor-parallel GPU group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceModel {
+    model: ModelSpec,
+    gpu: GpuSpec,
+    dtype: DType,
+    n_gpus: usize,
+}
+
+impl InferenceModel {
+    /// Deploys `model` in FP16 on its Table 3 GPU allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelFitError`] if the weights plus runtime reserve do
+    /// not fit in the allocated GPUs' combined memory.
+    pub fn new(model: ModelSpec, gpu: GpuSpec) -> Result<Self, ModelFitError> {
+        let n_gpus = model.inference_gpus;
+        Self::with_gpus(model, gpu, DType::Fp16, n_gpus)
+    }
+
+    /// Deploys `model` with an explicit datatype on the minimum GPU count
+    /// that datatype needs (§4.2 quantization study).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelFitError`] if the model cannot fit (never happens
+    /// for the zoo models since the count is computed from the footprint).
+    pub fn with_dtype(model: ModelSpec, gpu: GpuSpec, dtype: DType) -> Result<Self, ModelFitError> {
+        let n_gpus = dtype.gpus_required(&model, &gpu);
+        Self::with_gpus(model, gpu, dtype, n_gpus)
+    }
+
+    /// Deploys `model` on an explicit GPU count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelFitError`] if the weights plus runtime reserve do
+    /// not fit in `n_gpus × gpu.memory_gib`.
+    pub fn with_gpus(
+        model: ModelSpec,
+        gpu: GpuSpec,
+        dtype: DType,
+        n_gpus: usize,
+    ) -> Result<Self, ModelFitError> {
+        let needed = model.params_b * dtype.bytes_per_param() + RUNTIME_RESERVE_GIB;
+        let available = n_gpus as f64 * gpu.memory_gib;
+        if needed > available {
+            return Err(ModelFitError {
+                model: model.name,
+                needed_gib: needed,
+                available_gib: available,
+            });
+        }
+        Ok(InferenceModel {
+            model,
+            gpu,
+            dtype,
+            n_gpus,
+        })
+    }
+
+    /// The deployed model.
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// The GPU type serving the model.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// The weight datatype.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// GPUs in the tensor-parallel group.
+    pub fn n_gpus(&self) -> usize {
+        self.n_gpus
+    }
+
+    /// Aggregate tensor throughput of the group in FLOP/s.
+    fn compute_flops(&self) -> f64 {
+        self.n_gpus as f64
+            * self.gpu.peak_fp16_tflops
+            * 1e12
+            * self.dtype.compute_efficiency()
+            * PROMPT_MFU
+    }
+
+    /// Aggregate HBM bandwidth of the group in bytes/s, including the
+    /// datatype's kernel efficiency (INT8 dequantization overhead).
+    fn memory_bandwidth(&self) -> f64 {
+        self.n_gpus as f64
+            * self.gpu.mem_bandwidth_gbps
+            * 1e9
+            * TOKEN_BW_EFFICIENCY
+            * self.dtype.kernel_bandwidth_efficiency()
+    }
+
+    /// Profiles one request at the maximum SM clock.
+    pub fn profile(&self, cfg: &InferenceConfig) -> RequestProfile {
+        let params = self.model.params();
+        let weight_bytes = params * self.dtype.bytes_per_param();
+
+        // Prompt: all input tokens in parallel. Compute dominates; the
+        // weights are streamed once.
+        let prompt_flops = 2.0 * params * cfg.input_tokens as f64 * cfg.batch as f64;
+        let prompt_compute_s = prompt_flops / self.compute_flops();
+        let prompt_mem_s = weight_bytes / self.memory_bandwidth();
+        let prompt_s = prompt_compute_s + prompt_mem_s;
+
+        // Token: sequential; every token re-streams the weights, compute
+        // is negligible at small batch and grows with it.
+        let token_compute_s = 2.0 * params * cfg.batch as f64 / self.compute_flops();
+        let token_mem_s = weight_bytes / self.memory_bandwidth();
+        let per_token_s = token_compute_s + token_mem_s;
+        let token_s = per_token_s * cfg.output_tokens as f64;
+
+        RequestProfile {
+            prompt: PhaseProfile {
+                duration_s: prompt_s,
+                intensity: self.prompt_intensity(cfg),
+                compute_fraction: prompt_compute_s / prompt_s,
+            },
+            token: PhaseProfile {
+                duration_s: token_s,
+                intensity: self.token_intensity(cfg),
+                compute_fraction: token_compute_s / per_token_s,
+            },
+            tokens_generated: cfg.output_tokens as u64 * cfg.batch as u64,
+        }
+    }
+
+    /// Prompt-phase workload intensity: grows with the effective parallel
+    /// token count (`input × batch`, Figure 8a/8c) and with model scale,
+    /// saturating at the transient peak.
+    fn prompt_intensity(&self, cfg: &InferenceConfig) -> f64 {
+        let tokens = (cfg.input_tokens as f64 * cfg.batch as f64).max(1.0);
+        let saturation = ((tokens / 128.0).ln() / (16384.0f64 / 128.0).ln()).clamp(0.0, 1.0);
+        let raw = (0.62 + 0.38 * saturation)
+            * (0.55 + 0.45 * self.model.relative_scale())
+            * self.dtype.peak_power_factor();
+        raw.clamp(0.0, 1.0)
+    }
+
+    /// Serves `requests` back-to-back inferences of `cfg` on `gpu`,
+    /// sampling per-GPU power every `dt` seconds — the measurement
+    /// behind Figures 6 and 9. The GPU's live state applies: a reactive
+    /// power cap lets prompt spikes escape before clamping, a frequency
+    /// lock stretches the compute-bound phases.
+    ///
+    /// A short idle gap separates requests, reproducing the "three
+    /// inferences of the same prompt" methodology of Figure 6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn power_series(
+        &self,
+        cfg: &InferenceConfig,
+        requests: usize,
+        gpu: &mut Gpu,
+        dt: f64,
+    ) -> TimeSeries {
+        assert!(dt > 0.0, "dt must be positive");
+        let mut ts = TimeSeries::new();
+        let mut t = 0.0;
+        let profile = self.profile(cfg);
+        let gap_steps = (0.5 / dt).ceil() as usize;
+        for _ in 0..requests {
+            for phase in [profile.prompt, profile.token] {
+                let mut work = phase.duration_s;
+                while work > 0.0 {
+                    let slow = gpu
+                        .dvfs()
+                        .slowdown(gpu.clock_ratio().max(1e-3), phase.compute_fraction);
+                    let power = gpu.advance(dt, phase.intensity);
+                    ts.push(t, power);
+                    t += dt;
+                    work -= dt / slow;
+                }
+            }
+            for _ in 0..gap_steps {
+                let power = gpu.advance(dt, 0.0);
+                ts.push(t, power);
+                t += dt;
+            }
+        }
+        ts
+    }
+
+    /// Token-phase workload intensity: stable and lower; nudged up by
+    /// batch size (more tokens processed concurrently, Figure 8c) but
+    /// insensitive to input/output sizes (Figure 8a/8e).
+    fn token_intensity(&self, cfg: &InferenceConfig) -> f64 {
+        let batch_boost = 0.025 * (cfg.batch as f64).log2();
+        let raw = (0.40 + 0.35 * self.model.relative_scale() + batch_boost)
+            * self.dtype.peak_power_factor();
+        raw.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bloom() -> InferenceModel {
+        InferenceModel::new(ModelSpec::bloom_176b(), GpuSpec::a100_80gb()).unwrap()
+    }
+
+    #[test]
+    fn prompt_is_short_and_hot_token_is_long_and_cool() {
+        let p = bloom().profile(&InferenceConfig::new(2048, 256, 1));
+        assert!(p.prompt.duration_s < p.token.duration_s);
+        assert!(p.prompt.intensity > p.token.intensity);
+        assert!(p.prompt.compute_fraction > 0.8);
+        assert!(p.token.compute_fraction < 0.1);
+    }
+
+    #[test]
+    fn bloom_throughput_is_realistic() {
+        // ~25-30 tokens/s for BLOOM-176B on 8×A100 matches public
+        // DeepSpeed-Inference numbers.
+        let p = bloom().profile(&InferenceConfig::new(512, 100, 1));
+        let tok_per_s = 100.0 / p.token.duration_s;
+        assert!((15.0..60.0).contains(&tok_per_s), "{tok_per_s} tok/s");
+    }
+
+    #[test]
+    fn peak_power_grows_with_input_size() {
+        let m = bloom();
+        let peaks: Vec<f64> = [256u32, 512, 1024, 2048, 4096, 8192]
+            .iter()
+            .map(|&i| m.profile(&InferenceConfig::new(i, 128, 1)).peak_intensity())
+            .collect();
+        for w in peaks.windows(2) {
+            assert!(w[1] >= w[0], "peak intensity should be non-decreasing");
+        }
+        assert!(peaks[5] > peaks[0] + 0.1);
+    }
+
+    #[test]
+    fn mean_power_is_stable_across_input_sizes() {
+        // Figure 8a: mean power dominated by token phase, barely moves.
+        let m = bloom();
+        let a = m.profile(&InferenceConfig::new(256, 512, 1)).mean_intensity();
+        let b = m.profile(&InferenceConfig::new(4096, 512, 1)).mean_intensity();
+        assert!((a - b).abs() < 0.12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn output_size_stretches_latency_linearly_without_power_change() {
+        // Figure 8e/8f.
+        let m = bloom();
+        let short = m.profile(&InferenceConfig::new(1024, 128, 1));
+        let long = m.profile(&InferenceConfig::new(1024, 512, 1));
+        assert!((long.token.duration_s / short.token.duration_s - 4.0).abs() < 0.01);
+        assert_eq!(short.peak_intensity(), long.peak_intensity());
+        assert_eq!(short.token.intensity, long.token.intensity);
+    }
+
+    #[test]
+    fn batch_size_raises_both_peak_and_mean(){
+        // Figure 8c: batching raises peak sharply, mean gradually.
+        let m = bloom();
+        let b1 = m.profile(&InferenceConfig::new(512, 256, 1));
+        let b16 = m.profile(&InferenceConfig::new(512, 256, 16));
+        assert!(b16.peak_intensity() > b1.peak_intensity());
+        assert!(b16.token.intensity > b1.token.intensity);
+    }
+
+    #[test]
+    fn larger_models_draw_more_power() {
+        // Figure 8: BLOOM-176B shows significantly larger peak and mean
+        // than Flan-T5 under the same configuration.
+        let cfg = InferenceConfig::new(2048, 256, 1);
+        let big = bloom().profile(&cfg);
+        let small = InferenceModel::new(ModelSpec::flan_t5_xxl(), GpuSpec::a100_80gb())
+            .unwrap()
+            .profile(&cfg);
+        assert!(big.peak_intensity() > small.peak_intensity() + 0.2);
+        assert!(big.mean_intensity() > small.mean_intensity());
+    }
+
+    #[test]
+    fn fp16_beats_fp32_and_int8_on_latency() {
+        // §4.2: FP16 is fastest thanks to optimized tensor-core kernels.
+        let cfg = InferenceConfig::new(1024, 128, 1);
+        let gpu = GpuSpec::a100_80gb();
+        let m = ModelSpec::llama2_70b();
+        let t = |dt: DType| {
+            InferenceModel::with_dtype(m.clone(), gpu.clone(), dt)
+                .unwrap()
+                .profile(&cfg.with_dtype(dt))
+                .total_time_s()
+        };
+        assert!(t(DType::Fp16) < t(DType::Fp32));
+        assert!(t(DType::Fp16) < t(DType::Int8));
+    }
+
+    #[test]
+    fn quantization_reduces_group_power_not_phase_structure() {
+        // Insight 6: fewer GPUs ⇒ less total power, but prompt/token
+        // asymmetry remains.
+        let gpu = GpuSpec::a100_80gb();
+        let m = ModelSpec::llama2_70b();
+        let fp16 = InferenceModel::with_dtype(m.clone(), gpu.clone(), DType::Fp16).unwrap();
+        let fp32 = InferenceModel::with_dtype(m, gpu, DType::Fp32).unwrap();
+        assert!(fp16.n_gpus() < fp32.n_gpus());
+        let cfg = InferenceConfig::new(2048, 128, 1);
+        let p16 = fp16.profile(&cfg.with_dtype(DType::Fp16));
+        assert!(p16.prompt.intensity > p16.token.intensity);
+    }
+
+    #[test]
+    fn model_fit_error_on_too_few_gpus() {
+        let err = InferenceModel::with_gpus(
+            ModelSpec::bloom_176b(),
+            GpuSpec::a100_80gb(),
+            DType::Fp16,
+            2,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("BLOOM"));
+    }
+
+    #[test]
+    fn frequency_lock_hurts_prompt_more_than_token() {
+        let m = bloom();
+        let dvfs = DvfsModel::default();
+        let p = m.profile(&InferenceConfig::new(4096, 256, 1));
+        let r = 1110.0 / 1410.0;
+        let prompt_slow = p.prompt.duration_at_clock(&dvfs, r) / p.prompt.duration_s;
+        let token_slow = p.token.duration_at_clock(&dvfs, r) / p.token.duration_s;
+        assert!(prompt_slow > 1.2);
+        assert!(token_slow < 1.05);
+    }
+
+    #[test]
+    fn end_to_end_slowdown_is_modest_at_freq_lock() {
+        // Insight 7: minimal performance loss for substantial power
+        // reduction on a typical chat request.
+        let m = bloom();
+        let dvfs = DvfsModel::default();
+        let p = m.profile(&InferenceConfig::new(2048, 256, 1));
+        let r = 1110.0 / 1410.0;
+        let slow = p.total_time_at_clock(&dvfs, r) / p.total_time_s();
+        assert!(slow < 1.10, "end-to-end slowdown {slow}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input_tokens")]
+    fn zero_input_rejected() {
+        let _ = InferenceConfig::new(0, 1, 1);
+    }
+
+    #[test]
+    fn power_series_shows_spike_then_plateau() {
+        // Figure 6: power spikes at the start of each request (prompt)
+        // and settles into a stable lower plateau (token).
+        let m = bloom();
+        let mut gpu = Gpu::new(GpuSpec::a100_80gb());
+        let cfg = InferenceConfig::new(4096, 64, 1);
+        let ts = m.power_series(&cfg, 3, &mut gpu, 0.1);
+        let peak = ts.peak().unwrap();
+        assert!(peak >= 0.95 * gpu.spec().tdp_watts, "peak {peak}");
+        // The plateau (median-ish) sits well below the spike.
+        let mean = ts.mean().unwrap();
+        assert!(mean < 0.85 * peak, "mean {mean} vs peak {peak}");
+        // Idle gaps return to idle power.
+        assert!(ts.trough().unwrap() <= gpu.spec().idle_watts + 1.0);
+    }
+
+    #[test]
+    fn power_series_under_cap_clamps_plateau() {
+        // Figure 9b: the reactive 325 W cap lets the prompt spike escape
+        // but clamps sustained draw.
+        let m = bloom();
+        let cfg = InferenceConfig::new(8192, 128, 1);
+        let mut free = Gpu::new(GpuSpec::a100_80gb());
+        let base = m.power_series(&cfg, 1, &mut free, 0.05);
+        let mut capped_gpu = Gpu::new(GpuSpec::a100_80gb());
+        capped_gpu.set_power_cap(325.0).unwrap();
+        let capped = m.power_series(&cfg, 1, &mut capped_gpu, 0.05);
+        assert!(capped.peak().unwrap() > 325.0, "spike escapes the cap");
+        assert!(capped.mean().unwrap() < base.mean().unwrap());
+        // Frequency lock stretches the run (Figure 9c).
+        let mut locked_gpu = Gpu::new(GpuSpec::a100_80gb());
+        locked_gpu.lock_clock(1110.0).unwrap();
+        let locked = m.power_series(&cfg, 1, &mut locked_gpu, 0.05);
+        assert!(locked.peak().unwrap() < base.peak().unwrap());
+        assert!(
+            locked.times().last().unwrap() > base.times().last().unwrap(),
+            "locked run should take longer"
+        );
+    }
+
+    #[test]
+    fn table3_models_all_fit_their_allocations() {
+        let gpu = GpuSpec::a100_80gb();
+        for m in ModelSpec::all() {
+            assert!(
+                InferenceModel::new(m.clone(), gpu.clone()).is_ok(),
+                "{} does not fit its Table 3 allocation",
+                m.name
+            );
+        }
+    }
+}

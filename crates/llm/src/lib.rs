@@ -1,0 +1,42 @@
+//! Analytical LLM workload models.
+//!
+//! The paper characterizes seven open-source LLMs (Table 3) across the
+//! three transformer architectures, profiling fine-tuning (training) and
+//! inference on DGX-A100 machines. This crate substitutes those runs with
+//! analytical models derived from first principles and calibrated to the
+//! paper's measurements:
+//!
+//! * [`zoo`] — the model zoo of Table 3 (RoBERTa, Llama2-13B/70B,
+//!   GPT-NeoX-20B, OPT-30B, BLOOM-176B, Flan-T5 XXL),
+//! * [`dtype`] — FP32/FP16/INT8 quantization effects on memory footprint,
+//!   GPU count and kernel efficiency (§4.2 "Impact of datatypes"),
+//! * [`inference`] — the two-phase inference model: compute-bound parallel
+//!   *prompt processing* (brief, spikes at or above TDP) and memory-bandwidth-
+//!   bound sequential *token sampling* (long, stable, lower power) —
+//!   Insight 4,
+//! * [`training`] — the iteration model with alternating computation- and
+//!   communication-intensive phases that produce the power swings of
+//!   Figure 4 — Insight 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use polca_gpu::GpuSpec;
+//! use polca_llm::{InferenceConfig, InferenceModel, ModelSpec};
+//!
+//! let bloom = InferenceModel::new(ModelSpec::bloom_176b(), GpuSpec::a100_80gb()).unwrap();
+//! let profile = bloom.profile(&InferenceConfig::new(2048, 256, 1));
+//! // Prompt phase draws more power but is much shorter than token phase.
+//! assert!(profile.prompt.intensity > profile.token.intensity);
+//! assert!(profile.prompt.duration_s < profile.token.duration_s);
+//! ```
+
+pub mod dtype;
+pub mod inference;
+pub mod training;
+pub mod zoo;
+
+pub use dtype::DType;
+pub use inference::{InferenceConfig, InferenceModel, ModelFitError, PhaseProfile, RequestProfile};
+pub use training::{TrainingJob, TrainingPhase};
+pub use zoo::{Architecture, ModelSpec};

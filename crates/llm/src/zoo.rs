@@ -1,0 +1,242 @@
+//! The model zoo of Table 3.
+
+/// Transformer architecture family (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Encoder-only (bi-directional self-attention), e.g. RoBERTa.
+    Encoder,
+    /// Decoder-only (masked self-attention, generative), e.g. GPT/BLOOM.
+    Decoder,
+    /// Encoder-decoder, e.g. Flan-T5.
+    EncoderDecoder,
+}
+
+/// Static description of one LLM from the paper's Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Model name as printed in the paper's figures.
+    pub name: &'static str,
+    /// Parameter count in billions.
+    pub params_b: f64,
+    /// Architecture family.
+    pub architecture: Architecture,
+    /// GPUs used for FP16 inference in the paper's deployment (Table 3).
+    pub inference_gpus: usize,
+    /// Whether the paper only ran inference for this model (the `*`
+    /// entries of Table 3).
+    pub inference_only: bool,
+    /// Transformer layer count (decoder layers for decoder-only models).
+    pub n_layers: u32,
+    /// Hidden dimension.
+    pub hidden_dim: u32,
+}
+
+impl ModelSpec {
+    /// RoBERTa-large, 355 M parameters, encoder-only.
+    pub const fn roberta() -> Self {
+        ModelSpec {
+            name: "RoBERTa",
+            params_b: 0.355,
+            architecture: Architecture::Encoder,
+            inference_gpus: 1,
+            inference_only: false,
+            n_layers: 24,
+            hidden_dim: 1024,
+        }
+    }
+
+    /// Llama2-13B, decoder-only.
+    pub const fn llama2_13b() -> Self {
+        ModelSpec {
+            name: "Llama2-13B",
+            params_b: 13.0,
+            architecture: Architecture::Decoder,
+            inference_gpus: 1,
+            inference_only: true,
+            n_layers: 40,
+            hidden_dim: 5120,
+        }
+    }
+
+    /// Llama2-70B, decoder-only.
+    pub const fn llama2_70b() -> Self {
+        ModelSpec {
+            name: "Llama2-70B",
+            params_b: 70.0,
+            architecture: Architecture::Decoder,
+            inference_gpus: 4,
+            inference_only: true,
+            n_layers: 80,
+            hidden_dim: 8192,
+        }
+    }
+
+    /// GPT-NeoX-20B, decoder-only.
+    pub const fn gpt_neox_20b() -> Self {
+        ModelSpec {
+            name: "GPT-NeoX",
+            params_b: 20.0,
+            architecture: Architecture::Decoder,
+            inference_gpus: 2,
+            inference_only: false,
+            n_layers: 44,
+            hidden_dim: 6144,
+        }
+    }
+
+    /// OPT-30B, decoder-only.
+    pub const fn opt_30b() -> Self {
+        ModelSpec {
+            name: "OPT",
+            params_b: 30.0,
+            architecture: Architecture::Decoder,
+            inference_gpus: 4,
+            inference_only: true,
+            n_layers: 48,
+            hidden_dim: 7168,
+        }
+    }
+
+    /// BLOOM-176B, decoder-only — the paper's worst-case inference
+    /// workload ("BLOOM-176B has the highest performance impact from
+    /// capping", §6.4) and the model behind the POLCA evaluation.
+    pub const fn bloom_176b() -> Self {
+        ModelSpec {
+            name: "BLOOM",
+            params_b: 176.0,
+            architecture: Architecture::Decoder,
+            inference_gpus: 8,
+            inference_only: true,
+            n_layers: 70,
+            hidden_dim: 14336,
+        }
+    }
+
+    /// Flan-T5 XXL, 11 B parameters, encoder-decoder.
+    pub const fn flan_t5_xxl() -> Self {
+        ModelSpec {
+            name: "Flan-T5",
+            params_b: 11.0,
+            architecture: Architecture::EncoderDecoder,
+            inference_gpus: 1,
+            inference_only: false,
+            n_layers: 24,
+            hidden_dim: 4096,
+        }
+    }
+
+    /// All models of Table 3.
+    pub fn all() -> Vec<ModelSpec> {
+        vec![
+            Self::roberta(),
+            Self::llama2_13b(),
+            Self::llama2_70b(),
+            Self::gpt_neox_20b(),
+            Self::opt_30b(),
+            Self::bloom_176b(),
+            Self::flan_t5_xxl(),
+        ]
+    }
+
+    /// The five models the inference characterization plots (Figures 6
+    /// and 8), in figure order.
+    pub fn inference_lineup() -> Vec<ModelSpec> {
+        vec![
+            Self::flan_t5_xxl(),
+            Self::gpt_neox_20b(),
+            Self::opt_30b(),
+            Self::llama2_70b(),
+            Self::bloom_176b(),
+        ]
+    }
+
+    /// The three models the training characterization plots (Figures 4
+    /// and 5), in figure order.
+    pub fn training_lineup() -> Vec<ModelSpec> {
+        vec![Self::roberta(), Self::gpt_neox_20b(), Self::flan_t5_xxl()]
+    }
+
+    /// Parameter count in absolute units.
+    pub fn params(&self) -> f64 {
+        self.params_b * 1e9
+    }
+
+    /// KV-cache bytes per token at `bytes_per_element` precision:
+    /// key + value vectors per layer (`2 × n_layers × hidden_dim`).
+    /// This sizes the state that phase-splitting deployments (§5.2,
+    /// Splitwise \[49\]) must ship from prompt to token GPUs.
+    pub fn kv_bytes_per_token(&self, bytes_per_element: f64) -> f64 {
+        2.0 * self.n_layers as f64 * self.hidden_dim as f64 * bytes_per_element
+    }
+
+    /// A size factor in `(0, 1]` relative to the largest characterized
+    /// model (BLOOM-176B), used to scale power intensities: larger models
+    /// saturate the GPU more completely.
+    pub fn relative_scale(&self) -> f64 {
+        (self.params_b / 176.0).powf(0.3).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_inventory() {
+        let all = ModelSpec::all();
+        assert_eq!(all.len(), 7);
+        // Table 3 GPU counts.
+        let by_name = |n: &str| all.iter().find(|m| m.name == n).unwrap().clone();
+        assert_eq!(by_name("BLOOM").inference_gpus, 8);
+        assert_eq!(by_name("OPT").inference_gpus, 4);
+        assert_eq!(by_name("GPT-NeoX").inference_gpus, 2);
+        assert_eq!(by_name("Flan-T5").inference_gpus, 1);
+        assert_eq!(by_name("RoBERTa").inference_gpus, 1);
+    }
+
+    #[test]
+    fn inference_only_markers_match_table3() {
+        assert!(ModelSpec::bloom_176b().inference_only);
+        assert!(ModelSpec::opt_30b().inference_only);
+        assert!(ModelSpec::llama2_70b().inference_only);
+        assert!(!ModelSpec::roberta().inference_only);
+        assert!(!ModelSpec::gpt_neox_20b().inference_only);
+        assert!(!ModelSpec::flan_t5_xxl().inference_only);
+    }
+
+    #[test]
+    fn lineups_are_subsets_of_all() {
+        let all = ModelSpec::all();
+        for m in ModelSpec::inference_lineup()
+            .iter()
+            .chain(ModelSpec::training_lineup().iter())
+        {
+            assert!(all.contains(m), "{} missing from zoo", m.name);
+        }
+    }
+
+    #[test]
+    fn architectures_cover_all_three_families() {
+        let all = ModelSpec::all();
+        for arch in [
+            Architecture::Encoder,
+            Architecture::Decoder,
+            Architecture::EncoderDecoder,
+        ] {
+            assert!(all.iter().any(|m| m.architecture == arch));
+        }
+    }
+
+    #[test]
+    fn relative_scale_is_monotonic_in_size() {
+        let models = ModelSpec::all();
+        for a in &models {
+            for b in &models {
+                if a.params_b < b.params_b {
+                    assert!(a.relative_scale() <= b.relative_scale());
+                }
+            }
+        }
+        assert_eq!(ModelSpec::bloom_176b().relative_scale(), 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the LLM workload models.
+
+use proptest::prelude::*;
+
+use polca_gpu::{DvfsModel, GpuSpec};
+use polca_llm::{DType, InferenceConfig, InferenceModel, ModelSpec, TrainingJob};
+
+fn models() -> impl Strategy<Value = ModelSpec> {
+    prop_oneof![
+        Just(ModelSpec::flan_t5_xxl()),
+        Just(ModelSpec::gpt_neox_20b()),
+        Just(ModelSpec::opt_30b()),
+        Just(ModelSpec::llama2_70b()),
+        Just(ModelSpec::bloom_176b()),
+    ]
+}
+
+fn configs() -> impl Strategy<Value = InferenceConfig> {
+    (1u32..16_384, 1u32..8192, 1u32..32)
+        .prop_map(|(i, o, b)| InferenceConfig::new(i, o, b))
+}
+
+proptest! {
+    #[test]
+    fn profiles_are_well_formed(model in models(), cfg in configs()) {
+        let d = InferenceModel::new(model, GpuSpec::a100_80gb()).unwrap();
+        let p = d.profile(&cfg);
+        prop_assert!(p.prompt.duration_s > 0.0);
+        prop_assert!(p.token.duration_s > 0.0);
+        prop_assert!((0.0..=1.0).contains(&p.prompt.intensity));
+        prop_assert!((0.0..=1.0).contains(&p.token.intensity));
+        prop_assert!((0.0..=1.0).contains(&p.prompt.compute_fraction));
+        prop_assert!((0.0..=1.0).contains(&p.token.compute_fraction));
+        prop_assert_eq!(p.tokens_generated, cfg.output_tokens as u64 * cfg.batch as u64);
+        // Prompt is always the more compute-bound phase.
+        prop_assert!(p.prompt.compute_fraction >= p.token.compute_fraction);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_output_tokens(model in models(), input in 1u32..8192, o1 in 1u32..4096, o2 in 1u32..4096) {
+        let d = InferenceModel::new(model, GpuSpec::a100_80gb()).unwrap();
+        let (lo, hi) = if o1 <= o2 { (o1, o2) } else { (o2, o1) };
+        let t_lo = d.profile(&InferenceConfig::new(input, lo, 1)).total_time_s();
+        let t_hi = d.profile(&InferenceConfig::new(input, hi, 1)).total_time_s();
+        prop_assert!(t_lo <= t_hi + 1e-12);
+    }
+
+    #[test]
+    fn peak_intensity_is_monotone_in_input(model in models(), i1 in 1u32..16_384, i2 in 1u32..16_384) {
+        let d = InferenceModel::new(model, GpuSpec::a100_80gb()).unwrap();
+        let (lo, hi) = if i1 <= i2 { (i1, i2) } else { (i2, i1) };
+        let p_lo = d.profile(&InferenceConfig::new(lo, 64, 1)).peak_intensity();
+        let p_hi = d.profile(&InferenceConfig::new(hi, 64, 1)).peak_intensity();
+        prop_assert!(p_lo <= p_hi + 1e-12);
+    }
+
+    #[test]
+    fn slowdown_at_reduced_clock_never_speeds_up(model in models(), cfg in configs(), r in 0.2..1.0f64) {
+        let d = InferenceModel::new(model, GpuSpec::a100_80gb()).unwrap();
+        let dvfs = DvfsModel::default();
+        let p = d.profile(&cfg);
+        prop_assert!(p.total_time_at_clock(&dvfs, r) >= p.total_time_s() - 1e-9);
+    }
+
+    #[test]
+    fn mean_intensity_is_between_phase_intensities(model in models(), cfg in configs()) {
+        let d = InferenceModel::new(model, GpuSpec::a100_80gb()).unwrap();
+        let p = d.profile(&cfg);
+        let lo = p.prompt.intensity.min(p.token.intensity);
+        let hi = p.prompt.intensity.max(p.token.intensity);
+        let mean = p.mean_intensity();
+        prop_assert!(mean >= lo - 1e-12 && mean <= hi + 1e-12);
+    }
+
+    #[test]
+    fn gpus_required_is_monotone_in_bytes(model in models()) {
+        let gpu = GpuSpec::a100_80gb();
+        prop_assert!(DType::Int8.gpus_required(&model, &gpu) <= DType::Fp16.gpus_required(&model, &gpu));
+        prop_assert!(DType::Fp16.gpus_required(&model, &gpu) <= DType::Fp32.gpus_required(&model, &gpu));
+    }
+
+    #[test]
+    fn training_throughput_scale_is_in_unit_interval(model in models(), r in 0.2..=1.0f64) {
+        let job = TrainingJob::fine_tuning(&model);
+        let dvfs = DvfsModel::default();
+        let s = job.throughput_scale(&dvfs, r);
+        prop_assert!(s > 0.0 && s <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn training_phases_partition_the_iteration(model in models()) {
+        let job = TrainingJob::fine_tuning(&model);
+        let total: f64 = job.phases().iter().map(|p| p.duration_frac).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for phase in job.phases() {
+            prop_assert!((0.0..=1.0).contains(&phase.intensity));
+            prop_assert!((0.0..=1.0).contains(&phase.compute_fraction));
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Simulation timestamps.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A simulation timestamp in seconds since the start of the run.
+///
+/// `SimTime` wraps an `f64` but provides a total order (via
+/// [`f64::total_cmp`]) so it can key the event queue, and its constructors
+/// reject NaN so arithmetic stays well-defined throughout a run.
+///
+/// # Examples
+///
+/// ```
+/// use polca_sim::SimTime;
+///
+/// let t = SimTime::from_secs(1.5) + SimTime::from_secs(0.5);
+/// assert_eq!(t.as_secs(), 2.0);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a timestamp from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "SimTime cannot be NaN");
+        assert!(secs >= 0.0, "SimTime cannot be negative");
+        SimTime(secs)
+    }
+
+    /// Creates a timestamp from minutes.
+    pub fn from_mins(mins: f64) -> Self {
+        Self::from_secs(mins * 60.0)
+    }
+
+    /// Creates a timestamp from hours.
+    pub fn from_hours(hours: f64) -> Self {
+        Self::from_secs(hours * 3600.0)
+    }
+
+    /// Creates a timestamp from days.
+    pub fn from_days(days: f64) -> Self {
+        Self::from_secs(days * 86_400.0)
+    }
+
+    /// This timestamp in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// This timestamp in hours.
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// This timestamp in days.
+    pub fn as_days(self) -> f64 {
+        self.0 / 86_400.0
+    }
+
+    /// Saturating subtraction: returns `ZERO` instead of going negative.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the result would be negative; simulation
+    /// time never runs backwards. Use [`SimTime::saturating_sub`] when the
+    /// operands may legitimately cross.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction went negative");
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Default for SimTime {
+    fn default() -> Self {
+        SimTime::ZERO
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_consistent() {
+        assert_eq!(SimTime::from_mins(1.0).as_secs(), 60.0);
+        assert_eq!(SimTime::from_hours(1.0).as_secs(), 3600.0);
+        assert_eq!(SimTime::from_days(1.0).as_hours(), 24.0);
+        assert_eq!(SimTime::from_days(2.0).as_days(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(SimTime::ZERO.min(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(5.0) - SimTime::from_secs(3.0);
+        assert_eq!(t.as_secs(), 2.0);
+        let mut u = SimTime::ZERO;
+        u += SimTime::from_secs(1.5);
+        assert_eq!(u.as_secs(), 1.5);
+        assert_eq!(
+            SimTime::from_secs(1.0).saturating_sub(SimTime::from_secs(2.0)),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_secs(1.25).to_string(), "1.250s");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the simulation engine.
+
+use proptest::prelude::*;
+
+use polca_sim::{EventQueue, SimRng, SimTime};
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_non_decreasing_time_order(times in prop::collection::vec(0.0..1e6f64, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+        }
+    }
+
+    #[test]
+    fn event_queue_is_fifo_for_equal_times(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_secs(1.0), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn event_queue_conserves_events(times in prop::collection::vec(0.0..100.0f64, 0..100)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime::from_secs(t), ());
+        }
+        prop_assert_eq!(q.len(), times.len());
+        let popped = std::iter::from_fn(|| q.pop()).count();
+        prop_assert_eq!(popped, times.len());
+        prop_assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sim_time_ordering_is_consistent_with_seconds(a in 0.0..1e9f64, b in 0.0..1e9f64) {
+        let (ta, tb) = (SimTime::from_secs(a), SimTime::from_secs(b));
+        prop_assert_eq!(ta < tb, a < b);
+        prop_assert_eq!(ta == tb, a == b);
+        prop_assert!((ta + tb).as_secs() >= ta.as_secs());
+        prop_assert_eq!(ta.saturating_sub(tb).as_secs(), (a - b).max(0.0));
+    }
+
+    #[test]
+    fn exponential_samples_are_positive(seed in 0u64..1000, rate in 0.001..100.0f64) {
+        let mut rng = SimRng::from_seed_stream(seed, 1);
+        for _ in 0..50 {
+            prop_assert!(rng.exponential(rate) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_samples_stay_in_range(seed in 0u64..1000, lo in -1e3..1e3f64, width in 0.001..1e3f64) {
+        let mut rng = SimRng::from_seed_stream(seed, 2);
+        let hi = lo + width;
+        for _ in 0..50 {
+            let x = rng.uniform(lo, hi);
+            prop_assert!((lo..hi).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_index_only_picks_positive_weights(seed in 0u64..1000, weights in prop::collection::vec(0.0..10.0f64, 1..10)) {
+        let mut rng = SimRng::from_seed_stream(seed, 3);
+        if let Some(idx) = rng.weighted_index(&weights) {
+            prop_assert!(idx < weights.len());
+            // The chosen index must have sampling mass unless everything
+            // was zero (in which case weighted_index returns None).
+            prop_assert!(weights.iter().any(|&w| w > 0.0));
+        } else {
+            prop_assert!(weights.iter().all(|&w| w == 0.0));
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in 0u64..10_000, stream in 0u64..100) {
+        let mut a = SimRng::from_seed_stream(seed, stream);
+        let mut b = SimRng::from_seed_stream(seed, stream);
+        for _ in 0..20 {
+            prop_assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+}

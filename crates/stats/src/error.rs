@@ -1,0 +1,125 @@
+//! Error metrics between a reference and a reproduced series.
+//!
+//! §6.4 of the paper validates its synthetic trace by requiring the Mean
+//! Absolute Percentage Error (MAPE) between the synthetic and original
+//! power timeseries to be within 3 %. The trace-replication tests in
+//! `polca-trace` enforce the same bound with [`mape`].
+
+/// Mean Absolute Percentage Error between `actual` (reference) and
+/// `predicted`, in percent.
+///
+/// Reference points that are exactly zero are skipped (percentage error is
+/// undefined there). Returns `None` if the slices are empty, have different
+/// lengths, or every reference point is zero.
+///
+/// # Examples
+///
+/// ```
+/// use polca_stats::mape;
+///
+/// // 10% error on each point.
+/// let actual = [100.0, 200.0];
+/// let predicted = [110.0, 180.0];
+/// assert!((mape(&actual, &predicted).unwrap() - 10.0).abs() < 1e-9);
+/// ```
+pub fn mape(actual: &[f64], predicted: &[f64]) -> Option<f64> {
+    if actual.is_empty() || actual.len() != predicted.len() {
+        return None;
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if a != 0.0 {
+            sum += ((a - p) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64 * 100.0)
+    }
+}
+
+/// Mean Absolute Error. Returns `None` on empty or mismatched input.
+///
+/// # Examples
+///
+/// ```
+/// use polca_stats::mae;
+///
+/// assert_eq!(mae(&[1.0, 2.0], &[2.0, 0.0]).unwrap(), 1.5);
+/// ```
+pub fn mae(actual: &[f64], predicted: &[f64]) -> Option<f64> {
+    if actual.is_empty() || actual.len() != predicted.len() {
+        return None;
+    }
+    let sum: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a - p).abs())
+        .sum();
+    Some(sum / actual.len() as f64)
+}
+
+/// Root Mean Square Error. Returns `None` on empty or mismatched input.
+///
+/// # Examples
+///
+/// ```
+/// use polca_stats::rmse;
+///
+/// assert_eq!(rmse(&[0.0, 0.0], &[3.0, 4.0]).unwrap(), (12.5f64).sqrt());
+/// ```
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> Option<f64> {
+    if actual.is_empty() || actual.len() != predicted.len() {
+        return None;
+    }
+    let sum: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a - p) * (a - p))
+        .sum();
+    Some((sum / actual.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_zero_error() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(mape(&xs, &xs), Some(0.0));
+        assert_eq!(mae(&xs, &xs), Some(0.0));
+        assert_eq!(rmse(&xs, &xs), Some(0.0));
+    }
+
+    #[test]
+    fn mismatched_or_empty_yields_none() {
+        assert_eq!(mape(&[], &[]), None);
+        assert_eq!(mape(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(mae(&[], &[]), None);
+        assert_eq!(rmse(&[1.0], &[]), None);
+    }
+
+    #[test]
+    fn mape_skips_zero_reference_points() {
+        let actual = [0.0, 100.0];
+        let predicted = [5.0, 110.0];
+        // Only the second point counts: 10 %.
+        assert!((mape(&actual, &predicted).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_all_zero_reference_is_none() {
+        assert_eq!(mape(&[0.0, 0.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more_than_mae() {
+        let actual = [0.0, 0.0, 0.0, 0.0];
+        let predicted = [0.0, 0.0, 0.0, 8.0];
+        assert!(rmse(&actual, &predicted).unwrap() > mae(&actual, &predicted).unwrap());
+    }
+}

@@ -1,0 +1,185 @@
+//! Fixed-bin histograms and empirical CDFs.
+//!
+//! POLCA selects its capping thresholds "by analyzing historical power
+//! usage traces" (§6.3): the threshold trainer in `polca::policy` builds a
+//! power histogram over the training week and reads quantiles off its CDF.
+
+/// A histogram over a fixed `[lo, hi)` range with equal-width bins.
+///
+/// Out-of-range observations are counted in saturating edge bins so that
+/// totals (and therefore CDF quantiles) remain exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram spanning `[lo, hi)` with `bins` equal bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polca_stats::histogram::Histogram;
+    ///
+    /// let mut h = Histogram::new(0.0, 1.0, 10);
+    /// h.record(0.05);
+    /// h.record(0.95);
+    /// assert_eq!(h.total(), 2);
+    /// ```
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "invalid histogram range");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Records one observation. Values below `lo` land in the first bin,
+    /// values at or above `hi` in the last bin.
+    pub fn record(&mut self, value: f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = ((value - self.lo) / width).floor();
+        let idx = (idx.max(0.0) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The lower edge of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        assert!(i < self.bins.len(), "bin index out of bounds");
+        self.lo + (self.hi - self.lo) * i as f64 / self.bins.len() as f64
+    }
+
+    /// Returns the smallest value `v` such that at least `fraction`
+    /// (`0.0..=1.0`) of observations are `<= v`, estimated from bin upper
+    /// edges. Returns `None` if the histogram is empty.
+    ///
+    /// This is the quantile read-off used when training POLCA thresholds
+    /// from historical traces.
+    pub fn quantile(&self, fraction: f64) -> Option<f64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&fraction) {
+            return None;
+        }
+        let target = (fraction * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(self.lo + width * (i + 1) as f64);
+            }
+        }
+        Some(self.hi)
+    }
+
+    /// The fraction of observations in bins whose lower edge is at or above
+    /// `value` — i.e. the fraction above `value`, resolved to bin width.
+    pub fn fraction_above(&self, value: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let above: u64 = self
+            .bins
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.lo + width * *i as f64 >= value)
+            .map(|(_, &c)| c)
+            .sum();
+        above as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn inverted_range_rejected() {
+        let _ = Histogram::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn out_of_range_values_saturate() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-5.0);
+        h.record(100.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn quantile_of_uniform_data() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        // 50 % of the data is <= ~50.
+        let q = h.quantile(0.5).unwrap();
+        assert!((q - 50.0).abs() <= 1.0, "q = {q}");
+        // 99th percentile near 99.
+        let q = h.quantile(0.99).unwrap();
+        assert!((q - 99.0).abs() <= 1.0, "q = {q}");
+    }
+
+    #[test]
+    fn quantile_empty_or_invalid_fraction_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+        let mut h = h;
+        h.record(0.5);
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.quantile(-0.1), None);
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        let f = h.fraction_above(7.0);
+        assert!((f - 0.3).abs() < 1e-9, "f = {f}");
+        assert_eq!(h.fraction_above(-1.0), 1.0);
+        assert_eq!(h.fraction_above(10.5), 0.0);
+    }
+
+    #[test]
+    fn bin_lo_edges() {
+        let h = Histogram::new(0.0, 100.0, 4);
+        assert_eq!(h.bin_lo(0), 0.0);
+        assert_eq!(h.bin_lo(3), 75.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Statistics utilities for the `polca` workspace.
+//!
+//! This crate provides the numeric building blocks used by the power
+//! characterization and the POLCA oversubscription experiments:
+//!
+//! * [`mod@percentile`] — exact percentile/quantile computation (p50/p99/max
+//!   latency SLOs from the paper's Table 6),
+//! * [`mod@pearson`] — Pearson correlation and correlation matrices (Figure 7),
+//! * [`error`] — MAPE/MAE/RMSE between timeseries (the paper bounds its
+//!   synthetic trace replication error at 3 % MAPE, §6.4),
+//! * [`timeseries`] — a timestamped sample series with resampling, moving
+//!   averages and max-swing-within-window queries (Table 4's "max power
+//!   spike in 2 s / 40 s"),
+//! * [`histogram`] — fixed-bin histograms and empirical CDFs,
+//! * [`summary`] — running summary statistics (mean/std/min/max).
+//!
+//! # Examples
+//!
+//! ```
+//! use polca_stats::percentile::percentile;
+//!
+//! let latencies = vec![1.0, 2.0, 3.0, 4.0, 100.0];
+//! assert_eq!(percentile(&latencies, 50.0), Some(3.0));
+//! ```
+
+pub mod error;
+pub mod histogram;
+pub mod pearson;
+pub mod percentile;
+pub mod summary;
+pub mod timeseries;
+
+pub use error::{mae, mape, rmse};
+pub use pearson::{pearson, CorrelationMatrix};
+pub use percentile::{percentile, Quantiles};
+pub use summary::Summary;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,197 @@
+//! Pearson correlation coefficients.
+//!
+//! Figure 7 of the paper shows the pairwise Pearson correlations between
+//! GPU performance counters (power, GPU utilization, memory utilization,
+//! SM activity, tensor-core activity, PCIe TX/RX) during the prompt and
+//! token phases of BLOOM inference. [`CorrelationMatrix`] regenerates that
+//! figure from simulated counter timeseries.
+
+/// Computes the Pearson correlation coefficient between two equally long
+/// sample slices.
+///
+/// Returns `None` if the slices are empty, have different lengths, or if
+/// either has zero variance (correlation undefined).
+///
+/// # Examples
+///
+/// ```
+/// use polca_stats::pearson;
+///
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+///
+/// let z = [8.0, 6.0, 4.0, 2.0];
+/// assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.is_empty() || x.len() != y.len() {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mean_x;
+        let dy = b - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// A symmetric matrix of pairwise Pearson correlations between named
+/// variable series, as plotted in the paper's Figure 7.
+#[derive(Debug, Clone)]
+pub struct CorrelationMatrix {
+    names: Vec<String>,
+    /// Row-major `names.len() × names.len()` coefficients. Diagonal is 1.0.
+    values: Vec<f64>,
+}
+
+impl CorrelationMatrix {
+    /// Builds the matrix from `(name, samples)` pairs. All series must have
+    /// the same length.
+    ///
+    /// Pairs whose correlation is undefined (zero variance) are reported as
+    /// `0.0`, matching how monitoring dashboards render flat counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series lengths differ.
+    pub fn from_series(series: &[(&str, &[f64])]) -> Self {
+        let n = series.len();
+        if let Some(first) = series.first() {
+            for (name, s) in series {
+                assert_eq!(
+                    s.len(),
+                    first.1.len(),
+                    "series `{name}` has mismatched length"
+                );
+            }
+        }
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = if i == j {
+                    1.0
+                } else {
+                    pearson(series[i].1, series[j].1).unwrap_or(0.0)
+                };
+            }
+        }
+        CorrelationMatrix {
+            names: series.iter().map(|(name, _)| name.to_string()).collect(),
+            values,
+        }
+    }
+
+    /// Variable names, in matrix order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The coefficient between variables `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.len() && j < self.len(), "index out of bounds");
+        self.values[i * self.len() + j]
+    }
+
+    /// Looks up the coefficient by variable names.
+    pub fn by_name(&self, a: &str, b: &str) -> Option<f64> {
+        let i = self.names.iter().position(|n| n == a)?;
+        let j = self.names.iter().position(|n| n == b)?;
+        Some(self.get(i, j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mismatched_lengths_yield_none() {
+        assert_eq!(pearson(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(pearson(&[], &[]), None);
+    }
+
+    #[test]
+    fn zero_variance_yields_none() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        // Alternating series vs linear ramp: correlation exactly 0 by symmetry.
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_is_symmetric_and_bounded() {
+        let x = [0.3, 1.7, 2.2, 0.1, 5.5];
+        let y = [1.2, 0.4, 3.3, 2.2, 4.0];
+        let r_xy = pearson(&x, &y).unwrap();
+        let r_yx = pearson(&y, &x).unwrap();
+        assert!((r_xy - r_yx).abs() < 1e-12);
+        assert!((-1.0..=1.0).contains(&r_xy));
+    }
+
+    #[test]
+    fn matrix_diagonal_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 1.0, 2.0];
+        let m = CorrelationMatrix::from_series(&[("a", &a), ("b", &b)]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 1), 1.0);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn matrix_lookup_by_name() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        let m = CorrelationMatrix::from_series(&[("power", &a), ("sm", &b)]);
+        assert!((m.by_name("power", "sm").unwrap() - 1.0).abs() < 1e-12);
+        assert!(m.by_name("power", "nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched length")]
+    fn matrix_rejects_ragged_series() {
+        let a = [1.0, 2.0];
+        let b = [1.0];
+        let _ = CorrelationMatrix::from_series(&[("a", &a), ("b", &b)]);
+    }
+
+    #[test]
+    fn flat_series_reported_as_zero_in_matrix() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        let m = CorrelationMatrix::from_series(&[("flat", &a), ("ramp", &b)]);
+        assert_eq!(m.by_name("flat", "ramp"), Some(0.0));
+    }
+}

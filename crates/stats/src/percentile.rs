@@ -1,0 +1,191 @@
+//! Exact percentile computation over finite samples.
+//!
+//! The POLCA evaluation reports p50/p99/max latency impact per priority
+//! class (Table 6, Figures 13–17). We use the nearest-rank-with-linear-
+//! interpolation definition (the same as NumPy's default `linear` method)
+//! so results are stable and easy to cross-check.
+
+/// Returns the `q`-th percentile (`0.0..=100.0`) of `data`.
+///
+/// Uses linear interpolation between closest ranks. Returns `None` for an
+/// empty slice or a `q` outside `[0, 100]`. The input does not need to be
+/// sorted; a sorted copy is made internally.
+///
+/// # Examples
+///
+/// ```
+/// use polca_stats::percentile::percentile;
+///
+/// let xs = vec![15.0, 20.0, 35.0, 40.0, 50.0];
+/// assert_eq!(percentile(&xs, 0.0), Some(15.0));
+/// assert_eq!(percentile(&xs, 100.0), Some(50.0));
+/// assert_eq!(percentile(&xs, 50.0), Some(35.0));
+/// ```
+pub fn percentile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() || !(0.0..=100.0).contains(&q) || q.is_nan() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    Some(percentile_of_sorted(&sorted, q))
+}
+
+/// Returns the `q`-th percentile of an already-sorted, non-empty slice.
+///
+/// # Panics
+///
+/// Panics if `data` is empty. `q` is clamped to `[0, 100]`.
+pub fn percentile_of_sorted(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "percentile of empty slice");
+    let q = q.clamp(0.0, 100.0);
+    if data.len() == 1 {
+        return data[0];
+    }
+    let rank = q / 100.0 * (data.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    data[lo] + (data[hi] - data[lo]) * frac
+}
+
+/// A digest of the percentiles the paper reports for latency SLOs.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Quantiles {
+    /// Median (p50).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum observed value (p100).
+    pub max: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Quantiles {
+    /// Computes the digest from raw samples. Returns `None` if `data` is
+    /// empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polca_stats::Quantiles;
+    ///
+    /// let q = Quantiles::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+    /// assert_eq!(q.p50, 2.0);
+    /// assert_eq!(q.max, 3.0);
+    /// assert_eq!(q.count, 3);
+    /// ```
+    pub fn from_samples(data: &[f64]) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+        let sum: f64 = sorted.iter().sum();
+        Some(Quantiles {
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p90: percentile_of_sorted(&sorted, 90.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+            max: *sorted.last().expect("non-empty"),
+            min: sorted[0],
+            mean: sum / sorted.len() as f64,
+            count: sorted.len(),
+        })
+    }
+
+    /// Returns this digest with every field divided by the matching field of
+    /// `baseline`, producing the "normalized latency" values of Figures 13,
+    /// 15 and 17 (value 1.0 = identical to baseline).
+    ///
+    /// Fields where the baseline is zero are reported as 1.0 (no change) to
+    /// keep ratios meaningful for idle metrics.
+    pub fn normalized_to(&self, baseline: &Quantiles) -> Quantiles {
+        fn ratio(a: f64, b: f64) -> f64 {
+            if b == 0.0 {
+                1.0
+            } else {
+                a / b
+            }
+        }
+        Quantiles {
+            p50: ratio(self.p50, baseline.p50),
+            p90: ratio(self.p90, baseline.p90),
+            p99: ratio(self.p99, baseline.p99),
+            max: ratio(self.max, baseline.max),
+            min: ratio(self.min, baseline.min),
+            mean: ratio(self.mean, baseline.mean),
+            count: self.count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slice_yields_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert!(Quantiles::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn out_of_range_q_yields_none() {
+        assert_eq!(percentile(&[1.0], -0.1), None);
+        assert_eq!(percentile(&[1.0], 100.1), None);
+        assert_eq!(percentile(&[1.0], f64::NAN), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[42.0], 0.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 99.0), Some(42.0));
+    }
+
+    #[test]
+    fn interpolates_between_ranks() {
+        let xs = [10.0, 20.0];
+        assert_eq!(percentile(&xs, 50.0), Some(15.0));
+        assert_eq!(percentile(&xs, 25.0), Some(12.5));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+    }
+
+    #[test]
+    fn quantiles_digest_matches_direct_percentiles() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let q = Quantiles::from_samples(&xs).unwrap();
+        assert_eq!(q.p50, percentile(&xs, 50.0).unwrap());
+        assert_eq!(q.p99, percentile(&xs, 99.0).unwrap());
+        assert_eq!(q.max, 999.0);
+        assert_eq!(q.min, 0.0);
+        assert!((q.mean - 499.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_is_identity_against_self() {
+        let q = Quantiles::from_samples(&[1.0, 2.0, 3.0, 10.0]).unwrap();
+        let n = q.normalized_to(&q);
+        assert!((n.p50 - 1.0).abs() < 1e-12);
+        assert!((n.p99 - 1.0).abs() < 1e-12);
+        assert!((n.max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_handles_zero_baseline() {
+        let q = Quantiles::from_samples(&[0.0, 0.0]).unwrap();
+        let n = q.normalized_to(&q);
+        assert_eq!(n.p50, 1.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Timestamped sample series.
+//!
+//! The characterization study works almost entirely on power timeseries:
+//! DCGM samples every 100 ms, the row manager every 2 s, and Table 4
+//! summarizes traces by their *maximum power swing within a window* (2 s
+//! for the UPS-relevant spike, 40 s for the out-of-band capping latency).
+//! [`TimeSeries`] provides those queries plus the 2 s / 5 min resampling
+//! used in Figure 16.
+
+/// A series of `(time, value)` samples with non-decreasing timestamps,
+/// in seconds.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimeSeries {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a series from parallel time/value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths or the timestamps are
+    /// not non-decreasing.
+    pub fn from_parts(times: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(times.len(), values.len(), "time/value length mismatch");
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "timestamps must be non-decreasing"
+        );
+        TimeSeries { times, values }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last recorded timestamp.
+    pub fn push(&mut self, time: f64, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(time >= last, "timestamps must be non-decreasing");
+        }
+        self.times.push(time);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample timestamps in seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Maximum value, or `None` if empty.
+    pub fn peak(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Minimum value, or `None` if empty.
+    pub fn trough(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Arithmetic mean of values, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.len() as f64)
+        }
+    }
+
+    /// The largest increase `value(t2) - value(t1)` over any pair of samples
+    /// with `0 <= t2 - t1 <= window` seconds.
+    ///
+    /// This is Table 4's "max power spike in *N* seconds": how much extra
+    /// power the infrastructure must absorb before a control with latency
+    /// `window` can react. Returns `None` if the series has fewer than two
+    /// samples. The result is never negative (a monotonically decreasing
+    /// series has a max spike of 0).
+    pub fn max_rise_within(&self, window: f64) -> Option<f64> {
+        if self.len() < 2 {
+            return None;
+        }
+        let mut max_rise: f64 = 0.0;
+        let mut start = 0usize;
+        // Track the index of the minimum value within the sliding window.
+        let mut min_deque: std::collections::VecDeque<usize> = Default::default();
+        for i in 0..self.len() {
+            while self.times[i] - self.times[start] > window {
+                if min_deque.front() == Some(&start) {
+                    min_deque.pop_front();
+                }
+                start += 1;
+            }
+            while let Some(&back) = min_deque.back() {
+                if self.values[back] >= self.values[i] {
+                    min_deque.pop_back();
+                } else {
+                    break;
+                }
+            }
+            min_deque.push_back(i);
+            let window_min = self.values[*min_deque.front().expect("non-empty deque")];
+            max_rise = max_rise.max(self.values[i] - window_min);
+        }
+        Some(max_rise)
+    }
+
+    /// Resamples to fixed `bucket`-second buckets, averaging the values that
+    /// fall into each bucket. Buckets with no samples are skipped. Bucket
+    /// timestamps are the bucket start times.
+    ///
+    /// Figure 16 plots the same row-power trace at a 2 s average and a
+    /// 5 min average; both come from this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is not strictly positive.
+    pub fn resample_mean(&self, bucket: f64) -> TimeSeries {
+        assert!(bucket > 0.0, "bucket must be positive");
+        let mut out = TimeSeries::new();
+        if self.is_empty() {
+            return out;
+        }
+        let t0 = self.times[0];
+        let mut bucket_idx = 0u64;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (t, v) in self.iter() {
+            let idx = ((t - t0) / bucket).floor() as u64;
+            if idx != bucket_idx && count > 0 {
+                out.push(t0 + bucket_idx as f64 * bucket, sum / count as f64);
+                sum = 0.0;
+                count = 0;
+            }
+            bucket_idx = idx;
+            sum += v;
+            count += 1;
+        }
+        if count > 0 {
+            out.push(t0 + bucket_idx as f64 * bucket, sum / count as f64);
+        }
+        out
+    }
+
+    /// Centered-on-trailing moving average over `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn moving_average(&self, window: usize) -> TimeSeries {
+        assert!(window > 0, "window must be positive");
+        let mut out = TimeSeries::new();
+        let mut sum = 0.0;
+        for i in 0..self.len() {
+            sum += self.values[i];
+            if i >= window {
+                sum -= self.values[i - window];
+            }
+            let n = (i + 1).min(window);
+            out.push(self.times[i], sum / n as f64);
+        }
+        out
+    }
+
+    /// Returns the sub-series with `start <= t < end`.
+    pub fn slice_time(&self, start: f64, end: f64) -> TimeSeries {
+        let lo = self.times.partition_point(|&t| t < start);
+        let hi = self.times.partition_point(|&t| t < end);
+        TimeSeries {
+            times: self.times[lo..hi].to_vec(),
+            values: self.values[lo..hi].to_vec(),
+        }
+    }
+
+    /// Scales all values by `factor`, returning a new series.
+    pub fn scaled(&self, factor: f64) -> TimeSeries {
+        TimeSeries {
+            times: self.times.clone(),
+            values: self.values.iter().map(|v| v * factor).collect(),
+        }
+    }
+}
+
+impl FromIterator<(f64, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        let mut ts = TimeSeries::new();
+        for (t, v) in iter {
+            ts.push(t, v);
+        }
+        ts
+    }
+}
+
+impl Extend<(f64, f64)> for TimeSeries {
+    fn extend<I: IntoIterator<Item = (f64, f64)>>(&mut self, iter: I) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, dt: f64) -> TimeSeries {
+        (0..n).map(|i| (i as f64 * dt, i as f64)).collect()
+    }
+
+    #[test]
+    fn push_and_basic_stats() {
+        let ts = ramp(5, 1.0);
+        assert_eq!(ts.len(), 5);
+        assert_eq!(ts.peak(), Some(4.0));
+        assert_eq!(ts.trough(), Some(0.0));
+        assert_eq!(ts.mean(), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn push_rejects_time_regression() {
+        let mut ts = TimeSeries::new();
+        ts.push(1.0, 0.0);
+        ts.push(0.5, 0.0);
+    }
+
+    #[test]
+    fn max_rise_respects_window() {
+        // Slow ramp: 1 unit per second. Within 2 s the max rise is 2.
+        let ts = ramp(100, 1.0);
+        let rise = ts.max_rise_within(2.0).unwrap();
+        assert!((rise - 2.0).abs() < 1e-9, "rise {rise}");
+        // Full window covers the whole ramp.
+        let rise = ts.max_rise_within(1000.0).unwrap();
+        assert!((rise - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_rise_of_decreasing_series_is_zero() {
+        let ts: TimeSeries = (0..10).map(|i| (i as f64, -(i as f64))).collect();
+        assert_eq!(ts.max_rise_within(5.0), Some(0.0));
+    }
+
+    #[test]
+    fn max_rise_finds_burst() {
+        let mut ts = TimeSeries::new();
+        ts.push(0.0, 10.0);
+        ts.push(1.0, 10.0);
+        ts.push(1.5, 50.0); // burst of +40 within 0.5 s
+        ts.push(10.0, 20.0);
+        assert_eq!(ts.max_rise_within(1.0), Some(40.0));
+    }
+
+    #[test]
+    fn max_rise_needs_two_samples() {
+        let mut ts = TimeSeries::new();
+        assert_eq!(ts.max_rise_within(1.0), None);
+        ts.push(0.0, 1.0);
+        assert_eq!(ts.max_rise_within(1.0), None);
+    }
+
+    #[test]
+    fn resample_mean_buckets_correctly() {
+        // Samples at 0,1,2,3 with values 0,1,2,3; bucket=2 -> means 0.5, 2.5.
+        let ts = ramp(4, 1.0);
+        let r = ts.resample_mean(2.0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.values(), &[0.5, 2.5]);
+        assert_eq!(r.times(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn resample_preserves_mean_of_uniform_series() {
+        let ts = ramp(1000, 0.1);
+        let r = ts.resample_mean(10.0);
+        assert!((r.mean().unwrap() - ts.mean().unwrap()).abs() < 1.0);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.push(i as f64, if i % 2 == 0 { 0.0 } else { 2.0 });
+        }
+        let ma = ts.moving_average(2);
+        // After warm-up, every sample is the average of a 0 and a 2.
+        assert!(ma.values()[1..].iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn slice_time_bounds_are_half_open() {
+        let ts = ramp(10, 1.0);
+        let s = ts.slice_time(2.0, 5.0);
+        assert_eq!(s.times(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn scaled_multiplies_values() {
+        let ts = ramp(3, 1.0).scaled(2.0);
+        assert_eq!(ts.values(), &[0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_rejects_mismatch() {
+        let _ = TimeSeries::from_parts(vec![0.0], vec![]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the statistics primitives.
+
+use proptest::prelude::*;
+
+use polca_stats::percentile::{percentile, Quantiles};
+use polca_stats::{mae, mape, pearson, rmse, Summary, TimeSeries};
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn percentile_is_bounded_by_min_and_max(xs in finite_vec(200), q in 0.0..=100.0f64) {
+        let p = percentile(&xs, q).unwrap();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q(xs in finite_vec(100), q1 in 0.0..=100.0f64, q2 in 0.0..=100.0f64) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let p_lo = percentile(&xs, lo_q).unwrap();
+        let p_hi = percentile(&xs, hi_q).unwrap();
+        prop_assert!(p_lo <= p_hi + 1e-9);
+    }
+
+    #[test]
+    fn quantile_digest_orders_its_fields(xs in finite_vec(100)) {
+        let q = Quantiles::from_samples(&xs).unwrap();
+        prop_assert!(q.min <= q.p50 + 1e-9);
+        prop_assert!(q.p50 <= q.p90 + 1e-9);
+        prop_assert!(q.p90 <= q.p99 + 1e-9);
+        prop_assert!(q.p99 <= q.max + 1e-9);
+        prop_assert!(q.mean >= q.min - 1e-9 && q.mean <= q.max + 1e-9);
+        prop_assert_eq!(q.count, xs.len());
+    }
+
+    #[test]
+    fn summary_matches_naive_mean(xs in finite_vec(300)) {
+        let s: Summary = xs.iter().copied().collect();
+        let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean().unwrap() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+    }
+
+    #[test]
+    fn summary_merge_is_order_independent(xs in finite_vec(100), split in 0usize..100) {
+        let split = split.min(xs.len());
+        let mut a: Summary = xs[..split].iter().copied().collect();
+        let b: Summary = xs[split..].iter().copied().collect();
+        a.merge(&b);
+        let whole: Summary = xs.iter().copied().collect();
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-6);
+        prop_assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pearson_is_within_unit_interval(pairs in prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 3..100)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn error_metrics_are_non_negative(xs in finite_vec(100), ys in finite_vec(100)) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        if let Some(m) = mape(xs, ys) {
+            prop_assert!(m >= 0.0);
+        }
+        prop_assert!(mae(xs, ys).unwrap() >= 0.0);
+        prop_assert!(rmse(xs, ys).unwrap() >= mae(xs, ys).unwrap() - 1e-9);
+    }
+
+    #[test]
+    fn max_rise_is_monotone_in_window(values in prop::collection::vec(0.0..1e4f64, 2..200), w1 in 0.1..50.0f64, w2 in 0.1..50.0f64) {
+        let ts: TimeSeries = values.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let r_lo = ts.max_rise_within(lo).unwrap();
+        let r_hi = ts.max_rise_within(hi).unwrap();
+        prop_assert!(r_lo <= r_hi + 1e-9, "rise({lo}) = {r_lo} > rise({hi}) = {r_hi}");
+        // Never negative and never exceeds the full range.
+        prop_assert!(r_lo >= 0.0);
+        let span = ts.peak().unwrap() - ts.trough().unwrap();
+        prop_assert!(r_hi <= span + 1e-9);
+    }
+
+    #[test]
+    fn resample_preserves_bounds(values in prop::collection::vec(0.0..1e4f64, 1..200), bucket in 0.5..20.0f64) {
+        let ts: TimeSeries = values.iter().enumerate().map(|(i, &v)| (i as f64 * 0.37, v)).collect();
+        let r = ts.resample_mean(bucket);
+        prop_assert!(!r.is_empty());
+        prop_assert!(r.peak().unwrap() <= ts.peak().unwrap() + 1e-9);
+        prop_assert!(r.trough().unwrap() >= ts.trough().unwrap() - 1e-9);
+    }
+
+    #[test]
+    fn moving_average_stays_within_range(values in prop::collection::vec(-1e3..1e3f64, 1..100), window in 1usize..20) {
+        let ts: TimeSeries = values.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+        let ma = ts.moving_average(window);
+        prop_assert_eq!(ma.len(), ts.len());
+        prop_assert!(ma.peak().unwrap() <= ts.peak().unwrap() + 1e-9);
+        prop_assert!(ma.trough().unwrap() >= ts.trough().unwrap() - 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! Telemetry signals with propagation delay.
+
+use std::collections::VecDeque;
+
+use polca_sim::SimTime;
+
+/// A scalar telemetry signal whose readings become visible only after a
+/// fixed propagation delay.
+///
+/// Table 2 lists a 2 s power-telemetry delay at the row level: when the
+/// power manager reads the row power at time `t`, it actually observes
+/// the value from `t − 2 s`. That staleness is why the upper POLCA
+/// threshold must absorb the maximum power spike over the control
+/// latency window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayedSignal {
+    delay: SimTime,
+    history: VecDeque<(SimTime, f64)>,
+}
+
+impl DelayedSignal {
+    /// Creates a signal with the given propagation `delay`.
+    pub fn new(delay: SimTime) -> Self {
+        DelayedSignal {
+            delay,
+            history: VecDeque::new(),
+        }
+    }
+
+    /// The configured propagation delay.
+    pub fn delay(&self) -> SimTime {
+        self.delay
+    }
+
+    /// Records the true value at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than the last recorded timestamp.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.history.back() {
+            assert!(now >= last, "telemetry recorded out of order");
+        }
+        self.history.push_back((now, value));
+        // Drop entries older than needed for any future read (keep one
+        // entry at or before the horizon so reads stay answerable).
+        let horizon = now.saturating_sub(self.delay);
+        while self.history.len() > 1 && self.history[1].0 <= horizon {
+            self.history.pop_front();
+        }
+    }
+
+    /// Reads the signal as seen at time `now`: the most recent value
+    /// recorded at or before `now − delay`. Returns `None` if no reading
+    /// has propagated yet.
+    pub fn read(&self, now: SimTime) -> Option<f64> {
+        let horizon = now.saturating_sub(self.delay);
+        if now < self.delay {
+            return None;
+        }
+        self.history
+            .iter()
+            .take_while(|(t, _)| *t <= horizon)
+            .last()
+            .map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn nothing_visible_before_delay_elapses() {
+        let mut sig = DelayedSignal::new(t(2.0));
+        sig.record(t(0.0), 1.0);
+        assert_eq!(sig.read(t(0.0)), None);
+        assert_eq!(sig.read(t(1.9)), None);
+        assert_eq!(sig.read(t(2.0)), Some(1.0));
+    }
+
+    #[test]
+    fn reads_are_stale_by_the_delay() {
+        let mut sig = DelayedSignal::new(t(2.0));
+        for i in 0..10 {
+            sig.record(t(i as f64), i as f64 * 100.0);
+        }
+        // At t = 9, horizon is 7.
+        assert_eq!(sig.read(t(9.0)), Some(700.0));
+        assert_eq!(sig.read(t(9.5)), Some(700.0));
+        assert_eq!(sig.read(t(10.0)), Some(800.0));
+    }
+
+    #[test]
+    fn zero_delay_reads_latest() {
+        let mut sig = DelayedSignal::new(SimTime::ZERO);
+        sig.record(t(1.0), 5.0);
+        sig.record(t(2.0), 6.0);
+        assert_eq!(sig.read(t(2.0)), Some(6.0));
+    }
+
+    #[test]
+    fn history_is_pruned_but_reads_stay_correct() {
+        let mut sig = DelayedSignal::new(t(2.0));
+        for i in 0..10_000 {
+            let now = t(i as f64 * 0.1);
+            sig.record(now, i as f64);
+            if i > 100 {
+                assert!(sig.read(now).is_some());
+            }
+        }
+        // The buffer must not grow unboundedly: 2 s at 0.1 s cadence is
+        // ~21 entries plus slack.
+        assert!(sig.history.len() < 50, "history len {}", sig.history.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_recording_panics() {
+        let mut sig = DelayedSignal::new(t(1.0));
+        sig.record(t(5.0), 1.0);
+        sig.record(t(4.0), 2.0);
+    }
+}

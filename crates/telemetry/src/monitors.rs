@@ -1,0 +1,192 @@
+//! Concrete monitor adapters: DCGM (in-band) and SMBPBI (out-of-band).
+//!
+//! §3.4's methodology runs DCGM at 100 ms to capture counters (at a
+//! 5–10 W server-power overhead) and validates against IPMI, while the
+//! provider-side characterization must survive with the slow OOB
+//! SMBPBI reader. These adapters wrap the raw sampling/delay primitives
+//! into the concrete instruments the paper uses.
+
+use polca_sim::{SimRng, SimTime};
+
+use crate::delay::DelayedSignal;
+use crate::interfaces::MonitorInterface;
+use crate::sampler::PeriodicSampler;
+
+/// The in-band DCGM power/counter monitor: 100 ms cadence, small
+/// measurement noise, and the §3.4 server-power overhead while enabled.
+#[derive(Debug, Clone)]
+pub struct DcgmMonitor {
+    sampler: PeriodicSampler,
+    rng: SimRng,
+    enabled: bool,
+}
+
+impl DcgmMonitor {
+    /// Creates a DCGM monitor at the default 100 ms interval.
+    pub fn new(seed: u64) -> Self {
+        DcgmMonitor {
+            sampler: PeriodicSampler::new(SimTime::from_secs(0.1)).with_noise(1.5),
+            rng: SimRng::from_seed_stream(seed, 0xDC6_0),
+            enabled: true,
+        }
+    }
+
+    /// Enables or disables profiling (disabled runs avoid the overhead —
+    /// the paper measures performance "in a separate run without DCGM
+    /// profiling").
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether profiling is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Extra server power drawn while profiling, in watts.
+    pub fn overhead_watts(&self) -> f64 {
+        if self.enabled {
+            MonitorInterface::DCGM_OVERHEAD_WATTS
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether a sample is due at `now`.
+    pub fn is_due(&self, now: SimTime) -> bool {
+        self.enabled && self.sampler.is_due(now)
+    }
+
+    /// Takes a (noisy) power sample, advancing the sampling clock.
+    ///
+    /// Returns `None` while disabled.
+    pub fn sample(&mut self, true_power_watts: f64) -> Option<f64> {
+        if !self.enabled {
+            return None;
+        }
+        self.sampler.advance();
+        Some(self.sampler.measure(true_power_watts, &mut self.rng).max(0.0))
+    }
+}
+
+/// The out-of-band SMBPBI power reader: ~5 s cadence with multi-second
+/// staleness — "quite slow in practice" (§3.1).
+#[derive(Debug, Clone)]
+pub struct SmbpbiReader {
+    sampler: PeriodicSampler,
+    signal: DelayedSignal,
+}
+
+impl SmbpbiReader {
+    /// Creates a reader with the Table 1 cadence (5 s) and a matching
+    /// propagation delay.
+    pub fn new() -> Self {
+        SmbpbiReader {
+            sampler: PeriodicSampler::new(SimTime::from_secs(5.0)),
+            signal: DelayedSignal::new(SimTime::from_secs(5.0)),
+        }
+    }
+
+    /// Feeds the true device power at `now` (called by the simulation on
+    /// its own cadence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` moves backwards.
+    pub fn observe(&mut self, now: SimTime, true_power_watts: f64) {
+        self.signal.record(now, true_power_watts);
+    }
+
+    /// Whether the management controller would poll at `now`.
+    pub fn is_due(&self, now: SimTime) -> bool {
+        self.sampler.is_due(now)
+    }
+
+    /// Polls the reader, returning the *stale* power value visible OOB,
+    /// or `None` if nothing has propagated yet.
+    pub fn poll(&mut self, now: SimTime) -> Option<f64> {
+        self.sampler.advance();
+        self.signal.read(now)
+    }
+}
+
+impl Default for SmbpbiReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn dcgm_costs_power_only_while_enabled() {
+        let mut m = DcgmMonitor::new(1);
+        assert_eq!(m.overhead_watts(), 7.5);
+        m.set_enabled(false);
+        assert_eq!(m.overhead_watts(), 0.0);
+        assert_eq!(m.sample(300.0), None);
+    }
+
+    #[test]
+    fn dcgm_samples_are_noisy_but_unbiased() {
+        let mut m = DcgmMonitor::new(2);
+        let n = 5000;
+        let mean: f64 = (0..n).map(|_| m.sample(300.0).unwrap()).sum::<f64>() / n as f64;
+        assert!((mean - 300.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn dcgm_cadence_is_100ms() {
+        let mut m = DcgmMonitor::new(3);
+        assert!(m.is_due(t(0.0)));
+        m.sample(100.0);
+        assert!(!m.is_due(t(0.05)));
+        assert!(m.is_due(t(0.1)));
+    }
+
+    #[test]
+    fn smbpbi_readings_are_stale_by_seconds() {
+        let mut r = SmbpbiReader::new();
+        r.observe(t(0.0), 100.0);
+        r.observe(t(5.0), 400.0);
+        r.observe(t(10.0), 250.0);
+        // Polling at t = 10: the freshest visible value is from t ≤ 5.
+        assert_eq!(r.poll(t(10.0)), Some(400.0));
+    }
+
+    #[test]
+    fn smbpbi_returns_none_before_anything_propagates() {
+        let mut r = SmbpbiReader::new();
+        r.observe(t(0.0), 100.0);
+        assert_eq!(r.poll(t(1.0)), None);
+    }
+
+    #[test]
+    fn smbpbi_is_much_slower_than_dcgm() {
+        let dcgm = DcgmMonitor::new(4);
+        let smbpbi = SmbpbiReader::new();
+        let mut dcgm_due = 0;
+        let mut smbpbi_due = 0;
+        let mut d = dcgm.clone();
+        let mut s = smbpbi.clone();
+        for k in 0..100 {
+            let now = t(k as f64 * 0.1);
+            if d.is_due(now) {
+                dcgm_due += 1;
+                d.sample(100.0);
+            }
+            if s.is_due(now) {
+                smbpbi_due += 1;
+                s.observe(now, 100.0);
+                s.poll(now);
+            }
+        }
+        assert!(dcgm_due >= 40 * smbpbi_due, "{dcgm_due} vs {smbpbi_due}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Periodic sampling clocks with optional measurement noise.
+
+use polca_sim::{SimRng, SimTime};
+
+/// A fixed-interval sampling clock, e.g. DCGM at 100 ms or the row
+/// manager at 2 s.
+///
+/// The sampler hands out due timestamps; the caller reads the underlying
+/// signal at each tick. Optional Gaussian measurement noise models sensor
+/// inaccuracy.
+///
+/// # Examples
+///
+/// ```
+/// use polca_sim::SimTime;
+/// use polca_telemetry::PeriodicSampler;
+///
+/// let mut s = PeriodicSampler::new(SimTime::from_secs(2.0));
+/// assert_eq!(s.next_due(), SimTime::ZERO);
+/// s.advance();
+/// assert_eq!(s.next_due(), SimTime::from_secs(2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodicSampler {
+    interval: SimTime,
+    next_due: SimTime,
+    noise_std: f64,
+}
+
+impl PeriodicSampler {
+    /// Creates a sampler with the given interval, first due at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: SimTime) -> Self {
+        assert!(interval > SimTime::ZERO, "interval must be positive");
+        PeriodicSampler {
+            interval,
+            next_due: SimTime::ZERO,
+            noise_std: 0.0,
+        }
+    }
+
+    /// Adds zero-mean Gaussian measurement noise with the given standard
+    /// deviation (absolute units of the measured quantity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative.
+    pub fn with_noise(mut self, std: f64) -> Self {
+        assert!(std >= 0.0, "noise std must be non-negative");
+        self.noise_std = std;
+        self
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimTime {
+        self.interval
+    }
+
+    /// The next timestamp at which a sample is due.
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
+    }
+
+    /// Whether a sample is due at or before `now`.
+    pub fn is_due(&self, now: SimTime) -> bool {
+        now >= self.next_due
+    }
+
+    /// Advances to the next tick, returning the tick that was consumed.
+    pub fn advance(&mut self) -> SimTime {
+        let due = self.next_due;
+        self.next_due += self.interval;
+        due
+    }
+
+    /// Applies this sampler's measurement noise to a true value.
+    pub fn measure(&self, true_value: f64, rng: &mut SimRng) -> f64 {
+        if self.noise_std == 0.0 {
+            true_value
+        } else {
+            rng.normal(true_value, self.noise_std)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn ticks_advance_by_interval() {
+        let mut s = PeriodicSampler::new(t(0.1));
+        assert_eq!(s.advance(), t(0.0));
+        assert_eq!(s.advance(), t(0.1));
+        assert!((s.next_due().as_secs() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_due_boundaries() {
+        let mut s = PeriodicSampler::new(t(2.0));
+        assert!(s.is_due(SimTime::ZERO));
+        s.advance();
+        assert!(!s.is_due(t(1.99)));
+        assert!(s.is_due(t(2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        let _ = PeriodicSampler::new(SimTime::ZERO);
+    }
+
+    #[test]
+    fn noiseless_measurement_is_exact() {
+        let s = PeriodicSampler::new(t(1.0));
+        let mut rng = SimRng::from_seed_stream(1, 0);
+        assert_eq!(s.measure(123.0, &mut rng), 123.0);
+    }
+
+    #[test]
+    fn noisy_measurement_is_unbiased() {
+        let s = PeriodicSampler::new(t(1.0)).with_noise(5.0);
+        let mut rng = SimRng::from_seed_stream(2, 0);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| s.measure(100.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.2, "mean {mean}");
+    }
+}

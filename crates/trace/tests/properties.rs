@@ -1,0 +1,90 @@
+//! Property-based tests for trace generation and replication.
+
+use proptest::prelude::*;
+
+use polca_cluster::RowConfig;
+use polca_sim::{SimRng, SimTime};
+use polca_trace::replicate::production_reference;
+use polca_trace::{
+    ArrivalGenerator, DiurnalPattern, ProductionReplicator, RateSchedule, TraceConfig,
+    WorkloadClass,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_requests_respect_class_ranges(seed in 0u64..200) {
+        let config = TraceConfig::paper_mix(seed, SimTime::from_mins(30.0));
+        for req in ArrivalGenerator::new(&config).take(500) {
+            let classes = WorkloadClass::table6();
+            let fits_some_class = classes.iter().any(|c| {
+                (c.prompt_range.0..=c.prompt_range.1).contains(&req.input_tokens)
+                    && (c.output_range.0..=c.output_range.1).contains(&req.output_tokens)
+            });
+            prop_assert!(fits_some_class, "request {req:?} fits no Table 6 class");
+        }
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_bounded(seed in 0u64..200, mins in 1.0..120.0f64) {
+        let config = TraceConfig::paper_mix(seed, SimTime::from_mins(mins));
+        let reqs: Vec<_> = ArrivalGenerator::new(&config).collect();
+        for w in reqs.windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+        }
+        for r in &reqs {
+            prop_assert!(r.arrival < SimTime::from_mins(mins));
+        }
+    }
+
+    #[test]
+    fn schedule_rates_are_non_negative_everywhere(
+        base in 0.01..5.0f64,
+        amplitude in 0.0..1.0f64,
+        seed in 0u64..100,
+    ) {
+        let pattern = DiurnalPattern {
+            base_rate: base,
+            daily_amplitude: amplitude,
+            ..DiurnalPattern::default()
+        };
+        let mut rng = SimRng::from_seed_stream(seed, 0);
+        let schedule = pattern.schedule(6.0 * 3600.0, 60.0, &mut rng);
+        prop_assert!(schedule.rates().iter().all(|&r| r >= 0.0));
+        prop_assert!(schedule.max_rate() >= schedule.mean_rate());
+    }
+
+    #[test]
+    fn rate_schedule_scaling_is_linear(rates in prop::collection::vec(0.0..10.0f64, 1..50), factor in 0.0..3.0f64) {
+        let s = RateSchedule::new(10.0, rates.clone());
+        let scaled = s.scaled(factor);
+        for (a, b) in s.rates().iter().zip(scaled.rates()) {
+            prop_assert!((a * factor - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn replicator_roundtrip_is_exact_in_feasible_range(rate_frac in 0.05..0.95f64) {
+        let row = RowConfig::paper_inference_row();
+        let replicator = ProductionReplicator::new(&row, &WorkloadClass::table6());
+        // Stay inside the invertible band.
+        let max_rate = row.total_servers() as f64 / replicator.mean_service_s();
+        let rate = rate_frac * max_rate;
+        let power = replicator.predicted_row_power(rate);
+        let back = replicator.rate_for_power(power);
+        prop_assert!((back - rate).abs() < 1e-6, "{rate} → {back}");
+    }
+
+    #[test]
+    fn reference_profile_is_bounded_and_diurnal(seed in 0u64..50) {
+        let row = RowConfig::paper_inference_row();
+        let provisioned = row.provisioned_watts();
+        let profile = production_reference(&row, 1.0, 120.0, seed);
+        prop_assert!(profile.peak().unwrap() <= 0.80 * provisioned);
+        prop_assert!(profile.trough().unwrap() >= 0.40 * provisioned);
+        let day = profile.slice_time(12.0 * 3600.0, 16.0 * 3600.0).mean().unwrap();
+        let night = profile.slice_time(0.0, 4.0 * 3600.0).mean().unwrap();
+        prop_assert!(day > night);
+    }
+}

@@ -1,0 +1,70 @@
+//! Capacity planning: how many servers can this row really host?
+//!
+//! The deployment question behind the paper (§1, §6.5): given an
+//! existing row and its power trace, (1) train capping thresholds from
+//! history, (2) sweep added-server fractions, and (3) report the largest
+//! oversubscription that still meets the Table 6 SLOs with zero power
+//! brakes — the paper's Figure 13 workflow condensed into a planner.
+//!
+//! Run with `cargo run --release --example capacity_planner`.
+//! `POLCA_DAYS` (default 3) controls the evaluation trace length.
+
+use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca_cluster::RowConfig;
+
+fn main() {
+    let days: f64 = std::env::var("POLCA_DAYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let row = RowConfig::paper_inference_row();
+    println!(
+        "derating check (§5): rated {:.1} kW/server, observed peak {:.2} kW \
+         ⇒ reclaim {:.0} W per server",
+        row.server_spec.provisioned_watts / 1000.0,
+        row.server_spec.peak_power_watts() / 1000.0,
+        row.server_spec.derating_headroom_watts()
+    );
+
+    let mut study = OversubscriptionStudy::new(row, PolcaPolicy::default(), days, 23);
+    let trainer = study.trained_thresholds();
+    println!(
+        "thresholds trained from history: T1 {:.0} %, T2 {:.0} % \
+         (max 40 s spike {:.1} %, peak util {:.1} %)",
+        trainer.t1() * 100.0,
+        trainer.t2() * 100.0,
+        trainer.max_spike_40s_frac * 100.0,
+        trainer.peak_utilization * 100.0
+    );
+    study.set_policy(trainer.train());
+    study.set_record_power(false);
+
+    println!(
+        "\n{:>7} {:>8} {:>7} {:>7} {:>7} {:>7} {:>6}",
+        "added%", "servers", "brakes", "LP p99", "HP p99", "peak%", "SLO"
+    );
+    let mut best = 0.0;
+    for pct in [0u32, 10, 20, 25, 30, 35, 40, 45] {
+        let added = pct as f64 / 100.0;
+        let o = study.run(PolicyKind::Polca, added, 1.0);
+        let servers = study.row().clone().with_added_servers(added).total_servers();
+        println!(
+            "{:>7} {:>8} {:>7} {:>7.3} {:>7.3} {:>7.1} {:>6}",
+            pct,
+            servers,
+            o.brake_engagements,
+            o.low_normalized.p99,
+            o.high_normalized.p99,
+            o.peak_utilization * 100.0,
+            if o.slo.met { "met" } else { "MISS" }
+        );
+        if o.slo.met && added > best {
+            best = added;
+        }
+    }
+    println!(
+        "\nplanner verdict: deploy up to {:.0} % more servers in this row \
+         without new power capacity.",
+        best * 100.0
+    );
+}

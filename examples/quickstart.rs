@@ -1,0 +1,57 @@
+//! Quickstart: oversubscribe an LLM inference row with POLCA.
+//!
+//! Builds the paper's evaluation pipeline at demo scale — a 10-server
+//! BLOOM-176B row, a production-shaped arrival trace — deploys 30 % more
+//! servers under the same power budget, and checks the Table 6 SLOs.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use polca::{OversubscriptionStudy, PolicyKind};
+
+fn main() {
+    let mut study = OversubscriptionStudy::quick_demo(42);
+    println!(
+        "row: {} base servers, {:.0} kW provisioned, trace {:.1} h",
+        study.row().base_servers,
+        study.row().provisioned_watts() / 1000.0,
+        study.days() * 24.0
+    );
+
+    let trainer = study.trained_thresholds();
+    println!(
+        "trained thresholds from history: T1 = {:.0} %, T2 = {:.0} % \
+         (max 40 s spike {:.1} %)",
+        trainer.t1() * 100.0,
+        trainer.t2() * 100.0,
+        trainer.max_spike_40s_frac * 100.0
+    );
+
+    println!("\nrunning POLCA with +30 % servers under the same budget…");
+    let outcome = study.run(PolicyKind::Polca, 0.30, 1.0);
+
+    println!(
+        "requests: {} offered, {} completed, {} rejected",
+        outcome.counts.0, outcome.counts.1, outcome.counts.2
+    );
+    println!(
+        "peak power utilization: {:.1} % of provisioned (mean {:.1} %)",
+        outcome.peak_utilization * 100.0,
+        outcome.mean_utilization * 100.0
+    );
+    println!(
+        "normalized latency   low-pri: p50 {:.3} p99 {:.3} | high-pri: p50 {:.3} p99 {:.3}",
+        outcome.low_normalized.p50,
+        outcome.low_normalized.p99,
+        outcome.high_normalized.p50,
+        outcome.high_normalized.p99
+    );
+    println!("power brake events: {}", outcome.brake_engagements);
+    println!(
+        "SLOs (Table 6): {}",
+        if outcome.slo.met {
+            "MET — 30 % more servers for free".to_string()
+        } else {
+            format!("VIOLATED: {:?}", outcome.slo.violations)
+        }
+    );
+}

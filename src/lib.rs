@@ -1,0 +1,3 @@
+//! Umbrella crate for the polca workspace: hosts the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`. See the
+//! `polca` crate for the framework itself.

@@ -1,0 +1,156 @@
+//! Integration tests for the characterization half of the paper
+//! (§4): the cross-crate behaviours behind Insights 1–9.
+
+use polca_gpu::{DvfsModel, Gpu, GpuSpec};
+use polca_llm::{InferenceConfig, InferenceModel, ModelSpec, TrainingJob};
+
+#[test]
+fn insight1_training_peaks_reach_tdp_inference_only_in_prompt() {
+    let gpu_spec = GpuSpec::a100_80gb();
+    // Training: large models hit/exceed TDP.
+    let mut gpu = Gpu::new(gpu_spec.clone());
+    let training = TrainingJob::fine_tuning(&ModelSpec::gpt_neox_20b())
+        .power_series(&mut gpu, 2, 0.01);
+    assert!(training.peak().unwrap() >= gpu_spec.tdp_watts);
+
+    // Inference: BLOOM's big-prompt spike also reaches TDP, but only
+    // briefly.
+    let bloom = InferenceModel::new(ModelSpec::bloom_176b(), gpu_spec.clone()).unwrap();
+    let mut gpu = Gpu::new(gpu_spec.clone());
+    let series = bloom.power_series(&InferenceConfig::new(8192, 128, 1), 1, &mut gpu, 0.05);
+    assert!(series.peak().unwrap() >= 0.95 * gpu_spec.tdp_watts);
+    assert!(series.mean().unwrap() < 0.92 * gpu_spec.tdp_watts);
+}
+
+#[test]
+fn insight2_training_swings_exceed_inference_swings() {
+    let gpu_spec = GpuSpec::a100_80gb();
+    let mut gpu = Gpu::new(gpu_spec.clone());
+    let training = TrainingJob::fine_tuning(&ModelSpec::flan_t5_xxl())
+        .power_series(&mut gpu, 3, 0.01);
+    let training_swing = training.peak().unwrap() - training.trough().unwrap();
+
+    let bloom = InferenceModel::new(ModelSpec::bloom_176b(), gpu_spec.clone()).unwrap();
+    let mut gpu = Gpu::new(gpu_spec);
+    // Steady token-heavy inference; slice off the trailing idle gap the
+    // series generator inserts between requests.
+    let cfg = InferenceConfig::new(1024, 512, 1);
+    let service = bloom.profile(&cfg).total_time_s();
+    let inference = bloom
+        .power_series(&cfg, 1, &mut gpu, 0.05)
+        .slice_time(0.0, service * 0.99);
+    let inference_swing = inference.peak().unwrap() - inference.trough().unwrap();
+    assert!(
+        training_swing > 1.5 * inference_swing,
+        "training swing {training_swing:.0} W vs inference {inference_swing:.0} W"
+    );
+}
+
+#[test]
+fn insight3_capping_clips_peaks_locking_lowers_everything() {
+    let job = TrainingJob::fine_tuning(&ModelSpec::gpt_neox_20b());
+    let mut plain = Gpu::new(GpuSpec::a100_80gb());
+    let base = job.power_series(&mut plain, 4, 0.01).resample_mean(0.1);
+
+    let mut capped = Gpu::new(GpuSpec::a100_80gb());
+    capped.set_power_cap(325.0).unwrap();
+    let cap = job.power_series(&mut capped, 4, 0.01).resample_mean(0.1);
+
+    let mut locked = Gpu::new(GpuSpec::a100_80gb());
+    locked.lock_clock(1110.0).unwrap();
+    let lock = job.power_series(&mut locked, 4, 0.01).resample_mean(0.1);
+
+    // Capping: peak down, trough held (compare steady-state windows).
+    let (b, c) = (base.slice_time(2.0, 8.0), cap.slice_time(2.0, 8.0));
+    assert!(c.peak().unwrap() < b.peak().unwrap());
+    assert!((c.trough().unwrap() - b.trough().unwrap()).abs() < 20.0);
+    // Locking: everything down.
+    let l = lock.slice_time(2.0, 8.0);
+    assert!(l.peak().unwrap() < b.peak().unwrap());
+    assert!(l.mean().unwrap() < b.mean().unwrap());
+}
+
+#[test]
+fn insight5_request_shape_controls_power_output_controls_latency() {
+    let bloom = InferenceModel::new(ModelSpec::bloom_176b(), GpuSpec::a100_80gb()).unwrap();
+    let small = bloom.profile(&InferenceConfig::new(256, 256, 1));
+    let big_input = bloom.profile(&InferenceConfig::new(8192, 256, 1));
+    let big_batch = bloom.profile(&InferenceConfig::new(256, 256, 16));
+    let big_output = bloom.profile(&InferenceConfig::new(256, 2048, 1));
+
+    // Peak power: driven by input and batch.
+    assert!(big_input.peak_intensity() > small.peak_intensity());
+    assert!(big_batch.peak_intensity() > small.peak_intensity());
+    assert!((big_output.peak_intensity() - small.peak_intensity()).abs() < 1e-9);
+    // Latency: driven by output.
+    assert!(big_output.total_time_s() > 4.0 * small.total_time_s());
+}
+
+#[test]
+fn insight7_superlinear_power_performance_tradeoff() {
+    let dvfs = DvfsModel::default();
+    let bloom = InferenceModel::new(ModelSpec::bloom_176b(), GpuSpec::a100_80gb()).unwrap();
+    let profile = bloom.profile(&InferenceConfig::new(2048, 256, 1));
+    let mut gpu = Gpu::new(GpuSpec::a100_80gb());
+    let base_peak = gpu.power_at(profile.peak_intensity());
+    gpu.lock_clock(1110.0).unwrap();
+    let locked_peak = gpu.power_at(profile.peak_intensity());
+    let power_reduction = 1.0 - locked_peak / base_peak;
+    let perf_loss =
+        profile.total_time_at_clock(&dvfs, 1110.0 / 1410.0) / profile.total_time_s() - 1.0;
+    assert!(power_reduction > 0.15, "power {power_reduction:.3}");
+    assert!(perf_loss < 0.07, "perf {perf_loss:.3}");
+    assert!(power_reduction > 2.0 * perf_loss);
+}
+
+#[test]
+fn insight6_quantization_cuts_gpus_but_not_phase_asymmetry() {
+    use polca_llm::DType;
+    let gpu = GpuSpec::a100_80gb();
+    let model = ModelSpec::llama2_70b();
+    let fp16 = InferenceModel::with_dtype(model.clone(), gpu.clone(), DType::Fp16).unwrap();
+    let fp32 = InferenceModel::with_dtype(model, gpu, DType::Fp32).unwrap();
+    assert!(fp16.n_gpus() * 2 == fp32.n_gpus());
+    for deployment in [&fp16, &fp32] {
+        let cfg = InferenceConfig::new(2048, 128, 1).with_dtype(deployment.dtype());
+        let p = deployment.profile(&cfg);
+        assert!(p.prompt.intensity > p.token.intensity);
+        assert!(p.prompt.compute_fraction > p.token.compute_fraction);
+    }
+}
+
+#[test]
+fn h100_generation_shifts_but_preserves_the_phase_structure() {
+    // §4.2/§6.7: newer GPUs (H100) change the absolute numbers — more
+    // throughput, higher TDP, more power density — but the prompt/token
+    // asymmetry that drives POLCA persists.
+    use polca_cluster::{RowConfig, ServerSpec};
+
+    let a100 = InferenceModel::new(ModelSpec::bloom_176b(), GpuSpec::a100_80gb()).unwrap();
+    let h100 = InferenceModel::new(ModelSpec::bloom_176b(), GpuSpec::h100_80gb()).unwrap();
+    let cfg = InferenceConfig::new(2048, 256, 1);
+    let (pa, ph) = (a100.profile(&cfg), h100.profile(&cfg));
+    // Faster in both phases…
+    assert!(ph.prompt.duration_s < pa.prompt.duration_s);
+    assert!(ph.token.duration_s < pa.token.duration_s);
+    // …same phase structure.
+    assert!(ph.prompt.intensity > ph.token.intensity);
+    assert!(ph.prompt.compute_fraction > 0.8 && ph.token.compute_fraction < 0.1);
+
+    // An H100 row is denser but the oversubscription machinery carries
+    // over unchanged.
+    let mut row = RowConfig::paper_inference_row();
+    row.server_spec = ServerSpec::dgx_h100();
+    assert!(row.provisioned_watts() > RowConfig::paper_inference_row().provisioned_watts());
+    assert_eq!(row.build_servers().len(), 40);
+}
+
+#[test]
+fn derating_argument_holds_for_every_workload() {
+    // §5: across ALL workloads, server power never exceeds the observed
+    // 5.7 kW peak on a 6.5 kW-rated machine.
+    use polca_cluster::ServerSpec;
+    let spec = ServerSpec::dgx_a100();
+    assert!(spec.peak_power_watts() <= 5700.0);
+    assert!(spec.provisioned_watts - spec.peak_power_watts() >= 780.0);
+}

@@ -1,0 +1,75 @@
+//! Integration tests for §3.3's control-plane reliability challenges:
+//! POLCA must degrade gracefully — never unsafely — when OOB capping
+//! commands silently vanish.
+
+use polca::{PolcaController, PolcaPolicy};
+use polca_cluster::{ClusterSim, RowConfig, SimConfig};
+use polca_sim::SimTime;
+use polca_trace::replicate::{production_reference, ProductionReplicator};
+use polca_trace::{ArrivalGenerator, TraceConfig, WorkloadClass};
+
+fn run_with_failure_rate(failure_rate: f64) -> polca_cluster::SimReport {
+    let days = 1.0;
+    let base_row = RowConfig::paper_inference_row();
+    let profile = production_reference(&base_row, days, 60.0, 41);
+    let replicator = ProductionReplicator::new(&base_row, &WorkloadClass::table6());
+    let schedule = replicator.schedule_from_profile(&profile).scaled(1.3);
+    let until = SimTime::from_days(days);
+    let trace = TraceConfig {
+        seed: 41,
+        horizon: until,
+        schedule,
+        mix: WorkloadClass::table6(),
+    };
+    let config = SimConfig {
+        seed: 41,
+        oob_failure_rate: failure_rate,
+        record_power_series: false,
+        ..SimConfig::default()
+    };
+    ClusterSim::new(
+        base_row.with_added_servers(0.30),
+        config,
+        PolcaController::new(PolcaPolicy::default()),
+    )
+    .run(ArrivalGenerator::new(&trace), until)
+}
+
+#[test]
+fn polca_survives_a_lossy_control_plane() {
+    // Even at 20 % silent command loss the cluster keeps serving and the
+    // (reliable) brake keeps the row at or near the provisioned limit.
+    let report = run_with_failure_rate(0.20);
+    assert!(report.completed > 0);
+    let peak_util =
+        report.peak_row_watts / RowConfig::paper_inference_row().provisioned_watts();
+    assert!(
+        peak_util < 1.06,
+        "row power ran away under command loss: {peak_util:.3}"
+    );
+}
+
+#[test]
+fn command_loss_is_fail_safe() {
+    // The dual-threshold design degrades safely under silent losses: a
+    // lost UNCAP leaves a server capped (lower power), and a lost CAP
+    // gets a second chance at the T2 escalation. Containment therefore
+    // never collapses — peaks stay at or below the clean run's, and the
+    // brake does not fire more.
+    let clean = run_with_failure_rate(0.0);
+    let lossy = run_with_failure_rate(0.40);
+    assert!(
+        lossy.peak_row_watts <= clean.peak_row_watts * 1.02,
+        "lossy peak {} vs clean {}",
+        lossy.peak_row_watts,
+        clean.peak_row_watts
+    );
+    assert!(
+        lossy.brake_engagements <= clean.brake_engagements + 1,
+        "lossy brakes {} vs clean {}",
+        lossy.brake_engagements,
+        clean.brake_engagements
+    );
+    // Fewer commands reach the devices, by construction.
+    assert!(lossy.commands_issued <= clean.commands_issued);
+}

@@ -1,0 +1,42 @@
+//! Compile-time checks that the user-facing configuration and result
+//! types implement Serde traits (C-SERDE), so downstream tooling can
+//! persist policies and dump experiment outcomes with any format crate.
+
+use polca::{PolcaPolicy, PolicyKind, PolicyOutcome, PowerMode, SloReport, SloTargets};
+use polca_cluster::Priority;
+use polca_stats::{Quantiles, Summary, TimeSeries};
+
+fn assert_serialize<T: serde::Serialize>() {}
+fn assert_deserialize<T: for<'de> serde::Deserialize<'de>>() {}
+
+#[test]
+fn result_types_are_serializable() {
+    assert_serialize::<Quantiles>();
+    assert_serialize::<Summary>();
+    assert_serialize::<TimeSeries>();
+    assert_serialize::<SloReport>();
+    assert_serialize::<PolicyOutcome>();
+    assert_serialize::<PolicyKind>();
+    assert_serialize::<Priority>();
+    assert_serialize::<PowerMode>();
+}
+
+#[test]
+fn config_types_round_trip() {
+    assert_deserialize::<PolcaPolicy>();
+    assert_deserialize::<SloTargets>();
+    assert_deserialize::<Quantiles>();
+    assert_deserialize::<TimeSeries>();
+    assert_deserialize::<Priority>();
+}
+
+#[test]
+fn send_sync_for_cross_thread_experiment_fanout() {
+    // C-SEND-SYNC: studies and outcomes can move across threads (e.g.
+    // parallel policy sweeps).
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PolcaPolicy>();
+    assert_send_sync::<PolicyOutcome>();
+    assert_send_sync::<polca::OversubscriptionStudy>();
+    assert_send_sync::<polca_cluster::RowConfig>();
+}

@@ -1,0 +1,82 @@
+//! Integration tests for §6.4's trace-replication methodology: the
+//! synthetic request trace must regenerate the reference power series
+//! within 3 % MAPE, through the full simulator.
+
+use polca_cluster::{ClusterSim, NoopController, RowConfig, SimConfig};
+use polca_sim::SimTime;
+use polca_trace::replicate::{production_reference, replication_mape, ProductionReplicator};
+use polca_trace::{ArrivalGenerator, TraceConfig, WorkloadClass};
+
+#[test]
+fn full_day_replication_meets_the_three_percent_mape_bound() {
+    let row = RowConfig::paper_inference_row();
+    let reference = production_reference(&row, 1.0, 60.0, 29);
+    let replicator = ProductionReplicator::new(&row, &WorkloadClass::table6());
+    let schedule = replicator.schedule_from_profile(&reference);
+    let config = TraceConfig {
+        seed: 29,
+        horizon: SimTime::from_days(1.0),
+        schedule,
+        mix: WorkloadClass::table6(),
+    };
+    let report = ClusterSim::new(row, SimConfig::default(), NoopController).run(
+        ArrivalGenerator::new(&config),
+        SimTime::from_days(1.0),
+    );
+    // Skip the half-hour fill-up transient.
+    let sim = report.row_power.slice_time(1800.0, f64::INFINITY);
+    let reference = reference.slice_time(1800.0, f64::INFINITY);
+    let err = replication_mape(&reference, &sim).expect("overlapping series");
+    assert!(err < 3.0, "MAPE {err:.2}% exceeds the paper's 3% bound");
+}
+
+#[test]
+fn replicated_cluster_matches_table4_inference_statistics() {
+    let row = RowConfig::paper_inference_row();
+    let provisioned = row.provisioned_watts();
+    let reference = production_reference(&row, 2.0, 60.0, 31);
+    let replicator = ProductionReplicator::new(&row, &WorkloadClass::table6());
+    let schedule = replicator.schedule_from_profile(&reference);
+    let config = TraceConfig {
+        seed: 31,
+        horizon: SimTime::from_days(2.0),
+        schedule,
+        mix: WorkloadClass::table6(),
+    };
+    let report = ClusterSim::new(row, SimConfig::default(), NoopController).run(
+        ArrivalGenerator::new(&config),
+        SimTime::from_days(2.0),
+    );
+    // Table 4, inference column: high-but-not-full peak utilization …
+    let peak_util = report.peak_row_watts / provisioned;
+    assert!(
+        (0.70..0.90).contains(&peak_util),
+        "peak utilization {peak_util:.3}"
+    );
+    // … leaving substantial oversubscription headroom (~20 %, Insight 9) …
+    assert!(1.0 - peak_util > 0.10, "headroom {:.3}", 1.0 - peak_util);
+    // … with modest short-term swings compared to training.
+    let spike2 = report.row_power.max_rise_within(2.0).unwrap() / provisioned;
+    let spike40 = report.row_power.max_rise_within(40.0).unwrap() / provisioned;
+    assert!(spike2 < 0.15, "2 s spike {spike2:.3}");
+    assert!(spike40 < 0.20, "40 s spike {spike40:.3}");
+    assert!(spike40 >= spike2);
+}
+
+#[test]
+fn inference_headroom_dwarfs_training_headroom() {
+    // Insight 9 in one assertion pair.
+    use polca_cluster::TrainingCluster;
+
+    let training = TrainingCluster::paper_training_row();
+    let t_series = training.row_power_series(300.0, 0.1, 7);
+    let training_headroom = 1.0 - t_series.peak().unwrap() / training.provisioned_watts();
+
+    let row = RowConfig::paper_inference_row();
+    let reference = production_reference(&row, 1.0, 60.0, 7);
+    let inference_headroom = 1.0 - reference.peak().unwrap() / row.provisioned_watts();
+
+    assert!(training_headroom < 0.08, "training {training_headroom:.3}");
+    assert!(inference_headroom > 0.15, "inference {inference_headroom:.3}");
+    assert!(inference_headroom > 3.0 * training_headroom);
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI gate (GitHub Actions is not available in the offline dev
+# environment — run this before pushing). Mirrors the checks a hosted
+# workflow would run, entirely offline:
+#
+#   ./ci.sh          # fmt + clippy + full test suite
+#   ./ci.sh quick    # fmt + clippy + unit tests only (skips the
+#                    # multi-day end-to-end simulations)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test =="
+if [[ "${1:-}" == "quick" ]]; then
+    cargo test -q --offline --workspace --lib --bins
+else
+    cargo test -q --offline
+fi
+
+echo "CI OK"

@@ -89,7 +89,9 @@ fn fig08_profile_sweep(c: &mut Criterion) {
                     acc += p.peak_intensity() + p.total_time_s();
                 }
                 for batch in [1u32, 2, 4, 8, 16] {
-                    acc += d.profile(&InferenceConfig::new(1024, 128, batch)).mean_intensity();
+                    acc += d
+                        .profile(&InferenceConfig::new(1024, 128, batch))
+                        .mean_intensity();
                 }
             }
             black_box(acc)

@@ -4,9 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use polca::{
-    NoCapController, OversubscriptionStudy, PolcaController, PolcaPolicy, PolicyKind,
-};
+use polca::{NoCapController, OversubscriptionStudy, PolcaController, PolcaPolicy, PolicyKind};
 use polca_cluster::{PowerController, RowConfig, RowContext};
 use polca_sim::SimTime;
 use polca_trace::replicate::{production_reference, ProductionReplicator};

@@ -5,7 +5,7 @@
 //! reducing the chance of simultaneous capping." This ablation sweeps
 //! the buffer depth under POLCA at +30 % servers.
 
-use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca::{OversubscriptionStudy, PolcaPolicy, PolicyKind};
 use polca_bench::{eval_days, header, seed};
 use polca_cluster::RowConfig;
 

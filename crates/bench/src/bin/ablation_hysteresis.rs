@@ -5,7 +5,7 @@
 //! and uncapping, which could overwhelm the power management system."
 //! This ablation removes the gap and counts the OOB command traffic.
 
-use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca::{OversubscriptionStudy, PolcaPolicy, PolicyKind};
 use polca_bench::{eval_days, header, seed};
 use polca_cluster::RowConfig;
 

@@ -5,7 +5,7 @@
 //! experiment runs POLCA with and without a phase-aware token clock and
 //! measures how much further the row can be oversubscribed.
 
-use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca::{OversubscriptionStudy, PolcaPolicy, PolicyKind};
 use polca_bench::{eval_days, header, seed};
 use polca_cluster::RowConfig;
 

@@ -47,11 +47,27 @@ fn main() {
         "controller", "commands", "brakes", "peak%", "LP p99s", "HP p99s"
     );
     let selective = SelectiveController::new(PolcaPolicy::default(), low_ids, reclaim);
-    let report_sel = ClusterSim::new(row.clone(), SimConfig { seed: seed(), record_power_series: false, ..SimConfig::default() }, selective)
-        .run(ArrivalGenerator::new(&trace), until);
+    let report_sel = ClusterSim::new(
+        row.clone(),
+        SimConfig {
+            seed: seed(),
+            record_power_series: false,
+            ..SimConfig::default()
+        },
+        selective,
+    )
+    .run(ArrivalGenerator::new(&trace), until);
     let polca = polca::PolcaController::new(PolcaPolicy::default());
-    let report_std = ClusterSim::new(row, SimConfig { seed: seed(), record_power_series: false, ..SimConfig::default() }, polca)
-        .run(ArrivalGenerator::new(&trace), until);
+    let report_std = ClusterSim::new(
+        row,
+        SimConfig {
+            seed: seed(),
+            record_power_series: false,
+            ..SimConfig::default()
+        },
+        polca,
+    )
+    .run(ArrivalGenerator::new(&trace), until);
 
     for (name, report) in [("selective", &report_sel), ("dual-thresh", &report_std)] {
         let lp = Quantiles::from_samples(&report.low_latencies_s).unwrap();

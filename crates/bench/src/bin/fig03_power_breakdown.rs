@@ -13,10 +13,11 @@ fn main() {
     );
     for (component, watts) in spec.provisioned_breakdown() {
         let frac = watts / spec.provisioned_watts;
-        let bar: String = std::iter::repeat('█')
-            .take((frac * 50.0).round() as usize)
-            .collect();
-        println!("{component:<8} {watts:>6.0} W  {:>5.1}%  {bar}", frac * 100.0);
+        let bar = "█".repeat((frac * 50.0).round() as usize);
+        println!(
+            "{component:<8} {watts:>6.0} W  {:>5.1}%  {bar}",
+            frac * 100.0
+        );
     }
     println!(
         "\nobserved peak {:.0} W — derating headroom {:.0} W per server (§5)",

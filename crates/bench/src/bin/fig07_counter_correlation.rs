@@ -41,7 +41,7 @@ fn main() {
         "Figure 7",
         "Pairwise correlations of GPU counters for prompt and token phases (BLOOM)",
     );
-    let mut rng = SimRng::from_seed_stream(seed(), 0xF16_7);
+    let mut rng = SimRng::from_seed_stream(seed(), 0xF167);
     println!("prompt phase:");
     let prompt = matrix(PhaseKind::Prompt, &mut rng);
     print_matrix(&prompt);

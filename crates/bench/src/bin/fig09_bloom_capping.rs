@@ -10,8 +10,7 @@ fn main() {
         "Figure 9",
         "GPU power capping and frequency locking on BLOOM inference (8192/128/1)",
     );
-    let deployment =
-        InferenceModel::new(ModelSpec::bloom_176b(), GpuSpec::a100_80gb()).unwrap();
+    let deployment = InferenceModel::new(ModelSpec::bloom_176b(), GpuSpec::a100_80gb()).unwrap();
     let cfg = InferenceConfig::new(8192, 128, 1);
     let tdp = GpuSpec::a100_80gb().tdp_watts;
     for (label, cap, lock) in [
@@ -33,7 +32,10 @@ fn main() {
             ts.mean().unwrap() / tdp,
             ts.times().last().unwrap()
         );
-        println!("                  {}", sparkline(&ts.resample_mean(0.2), 64));
+        println!(
+            "                  {}",
+            sparkline(&ts.resample_mean(0.2), 64)
+        );
     }
     println!(
         "\npaper: the reactive cap lets prompt peaks escape above 325 W; the \

@@ -7,11 +7,7 @@ use polca_llm::{InferenceConfig, InferenceModel, ModelSpec};
 
 const FREQS: [f64; 7] = [1410.0, 1360.0, 1310.0, 1260.0, 1210.0, 1160.0, 1110.0];
 
-fn reductions(
-    deployment: &InferenceModel,
-    cfg: &InferenceConfig,
-    mhz: f64,
-) -> (f64, f64) {
+fn reductions(deployment: &InferenceModel, cfg: &InferenceConfig, mhz: f64) -> (f64, f64) {
     let dvfs = DvfsModel::default();
     let profile = deployment.profile(cfg);
     let mut gpu = Gpu::new(GpuSpec::a100_80gb());
@@ -30,7 +26,10 @@ fn main() {
     );
 
     println!("(a) all models (input=2048, output=256, batch=1):");
-    println!("{:<10} {}", "model", "peak-power-red% → perf-red% per frequency step");
+    println!(
+        "{:<10} peak-power-red% → perf-red% per frequency step",
+        "model"
+    );
     for model in ModelSpec::inference_lineup() {
         let d = InferenceModel::new(model, GpuSpec::a100_80gb()).unwrap();
         let cfg = InferenceConfig::new(2048, 256, 1);
@@ -62,7 +61,11 @@ fn main() {
     let cfg = InferenceConfig::new(2048, 256, 1);
     for mhz in FREQS {
         let (_, perf) = reductions(&bloom, &cfg, mhz);
-        println!("  {:>6.0} MHz  perf {:>5.1}% of max", mhz, (1.0 / (1.0 + perf)) * 100.0);
+        println!(
+            "  {:>6.0} MHz  perf {:>5.1}% of max",
+            mhz,
+            (1.0 / (1.0 + perf)) * 100.0
+        );
     }
 
     println!(

@@ -8,17 +8,22 @@ use polca_sim::SimRng;
 use polca_stats::{pearson, Summary};
 
 fn main() {
-    header("Figure 11", "Server and GPU peak power normalized to TDP (40 servers)");
+    header(
+        "Figure 11",
+        "Server and GPU peak power normalized to TDP (40 servers)",
+    );
     let spec = ServerSpec::dgx_a100();
-    let deployment =
-        InferenceModel::new(ModelSpec::bloom_176b(), spec.gpu.clone()).unwrap();
+    let deployment = InferenceModel::new(ModelSpec::bloom_176b(), spec.gpu.clone()).unwrap();
     let gpu_tdp_total = spec.gpu.tdp_watts * spec.n_gpus as f64;
     let mut rng = SimRng::from_seed_stream(seed(), 0xF11);
 
     let mut gpu_peaks = Vec::new();
     let mut server_peaks = Vec::new();
     let mut gpu_share = Summary::new();
-    println!("{:>6} {:>14} {:>16} {:>10}", "server", "GPU peak/TDP", "server peak/6.5kW", "GPU share");
+    println!(
+        "{:>6} {:>14} {:>16} {:>10}",
+        "server", "GPU peak/TDP", "server peak/6.5kW", "GPU share"
+    );
     for s in 0..40 {
         // Each server's peak is set by the heaviest prompt it served.
         let input = rng.uniform_u64(2048, 8192) as u32;

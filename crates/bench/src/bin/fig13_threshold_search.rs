@@ -1,7 +1,7 @@
 //! Figure 13: threshold space search — normalized latency and brake
 //! events vs added servers for three T1/T2 combinations.
 
-use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca::{OversubscriptionStudy, PolcaPolicy, PolicyKind};
 use polca_bench::{eval_days, header, seed};
 use polca_cluster::RowConfig;
 
@@ -41,7 +41,10 @@ fn main() {
                 o.brake_engagements
             );
         }
-        println!("  max servers without power brake: +{:.0}%", max_no_brake * 100.0);
+        println!(
+            "  max servers without power brake: +{:.0}%",
+            max_no_brake * 100.0
+        );
     }
     println!(
         "\npaper: 75-85 and 80-89 allow ~35% more servers brake-free, 85-95 only \

@@ -1,7 +1,7 @@
 //! Figure 15: POLCA parameter sweeps — the T1 capping frequency and the
 //! low-priority server fraction.
 
-use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca::{OversubscriptionStudy, PolcaPolicy, PolicyKind};
 use polca_bench::{eval_days, header, seed};
 use polca_cluster::RowConfig;
 
@@ -41,8 +41,7 @@ fn main() {
     );
     for lp_frac in [0.25, 0.40, 0.50, 0.60, 0.75] {
         let row = RowConfig::paper_inference_row().with_low_priority_fraction(lp_frac);
-        let mut study =
-            OversubscriptionStudy::new(row, PolcaPolicy::default(), days, seed());
+        let mut study = OversubscriptionStudy::new(row, PolcaPolicy::default(), days, seed());
         study.set_record_power(false);
         let o = study.run(PolicyKind::Polca, 0.30, 1.0);
         println!(

@@ -1,9 +1,15 @@
 //! Figure 16: row-level power utilization — default servers vs +30 %
 //! servers, at 2 s and 5 min averaging.
+//!
+//! With `--obs-out DIR` (or `POLCA_OBS_OUT=DIR`) the exact 5-minute
+//! utilization series printed as sparklines are saved as
+//! `fig16_util_default.csv` / `fig16_util_oversub.csv`, alongside the
+//! recorder's own artifacts (event log, metrics, Perfetto trace).
 
-use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
-use polca_bench::{eval_days, header, pct, seed, sparkline};
+use polca::{OversubscriptionStudy, PolcaPolicy, PolicyKind};
+use polca_bench::{eval_days, header, obs_out_arg, pct, save_series_csv, seed, sparkline};
 use polca_cluster::RowConfig;
+use polca_obs::{ObsLevel, Recorder};
 
 fn main() {
     header(
@@ -11,17 +17,27 @@ fn main() {
         "Row-level power utilization, default vs +30% servers (2s and 5min averages)",
     );
     let days = eval_days(7.0);
+    let obs_out = obs_out_arg();
+    let recorder = if obs_out.is_some() {
+        Recorder::new(ObsLevel::Full)
+    } else {
+        Recorder::disabled()
+    };
     let mut study = OversubscriptionStudy::new(
         RowConfig::paper_inference_row(),
         PolcaPolicy::default(),
         days,
         seed(),
     );
+    study.set_recorder(recorder.clone());
     let provisioned = study.row().provisioned_watts();
     let base = study.run(PolicyKind::NoCap, 0.0, 1.0);
     let over = study.run(PolicyKind::Polca, 0.30, 1.0);
 
-    for (label, o) in [("default servers", &base), ("+30% servers   ", &over)] {
+    for (label, slug, o) in [
+        ("default servers", "fig16_util_default.csv", &base),
+        ("+30% servers   ", "fig16_util_oversub.csv", &over),
+    ] {
         let five_min = o.row_power.resample_mean(300.0).scaled(1.0 / provisioned);
         println!("\n{label}:");
         println!("  5min avg  {}", sparkline(&five_min, 70));
@@ -32,6 +48,18 @@ fn main() {
             pct(o.row_power.max_rise_within(2.0).unwrap() / provisioned),
             pct(o.row_power.max_rise_within(40.0).unwrap() / provisioned),
             o.brake_engagements
+        );
+        if let Some(dir) = &obs_out {
+            save_series_csv(&dir.join(slug), "t_s", "utilization", &five_min)
+                .expect("write fig16 series CSV");
+        }
+    }
+    if let Some(dir) = &obs_out {
+        let files = recorder.write_dir(dir).expect("write obs artifacts");
+        println!(
+            "\nobs artifacts: {} file(s) in {}",
+            files.len() + 2,
+            dir.display()
         );
     }
     println!(

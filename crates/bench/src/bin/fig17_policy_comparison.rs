@@ -4,8 +4,8 @@
 //! As in the paper, latencies are normalized against POLCA (lower is
 //! better; 1.0 = POLCA).
 
-use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy, PolicyOutcome};
-use polca_bench::{eval_days, header, seed};
+use polca::{OversubscriptionStudy, PolcaPolicy, PolicyKind, PolicyOutcome};
+use polca_bench::{eval_days, header, obs_out_arg, seed, Table};
 use polca_cluster::RowConfig;
 
 fn main() {
@@ -32,22 +32,32 @@ fn main() {
     }
     let polca = outcomes[0].1.clone();
 
-    println!(
-        "{:<22} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "policy (vs POLCA)", "LP p50", "HP p50", "LP p99", "HP p99", "LP max", "HP max"
-    );
+    let mut table = Table::new(&[
+        "policy (vs POLCA)",
+        "LP p50",
+        "HP p50",
+        "LP p99",
+        "HP p99",
+        "LP max",
+        "HP max",
+    ]);
     for (name, o) in &outcomes {
         let rel = |a: f64, b: f64| if b == 0.0 { 1.0 } else { a / b };
-        println!(
-            "{:<22} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
-            name,
-            rel(o.low_raw.p50, polca.low_raw.p50),
-            rel(o.high_raw.p50, polca.high_raw.p50),
-            rel(o.low_raw.p99, polca.low_raw.p99),
-            rel(o.high_raw.p99, polca.high_raw.p99),
-            rel(o.low_raw.max, polca.low_raw.max),
-            rel(o.high_raw.max, polca.high_raw.max),
-        );
+        table.row(vec![
+            name.clone(),
+            format!("{:.3}", rel(o.low_raw.p50, polca.low_raw.p50)),
+            format!("{:.3}", rel(o.high_raw.p50, polca.high_raw.p50)),
+            format!("{:.3}", rel(o.low_raw.p99, polca.low_raw.p99)),
+            format!("{:.3}", rel(o.high_raw.p99, polca.high_raw.p99)),
+            format!("{:.3}", rel(o.low_raw.max, polca.low_raw.max)),
+            format!("{:.3}", rel(o.high_raw.max, polca.high_raw.max)),
+        ]);
+    }
+    table.print();
+    if let Some(dir) = obs_out_arg() {
+        table
+            .save_csv(&dir.join("fig17_policy_comparison.csv"))
+            .expect("write fig17 CSV");
     }
     println!(
         "\npaper: POLCA meets all SLOs; 1-Thresh-Low-Pri misses low-priority SLOs; \

@@ -1,9 +1,15 @@
 //! Figure 18: power-brake event counts per policy, for nominal and +5 %
 //! power-intensive workloads.
+//!
+//! With `--obs-out DIR` (or `POLCA_OBS_OUT=DIR`) the printed table is
+//! also saved as `fig18_power_brakes.csv` and the full observability
+//! artifacts of the instrumented runs (event log, metrics, Perfetto
+//! trace) land in the same directory.
 
-use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
-use polca_bench::{eval_days, header, seed};
+use polca::{OversubscriptionStudy, PolcaPolicy, PolicyKind};
+use polca_bench::{eval_days, header, obs_out_arg, seed, Table};
 use polca_cluster::RowConfig;
+use polca_obs::{ObsLevel, Recorder};
 
 fn main() {
     header(
@@ -11,6 +17,12 @@ fn main() {
         "Number of power brake events per policy at 30% oversubscription",
     );
     let days = eval_days(7.0);
+    let obs_out = obs_out_arg();
+    let recorder = if obs_out.is_some() {
+        Recorder::new(ObsLevel::Full)
+    } else {
+        Recorder::disabled()
+    };
     let mut study = OversubscriptionStudy::new(
         RowConfig::paper_inference_row(),
         PolcaPolicy::default(),
@@ -18,18 +30,30 @@ fn main() {
         seed(),
     );
     study.set_record_power(false);
-    println!("{:<22} {:>8} {:>14}", "policy", "brakes", "brakes/day");
+    study.set_recorder(recorder.clone());
+    let mut table = Table::new(&["policy", "brakes", "brakes/day"]);
     for power_scale in [1.0, 1.05] {
         for kind in PolicyKind::all() {
             let suffix = if power_scale > 1.0 { "+5%" } else { "" };
             let o = study.run(kind, 0.30, power_scale);
-            println!(
-                "{:<22} {:>8} {:>14.2}",
+            table.row(vec![
                 format!("{}{}", kind.name(), suffix),
-                o.brake_engagements,
-                o.brake_engagements as f64 / days
-            );
+                o.brake_engagements.to_string(),
+                format!("{:.2}", o.brake_engagements as f64 / days),
+            ]);
         }
+    }
+    table.print();
+    if let Some(dir) = obs_out {
+        table
+            .save_csv(&dir.join("fig18_power_brakes.csv"))
+            .expect("write fig18 CSV");
+        let files = recorder.write_dir(&dir).expect("write obs artifacts");
+        println!(
+            "\nobs artifacts: {} file(s) in {}",
+            files.len() + 1,
+            dir.display()
+        );
     }
     println!(
         "\npaper: POLCA incurs zero brakes in the standard scenario and the fewest \

@@ -1,6 +1,6 @@
 //! Table 2: row-level parameters of the evaluation cluster.
 
-use polca_bench::header;
+use polca_bench::{header, obs_out_arg, Table};
 use polca_cluster::RowConfig;
 use polca_telemetry::interfaces::RowParameters;
 
@@ -8,20 +8,34 @@ fn main() {
     header("Table 2", "Row-level parameters in our study");
     let p = RowParameters::default();
     let row = RowConfig::paper_inference_row();
-    println!("{:<28} {}", "Number of servers", p.servers);
-    println!("{:<28} {}", "Server type", p.server_type);
-    println!("{:<28} {}s", "Power telemetry delay", p.power_telemetry_delay_s);
-    println!("{:<28} {}s", "Power brake latency", p.power_brake_latency_s);
-    println!("{:<28} {}s", "OOB control latency", p.oob_control_latency_s);
-    println!(
-        "{:<28} {:.0} kW",
-        "Row power budget (derived)",
-        row.provisioned_watts() / 1000.0
-    );
-    println!(
-        "{:<28} {}s",
-        "UPS capping deadline",
-        RowParameters::UPS_CAPPING_DEADLINE_S
-    );
+    let mut table = Table::new(&["Parameter", "Value"]);
+    table.row(vec!["Number of servers".into(), p.servers.to_string()]);
+    table.row(vec!["Server type".into(), p.server_type.to_string()]);
+    table.row(vec![
+        "Power telemetry delay".into(),
+        format!("{}s", p.power_telemetry_delay_s),
+    ]);
+    table.row(vec![
+        "Power brake latency".into(),
+        format!("{}s", p.power_brake_latency_s),
+    ]);
+    table.row(vec![
+        "OOB control latency".into(),
+        format!("{}s", p.oob_control_latency_s),
+    ]);
+    table.row(vec![
+        "Row power budget (derived)".into(),
+        format!("{:.0} kW", row.provisioned_watts() / 1000.0),
+    ]);
+    table.row(vec![
+        "UPS capping deadline".into(),
+        format!("{}s", RowParameters::UPS_CAPPING_DEADLINE_S),
+    ]);
+    table.print();
+    if let Some(dir) = obs_out_arg() {
+        table
+            .save_csv(&dir.join("tab02_row_params.csv"))
+            .expect("write tab02 CSV");
+    }
     println!("\npaper: 40 DGX-A100 servers, 2s telemetry, 5s brake, 40s OOB control");
 }

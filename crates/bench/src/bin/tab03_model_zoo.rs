@@ -5,7 +5,10 @@ use polca_gpu::GpuSpec;
 use polca_llm::{DType, ModelSpec};
 
 fn main() {
-    header("Table 3", "LLM workloads that we characterize (* inference only)");
+    header(
+        "Table 3",
+        "LLM workloads that we characterize (* inference only)",
+    );
     println!(
         "{:<17} {:<12} {:>9} {:>16}",
         "Category", "Model", "#Params", "#Inference GPUs"

@@ -1,7 +1,7 @@
 //! Table 4: LLM cluster power usage in production — training vs
 //! inference.
 
-use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca::{OversubscriptionStudy, PolcaPolicy, PolicyKind};
 use polca_bench::{eval_days, header, pct, seed};
 use polca_cluster::{RowConfig, TrainingCluster};
 
@@ -26,10 +26,8 @@ fn main() {
     );
     let o = study.run(PolicyKind::NoCap, 0.0, 1.0);
     let i_peak = o.peak_utilization;
-    let i_spike2 = o.row_power.max_rise_within(2.0).unwrap()
-        / study.row().provisioned_watts();
-    let i_spike40 = o.row_power.max_rise_within(40.0).unwrap()
-        / study.row().provisioned_watts();
+    let i_spike2 = o.row_power.max_rise_within(2.0).unwrap() / study.row().provisioned_watts();
+    let i_spike40 = o.row_power.max_rise_within(40.0).unwrap() / study.row().provisioned_watts();
 
     println!("{:<28} {:>10} {:>10}", "", "Training", "Inference");
     println!(

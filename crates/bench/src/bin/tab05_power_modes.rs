@@ -1,15 +1,12 @@
 //! Table 5: power modes for low- and high-priority workloads.
 
 use polca::{PolcaPolicy, PowerMode};
-use polca_bench::header;
+use polca_bench::{header, obs_out_arg, Table};
 
 fn main() {
     header("Table 5", "Power modes for low and high priority workloads");
     let policy = PolcaPolicy::default();
-    println!(
-        "{:<14} {:<26} {:<26}",
-        "Mode", "Low Priority", "High Priority"
-    );
+    let mut table = Table::new(&["Mode", "Low Priority", "High Priority"]);
     for (mode, label) in [
         (PowerMode::Uncapped, "Uncapped"),
         (PowerMode::T1, "Threshold T1"),
@@ -20,12 +17,17 @@ fn main() {
             None => "Uncapped".to_string(),
             Some(mhz) => format!("Frequency capped ({mhz:.0} MHz)"),
         };
-        println!(
-            "{:<14} {:<26} {:<26}",
-            label,
+        table.row(vec![
+            label.to_string(),
             fmt(mode.low_priority_clock_mhz(&policy)),
-            fmt(mode.high_priority_clock_mhz(&policy))
-        );
+            fmt(mode.high_priority_clock_mhz(&policy)),
+        ]);
+    }
+    table.print();
+    if let Some(dir) = obs_out_arg() {
+        table
+            .save_csv(&dir.join("tab05_power_modes.csv"))
+            .expect("write tab05 CSV");
     }
     println!(
         "\nthresholds: T1 = {:.0} %, T2 = {:.0} % of provisioned power; \

@@ -1,6 +1,6 @@
 //! Table 6: workload distribution and SLO outcomes under POLCA.
 
-use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy, SloTargets};
+use polca::{OversubscriptionStudy, PolcaPolicy, PolicyKind, SloTargets};
 use polca_bench::{eval_days, header, seed};
 use polca_cluster::RowConfig;
 use polca_trace::WorkloadClass;
@@ -12,10 +12,13 @@ fn main() {
         "Workload", "Prompt size", "Output size", "Ratio", "Priority"
     );
     for c in WorkloadClass::table6() {
-        let priority = match c.high_priority_fraction {
-            f if f == 0.0 => "Low".to_string(),
-            f if f == 1.0 => "High".to_string(),
-            f => format!("{:.0}:{:.0}", f * 100.0, (1.0 - f) * 100.0),
+        let f = c.high_priority_fraction;
+        let priority = if f == 0.0 {
+            "Low".to_string()
+        } else if f == 1.0 {
+            "High".to_string()
+        } else {
+            format!("{:.0}:{:.0}", f * 100.0, (1.0 - f) * 100.0)
         };
         println!(
             "{:<12} {:<13} {:<13} {:>5.0}% {:>9}",

@@ -16,11 +16,13 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 
-use polca::{CostModel, OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca::{CostModel, OversubscriptionStudy, PolcaPolicy, PolicyKind};
 use polca_cluster::RowConfig;
 use polca_gpu::{Gpu, GpuSpec};
 use polca_llm::{InferenceConfig, InferenceModel, ModelSpec};
+use polca_obs::{ObsLevel, Recorder};
 use polca_trace::replicate::production_reference;
 
 /// A parsed command line.
@@ -50,6 +52,8 @@ pub enum CliError {
     },
     /// Unknown model name.
     UnknownModel(String),
+    /// Writing observability artifacts failed.
+    Io(String),
 }
 
 impl fmt::Display for CliError {
@@ -62,6 +66,7 @@ impl fmt::Display for CliError {
                 write!(f, "cannot parse `{value}` for `{flag}`")
             }
             CliError::UnknownModel(m) => write!(f, "unknown model `{m}`; see `tab03_model_zoo`"),
+            CliError::Io(e) => write!(f, "cannot write artifacts: {e}"),
         }
     }
 }
@@ -120,13 +125,10 @@ impl Invocation {
     pub fn get_opt<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, CliError> {
         match self.options.get(flag) {
             None => Ok(None),
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|_| CliError::BadValue {
-                    flag: flag.to_string(),
-                    value: v.clone(),
-                }),
+            Some(v) => v.parse().map(Some).map_err(|_| CliError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+            }),
         }
     }
 }
@@ -165,6 +167,9 @@ COMMANDS
   evaluate      run one policy at one oversubscription level
                 [--policy polca|1t-lp|1t-all|nocap] [--added 30]
                 [--days 2] [--seed 17] [--power-scale 1.0]
+                [--obs-out DIR] [--obs-level off|metrics|events|full]
+                (--obs-out writes events.jsonl, metrics.json, power.csv,
+                 latency.csv, trace.json — open trace.json in Perfetto)
   plan          find the SLO-safe oversubscription maximum
                 [--days 2] [--seed 17] [--servers 40]
   help          print this text
@@ -268,6 +273,17 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
     let days: f64 = inv.get("days", 2.0)?;
     let seed: u64 = inv.get("seed", 17)?;
     let power_scale: f64 = inv.get("power-scale", 1.0)?;
+    let obs_out: Option<String> = inv.get_opt("obs-out")?;
+    let obs_level = match inv.options.get("obs-level") {
+        Some(v) => v.parse::<ObsLevel>().map_err(|_| CliError::BadValue {
+            flag: "obs-level".into(),
+            value: v.clone(),
+        })?,
+        // `--obs-out` without an explicit level means "give me everything".
+        None if obs_out.is_some() => ObsLevel::Full,
+        None => ObsLevel::Off,
+    };
+    let recorder = Recorder::new(obs_level);
 
     let mut study = OversubscriptionStudy::new(
         RowConfig::paper_inference_row(),
@@ -276,6 +292,7 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
         seed,
     );
     study.set_record_power(false);
+    study.set_recorder(recorder.clone());
     let o = study.run(kind, added / 100.0, power_scale);
     println!(
         "{} at +{added:.0}% servers, power×{power_scale}, {days} day(s):",
@@ -298,6 +315,16 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
         value.extra_servers,
         value.avoided_capex_usd / 1e6
     );
+    if let Some(dir) = &obs_out {
+        let files = recorder
+            .write_dir(Path::new(dir))
+            .map_err(|e| CliError::Io(e.to_string()))?;
+        println!(
+            "  obs artifacts ({obs_level}): {} file(s) in {}/",
+            files.len(),
+            dir.trim_end_matches('/')
+        );
+    }
     Ok(())
 }
 
@@ -410,7 +437,13 @@ mod tests {
     #[test]
     fn characterize_runs_end_to_end() {
         let inv = parse_args(args(&[
-            "characterize", "--model", "GPT-NeoX", "--input", "512", "--output", "32",
+            "characterize",
+            "--model",
+            "GPT-NeoX",
+            "--input",
+            "512",
+            "--output",
+            "32",
         ]))
         .unwrap();
         assert!(run(&inv).is_ok());

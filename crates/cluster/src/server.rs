@@ -262,8 +262,10 @@ impl InferenceServer {
     }
 
     fn slowdown_for(&self, phase: Phase, compute_fraction: f64) -> f64 {
-        self.dvfs
-            .slowdown(self.clock_ratio_for_phase(phase).max(1e-3), compute_fraction)
+        self.dvfs.slowdown(
+            self.clock_ratio_for_phase(phase).max(1e-3),
+            compute_fraction,
+        )
     }
 
     /// Begins serving `req` immediately.
@@ -439,7 +441,10 @@ mod tests {
         let mut s = server(Priority::Low);
         let (end, v) = s.start_request(SimTime::ZERO, req(1, 0.0));
         // A clock change reschedules and bumps the version…
-        s.apply_action(SimTime::from_secs(0.1), ControlAction::LockClock { mhz: 1110.0 });
+        s.apply_action(
+            SimTime::from_secs(0.1),
+            ControlAction::LockClock { mhz: 1110.0 },
+        );
         // …so the old event must be ignored.
         assert_eq!(s.on_phase_end(end, v), PhaseOutcome::Ignored);
         assert_eq!(s.state(), ServerState::Busy(Phase::Prompt));
@@ -482,7 +487,10 @@ mod tests {
         let prompt_power = s.power_watts();
         s.on_phase_end(p_end, v1);
         let token_power = s.power_watts();
-        assert!(prompt_power > token_power, "{prompt_power} vs {token_power}");
+        assert!(
+            prompt_power > token_power,
+            "{prompt_power} vs {token_power}"
+        );
         assert!(token_power > idle);
         // Peak server power stays under the §5 bound.
         assert!(prompt_power <= 5700.0);
@@ -493,7 +501,10 @@ mod tests {
         let mut s = server(Priority::Low);
         let (end, _) = s.start_request(SimTime::ZERO, req(1, 0.0));
         let (new_end, _) = s
-            .apply_action(SimTime::from_secs(0.01), ControlAction::LockClock { mhz: 1110.0 })
+            .apply_action(
+                SimTime::from_secs(0.01),
+                ControlAction::LockClock { mhz: 1110.0 },
+            )
             .expect("clock changed while busy");
         assert!(new_end > end, "prompt should stretch under a lock");
     }
@@ -504,7 +515,10 @@ mod tests {
         s.apply_action(SimTime::ZERO, ControlAction::LockClock { mhz: 1305.0 });
         let (end, _) = s.start_request(SimTime::ZERO, req(1, 0.0));
         let (braked_end, _) = s
-            .apply_action(SimTime::from_secs(0.01), ControlAction::PowerBrake { on: true })
+            .apply_action(
+                SimTime::from_secs(0.01),
+                ControlAction::PowerBrake { on: true },
+            )
             .expect("brake changes clock");
         assert!(
             (braked_end - SimTime::ZERO).as_secs() > 3.0 * (end - SimTime::ZERO).as_secs(),
@@ -512,7 +526,10 @@ mod tests {
         );
         assert_eq!(s.effective_clock_mhz(), 288.0);
         // Releasing the brake restores the lock.
-        s.apply_action(SimTime::from_secs(0.02), ControlAction::PowerBrake { on: false });
+        s.apply_action(
+            SimTime::from_secs(0.02),
+            ControlAction::PowerBrake { on: false },
+        );
         assert_eq!(s.effective_clock_mhz(), 1305.0);
     }
 
@@ -521,7 +538,10 @@ mod tests {
         let mut s = server(Priority::Low);
         s.start_request(SimTime::ZERO, req(1, 0.0));
         // Locking to the current max is a no-op for the schedule.
-        let out = s.apply_action(SimTime::from_secs(0.01), ControlAction::LockClock { mhz: 1410.0 });
+        let out = s.apply_action(
+            SimTime::from_secs(0.01),
+            ControlAction::LockClock { mhz: 1410.0 },
+        );
         assert!(out.is_none());
     }
 

@@ -145,7 +145,11 @@ mod tests {
         // §5: derating argument — observed peak ≤ 5700 W on the 6.5 kW
         // rated DGX-A100, reclaiming ~800 W.
         let s = spec();
-        assert!(s.peak_power_watts() <= 5700.0, "peak {}", s.peak_power_watts());
+        assert!(
+            s.peak_power_watts() <= 5700.0,
+            "peak {}",
+            s.peak_power_watts()
+        );
         assert!(
             s.derating_headroom_watts() >= 780.0,
             "headroom {}",
@@ -170,6 +174,8 @@ mod tests {
 
     #[test]
     fn h100_is_power_denser() {
-        assert!(ServerSpec::dgx_h100().provisioned_watts > ServerSpec::dgx_a100().provisioned_watts);
+        assert!(
+            ServerSpec::dgx_h100().provisioned_watts > ServerSpec::dgx_a100().provisioned_watts
+        );
     }
 }

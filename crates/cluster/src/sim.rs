@@ -10,6 +10,7 @@
 //! seed, so competing policies can be compared on identical request
 //! streams.
 
+use polca_obs::{Event, Label, Recorder};
 use polca_sim::{EventQueue, SimTime};
 use polca_stats::TimeSeries;
 use polca_telemetry::{ControlAction, DelayedSignal, OobControlPlane};
@@ -100,6 +101,9 @@ pub struct SimConfig {
     /// Whether to record the row power timeseries (large runs may skip
     /// it to save memory).
     pub record_power_series: bool,
+    /// Observability sink for the run (disabled by default; equality on
+    /// this field compares the capture *level*, not accumulated data).
+    pub recorder: Recorder,
 }
 
 impl Default for SimConfig {
@@ -113,6 +117,7 @@ impl Default for SimConfig {
             oob_failure_rate: 0.0,
             power_scale: 1.0,
             record_power_series: true,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -218,6 +223,7 @@ pub struct ClusterSim<P> {
     /// Integral bookkeeping for mean power.
     last_power_change: SimTime,
     power_integral: f64,
+    obs: Recorder,
 }
 
 impl<P: PowerController> ClusterSim<P> {
@@ -227,11 +233,15 @@ impl<P: PowerController> ClusterSim<P> {
         for s in &mut servers {
             s.set_power_scale(config.power_scale);
         }
+        let obs = config.recorder.clone();
         let row_power_watts: f64 = servers.iter().map(InferenceServer::power_watts).sum();
-        let plane = OobControlPlane::new(config.seed)
+        let mut plane = OobControlPlane::new(config.seed)
             .with_cap_latency(config.oob_cap_latency_s.0, config.oob_cap_latency_s.1)
             .with_brake_latency(config.oob_brake_latency_s.0, config.oob_brake_latency_s.1)
             .with_failure_rate(config.oob_failure_rate);
+        plane.set_recorder(obs.clone());
+        let mut queue = EventQueue::new();
+        queue.set_probe(obs.queue_probe());
         let ctx = RowContext {
             provisioned_watts: row.provisioned_watts(),
             n_servers: servers.len(),
@@ -239,7 +249,7 @@ impl<P: PowerController> ClusterSim<P> {
         ClusterSim {
             row_signal: DelayedSignal::new(SimTime::from_secs(config.telemetry_delay_s)),
             plane,
-            queue: EventQueue::new(),
+            queue,
             report: SimReport {
                 offered: 0,
                 completed: 0,
@@ -260,6 +270,7 @@ impl<P: PowerController> ClusterSim<P> {
             rr_cursor: (0, 0),
             last_power_change: SimTime::ZERO,
             power_integral: 0.0,
+            obs,
             servers,
             ctx,
             config,
@@ -285,6 +296,7 @@ impl<P: PowerController> ClusterSim<P> {
     ///
     /// Panics if `arrivals` yields requests out of order.
     pub fn run(mut self, arrivals: impl IntoIterator<Item = Request>, until: SimTime) -> SimReport {
+        let _span = self.obs.time("sim.event_loop");
         let mut arrivals = arrivals.into_iter();
         if let Some(first) = arrivals.next() {
             self.queue.schedule(first.arrival, Ev::Arrival(first));
@@ -356,6 +368,14 @@ impl<P: PowerController> ClusterSim<P> {
         out
     }
 
+    /// Metric/event label for a priority class.
+    fn pri_tag(priority: Priority) -> &'static str {
+        match priority {
+            Priority::Low => "low",
+            Priority::High => "high",
+        }
+    }
+
     fn on_arrival(&mut self, now: SimTime, req: Request) {
         self.report.offered += 1;
         let priority = req.priority;
@@ -363,6 +383,11 @@ impl<P: PowerController> ClusterSim<P> {
             Priority::Low => self.report.offered_by_priority.0 += 1,
             Priority::High => self.report.offered_by_priority.1 += 1,
         }
+        self.obs.add(
+            "cluster.requests_offered",
+            Label::Tag(Self::pri_tag(priority)),
+            1,
+        );
         let n = self.servers.len();
         let cursor = match priority {
             Priority::Low => &mut self.rr_cursor.0,
@@ -380,8 +405,13 @@ impl<P: PowerController> ClusterSim<P> {
         }
         if let Some(i) = chosen {
             *cursor = (i + 1) % n;
-            let (end_at, version) =
-                self.mutate_server(now, i, |s| s.start_request(now, req));
+            self.obs.record(Event::RequestDispatched {
+                t: now.as_secs(),
+                server: i,
+                request: req.id,
+                priority: Self::pri_tag(priority),
+            });
+            let (end_at, version) = self.mutate_server(now, i, |s| s.start_request(now, req));
             self.queue
                 .schedule(end_at, Ev::PhaseEnd { server: i, version });
             return;
@@ -396,6 +426,11 @@ impl<P: PowerController> ClusterSim<P> {
             .map(InferenceServer::id);
         match target {
             Some(i) => {
+                self.obs.record(Event::RequestQueued {
+                    t: now.as_secs(),
+                    request: req.id,
+                    priority: Self::pri_tag(priority),
+                });
                 let ok = self.servers[i].enqueue(req);
                 debug_assert!(ok, "buffer space was checked");
             }
@@ -405,6 +440,16 @@ impl<P: PowerController> ClusterSim<P> {
                     Priority::Low => self.report.rejected_by_priority.0 += 1,
                     Priority::High => self.report.rejected_by_priority.1 += 1,
                 }
+                self.obs.add(
+                    "cluster.requests_rejected",
+                    Label::Tag(Self::pri_tag(priority)),
+                    1,
+                );
+                self.obs.record(Event::RequestRejected {
+                    t: now.as_secs(),
+                    request: req.id,
+                    priority: Self::pri_tag(priority),
+                });
             }
         }
     }
@@ -440,16 +485,44 @@ impl<P: PowerController> ClusterSim<P> {
                 self.report.high_latencies_s.push(latency);
             }
         }
+        let tag = Self::pri_tag(record.request.priority);
+        self.obs
+            .add("cluster.requests_completed", Label::Tag(tag), 1);
+        self.obs
+            .observe("cluster.latency_s", Label::Tag(tag), latency);
+        self.obs.record(Event::RequestCompleted {
+            t: record.completed_at.as_secs(),
+            server: record.server,
+            request: record.request.id,
+            priority: tag,
+            latency_s: latency,
+        });
     }
 
     fn on_telemetry(&mut self, now: SimTime) {
         self.accumulate_power(now);
         self.row_signal.record(now, self.row_power_watts);
         if self.config.record_power_series {
-            self.report.row_power.push(now.as_secs(), self.row_power_watts);
+            self.report
+                .row_power
+                .push(now.as_secs(), self.row_power_watts);
         }
+        self.obs.record(Event::PowerSample {
+            t: now.as_secs(),
+            watts: self.row_power_watts,
+        });
+        self.obs
+            .gauge("cluster.row_power_w", Label::Global, self.row_power_watts);
+        self.obs.observe(
+            "cluster.row_utilization",
+            Label::Global,
+            self.row_power_watts / self.ctx.provisioned_watts,
+        );
         let observed = self.row_signal.read(now);
-        let requests = self.controller.on_telemetry(now, observed, &self.ctx);
+        let requests = {
+            let _span = self.obs.time("controller.on_telemetry");
+            self.controller.on_telemetry(now, observed, &self.ctx)
+        };
         for cr in requests {
             self.issue(now, cr);
         }
@@ -461,6 +534,7 @@ impl<P: PowerController> ClusterSim<P> {
     fn issue(&mut self, now: SimTime, cr: ControlRequest) {
         if matches!(cr.action, ControlAction::PowerBrake { on: true }) {
             self.report.brake_engagements += 1;
+            self.obs.add("cluster.brake_engagements", Label::Global, 1);
         }
         let targets: Vec<usize> = match cr.target {
             ControlTarget::All => (0..self.servers.len()).collect(),
@@ -485,10 +559,33 @@ impl<P: PowerController> ClusterSim<P> {
             if idx >= self.servers.len() {
                 continue;
             }
+            self.obs.record_with(|| {
+                let t = now.as_secs();
+                match cmd.action {
+                    ControlAction::LockClock { mhz } => Event::CapApplied {
+                        t,
+                        server: idx,
+                        mhz,
+                    },
+                    ControlAction::UnlockClock => Event::Uncap { t, server: idx },
+                    ControlAction::PowerCap { watts } => Event::PowerCapApplied {
+                        t,
+                        server: idx,
+                        watts,
+                    },
+                    ControlAction::ClearPowerCap => Event::PowerCapCleared { t, server: idx },
+                    ControlAction::PowerBrake { on } => Event::BrakeEngaged { t, server: idx, on },
+                }
+            });
             let resched = self.mutate_server(now, idx, |s| s.apply_action(now, cmd.action));
             if let Some((end_at, version)) = resched {
-                self.queue
-                    .schedule(end_at, Ev::PhaseEnd { server: idx, version });
+                self.queue.schedule(
+                    end_at,
+                    Ev::PhaseEnd {
+                        server: idx,
+                        version,
+                    },
+                );
             }
         }
         if let Some(at) = self.plane.next_delivery() {
@@ -616,14 +713,16 @@ mod tests {
             }
         }
 
-        let mut cfg = SimConfig::default();
-        cfg.oob_cap_latency_s = (1.0, 2.0); // fast plane: the lock lands before requests
+        let cfg = SimConfig {
+            oob_cap_latency_s: (1.0, 2.0), // fast plane: the lock lands before requests
+            ..Default::default()
+        };
         let reqs = vec![
             mk_request(1, 60.0, Priority::Low),
             mk_request(2, 60.0, Priority::High),
         ];
-        let capped = ClusterSim::new(small_row(), cfg, LockAll { done: false })
-            .run(reqs.clone(), t(2000.0));
+        let capped =
+            ClusterSim::new(small_row(), cfg, LockAll { done: false }).run(reqs.clone(), t(2000.0));
         let free =
             ClusterSim::new(small_row(), SimConfig::default(), NoopController).run(reqs, t(2000.0));
         assert_eq!(capped.completed, 2);
@@ -658,20 +757,34 @@ mod tests {
                 }]
             }
         }
-        let report = ClusterSim::new(small_row(), SimConfig::default(), BrakeOnce { fired: false })
-            .run(std::iter::empty(), t(100.0));
+        let report = ClusterSim::new(
+            small_row(),
+            SimConfig::default(),
+            BrakeOnce { fired: false },
+        )
+        .run(std::iter::empty(), t(100.0));
         assert_eq!(report.brake_engagements, 1);
     }
 
     #[test]
     fn identical_seeds_reproduce_identical_reports() {
         let reqs: Vec<Request> = (0..50)
-            .map(|i| mk_request(i, i as f64 * 3.0, if i % 2 == 0 { Priority::Low } else { Priority::High }))
+            .map(|i| {
+                mk_request(
+                    i,
+                    i as f64 * 3.0,
+                    if i % 2 == 0 {
+                        Priority::Low
+                    } else {
+                        Priority::High
+                    },
+                )
+            })
             .collect();
         let a = ClusterSim::new(small_row(), SimConfig::default(), NoopController)
             .run(reqs.clone(), t(1000.0));
-        let b = ClusterSim::new(small_row(), SimConfig::default(), NoopController)
-            .run(reqs, t(1000.0));
+        let b =
+            ClusterSim::new(small_row(), SimConfig::default(), NoopController).run(reqs, t(1000.0));
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.low_latencies_s, b.low_latencies_s);
         assert_eq!(a.peak_row_watts, b.peak_row_watts);

@@ -164,15 +164,29 @@ mod tests {
 
     #[test]
     fn jitter_smooths_but_does_not_hide_swings() {
+        // The per-seed smoothing ratio is noisy (offsets are a handful of
+        // normal draws), so assert on the mean over a few seeds.
         let mut c = cluster();
-        c.jitter_std_s = 0.0;
-        let sync = c.row_power_series(60.0, 0.1, 5);
-        c.jitter_std_s = 0.3;
-        let jittered = c.row_power_series(60.0, 0.1, 5);
-        let swing_sync = sync.max_rise_within(2.0).unwrap();
-        let swing_jit = jittered.max_rise_within(2.0).unwrap();
-        assert!(swing_jit <= swing_sync * 1.02);
-        assert!(swing_jit > swing_sync * 0.3);
+        const SEEDS: u64 = 6;
+        let mut ratio_sum = 0.0;
+        for seed in 0..SEEDS {
+            c.jitter_std_s = 0.0;
+            let sync = c.row_power_series(60.0, 0.1, seed);
+            c.jitter_std_s = 0.3;
+            let jittered = c.row_power_series(60.0, 0.1, seed);
+            let swing_sync = sync.max_rise_within(2.0).unwrap();
+            let swing_jit = jittered.max_rise_within(2.0).unwrap();
+            assert!(
+                swing_jit <= swing_sync * 1.02,
+                "seed {seed}: jitter amplified the swing"
+            );
+            ratio_sum += swing_jit / swing_sync;
+        }
+        let mean_ratio = ratio_sum / SEEDS as f64;
+        assert!(
+            (0.15..=0.8).contains(&mean_ratio),
+            "jitter should damp but not hide swings (mean ratio {mean_ratio:.3})"
+        );
     }
 
     #[test]

@@ -98,8 +98,10 @@ proptest! {
     #[test]
     fn determinism_under_identical_seeds(reqs in requests(25), seed in 0u64..50) {
         let reqs = build(&reqs);
-        let mut cfg = SimConfig::default();
-        cfg.seed = seed;
+        let cfg = SimConfig {
+            seed,
+            ..Default::default()
+        };
         let a = ClusterSim::new(small_row(), cfg.clone(), NoopController)
             .run(reqs.clone(), SimTime::from_secs(20_000.0));
         let b = ClusterSim::new(small_row(), cfg, NoopController)

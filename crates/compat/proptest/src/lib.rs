@@ -1,0 +1,205 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The workspace builds on machines with no crates.io access, so the
+//! real proptest cannot be fetched. This crate reimplements the subset
+//! of its API that the polca test suites use — the `proptest!` macro,
+//! `prop_assert*`, range/`Just`/tuple/`vec`/`option`/`oneof`
+//! strategies, `any::<T>()`, and `ProptestConfig::with_cases` — on top
+//! of a small deterministic RNG.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its case number and seed;
+//!   cases are fully deterministic (seeded from the test path and case
+//!   index), so failures reproduce exactly on re-run.
+//! * **Uniform sampling only.** No bias toward boundary values.
+//! * `PROPTEST_CASES` overrides the default case count (256), matching
+//!   the real crate's environment knob.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced strategy constructors (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the same surface the polca suites use:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn my_property(x in 0.0..1.0f64, n in 1usize..10) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = { $cfg }; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = { $crate::test_runner::Config::default() };
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = { $cfg:expr };
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(__path, __case);
+                    $(let $pat =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__msg) = __outcome {
+                        ::std::panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            __path, __case, __config.cases, __msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::from(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current property case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current property case unless the operands compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+/// Uniform choice between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let union = $crate::strategy::Union::empty();
+        $(let union = union.or($strat);)+
+        union
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_samples_every_arm() {
+        let s = prop_oneof![Just(1u64), Just(2u64), Just(3u64)];
+        let mut rng = TestRng::for_case("union", 0);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(s.sample(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        let s = crate::collection::vec(0.0..1.0f64, 1..10);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_round_trip(x in 0.0..1.0f64, n in 1usize..5, b in any::<bool>()) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+            prop_assert_eq!(b as u8 <= 1, true);
+        }
+
+        #[test]
+        fn vec_and_option_strategies(
+            xs in prop::collection::vec(0u64..10, 0..20),
+            o in prop::option::of(1.0..2.0f64),
+        ) {
+            prop_assert!(xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            if let Some(v) = o {
+                prop_assert!((1.0..2.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn mapped_tuples(pair in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair < 19, "sum {} out of range", pair);
+        }
+    }
+}

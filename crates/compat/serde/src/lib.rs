@@ -1,0 +1,122 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! This workspace builds on machines with no crates.io access, so the
+//! real `serde` cannot be fetched. The polca crates use Serde purely as
+//! a *capability marker* (the C-SERDE API guideline: result and config
+//! types are tagged serializable so downstream tooling can pick a
+//! format crate); nothing in-tree performs format-driven serialization
+//! through Serde itself — the observability layer in `polca-obs` writes
+//! its JSON/CSV artifacts by hand.
+//!
+//! Accordingly this crate provides just enough surface for those
+//! derives and bounds to compile and mean something:
+//!
+//! * [`Serialize`] and [`Deserialize`] marker traits,
+//! * a `derive` feature re-exporting `#[derive(Serialize, Deserialize)]`
+//!   from the in-tree `serde_derive`, which emits the marker impls.
+//!
+//! Swapping the real serde back in (on a networked machine) is a
+//! one-line change in the workspace `Cargo.toml` and requires no source
+//! edits.
+
+/// Marker for types that can be serialized.
+///
+/// The in-tree stand-in carries no methods; the derive attests that the
+/// type is plain data (fields are themselves `Serialize`-able by
+/// construction in this workspace) so a real serde can take over
+/// without code changes.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from borrowed data with
+/// lifetime `'de`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable from any lifetime (mirrors serde's
+/// blanket-owned convenience bound).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {}
+            impl<'de> Deserialize<'de> for $ty {}
+        )*
+    };
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
+macro_rules! impl_tuple_markers {
+    ($(($($name:ident),+)),* $(,)?) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {}
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {}
+        )*
+    };
+}
+
+impl_tuple_markers!((A), (A, B), (A, B, C), (A, B, C, D));
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_serialize<T: Serialize + ?Sized>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn primitive_markers_exist() {
+        assert_serialize::<f64>();
+        assert_serialize::<Vec<u64>>();
+        assert_serialize::<Option<String>>();
+        assert_serialize::<(f64, u64)>();
+        assert_deserialize::<Vec<f64>>();
+        assert_deserialize::<String>();
+    }
+}

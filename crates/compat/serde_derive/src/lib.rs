@@ -1,0 +1,71 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits the marker-trait impls for the in-tree `serde` facade. The
+//! parser is deliberately tiny (no `syn`/`quote`, which are registry
+//! crates): it scans the item's token stream for the `struct`/`enum`
+//! keyword and takes the following identifier as the type name.
+//! Generic types are rejected with a compile error — every annotated
+//! type in this workspace is concrete, and the real serde_derive can be
+//! swapped back in if that changes.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the name of the `struct`/`enum` item and whether it has
+/// generic parameters.
+fn type_name(input: &TokenStream) -> Result<String, String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => {
+                            return Err(format!("expected a type name after `{kw}`, got {other:?}"))
+                        }
+                    };
+                    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                        return Err(format!(
+                            "the in-tree serde_derive stand-in does not support generic type \
+                             `{name}`; add a manual marker impl or restore the real serde"
+                        ));
+                    }
+                    return Ok(name);
+                }
+                // `pub`, `pub(crate)`, doc idents inside attributes, …
+            }
+            _ => {}
+        }
+    }
+    Err("no `struct` or `enum` item found".to_string())
+}
+
+fn emit(input: TokenStream, template: fn(&str) -> String) -> TokenStream {
+    match type_name(&input) {
+        Ok(name) => template(&name).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}

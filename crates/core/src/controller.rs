@@ -7,6 +7,7 @@
 //! 40 s-latency control path.
 
 use polca_cluster::{ControlRequest, ControlTarget, PowerController, Priority, RowContext};
+use polca_obs::{Event, Label, Recorder};
 use polca_sim::SimTime;
 use polca_telemetry::ControlAction;
 
@@ -23,6 +24,20 @@ enum Mode {
         hp_capped: bool,
     },
     Brake,
+}
+
+impl Mode {
+    /// Trace label for the mode (the `from`/`to` of
+    /// `controller_transition` events).
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Uncapped => "Uncapped",
+            Mode::T1 => "T1",
+            Mode::T2 { hp_capped: false } => "T2",
+            Mode::T2 { hp_capped: true } => "T2+HP",
+            Mode::Brake => "Brake",
+        }
+    }
 }
 
 /// The POLCA power manager (§6.3).
@@ -67,6 +82,11 @@ pub struct PolcaController {
     policy: PolcaPolicy,
     mode: Mode,
     transitions: u64,
+    /// When observed power first dipped below the current mode's uncap
+    /// level (`None` while at or above it). De-escalation waits until
+    /// the dip has lasted `uncap_dwell_s` — see [`PolcaPolicy`].
+    below_since: Option<SimTime>,
+    recorder: Recorder,
 }
 
 impl PolcaController {
@@ -76,7 +96,17 @@ impl PolcaController {
             policy,
             mode: Mode::Uncapped,
             transitions: 0,
+            below_since: None,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Returns the controller with an observability recorder attached:
+    /// mode changes are traced as `controller_transition` events and
+    /// counted per target mode.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The policy in force.
@@ -122,7 +152,7 @@ impl PolcaController {
 impl PowerController for PolcaController {
     fn on_telemetry(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         observed_row_watts: Option<f64>,
         ctx: &RowContext,
     ) -> Vec<ControlRequest> {
@@ -130,10 +160,27 @@ impl PowerController for PolcaController {
             return Vec::new();
         };
         let u = watts / ctx.provisioned_watts;
-        let p = &self.policy;
         let before = self.mode;
         let mut cmds = Vec::new();
 
+        // Conservative uncapping: the dip below the uncap level must
+        // persist for a full dwell (one worst-case OOB round trip)
+        // before caps are released, or a burst arriving during the
+        // 20–40 s command flight would find the row uncapped.
+        let below_uncap = match self.mode {
+            Mode::T1 => u < self.policy.t1_uncap_frac(),
+            Mode::T2 { .. } => u < self.policy.t2_uncap_frac(),
+            Mode::Uncapped | Mode::Brake => false,
+        };
+        let uncap_ready = if below_uncap {
+            let since = *self.below_since.get_or_insert(now);
+            now.as_secs() - since.as_secs() >= self.policy.uncap_dwell_s
+        } else {
+            self.below_since = None;
+            false
+        };
+
+        let p = &self.policy;
         self.mode = match self.mode {
             Mode::Brake => {
                 if u <= p.brake_release_frac {
@@ -168,7 +215,7 @@ impl PowerController for PolcaController {
                 } else if u >= p.t2_frac {
                     cmds.push(self.cap_low(p.t2_low_mhz));
                     Mode::T2 { hp_capped: false }
-                } else if u < p.t1_uncap_frac() {
+                } else if uncap_ready {
                     cmds.push(self.uncap(Priority::Low));
                     Mode::Uncapped
                 } else {
@@ -184,7 +231,7 @@ impl PowerController for PolcaController {
                     // gently cap high priority too (§6.3).
                     cmds.push(self.cap_high(p.t2_high_mhz));
                     Mode::T2 { hp_capped: true }
-                } else if u < p.t2_uncap_frac() {
+                } else if uncap_ready {
                     if hp_capped {
                         cmds.push(self.uncap(Priority::High));
                     }
@@ -197,6 +244,14 @@ impl PowerController for PolcaController {
         };
         if self.mode != before {
             self.transitions += 1;
+            self.below_since = None;
+            self.recorder
+                .add("controller.transitions", Label::Tag(self.mode.name()), 1);
+            self.recorder.record(Event::ControllerTransition {
+                t: now.as_secs(),
+                from: before.name(),
+                to: self.mode.name(),
+            });
         }
         cmds
     }
@@ -212,6 +267,7 @@ pub struct SingleThresholdController {
     cap_all: bool,
     capped: bool,
     braked: bool,
+    recorder: Recorder,
 }
 
 impl SingleThresholdController {
@@ -222,6 +278,7 @@ impl SingleThresholdController {
             cap_all: false,
             capped: false,
             braked: false,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -232,6 +289,35 @@ impl SingleThresholdController {
             cap_all: true,
             capped: false,
             braked: false,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Returns the controller with an observability recorder attached.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    fn state_name(capped: bool, braked: bool) -> &'static str {
+        match (braked, capped) {
+            (true, _) => "Brake",
+            (false, true) => "Capped",
+            (false, false) => "Uncapped",
+        }
+    }
+
+    fn trace_transition(&self, now: SimTime, from: (bool, bool)) {
+        let from = Self::state_name(from.0, from.1);
+        let to = Self::state_name(self.capped, self.braked);
+        if from != to {
+            self.recorder
+                .add("controller.transitions", Label::Tag(to), 1);
+            self.recorder.record(Event::ControllerTransition {
+                t: now.as_secs(),
+                from,
+                to,
+            });
         }
     }
 }
@@ -239,7 +325,7 @@ impl SingleThresholdController {
 impl PowerController for SingleThresholdController {
     fn on_telemetry(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         observed_row_watts: Option<f64>,
         ctx: &RowContext,
     ) -> Vec<ControlRequest> {
@@ -248,6 +334,7 @@ impl PowerController for SingleThresholdController {
         };
         let u = watts / ctx.provisioned_watts;
         let p = &self.policy;
+        let before = (self.capped, self.braked);
         let mut cmds = Vec::new();
         if self.braked {
             if u <= p.brake_release_frac {
@@ -265,6 +352,7 @@ impl PowerController for SingleThresholdController {
                 target: ControlTarget::All,
                 action: ControlAction::PowerBrake { on: true },
             });
+            self.trace_transition(now, before);
             return cmds;
         }
         if !self.capped && u >= p.t2_frac {
@@ -276,9 +364,7 @@ impl PowerController for SingleThresholdController {
             };
             cmds.push(ControlRequest {
                 target,
-                action: ControlAction::LockClock {
-                    mhz: p.t2_low_mhz,
-                },
+                action: ControlAction::LockClock { mhz: p.t2_low_mhz },
             });
         } else if self.capped && u < p.t2_uncap_frac() {
             self.capped = false;
@@ -292,6 +378,7 @@ impl PowerController for SingleThresholdController {
                 action: ControlAction::UnlockClock,
             });
         }
+        self.trace_transition(now, before);
         cmds
     }
 }
@@ -305,6 +392,7 @@ impl PowerController for SingleThresholdController {
 pub struct NoCapController {
     policy: PolcaPolicy,
     braked: bool,
+    recorder: Recorder,
 }
 
 impl NoCapController {
@@ -313,14 +401,36 @@ impl NoCapController {
         NoCapController {
             policy,
             braked: false,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Returns the controller with an observability recorder attached.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    fn trace_transition(&self, now: SimTime, to_braked: bool) {
+        let (from, to) = if to_braked {
+            ("Uncapped", "Brake")
+        } else {
+            ("Brake", "Uncapped")
+        };
+        self.recorder
+            .add("controller.transitions", Label::Tag(to), 1);
+        self.recorder.record(Event::ControllerTransition {
+            t: now.as_secs(),
+            from,
+            to,
+        });
     }
 }
 
 impl PowerController for NoCapController {
     fn on_telemetry(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         observed_row_watts: Option<f64>,
         ctx: &RowContext,
     ) -> Vec<ControlRequest> {
@@ -331,6 +441,7 @@ impl PowerController for NoCapController {
         let p = &self.policy;
         if !self.braked && u >= p.brake_frac {
             self.braked = true;
+            self.trace_transition(now, true);
             return vec![ControlRequest {
                 target: ControlTarget::All,
                 action: ControlAction::PowerBrake { on: true },
@@ -338,6 +449,7 @@ impl PowerController for NoCapController {
         }
         if self.braked && u <= p.brake_release_frac {
             self.braked = false;
+            self.trace_transition(now, false);
             return vec![ControlRequest {
                 target: ControlTarget::All,
                 action: ControlAction::PowerBrake { on: false },
@@ -358,11 +470,7 @@ mod tests {
         }
     }
 
-    fn tick(
-        c: &mut impl PowerController,
-        t: f64,
-        frac: f64,
-    ) -> Vec<ControlRequest> {
+    fn tick(c: &mut impl PowerController, t: f64, frac: f64) -> Vec<ControlRequest> {
         c.on_telemetry(SimTime::from_secs(t), Some(frac * 100_000.0), &ctx())
     }
 
@@ -404,9 +512,10 @@ mod tests {
 
     #[test]
     fn hysteresis_prevents_oscillation_at_threshold() {
-        let mut c = PolcaController::new(PolcaPolicy::default());
+        // Dwell 0 isolates the *gap* hysteresis under test here.
+        let mut c = PolcaController::new(PolcaPolicy::default().with_uncap_dwell(0.0));
         tick(&mut c, 0.0, 0.82); // cap at T1
-        // Dipping just below T1 must NOT uncap (uncap level is 75 %).
+                                 // Dipping just below T1 must NOT uncap (uncap level is 75 %).
         assert!(tick(&mut c, 2.0, 0.79).is_empty());
         assert!(tick(&mut c, 4.0, 0.78).is_empty());
         // Only below 75 % does it uncap.
@@ -418,11 +527,11 @@ mod tests {
 
     #[test]
     fn t2_deescalates_to_t1_not_straight_to_uncapped() {
-        let mut c = PolcaController::new(PolcaPolicy::default());
+        let mut c = PolcaController::new(PolcaPolicy::default().with_uncap_dwell(0.0));
         tick(&mut c, 0.0, 0.90);
         tick(&mut c, 2.0, 0.90); // hp capped
         let cmds = tick(&mut c, 4.0, 0.80); // below T2 uncap (84 %)
-        // Expect: unlock high, relax low to the T1 clock.
+                                            // Expect: unlock high, relax low to the T1 clock.
         assert_eq!(cmds.len(), 2);
         assert!(cmds
             .iter()
@@ -451,7 +560,10 @@ mod tests {
     #[test]
     fn zero_gap_ablation_oscillates() {
         // Without the 5 % hysteresis gap, a load hovering at T1 churns.
-        let gapless = PolcaPolicy::default().with_uncap_gap(0.0);
+        // (Dwell 0 on both sides so the gap is the only variable.)
+        let gapless = PolcaPolicy::default()
+            .with_uncap_gap(0.0)
+            .with_uncap_dwell(0.0);
         let mut c = PolcaController::new(gapless);
         let mut churn = 0;
         for k in 0..50 {
@@ -460,13 +572,32 @@ mod tests {
         }
         assert!(churn >= 40, "expected churn, got {churn} commands");
 
-        let mut c = PolcaController::new(PolcaPolicy::default());
+        let mut c = PolcaController::new(PolcaPolicy::default().with_uncap_dwell(0.0));
         let mut calm = 0;
         for k in 0..50 {
             let frac = if k % 2 == 0 { 0.805 } else { 0.795 };
             calm += tick(&mut c, k as f64 * 2.0, frac).len();
         }
         assert!(calm <= 1, "hysteresis should suppress churn, got {calm}");
+    }
+
+    #[test]
+    fn uncap_waits_out_the_dwell() {
+        // Default policy: a dip below the uncap level must persist for
+        // 60 s (one worst-case OOB round trip) before caps come off —
+        // a 2 s dip must NOT trigger de-escalation.
+        let mut c = PolcaController::new(PolcaPolicy::default());
+        tick(&mut c, 0.0, 0.82); // cap at T1
+        assert!(tick(&mut c, 2.0, 0.74).is_empty()); // dip starts
+        assert!(tick(&mut c, 30.0, 0.74).is_empty()); // 28 s < dwell
+                                                      // A bounce above the uncap level resets the clock…
+        assert!(tick(&mut c, 40.0, 0.78).is_empty());
+        assert!(tick(&mut c, 42.0, 0.74).is_empty()); // new dip starts
+        assert!(tick(&mut c, 100.0, 0.74).is_empty()); // 58 s < dwell
+                                                       // …and only a dip that outlasts the dwell uncaps.
+        let cmds = tick(&mut c, 104.0, 0.74); // 62 s ≥ dwell
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].action, ControlAction::UnlockClock);
     }
 
     #[test]

@@ -148,6 +148,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot be negative")]
     fn negative_fraction_rejected() {
-        let _ = CostModel::default().oversubscription_value(&RowConfig::paper_inference_row(), -0.1);
+        let _ =
+            CostModel::default().oversubscription_value(&RowConfig::paper_inference_row(), -0.1);
     }
 }

@@ -87,12 +87,10 @@ impl Disaggregation {
         let mut kv_bytes = 0.0;
         for class in mix {
             let (input, output) = class.mean_shape();
-            let profile =
-                deployment.profile(&InferenceConfig::new(input as u32, output as u32, 1));
+            let profile = deployment.profile(&InferenceConfig::new(input as u32, output as u32, 1));
             prompt_s += class.share * profile.prompt.duration_s;
             token_s += class.share * profile.token.duration_s;
-            token_s_capped +=
-                class.share * profile.token.duration_at_clock(&dvfs, r_token);
+            token_s_capped += class.share * profile.token.duration_at_clock(&dvfs, r_token);
             prompt_intensity += class.share * profile.prompt.intensity;
             token_intensity += class.share * profile.token.intensity;
             kv_bytes += class.share * input * deployment.model().kv_bytes_per_token(2.0);
@@ -106,7 +104,9 @@ impl Disaggregation {
         let aggregated_service = prompt_s + token_s;
         let rate = config.pool_utilization * total / aggregated_service;
         let prompt_pool = (rate * prompt_s / config.pool_utilization).ceil().max(1.0);
-        let token_pool = (rate * token_s_capped / config.pool_utilization).ceil().max(1.0);
+        let token_pool = (rate * token_s_capped / config.pool_utilization)
+            .ceil()
+            .max(1.0);
 
         // Power: each pool at its own operating point, busy at the pool
         // utilization, hot-idle otherwise.
@@ -201,7 +201,11 @@ mod tests {
         // against a multi-second prompt phase.
         let p = plan();
         assert!(p.kv_transfer_s < 0.1, "transfer {:.4}s", p.kv_transfer_s);
-        assert!(p.latency_overhead() < 0.05, "overhead {:.3}", p.latency_overhead());
+        assert!(
+            p.latency_overhead() < 0.05,
+            "overhead {:.3}",
+            p.latency_overhead()
+        );
     }
 
     #[test]

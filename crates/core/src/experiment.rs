@@ -13,6 +13,7 @@
 //! 5. check the Table 6 SLOs.
 
 use polca_cluster::{ClusterSim, Priority, RowConfig, SimConfig};
+use polca_obs::{Event, Recorder};
 use polca_sim::SimTime;
 use polca_stats::{Quantiles, TimeSeries};
 use polca_trace::replicate::{production_reference, ProductionReplicator};
@@ -117,6 +118,7 @@ pub struct OversubscriptionStudy {
     base_schedule: RateSchedule,
     record_power: bool,
     reference: Option<Reference>,
+    recorder: Recorder,
 }
 
 impl OversubscriptionStudy {
@@ -141,6 +143,7 @@ impl OversubscriptionStudy {
             base_schedule,
             record_power: true,
             reference: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -195,6 +198,22 @@ impl OversubscriptionStudy {
         self.record_power = record;
     }
 
+    /// Attaches an observability recorder. Policy runs started after
+    /// this call record events, metrics, and profiling spans into it;
+    /// the cached reference run stays un-instrumented so the event log
+    /// does not depend on whether the reference was already warm.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (disabled unless [`set_recorder`] was
+    /// called).
+    ///
+    /// [`set_recorder`]: OversubscriptionStudy::set_recorder
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// The study duration in days.
     pub fn days(&self) -> f64 {
         self.days
@@ -205,6 +224,7 @@ impl OversubscriptionStudy {
     /// at the 2 s row-telemetry resolution so that 40 s spikes are
     /// visible (the scheduling profile itself is minute-grained).
     pub fn trained_thresholds(&self) -> ThresholdTrainer {
+        let _span = self.recorder.time("study.threshold_training");
         let train_days = self.days.min(7.0);
         let fine = production_reference(&self.row, train_days, 2.0, self.seed);
         ThresholdTrainer::from_trace(&fine, self.row.provisioned_watts())
@@ -275,30 +295,39 @@ impl OversubscriptionStudy {
         let reference = self.reference();
         let row = self.row.clone().with_added_servers(added_fraction);
         let provisioned = row.provisioned_watts();
-        let config = self.sim_config(power_scale);
-        let arrivals = ArrivalGenerator::new(&self.trace(added_fraction));
+        let obs = self.recorder.clone();
+        let mut config = self.sim_config(power_scale);
+        config.recorder = obs.clone();
+        let arrivals = {
+            let _span = obs.time("study.trace_synthesis");
+            ArrivalGenerator::new(&self.trace(added_fraction))
+        };
         let until = SimTime::from_days(self.days);
         let report = match kind {
-            PolicyKind::Polca => {
-                ClusterSim::new(row, config, PolcaController::new(self.policy.clone()))
-                    .run(arrivals, until)
-            }
+            PolicyKind::Polca => ClusterSim::new(
+                row,
+                config,
+                PolcaController::new(self.policy.clone()).with_recorder(obs.clone()),
+            )
+            .run(arrivals, until),
             PolicyKind::OneThreshLowPri => ClusterSim::new(
                 row,
                 config,
-                SingleThresholdController::low_priority_only(self.policy.clone()),
+                SingleThresholdController::low_priority_only(self.policy.clone())
+                    .with_recorder(obs.clone()),
             )
             .run(arrivals, until),
             PolicyKind::OneThreshAll => ClusterSim::new(
                 row,
                 config,
-                SingleThresholdController::all_workloads(self.policy.clone()),
+                SingleThresholdController::all_workloads(self.policy.clone())
+                    .with_recorder(obs.clone()),
             )
             .run(arrivals, until),
             PolicyKind::NoCap => ClusterSim::new(
                 row,
                 config,
-                NoCapController::new(self.policy.clone()),
+                NoCapController::new(self.policy.clone()).with_recorder(obs.clone()),
             )
             .run(arrivals, until),
         };
@@ -310,6 +339,12 @@ impl OversubscriptionStudy {
         let slo = self
             .slo
             .check(&low_normalized, &high_normalized, report.brake_engagements);
+        for violation in &slo.violations {
+            obs.record_with(|| Event::SloViolation {
+                t: until.as_secs(),
+                detail: format!("{}: {violation}", kind.name()),
+            });
+        }
         PolicyOutcome {
             kind,
             added_fraction,

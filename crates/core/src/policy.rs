@@ -66,6 +66,18 @@ pub struct PolcaPolicy {
     pub t2_high_mhz: f64,
     /// Power-brake clock in MHz (paper: 288).
     pub brake_mhz: f64,
+    /// How long observed power must stay below an uncap level before
+    /// the controller de-escalates, in seconds.
+    ///
+    /// The paper's control path is slow — 2 s-stale telemetry and
+    /// 20–40 s OOB command latency — so an uncap issued on a transient
+    /// dip hands power back exactly when a burst may be starting, and
+    /// the corrective re-cap cannot land for another ~40 s. Requiring
+    /// the dip to persist for at least the worst-case actuation delay
+    /// keeps caps in place through the dip-then-surge pattern that
+    /// otherwise walks the row into the power brake ("POLCA
+    /// conservatively uncaps", §6.3).
+    pub uncap_dwell_s: f64,
 }
 
 impl Default for PolcaPolicy {
@@ -82,6 +94,10 @@ impl Default for PolcaPolicy {
             t2_low_mhz: 1110.0,
             t2_high_mhz: 1305.0,
             brake_mhz: 288.0,
+            // Worst-case OOB latency (40 s) + telemetry staleness (2 s)
+            // with margin: a dip must outlast one full actuation round
+            // trip before caps are released.
+            uncap_dwell_s: 60.0,
         }
     }
 }
@@ -126,6 +142,18 @@ impl PolcaPolicy {
         self
     }
 
+    /// Returns the policy with a different uncap dwell (ablation; 0
+    /// restores instantaneous de-escalation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative.
+    pub fn with_uncap_dwell(mut self, secs: f64) -> Self {
+        assert!(secs >= 0.0, "uncap dwell cannot be negative");
+        self.uncap_dwell_s = secs;
+        self
+    }
+
     /// The uncap level for T1 (fraction of provisioned power).
     pub fn t1_uncap_frac(&self) -> f64 {
         self.t1_frac - self.uncap_gap
@@ -151,6 +179,9 @@ mod tests {
         assert_eq!(p.t2_low_mhz, 1110.0);
         assert_eq!(p.t2_high_mhz, 1305.0);
         assert_eq!(p.brake_mhz, 288.0);
+        // One worst-case control round trip (40s OOB + 2s telemetry,
+        // with margin) before caps are released.
+        assert_eq!(p.uncap_dwell_s, 60.0);
     }
 
     #[test]

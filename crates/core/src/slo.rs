@@ -99,29 +99,21 @@ mod tests {
 
     #[test]
     fn compliant_run_passes() {
-        let report = SloTargets::default().check(
-            &quantiles(1.02, 1.30),
-            &quantiles(1.005, 1.02),
-            0,
-        );
+        let report =
+            SloTargets::default().check(&quantiles(1.02, 1.30), &quantiles(1.005, 1.02), 0);
         assert!(report.met, "{:?}", report.violations);
     }
 
     #[test]
     fn high_priority_p50_breach_is_reported() {
-        let report = SloTargets::default().check(
-            &quantiles(1.0, 1.0),
-            &quantiles(1.02, 1.0),
-            0,
-        );
+        let report = SloTargets::default().check(&quantiles(1.0, 1.0), &quantiles(1.02, 1.0), 0);
         assert!(!report.met);
         assert!(report.violations[0].contains("high-priority p50"));
     }
 
     #[test]
     fn brake_events_violate() {
-        let report =
-            SloTargets::default().check(&quantiles(1.0, 1.0), &quantiles(1.0, 1.0), 1);
+        let report = SloTargets::default().check(&quantiles(1.0, 1.0), &quantiles(1.0, 1.0), 1);
         assert!(!report.met);
         assert!(report.violations[0].contains("power brakes"));
     }

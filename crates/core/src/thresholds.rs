@@ -32,7 +32,10 @@ impl ThresholdTrainer {
     /// Panics if the trace has fewer than two samples or
     /// `provisioned_watts` is not strictly positive.
     pub fn from_trace(trace: &TimeSeries, provisioned_watts: f64) -> Self {
-        assert!(provisioned_watts > 0.0, "provisioned power must be positive");
+        assert!(
+            provisioned_watts > 0.0,
+            "provisioned power must be positive"
+        );
         let spike40 = trace
             .max_rise_within(40.0)
             .expect("trace needs at least two samples");

@@ -16,10 +16,7 @@ fn ctx() -> RowContext {
 
 /// Runs a utilization trajectory through a controller, returning every
 /// command batch.
-fn drive(
-    controller: &mut impl PowerController,
-    utils: &[f64],
-) -> Vec<Vec<ControlRequest>> {
+fn drive(controller: &mut impl PowerController, utils: &[f64]) -> Vec<Vec<ControlRequest>> {
     utils
         .iter()
         .enumerate()
@@ -62,7 +59,7 @@ proptest! {
         let mut c = PolcaController::new(PolcaPolicy::default());
         // Spike up, then hold far below every threshold.
         let mut utils = vec![high; 5];
-        utils.extend(std::iter::repeat(0.5).take(20));
+        utils.extend(std::iter::repeat_n(0.5, 20));
         let batches = drive(&mut c, &utils);
         // The last batches must contain no new caps, and the state must
         // have fully unwound (nothing more to say at 50 %).

@@ -64,7 +64,12 @@ impl CounterSample {
     /// Draws one correlated counter sample for `phase`, given the phase's
     /// base power level and the device TDP (for normalization of the
     /// coupling strength).
-    pub fn sample(phase: PhaseKind, base_power_watts: f64, tdp_watts: f64, rng: &mut SimRng) -> Self {
+    pub fn sample(
+        phase: PhaseKind,
+        base_power_watts: f64,
+        tdp_watts: f64,
+        rng: &mut SimRng,
+    ) -> Self {
         match phase {
             PhaseKind::Prompt => {
                 // A shared "burst level" drives power, SM and tensor
@@ -164,7 +169,11 @@ mod tests {
     #[test]
     fn prompt_power_correlates_with_sm_and_tensor() {
         let s = series(PhaseKind::Prompt, 2000);
-        assert!(corr(&s, POWER, SM) > 0.7, "power-sm {}", corr(&s, POWER, SM));
+        assert!(
+            corr(&s, POWER, SM) > 0.7,
+            "power-sm {}",
+            corr(&s, POWER, SM)
+        );
         assert!(corr(&s, POWER, TENSOR) > 0.6);
         assert!(corr(&s, SM, TENSOR) > 0.6);
     }
@@ -172,7 +181,11 @@ mod tests {
     #[test]
     fn prompt_power_anticorrelates_with_memory() {
         let s = series(PhaseKind::Prompt, 2000);
-        assert!(corr(&s, POWER, MEM) < -0.5, "power-mem {}", corr(&s, POWER, MEM));
+        assert!(
+            corr(&s, POWER, MEM) < -0.5,
+            "power-mem {}",
+            corr(&s, POWER, MEM)
+        );
     }
 
     #[test]

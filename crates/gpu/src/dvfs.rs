@@ -37,10 +37,7 @@ impl DvfsModel {
     /// Panics if `power_exponent < 1.0` (dynamic power cannot scale
     /// sublinearly with frequency).
     pub fn new(power_exponent: f64) -> Self {
-        assert!(
-            power_exponent >= 1.0,
-            "power exponent must be at least 1.0"
-        );
+        assert!(power_exponent >= 1.0, "power exponent must be at least 1.0");
         DvfsModel { power_exponent }
     }
 
@@ -84,7 +81,10 @@ impl DvfsModel {
     /// ```
     pub fn slowdown(&self, r: f64, c: f64) -> f64 {
         assert!(r > 0.0 && r <= 1.0, "clock ratio must be in (0, 1]");
-        assert!((0.0..=1.0).contains(&c), "compute fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&c),
+            "compute fraction must be in [0, 1]"
+        );
         c / r + (1.0 - c)
     }
 
@@ -156,7 +156,10 @@ mod tests {
         let idle_frac = 0.2;
         let power_reduction = (1.0 - (idle_frac + (1.0 - idle_frac) * m.power_scale(r))) * 100.0;
         let perf_loss = (m.slowdown(r, 0.25) - 1.0) * 100.0;
-        assert!(power_reduction > 15.0, "power reduction {power_reduction:.1}%");
+        assert!(
+            power_reduction > 15.0,
+            "power reduction {power_reduction:.1}%"
+        );
         assert!(perf_loss < 8.0, "perf loss {perf_loss:.1}%");
         assert!(power_reduction > 2.0 * perf_loss);
     }

@@ -396,8 +396,12 @@ mod tests {
     fn mean_power_is_stable_across_input_sizes() {
         // Figure 8a: mean power dominated by token phase, barely moves.
         let m = bloom();
-        let a = m.profile(&InferenceConfig::new(256, 512, 1)).mean_intensity();
-        let b = m.profile(&InferenceConfig::new(4096, 512, 1)).mean_intensity();
+        let a = m
+            .profile(&InferenceConfig::new(256, 512, 1))
+            .mean_intensity();
+        let b = m
+            .profile(&InferenceConfig::new(4096, 512, 1))
+            .mean_intensity();
         assert!((a - b).abs() < 0.12, "{a} vs {b}");
     }
 
@@ -413,7 +417,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_size_raises_both_peak_and_mean(){
+    fn batch_size_raises_both_peak_and_mean() {
         // Figure 8c: batching raises peak sharply, mean gradually.
         let m = bloom();
         let b1 = m.profile(&InferenceConfig::new(512, 256, 1));

@@ -16,8 +16,7 @@ fn models() -> impl Strategy<Value = ModelSpec> {
 }
 
 fn configs() -> impl Strategy<Value = InferenceConfig> {
-    (1u32..16_384, 1u32..8192, 1u32..32)
-        .prop_map(|(i, o, b)| InferenceConfig::new(i, o, b))
+    (1u32..16_384, 1u32..8192, 1u32..32).prop_map(|(i, o, b)| InferenceConfig::new(i, o, b))
 }
 
 proptest! {

@@ -1,0 +1,324 @@
+//! Chrome trace-event JSON synthesis.
+//!
+//! Converts the structured event log into the trace-event format that
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing` load
+//! directly. Layout:
+//!
+//! * one *process* (`pid 1`, named `polca-sim`),
+//! * `tid 0` is the cluster/controller track (power counter, controller
+//!   transitions, SLO violations, queue/reject instants),
+//! * `tid N+1` is server `N`'s track, showing request execution spans
+//!   and cap / power-cap / brake spans,
+//! * aggregate power becomes a counter (`"C"`) series, so the row power
+//!   timeline renders as a graph above the server tracks.
+//!
+//! Timestamps are microseconds of simulation time. Spans still open at
+//! the end of the log are closed at the last observed timestamp.
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+use crate::json::{esc, num};
+
+const PID: u32 = 1;
+
+/// Builds a complete Chrome trace JSON document from an event log.
+pub fn trace_json(events: &[Event]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    let t_end = events.iter().map(Event::t).fold(0.0_f64, f64::max);
+
+    // Metadata: process name plus one named thread per referenced server.
+    out.push(format!(
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"polca-sim\"}}}}"
+    ));
+    out.push(format!(
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\"name\":\"thread_name\",\"args\":{{\"name\":\"cluster\"}}}}"
+    ));
+    let mut servers: Vec<usize> = events.iter().filter_map(Event::server).collect();
+    servers.sort_unstable();
+    servers.dedup();
+    for s in &servers {
+        out.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"server-{s}\"}}}}",
+            tid(*s)
+        ));
+    }
+
+    // Open-span state, keyed for deterministic flush order at the end.
+    let mut open_requests: BTreeMap<u64, (f64, usize, &'static str)> = BTreeMap::new();
+    let mut open_caps: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
+    let mut open_power_caps: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
+    let mut open_brakes: BTreeMap<usize, f64> = BTreeMap::new();
+
+    for ev in events {
+        match ev {
+            Event::RequestDispatched {
+                t,
+                server,
+                request,
+                priority,
+            } => {
+                open_requests.insert(*request, (*t, *server, priority));
+            }
+            Event::RequestCompleted {
+                t,
+                server,
+                request,
+                priority,
+                ..
+            } => {
+                let (t0, srv, pri) = open_requests
+                    .remove(request)
+                    .unwrap_or((*t, *server, priority));
+                out.push(complete_span(
+                    "req",
+                    "request",
+                    tid(srv),
+                    t0,
+                    *t,
+                    &format!("{{\"request\":{request},\"priority\":\"{}\"}}", esc(pri)),
+                ));
+            }
+            Event::RequestQueued { t, request, .. } => {
+                out.push(instant(
+                    "queued",
+                    0,
+                    *t,
+                    &format!("{{\"request\":{request}}}"),
+                ));
+            }
+            Event::RequestRejected { t, request, .. } => {
+                out.push(instant(
+                    "rejected",
+                    0,
+                    *t,
+                    &format!("{{\"request\":{request}}}"),
+                ));
+            }
+            Event::CapApplied { t, server, mhz } => {
+                open_caps.entry(*server).or_insert((*t, *mhz));
+            }
+            Event::Uncap { t, server } => {
+                if let Some((t0, mhz)) = open_caps.remove(server) {
+                    out.push(complete_span(
+                        "cap",
+                        "power",
+                        tid(*server),
+                        t0,
+                        *t,
+                        &format!("{{\"mhz\":{}}}", num(mhz)),
+                    ));
+                }
+            }
+            Event::PowerCapApplied { t, server, watts } => {
+                open_power_caps.entry(*server).or_insert((*t, *watts));
+            }
+            Event::PowerCapCleared { t, server } => {
+                if let Some((t0, watts)) = open_power_caps.remove(server) {
+                    out.push(complete_span(
+                        "powercap",
+                        "power",
+                        tid(*server),
+                        t0,
+                        *t,
+                        &format!("{{\"watts\":{}}}", num(watts)),
+                    ));
+                }
+            }
+            Event::BrakeEngaged { t, server, on } => {
+                if *on {
+                    open_brakes.entry(*server).or_insert(*t);
+                } else if let Some(t0) = open_brakes.remove(server) {
+                    out.push(complete_span("brake", "power", tid(*server), t0, *t, "{}"));
+                }
+            }
+            Event::OobCommandSent {
+                t, server, command, ..
+            } => {
+                out.push(instant(
+                    "oob_sent",
+                    tid(*server),
+                    *t,
+                    &format!("{{\"command\":{command}}}"),
+                ));
+            }
+            Event::OobCommandLost {
+                t, server, command, ..
+            } => {
+                out.push(instant(
+                    "oob_lost",
+                    tid(*server),
+                    *t,
+                    &format!("{{\"command\":{command}}}"),
+                ));
+            }
+            Event::PowerSample { t, watts } => {
+                out.push(format!(
+                    "{{\"ph\":\"C\",\"pid\":{PID},\"name\":\"row_power_w\",\"ts\":{},\"args\":{{\"watts\":{}}}}}",
+                    us(*t),
+                    num(*watts)
+                ));
+            }
+            Event::ControllerTransition { t, from, to } => {
+                out.push(instant(
+                    "controller",
+                    0,
+                    *t,
+                    &format!("{{\"from\":\"{}\",\"to\":\"{}\"}}", esc(from), esc(to)),
+                ));
+            }
+            Event::SloViolation { t, detail } => {
+                out.push(instant(
+                    "slo_violation",
+                    0,
+                    *t,
+                    &format!("{{\"detail\":\"{}\"}}", esc(detail)),
+                ));
+            }
+        }
+    }
+
+    // Close anything still open at the final timestamp so the spans
+    // render instead of vanishing.
+    for (request, (t0, srv, pri)) in open_requests {
+        out.push(complete_span(
+            "req",
+            "request",
+            tid(srv),
+            t0,
+            t_end,
+            &format!("{{\"request\":{request},\"priority\":\"{}\"}}", esc(pri)),
+        ));
+    }
+    for (server, (t0, mhz)) in open_caps {
+        out.push(complete_span(
+            "cap",
+            "power",
+            tid(server),
+            t0,
+            t_end,
+            &format!("{{\"mhz\":{}}}", num(mhz)),
+        ));
+    }
+    for (server, (t0, watts)) in open_power_caps {
+        out.push(complete_span(
+            "powercap",
+            "power",
+            tid(server),
+            t0,
+            t_end,
+            &format!("{{\"watts\":{}}}", num(watts)),
+        ));
+    }
+    for (server, t0) in open_brakes {
+        out.push(complete_span(
+            "brake",
+            "power",
+            tid(server),
+            t0,
+            t_end,
+            "{}",
+        ));
+    }
+
+    let mut doc = String::from("{\"traceEvents\":[\n");
+    doc.push_str(&out.join(",\n"));
+    doc.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    doc
+}
+
+fn tid(server: usize) -> u32 {
+    server as u32 + 1
+}
+
+fn us(t: f64) -> String {
+    num(t * 1e6)
+}
+
+fn complete_span(name: &str, cat: &str, tid: u32, t0: f64, t1: f64, args: &str) -> String {
+    format!(
+        "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":{tid},\"name\":\"{}\",\"cat\":\"{}\",\"ts\":{},\"dur\":{},\"args\":{args}}}",
+        esc(name),
+        esc(cat),
+        us(t0),
+        us((t1 - t0).max(0.0)),
+    )
+}
+
+fn instant(name: &str, tid: u32, t: f64, args: &str) -> String {
+    format!(
+        "{{\"ph\":\"i\",\"pid\":{PID},\"tid\":{tid},\"name\":\"{}\",\"s\":\"t\",\"ts\":{},\"args\":{args}}}",
+        esc(name),
+        us(t),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_span_pairs_into_complete_event() {
+        let events = vec![
+            Event::CapApplied {
+                t: 1.0,
+                server: 2,
+                mhz: 1110.0,
+            },
+            Event::Uncap { t: 3.0, server: 2 },
+        ];
+        let j = trace_json(&events);
+        assert!(j.contains("\"ph\":\"X\""), "{j}");
+        assert!(j.contains("\"name\":\"cap\""), "{j}");
+        assert!(j.contains("\"ts\":1000000"), "{j}");
+        assert!(j.contains("\"dur\":2000000"), "{j}");
+        assert!(j.contains("\"name\":\"server-2\""), "{j}");
+    }
+
+    #[test]
+    fn unclosed_spans_flush_at_end() {
+        let events = vec![
+            Event::BrakeEngaged {
+                t: 1.0,
+                server: 0,
+                on: true,
+            },
+            Event::PowerSample {
+                t: 5.0,
+                watts: 100.0,
+            },
+        ];
+        let j = trace_json(&events);
+        assert!(j.contains("\"name\":\"brake\""), "{j}");
+        assert!(j.contains("\"dur\":4000000"), "{j}");
+    }
+
+    #[test]
+    fn power_samples_become_counters() {
+        let events = vec![Event::PowerSample {
+            t: 2.0,
+            watts: 180.0,
+        }];
+        let j = trace_json(&events);
+        assert!(j.contains("\"ph\":\"C\""), "{j}");
+        assert!(j.contains("row_power_w"), "{j}");
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let events = vec![
+            Event::CapApplied {
+                t: 0.5,
+                server: 1,
+                mhz: 900.0,
+            },
+            Event::OobCommandSent {
+                t: 0.75,
+                server: 1,
+                command: 42,
+                effective_at: 1.0,
+            },
+        ];
+        assert_eq!(trace_json(&events), trace_json(&events));
+    }
+}

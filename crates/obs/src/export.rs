@@ -1,0 +1,259 @@
+//! The exportable bundle a run leaves behind.
+//!
+//! [`RunArtifacts`] is a snapshot of everything a [`Recorder`] captured
+//! and knows how to render each artifact format:
+//!
+//! | file           | contents                                         |
+//! |----------------|--------------------------------------------------|
+//! | `events.jsonl` | the structured event log, one JSON object/line   |
+//! | `metrics.json` | counters, gauges, histogram summaries            |
+//! | `power.csv`    | `t_s,watts` timeseries from power samples        |
+//! | `latency.csv`  | per-request completion latencies                 |
+//! | `trace.json`   | Chrome trace-event JSON (Perfetto-loadable)      |
+//! | `profile.json` | wall-clock span timings (non-deterministic)      |
+//!
+//! Everything except `profile.json` is a pure function of the event
+//! log and metrics, which are themselves sim-deterministic — so with a
+//! fixed seed, re-running a simulation reproduces those files
+//! byte-for-byte.
+//!
+//! [`Recorder`]: crate::Recorder
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::chrome;
+use crate::event::Event;
+use crate::json::num;
+use crate::metrics::MetricsRegistry;
+use crate::recorder::ObsLevel;
+use crate::span::SpanStats;
+
+/// Renders a table as CSV: a header row followed by one line per row,
+/// RFC-4180-quoting any cell containing a comma, quote, or newline.
+///
+/// This backs the figure/table binaries' shared writer so their CSV
+/// output matches the recorder's own artifact files.
+///
+/// # Examples
+///
+/// ```
+/// let csv = polca_obs::export::csv_table(
+///     &["policy", "brakes"],
+///     &[vec!["POLCA".into(), "0".into()]],
+/// );
+/// assert_eq!(csv, "policy,brakes\nPOLCA,0\n");
+/// ```
+pub fn csv_table(columns: &[&str], rows: &[Vec<String>]) -> String {
+    fn cell(s: &str) -> String {
+        if s.contains([',', '"', '\n', '\r']) {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut s = String::new();
+    s.push_str(
+        &columns
+            .iter()
+            .map(|c| cell(c))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    s.push('\n');
+    for row in rows {
+        s.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+        s.push('\n');
+    }
+    s
+}
+
+/// A snapshot of one run's observability output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunArtifacts {
+    /// The level the recorder captured at.
+    pub level: ObsLevel,
+    /// The structured event log, in emission order.
+    pub events: Vec<Event>,
+    /// Final metric series.
+    pub metrics: MetricsRegistry,
+    /// Wall-clock span aggregates (empty below [`ObsLevel::Full`]).
+    pub spans: SpanStats,
+}
+
+impl RunArtifacts {
+    /// The event log as JSON Lines (one event per line).
+    pub fn events_jsonl(&self) -> String {
+        let mut s = String::new();
+        for ev in &self.events {
+            s.push_str(&ev.to_json());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// The metrics registry as a JSON document.
+    pub fn metrics_json(&self) -> String {
+        self.metrics.to_json()
+    }
+
+    /// The aggregate power timeseries as CSV (`t_s,watts`).
+    pub fn power_csv(&self) -> String {
+        let mut s = String::from("t_s,watts\n");
+        for ev in &self.events {
+            if let Event::PowerSample { t, watts } = ev {
+                s.push_str(&format!("{},{}\n", num(*t), num(*watts)));
+            }
+        }
+        s
+    }
+
+    /// Per-request completion latencies as CSV
+    /// (`t_s,server,priority,latency_s`).
+    pub fn latency_csv(&self) -> String {
+        let mut s = String::from("t_s,server,priority,latency_s\n");
+        for ev in &self.events {
+            if let Event::RequestCompleted {
+                t,
+                server,
+                priority,
+                latency_s,
+                ..
+            } = ev
+            {
+                s.push_str(&format!(
+                    "{},{server},{priority},{}\n",
+                    num(*t),
+                    num(*latency_s)
+                ));
+            }
+        }
+        s
+    }
+
+    /// The event log rendered as Chrome trace-event JSON.
+    pub fn chrome_trace_json(&self) -> String {
+        chrome::trace_json(&self.events)
+    }
+
+    /// Wall-clock span timings as JSON.
+    pub fn profile_json(&self) -> String {
+        self.spans.to_json()
+    }
+
+    /// Writes the level-appropriate artifact files into `dir`,
+    /// creating the directory if needed, and returns the written
+    /// paths in a deterministic order.
+    ///
+    /// * `ObsLevel::Metrics` → `metrics.json`
+    /// * `ObsLevel::Events` → plus `events.jsonl`, `power.csv`,
+    ///   `latency.csv`, `trace.json`
+    /// * `ObsLevel::Full` → plus `profile.json`
+    pub fn write_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        let mut put = |name: &str, body: String| -> io::Result<()> {
+            let path = dir.join(name);
+            fs::write(&path, body)?;
+            written.push(path);
+            Ok(())
+        };
+        if self.level.metrics_enabled() {
+            put("metrics.json", self.metrics_json())?;
+        }
+        if self.level.events_enabled() {
+            put("events.jsonl", self.events_jsonl())?;
+            put("power.csv", self.power_csv())?;
+            put("latency.csv", self.latency_csv())?;
+            put("trace.json", self.chrome_trace_json())?;
+        }
+        if self.level.profiling_enabled() {
+            put("profile.json", self.profile_json())?;
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunArtifacts {
+        let mut metrics = MetricsRegistry::new();
+        metrics.add("reqs", crate::Label::Global, 2);
+        RunArtifacts {
+            level: ObsLevel::Events,
+            events: vec![
+                Event::PowerSample {
+                    t: 1.0,
+                    watts: 150.0,
+                },
+                Event::RequestCompleted {
+                    t: 2.5,
+                    server: 0,
+                    request: 7,
+                    priority: "high",
+                    latency_s: 0.5,
+                },
+            ],
+            metrics,
+            spans: SpanStats::default(),
+        }
+    }
+
+    #[test]
+    fn csv_table_quotes_only_when_needed() {
+        let csv = csv_table(
+            &["name", "note"],
+            &[
+                vec!["plain".into(), "a,b".into()],
+                vec!["quo\"te".into(), "ok".into()],
+            ],
+        );
+        assert_eq!(csv, "name,note\nplain,\"a,b\"\n\"quo\"\"te\",ok\n");
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_event() {
+        let a = sample();
+        let jsonl = a.events_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.starts_with("{\"ev\":\"power_sample\""));
+    }
+
+    #[test]
+    fn csv_exports_extract_their_series() {
+        let a = sample();
+        assert_eq!(a.power_csv(), "t_s,watts\n1,150\n");
+        assert_eq!(
+            a.latency_csv(),
+            "t_s,server,priority,latency_s\n2.5,0,high,0.5\n"
+        );
+    }
+
+    #[test]
+    fn write_dir_honours_level() {
+        let dir = std::env::temp_dir().join(format!(
+            "polca-obs-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+
+        let mut a = sample();
+        a.level = ObsLevel::Metrics;
+        let files = a.write_dir(&dir).unwrap();
+        assert_eq!(files.len(), 1);
+        assert!(dir.join("metrics.json").exists());
+        assert!(!dir.join("events.jsonl").exists());
+
+        a.level = ObsLevel::Full;
+        let files = a.write_dir(&dir).unwrap();
+        assert_eq!(files.len(), 6);
+        assert!(dir.join("trace.json").exists());
+        assert!(dir.join("profile.json").exists());
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

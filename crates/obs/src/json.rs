@@ -1,0 +1,51 @@
+//! Tiny deterministic JSON formatting helpers.
+//!
+//! The exporters hand-roll their JSON because the workspace builds
+//! offline (no serde_json). Numbers use Rust's shortest round-trip
+//! float formatting, which is deterministic across runs and platforms;
+//! non-finite values serialize as `null` to keep the output valid JSON.
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub(crate) fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` if non-finite).
+pub(crate) fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_are_shortest_roundtrip() {
+        assert_eq!(num(2.0), "2");
+        assert_eq!(num(0.25), "0.25");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+}

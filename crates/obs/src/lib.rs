@@ -1,0 +1,57 @@
+//! Observability for the polca simulation stack.
+//!
+//! The simulator used to be a black box: a run returned end-of-run
+//! aggregates and nothing else, so questions like *when did the
+//! dual-threshold controller cap?* or *which servers braked during the
+//! spike?* were unanswerable. This crate makes a run inspectable:
+//!
+//! * [`Event`] — a typed, allocation-light structured event alphabet
+//!   (`RequestDispatched`, `CapApplied`, `BrakeEngaged`, `PowerSample`,
+//!   …) with simulation-time timestamps,
+//! * [`Recorder`] — the cheap handle the simulator threads through its
+//!   hot loops; a disabled recorder costs one branch per call,
+//! * [`MetricsRegistry`] — labeled counters, gauges, and streaming
+//!   histograms (per-server, per-priority, per-policy series),
+//! * [`SpanStats`] — wall-clock span timing around the event-queue
+//!   loop, trace synthesis, and the policy controller (a perf baseline
+//!   for optimisation work),
+//! * [`RunArtifacts`] — exporters: a JSONL event log, CSV power and
+//!   latency timeseries, and a Chrome trace-event JSON that opens
+//!   directly in Perfetto (`https://ui.perfetto.dev`) or
+//!   `chrome://tracing` with servers as tracks and cap/brake spans
+//!   visible.
+//!
+//! Determinism is part of the contract: event recording never perturbs
+//! simulation results, and with a fixed seed the emitted event log is
+//! byte-identical across runs. (Wall-clock span timings are inherently
+//! non-deterministic and therefore live in a separate `profile.json`
+//! artifact, never in the event log.)
+//!
+//! # Example
+//!
+//! ```
+//! use polca_obs::{Event, ObsLevel, Recorder};
+//!
+//! let obs = Recorder::new(ObsLevel::Full);
+//! obs.record(Event::PowerSample { t: 2.0, watts: 180_000.0 });
+//! obs.record(Event::CapApplied { t: 4.0, server: 3, mhz: 1110.0 });
+//! let artifacts = obs.artifacts();
+//! assert_eq!(artifacts.events.len(), 2);
+//! assert!(artifacts.chrome_trace_json().contains("\"ph\""));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod export;
+mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use event::Event;
+pub use export::RunArtifacts;
+pub use metrics::{Label, MetricsRegistry, StreamingHistogram};
+pub use recorder::{ObsLevel, QueueProbe, Recorder};
+pub use span::{SpanGuard, SpanStats};

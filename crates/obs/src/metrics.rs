@@ -1,0 +1,343 @@
+//! Labeled counters, gauges, and streaming histograms.
+//!
+//! Metric series are keyed by a static name plus a [`Label`], which is
+//! how the stack gets per-server, per-priority, and per-policy series
+//! without string formatting in hot paths. Storage is `BTreeMap`-based
+//! so exported output is deterministically ordered.
+
+use std::collections::BTreeMap;
+
+use polca_stats::histogram::Histogram;
+
+use crate::json::{esc, num};
+
+/// The partition a metric series belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Label {
+    /// A single unpartitioned series.
+    Global,
+    /// One series per server index.
+    Server(usize),
+    /// One series per named partition — a priority class (`"high"`,
+    /// `"low"`) or a policy name (`"polca"`, `"nocap"`, …).
+    Tag(&'static str),
+}
+
+impl Label {
+    fn json(&self) -> String {
+        match self {
+            Label::Global => "null".to_string(),
+            Label::Server(i) => format!("{{\"server\":{i}}}"),
+            Label::Tag(t) => format!("\"{}\"", esc(t)),
+        }
+    }
+}
+
+type Key = (&'static str, Label);
+
+/// An approximate distribution that adapts its range as it streams.
+///
+/// Built on [`polca_stats::histogram::Histogram`]: the histogram starts
+/// with a small `[0, hi)` range and, whenever a sample lands past `hi`,
+/// doubles the range and pairwise-merges bins, so the bin count stays
+/// constant while the range grows geometrically. Exact `count`, `sum`,
+/// `min`, and `max` are tracked on the side; quantiles are read off the
+/// binned CDF and are therefore approximate to one bin width.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamingHistogram {
+    bins: Vec<u64>,
+    hi: f64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Bin count for streaming histograms (power of two so pairwise merges
+/// are exact).
+const STREAM_BINS: usize = 128;
+
+impl StreamingHistogram {
+    /// Creates an empty histogram with an initial `[0, 1)` range.
+    pub fn new() -> Self {
+        StreamingHistogram {
+            bins: vec![0; STREAM_BINS],
+            hi: 1.0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation. Negative values saturate into the first
+    /// bin (the simulator's series — latencies, depths, watts — are
+    /// non-negative by construction).
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        while value >= self.hi && self.hi < f64::MAX / 4.0 {
+            self.double_range();
+        }
+        let width = self.hi / self.bins.len() as f64;
+        let idx = ((value / width).floor().max(0.0) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn double_range(&mut self) {
+        for i in 0..self.bins.len() / 2 {
+            self.bins[i] = self.bins[2 * i] + self.bins[2 * i + 1];
+        }
+        for b in &mut self.bins[STREAM_BINS / 2..] {
+            *b = 0;
+        }
+        self.hi *= 2.0;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact minimum, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Approximate quantile (to one bin width), or `None` when empty.
+    pub fn quantile(&self, fraction: f64) -> Option<f64> {
+        self.fixed().quantile(fraction)
+    }
+
+    /// A snapshot as a fixed-range [`Histogram`] over `[0, hi)`.
+    pub fn fixed(&self) -> Histogram {
+        Histogram::from_counts(0.0, self.hi, self.bins.clone())
+    }
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A deterministic registry of labeled metric series.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, StreamingHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the counter series `(name, label)`.
+    pub fn add(&mut self, name: &'static str, label: Label, by: u64) {
+        *self.counters.entry((name, label)).or_insert(0) += by;
+    }
+
+    /// Sets the gauge series `(name, label)` to its latest value.
+    pub fn set_gauge(&mut self, name: &'static str, label: Label, value: f64) {
+        self.gauges.insert((name, label), value);
+    }
+
+    /// Records `value` into the histogram series `(name, label)`.
+    pub fn observe(&mut self, name: &'static str, label: Label, value: f64) {
+        self.histograms
+            .entry((name, label))
+            .or_default()
+            .record(value);
+    }
+
+    /// Current value of a counter series (0 if never incremented).
+    pub fn counter(&self, name: &'static str, label: Label) -> u64 {
+        self.counters.get(&(name, label)).copied().unwrap_or(0)
+    }
+
+    /// Latest value of a gauge series, if ever set.
+    pub fn gauge(&self, name: &'static str, label: Label) -> Option<f64> {
+        self.gauges.get(&(name, label)).copied()
+    }
+
+    /// The histogram series `(name, label)`, if any value was observed.
+    pub fn histogram(&self, name: &'static str, label: Label) -> Option<&StreamingHistogram> {
+        self.histograms.get(&(name, label))
+    }
+
+    /// Whether no series exist at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Iterates counter series in deterministic (name, label) order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, Label, u64)> + '_ {
+        self.counters.iter().map(|(&(n, l), &v)| (n, l, v))
+    }
+
+    /// Iterates gauge series in deterministic (name, label) order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, Label, f64)> + '_ {
+        self.gauges.iter().map(|(&(n, l), &v)| (n, l, v))
+    }
+
+    /// Iterates histogram series in deterministic (name, label) order.
+    pub fn histograms(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, Label, &StreamingHistogram)> + '_ {
+        self.histograms.iter().map(|(&(n, l), h)| (n, l, h))
+    }
+
+    /// Serializes the whole registry as pretty-stable JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"counters\": [");
+        let mut first = true;
+        for (name, label, v) in self.counters() {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\n    {{\"name\":\"{}\",\"label\":{},\"value\":{v}}}",
+                esc(name),
+                label.json()
+            ));
+        }
+        s.push_str("\n  ],\n  \"gauges\": [");
+        first = true;
+        for (name, label, v) in self.gauges() {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\n    {{\"name\":\"{}\",\"label\":{},\"value\":{}}}",
+                esc(name),
+                label.json(),
+                num(v)
+            ));
+        }
+        s.push_str("\n  ],\n  \"histograms\": [");
+        first = true;
+        for (name, label, h) in self.histograms() {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let stat = |o: Option<f64>| o.map(num).unwrap_or_else(|| "null".to_string());
+            s.push_str(&format!(
+                "\n    {{\"name\":\"{}\",\"label\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p99\":{}}}",
+                esc(name),
+                label.json(),
+                h.count(),
+                num(h.sum()),
+                stat(h.min()),
+                stat(h.max()),
+                stat(h.mean()),
+                stat(h.quantile(0.50)),
+                stat(h.quantile(0.99)),
+            ));
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label() {
+        let mut m = MetricsRegistry::new();
+        m.add("reqs", Label::Tag("high"), 1);
+        m.add("reqs", Label::Tag("high"), 2);
+        m.add("reqs", Label::Tag("low"), 5);
+        assert_eq!(m.counter("reqs", Label::Tag("high")), 3);
+        assert_eq!(m.counter("reqs", Label::Tag("low")), 5);
+        assert_eq!(m.counter("reqs", Label::Global), 0);
+    }
+
+    #[test]
+    fn gauges_keep_latest() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("power_w", Label::Server(2), 300.0);
+        m.set_gauge("power_w", Label::Server(2), 412.5);
+        assert_eq!(m.gauge("power_w", Label::Server(2)), Some(412.5));
+        assert_eq!(m.gauge("power_w", Label::Server(3)), None);
+    }
+
+    #[test]
+    fn streaming_histogram_grows_range() {
+        let mut h = StreamingHistogram::new();
+        h.record(0.5);
+        h.record(100.0); // forces several range doublings
+        h.record(3.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(100.0));
+        assert_eq!(h.fixed().total(), 3);
+        // The early sample survives the merges.
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 100.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn streaming_histogram_quantiles_track_data() {
+        let mut h = StreamingHistogram::new();
+        for i in 0..1000 {
+            h.record(i as f64 / 10.0); // 0.0 .. 99.9
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 50.0).abs() < 3.0, "p50 = {p50}");
+        let mean = h.mean().unwrap();
+        assert!((mean - 49.95).abs() < 1e-9, "mean = {mean}");
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let mut h = StreamingHistogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn registry_json_is_deterministic() {
+        let build = || {
+            let mut m = MetricsRegistry::new();
+            m.add("b", Label::Global, 1);
+            m.add("a", Label::Server(1), 2);
+            m.set_gauge("g", Label::Tag("low"), 0.5);
+            m.observe("lat", Label::Tag("high"), 1.25);
+            m.to_json()
+        };
+        assert_eq!(build(), build());
+        let j = build();
+        assert!(j.contains("\"counters\""), "{j}");
+        assert!(j.contains("{\"server\":1}"), "{j}");
+    }
+}

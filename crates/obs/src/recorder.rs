@@ -1,0 +1,355 @@
+//! The [`Recorder`] handle the simulation stack threads through its
+//! hot loops.
+//!
+//! A recorder is either *disabled* (one enum compare per call, zero
+//! allocation) or holds a shared, mutex-guarded core that accumulates
+//! events, metrics, and span timings. Cloning a recorder is cheap and
+//! every clone feeds the same core, which is how one run's artifacts
+//! are assembled from the event queue, the cluster loop, the OOB
+//! control plane, and the policy controller at once.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::event::Event;
+use crate::export::RunArtifacts;
+use crate::metrics::{Label, MetricsRegistry};
+use crate::span::{SpanGuard, SpanStats};
+
+/// How much a [`Recorder`] captures.
+///
+/// Levels are strictly ordered: each level captures everything the
+/// previous one does.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsLevel {
+    /// Capture nothing; every recorder call is a no-op branch.
+    #[default]
+    Off,
+    /// Counters, gauges, and histograms only.
+    Metrics,
+    /// Metrics plus the structured event log.
+    Events,
+    /// Events plus wall-clock span profiling.
+    Full,
+}
+
+impl ObsLevel {
+    /// Whether metric series are captured at this level.
+    pub fn metrics_enabled(self) -> bool {
+        self >= ObsLevel::Metrics
+    }
+
+    /// Whether structured events are captured at this level.
+    pub fn events_enabled(self) -> bool {
+        self >= ObsLevel::Events
+    }
+
+    /// Whether wall-clock spans are captured at this level.
+    pub fn profiling_enabled(self) -> bool {
+        self >= ObsLevel::Full
+    }
+}
+
+impl FromStr for ObsLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(ObsLevel::Off),
+            "metrics" => Ok(ObsLevel::Metrics),
+            "events" => Ok(ObsLevel::Events),
+            "full" => Ok(ObsLevel::Full),
+            other => Err(format!(
+                "unknown obs level '{other}' (expected off|metrics|events|full)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for ObsLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ObsLevel::Off => "off",
+            ObsLevel::Metrics => "metrics",
+            ObsLevel::Events => "events",
+            ObsLevel::Full => "full",
+        })
+    }
+}
+
+/// The shared mutable state behind an enabled recorder.
+#[derive(Debug, Default)]
+pub(crate) struct ObsCore {
+    pub(crate) events: Vec<Event>,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) spans: SpanStats,
+}
+
+/// A cheap, cloneable observability handle.
+///
+/// The simulation stack stores recorders inside configuration structs
+/// (`SimConfig`, `OversubscriptionStudy`), which imposes two design
+/// constraints honoured here:
+///
+/// * `Send + Sync` — the study object is shared across threads, so the
+///   core sits behind `Arc<Mutex<_>>`;
+/// * `PartialEq` — configs derive equality; two recorders compare equal
+///   iff their *levels* match, because the level is the configuration
+///   while the core is accumulated output.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    level: ObsLevel,
+    core: Option<Arc<Mutex<ObsCore>>>,
+}
+
+impl PartialEq for Recorder {
+    fn eq(&self, other: &Self) -> bool {
+        self.level == other.level
+    }
+}
+
+impl Recorder {
+    /// A recorder that captures nothing (the default).
+    pub fn disabled() -> Self {
+        Recorder::default()
+    }
+
+    /// A recorder capturing at `level`. `ObsLevel::Off` allocates no
+    /// core at all.
+    pub fn new(level: ObsLevel) -> Self {
+        let core = (level > ObsLevel::Off).then(|| Arc::new(Mutex::new(ObsCore::default())));
+        Recorder { level, core }
+    }
+
+    /// The capture level this recorder was created with.
+    pub fn level(&self) -> ObsLevel {
+        self.level
+    }
+
+    /// Whether this recorder captures anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    fn lock(&self) -> Option<MutexGuard<'_, ObsCore>> {
+        self.core
+            .as_ref()
+            .map(|c| c.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Appends `event` to the event log (no-op below
+    /// [`ObsLevel::Events`]).
+    pub fn record(&self, event: Event) {
+        if self.level.events_enabled() {
+            if let Some(mut core) = self.lock() {
+                core.events.push(event);
+            }
+        }
+    }
+
+    /// Like [`record`](Self::record) but defers construction, so
+    /// events whose payload allocates (e.g. [`Event::SloViolation`])
+    /// cost nothing when disabled.
+    pub fn record_with(&self, make: impl FnOnce() -> Event) {
+        if self.level.events_enabled() {
+            if let Some(mut core) = self.lock() {
+                core.events.push(make());
+            }
+        }
+    }
+
+    /// Adds `by` to a counter series (no-op below
+    /// [`ObsLevel::Metrics`]).
+    pub fn add(&self, name: &'static str, label: Label, by: u64) {
+        if self.level.metrics_enabled() {
+            if let Some(mut core) = self.lock() {
+                core.metrics.add(name, label, by);
+            }
+        }
+    }
+
+    /// Sets a gauge series to its latest value (no-op below
+    /// [`ObsLevel::Metrics`]).
+    pub fn gauge(&self, name: &'static str, label: Label, value: f64) {
+        if self.level.metrics_enabled() {
+            if let Some(mut core) = self.lock() {
+                core.metrics.set_gauge(name, label, value);
+            }
+        }
+    }
+
+    /// Records a histogram observation (no-op below
+    /// [`ObsLevel::Metrics`]).
+    pub fn observe(&self, name: &'static str, label: Label, value: f64) {
+        if self.level.metrics_enabled() {
+            if let Some(mut core) = self.lock() {
+                core.metrics.observe(name, label, value);
+            }
+        }
+    }
+
+    /// Starts a wall-clock span; the returned guard records its
+    /// elapsed time on drop. Returns `None` below [`ObsLevel::Full`],
+    /// so the idiom is simply `let _span = obs.time("sim.loop");`.
+    pub fn time(&self, name: &'static str) -> Option<SpanGuard> {
+        if self.level.profiling_enabled() {
+            self.core
+                .as_ref()
+                .map(|c| SpanGuard::new(name, Arc::clone(c)))
+        } else {
+            None
+        }
+    }
+
+    /// A probe suitable for attaching to `polca_sim::EventQueue`.
+    pub fn queue_probe(&self) -> QueueProbe {
+        QueueProbe { rec: self.clone() }
+    }
+
+    /// Snapshots everything captured so far into an exportable bundle.
+    pub fn artifacts(&self) -> RunArtifacts {
+        match self.lock() {
+            Some(core) => RunArtifacts {
+                level: self.level,
+                events: core.events.clone(),
+                metrics: core.metrics.clone(),
+                spans: core.spans.clone(),
+            },
+            None => RunArtifacts {
+                level: self.level,
+                events: Vec::new(),
+                metrics: MetricsRegistry::default(),
+                spans: SpanStats::default(),
+            },
+        }
+    }
+
+    /// Writes the level-appropriate artifact files into `dir`
+    /// (creating it), returning the paths written. A disabled recorder
+    /// writes nothing.
+    pub fn write_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        if !self.is_enabled() {
+            return Ok(Vec::new());
+        }
+        self.artifacts().write_dir(dir)
+    }
+}
+
+/// Instrumentation hook for the discrete-event queue.
+///
+/// `polca_sim::EventQueue` accepts one of these and reports scheduling
+/// activity through it; the probe turns that into `sim.events_*`
+/// counters and a `sim.queue_depth` histogram. All methods are no-ops
+/// when the underlying recorder is disabled.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueueProbe {
+    rec: Recorder,
+}
+
+impl QueueProbe {
+    /// Called after an event is scheduled; `depth` is the new queue
+    /// length.
+    pub fn on_schedule(&self, depth: usize) {
+        self.rec.add("sim.events_scheduled", Label::Global, 1);
+        self.rec
+            .observe("sim.queue_depth", Label::Global, depth as f64);
+    }
+
+    /// Called after an event is popped; `depth` is the remaining queue
+    /// length.
+    pub fn on_pop(&self, depth: usize) {
+        self.rec.add("sim.events_popped", Label::Global, 1);
+        self.rec
+            .gauge("sim.queue_depth_last", Label::Global, depth as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_captures_nothing() {
+        let r = Recorder::disabled();
+        r.record(Event::PowerSample { t: 0.0, watts: 1.0 });
+        r.add("c", Label::Global, 1);
+        r.observe("h", Label::Global, 1.0);
+        assert!(r.time("x").is_none());
+        let a = r.artifacts();
+        assert!(a.events.is_empty());
+        assert!(a.metrics.is_empty());
+        assert!(a.spans.is_empty());
+    }
+
+    #[test]
+    fn metrics_level_drops_events_keeps_metrics() {
+        let r = Recorder::new(ObsLevel::Metrics);
+        r.record(Event::PowerSample { t: 0.0, watts: 1.0 });
+        r.add("c", Label::Global, 2);
+        assert!(r.time("x").is_none());
+        let a = r.artifacts();
+        assert!(a.events.is_empty());
+        assert_eq!(a.metrics.counter("c", Label::Global), 2);
+    }
+
+    #[test]
+    fn clones_share_one_core() {
+        let r = Recorder::new(ObsLevel::Events);
+        let r2 = r.clone();
+        r.record(Event::Uncap { t: 1.0, server: 0 });
+        r2.record(Event::Uncap { t: 2.0, server: 1 });
+        assert_eq!(r.artifacts().events.len(), 2);
+    }
+
+    #[test]
+    fn full_level_times_spans() {
+        let r = Recorder::new(ObsLevel::Full);
+        {
+            let _g = r.time("work");
+        }
+        let a = r.artifacts();
+        assert_eq!(a.spans.get("work").unwrap().count, 1);
+    }
+
+    #[test]
+    fn equality_is_by_level_only() {
+        assert_eq!(
+            Recorder::new(ObsLevel::Events),
+            Recorder::new(ObsLevel::Events)
+        );
+        assert_ne!(Recorder::new(ObsLevel::Events), Recorder::disabled());
+        let r = Recorder::new(ObsLevel::Events);
+        r.record(Event::Uncap { t: 1.0, server: 0 });
+        assert_eq!(r, Recorder::new(ObsLevel::Events));
+    }
+
+    #[test]
+    fn level_parses_and_displays() {
+        for s in ["off", "metrics", "events", "full"] {
+            let l: ObsLevel = s.parse().unwrap();
+            assert_eq!(l.to_string(), s);
+        }
+        assert!("verbose".parse::<ObsLevel>().is_err());
+        assert!(ObsLevel::Full.events_enabled());
+        assert!(!ObsLevel::Metrics.events_enabled());
+    }
+
+    #[test]
+    fn queue_probe_counts() {
+        let r = Recorder::new(ObsLevel::Metrics);
+        let p = r.queue_probe();
+        p.on_schedule(1);
+        p.on_schedule(2);
+        p.on_pop(1);
+        let a = r.artifacts();
+        assert_eq!(a.metrics.counter("sim.events_scheduled", Label::Global), 2);
+        assert_eq!(a.metrics.counter("sim.events_popped", Label::Global), 1);
+        assert_eq!(
+            a.metrics.gauge("sim.queue_depth_last", Label::Global),
+            Some(1.0)
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Wall-clock span profiling for the simulator's own hot paths.
+//!
+//! Spans answer "where does a run spend its time" — around the event
+//! loop, trace synthesis, and the policy controller — and feed the
+//! `profile.json` artifact. Wall-clock data is inherently
+//! non-deterministic, so it is kept strictly out of the event log.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json::esc;
+use crate::recorder::ObsCore;
+
+/// Aggregate timing for one named span.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Number of times the span was entered.
+    pub count: u64,
+    /// Total wall-clock time across all entries.
+    pub total: Duration,
+    /// Longest single entry.
+    pub max: Duration,
+}
+
+/// Per-name aggregated wall-clock span timings.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    agg: BTreeMap<&'static str, SpanAgg>,
+}
+
+impl SpanStats {
+    /// Creates an empty set of span statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record(&mut self, name: &'static str, elapsed: Duration) {
+        let a = self.agg.entry(name).or_default();
+        a.count += 1;
+        a.total += elapsed;
+        a.max = a.max.max(elapsed);
+    }
+
+    /// Aggregate for one span name, if it was ever entered.
+    pub fn get(&self, name: &str) -> Option<SpanAgg> {
+        self.agg.get(name).copied()
+    }
+
+    /// Whether no span was ever entered.
+    pub fn is_empty(&self) -> bool {
+        self.agg.is_empty()
+    }
+
+    /// Iterates spans in deterministic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, SpanAgg)> + '_ {
+        self.agg.iter().map(|(&n, &a)| (n, a))
+    }
+
+    /// Serializes span aggregates as JSON (`profile.json` body).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"spans\": [");
+        let mut first = true;
+        for (name, a) in self.iter() {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let mean_us = if a.count > 0 {
+                a.total.as_micros() as f64 / a.count as f64
+            } else {
+                0.0
+            };
+            s.push_str(&format!(
+                "\n    {{\"name\":\"{}\",\"count\":{},\"total_us\":{},\"mean_us\":{mean_us},\"max_us\":{}}}",
+                esc(name),
+                a.count,
+                a.total.as_micros(),
+                a.max.as_micros(),
+            ));
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// RAII guard returned by [`Recorder::time`](crate::Recorder::time);
+/// records the elapsed wall-clock time into the recorder on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+    core: Arc<Mutex<ObsCore>>,
+}
+
+impl SpanGuard {
+    pub(crate) fn new(name: &'static str, core: Arc<Mutex<ObsCore>>) -> Self {
+        SpanGuard {
+            name,
+            start: Instant::now(),
+            core,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        let mut core = self.core.lock().unwrap_or_else(|e| e.into_inner());
+        core.spans.record(self.name, elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_accumulate() {
+        let mut s = SpanStats::new();
+        s.record("loop", Duration::from_micros(10));
+        s.record("loop", Duration::from_micros(30));
+        let a = s.get("loop").unwrap();
+        assert_eq!(a.count, 2);
+        assert_eq!(a.total, Duration::from_micros(40));
+        assert_eq!(a.max, Duration::from_micros(30));
+        assert!(s.get("other").is_none());
+    }
+
+    #[test]
+    fn json_lists_spans_in_name_order() {
+        let mut s = SpanStats::new();
+        s.record("z", Duration::from_micros(1));
+        s.record("a", Duration::from_micros(2));
+        let j = s.to_json();
+        let a = j.find("\"a\"").unwrap();
+        let z = j.find("\"z\"").unwrap();
+        assert!(a < z, "{j}");
+    }
+}

@@ -28,6 +28,7 @@
 //! assert_eq!((t.as_secs(), e), (1.0, "first"));
 //! ```
 
+mod chacha;
 pub mod queue;
 pub mod rng;
 pub mod time;

@@ -3,6 +3,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use polca_obs::QueueProbe;
+
 use crate::time::SimTime;
 
 /// A monotonic priority queue of timed events.
@@ -33,6 +35,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
     now: SimTime,
+    probe: Option<QueueProbe>,
 }
 
 #[derive(Debug)]
@@ -66,7 +69,15 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            probe: None,
         }
+    }
+
+    /// Attaches an observability probe; subsequent schedule/pop activity
+    /// is reported through it. Probes backed by a disabled recorder cost
+    /// one branch per operation.
+    pub fn set_probe(&mut self, probe: QueueProbe) {
+        self.probe = Some(probe);
     }
 
     /// The timestamp of the most recently popped event (the simulation's
@@ -82,13 +93,20 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is earlier than [`now`](Self::now): the simulator
     /// never travels backwards.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduled event in the past: {at} < {}",
+            self.now
+        );
         self.heap.push(Reverse(Entry {
             at,
             seq: self.seq,
             event,
         }));
         self.seq += 1;
+        if let Some(p) = &self.probe {
+            p.on_schedule(self.heap.len());
+        }
     }
 
     /// Schedules `event` `delay` after the current time.
@@ -100,6 +118,9 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse(entry) = self.heap.pop()?;
         self.now = entry.at;
+        if let Some(p) = &self.probe {
+            p.on_pop(self.heap.len());
+        }
         Some((entry.at, entry.event))
     }
 

@@ -7,10 +7,12 @@
 //! consumer of randomness does not perturb existing ones — essential when
 //! comparing power policies on identical request streams.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::chacha::ChaCha8;
 
 /// A seedable, splittable simulation RNG.
+///
+/// Backed by the in-tree [ChaCha8 keystream](crate::chacha) so the
+/// workspace builds without registry access.
 ///
 /// # Examples
 ///
@@ -27,15 +29,15 @@ use rand_chacha::ChaCha8Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8,
 }
 
 impl SimRng {
     /// Creates an RNG from an experiment `seed` and a component `stream`.
     pub fn from_seed_stream(seed: u64, stream: u64) -> Self {
-        let mut inner = ChaCha8Rng::seed_from_u64(seed);
-        inner.set_stream(stream);
-        SimRng { inner }
+        SimRng {
+            inner: ChaCha8::new(seed, stream),
+        }
     }
 
     /// Derives a child RNG for a sub-component, keyed by `stream`.
@@ -43,10 +45,34 @@ impl SimRng {
     /// The child is independent of `self` and of children with other
     /// streams; deriving a child does not advance this RNG.
     pub fn child(&self, stream: u64) -> SimRng {
-        let mut inner = self.inner.clone();
-        inner.set_stream(self.inner.get_stream() ^ splitmix(stream));
-        inner.set_word_pos(0);
-        SimRng { inner }
+        SimRng {
+            inner: self
+                .inner
+                .with_stream(self.inner.stream() ^ splitmix(stream)),
+        }
+    }
+
+    /// The next 32 raw keystream bits.
+    pub fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    /// The next 64 raw keystream bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Fills `dest` with keystream bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.inner.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+
+    /// A uniform sample in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Samples an exponential inter-arrival time with the given `rate`
@@ -58,7 +84,7 @@ impl SimRng {
     pub fn exponential(&mut self, rate: f64) -> f64 {
         assert!(rate > 0.0, "exponential rate must be positive");
         // Inverse CDF; guard the log(0) corner.
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
         -u.ln() / rate
     }
 
@@ -70,8 +96,8 @@ impl SimRng {
     /// Panics if `std_dev` is negative.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
         assert!(std_dev >= 0.0, "std_dev must be non-negative");
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen_range(0.0..1.0);
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         mean + std_dev * z
     }
@@ -89,7 +115,14 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty uniform range");
-        self.inner.gen_range(lo..hi)
+        let x = lo + self.next_f64() * (hi - lo);
+        // Floating-point rounding can land exactly on `hi`; keep the
+        // half-open contract.
+        if x >= hi {
+            hi.next_down().max(lo)
+        } else {
+            x
+        }
     }
 
     /// Uniform integer sample in `[lo, hi]` (inclusive).
@@ -99,13 +132,21 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty uniform range");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.inner.next_u64();
+        }
+        // Fixed-point multiply maps the keystream onto [0, span]; the
+        // bias is at most (span + 1) / 2^64, far below anything the
+        // simulator's statistics can resolve.
+        let scaled = (self.inner.next_u64() as u128 * (span as u128 + 1)) >> 64;
+        lo + scaled as u64
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_range(0.0..1.0) < p
+        self.next_f64() < p
     }
 
     /// Picks an index according to the given non-negative `weights`.
@@ -116,7 +157,7 @@ impl SimRng {
         if weights.is_empty() || total <= 0.0 {
             return None;
         }
-        let mut x = self.inner.gen_range(0.0..total);
+        let mut x = self.next_f64() * total;
         for (i, &w) in weights.iter().enumerate() {
             if x < w {
                 return Some(i);
@@ -124,21 +165,6 @@ impl SimRng {
             x -= w;
         }
         Some(weights.len() - 1)
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 

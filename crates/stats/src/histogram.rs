@@ -44,6 +44,24 @@ impl Histogram {
         }
     }
 
+    /// Reconstructs a histogram from previously captured bin counts, e.g.
+    /// after a caller has merged or rescaled bins externally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or `lo >= hi`.
+    pub fn from_counts(lo: f64, hi: f64, counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "histogram needs at least one bin");
+        assert!(lo < hi, "invalid histogram range");
+        let total = counts.iter().sum();
+        Histogram {
+            lo,
+            hi,
+            bins: counts,
+            total,
+        }
+    }
+
     /// Records one observation. Values below `lo` land in the first bin,
     /// values at or above `hi` in the last bin.
     pub fn record(&mut self, value: f64) {

@@ -13,6 +13,7 @@
 
 use std::collections::VecDeque;
 
+use polca_obs::{Event, Label, Recorder};
 use polca_sim::{SimRng, SimTime};
 
 /// A power-management action targeting one server's GPUs.
@@ -92,6 +93,7 @@ pub struct OobControlPlane {
     next_id: u64,
     issued: u64,
     silently_failed: u64,
+    recorder: Recorder,
 }
 
 impl OobControlPlane {
@@ -102,12 +104,20 @@ impl OobControlPlane {
             cap_latency_s: (20.0, 40.0),
             brake_latency_s: (2.0, 5.0),
             failure_rate: 0.0,
-            rng: SimRng::from_seed_stream(seed, 0xC0117_01),
+            rng: SimRng::from_seed_stream(seed, 0x0C01_1701),
             in_flight: VecDeque::new(),
             next_id: 0,
             issued: 0,
             silently_failed: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder: issued and silently lost
+    /// commands are traced as `oob_sent` / `oob_lost` events and
+    /// counted per command path.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Overrides the capping-path latency range in seconds.
@@ -152,9 +162,18 @@ impl OobControlPlane {
         let id = self.next_id;
         self.next_id += 1;
         self.issued += 1;
+        let path = if action.is_brake() { "brake" } else { "cap" };
+        self.recorder
+            .add("oob.commands_issued", Label::Tag(path), 1);
         if self.rng.chance(self.failure_rate) && !action.is_brake() {
             // Silent failure: the command vanishes without an error.
             self.silently_failed += 1;
+            self.recorder.add("oob.commands_lost", Label::Tag(path), 1);
+            self.recorder.record(Event::OobCommandLost {
+                t: now.as_secs(),
+                server,
+                command: id,
+            });
             return id;
         }
         let cmd = ControlCommand {
@@ -164,6 +183,14 @@ impl OobControlPlane {
             issued_at: now,
             effective_at: now + SimTime::from_secs(latency),
         };
+        self.recorder
+            .observe("oob.latency_s", Label::Tag(path), latency);
+        self.recorder.record(Event::OobCommandSent {
+            t: now.as_secs(),
+            server,
+            command: id,
+            effective_at: cmd.effective_at.as_secs(),
+        });
         // Keep in_flight sorted by effective time (insertion point from
         // the back; queues are short).
         let pos = self

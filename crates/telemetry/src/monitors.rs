@@ -26,7 +26,7 @@ impl DcgmMonitor {
     pub fn new(seed: u64) -> Self {
         DcgmMonitor {
             sampler: PeriodicSampler::new(SimTime::from_secs(0.1)).with_noise(1.5),
-            rng: SimRng::from_seed_stream(seed, 0xDC6_0),
+            rng: SimRng::from_seed_stream(seed, 0xDC60),
             enabled: true,
         }
     }
@@ -65,7 +65,11 @@ impl DcgmMonitor {
             return None;
         }
         self.sampler.advance();
-        Some(self.sampler.measure(true_power_watts, &mut self.rng).max(0.0))
+        Some(
+            self.sampler
+                .measure(true_power_watts, &mut self.rng)
+                .max(0.0),
+        )
     }
 }
 

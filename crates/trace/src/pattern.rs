@@ -48,8 +48,7 @@ impl DiurnalPattern {
         let hour = (t / 3600.0).rem_euclid(24.0);
         let day = ((t / 86_400.0).floor() as i64).rem_euclid(7);
         let daily = 1.0
-            + self.daily_amplitude
-                * ((hour - self.peak_hour) / 24.0 * std::f64::consts::TAU).cos();
+            + self.daily_amplitude * ((hour - self.peak_hour) / 24.0 * std::f64::consts::TAU).cos();
         let weekly = if day >= 5 { self.weekend_factor } else { 1.0 };
         (self.base_rate * daily * weekly).max(0.0)
     }
@@ -207,9 +206,11 @@ mod tests {
 
     #[test]
     fn bursts_raise_the_max_rate() {
-        let mut calm = DiurnalPattern::default();
-        calm.bursts_per_day = 0.0;
-        calm.short_term_noise = 0.0;
+        let calm = DiurnalPattern {
+            bursts_per_day: 0.0,
+            short_term_noise: 0.0,
+            ..Default::default()
+        };
         let mut bursty = calm.clone();
         bursty.bursts_per_day = 20.0;
         bursty.burst_magnitude = 1.0;

@@ -50,8 +50,7 @@ impl ProductionReplicator {
         let mut share_total = 0.0;
         for class in mix {
             let (input, output) = class.mean_shape();
-            let profile =
-                deployment.profile(&InferenceConfig::new(input as u32, output as u32, 1));
+            let profile = deployment.profile(&InferenceConfig::new(input as u32, output as u32, 1));
             let service = profile.total_time_s();
             // Time-weighted server power over the request's phases.
             let phase_power = |intensity: f64| {
@@ -74,8 +73,8 @@ impl ProductionReplicator {
         // Unoccupied servers sit at hot idle: model loaded, framework
         // busy-polling (§6.4's "all servers serving with models loaded").
         let gpu = &row.server_spec.gpu;
-        let hot_idle_gpu = gpu.idle_watts
-            + (gpu.transient_peak_watts - gpu.idle_watts) * HOT_IDLE_INTENSITY;
+        let hot_idle_gpu =
+            gpu.idle_watts + (gpu.transient_peak_watts - gpu.idle_watts) * HOT_IDLE_INTENSITY;
         let idle_power_w = spec.server_power_watts(
             hot_idle_gpu * deployment.n_gpus() as f64
                 + (spec.n_gpus - deployment.n_gpus()) as f64 * gpu.idle_watts,
@@ -110,8 +109,8 @@ impl ProductionReplicator {
     /// the feasible `[0, saturation]` range.
     pub fn rate_for_power(&self, watts: f64) -> f64 {
         let per_server = watts / self.n_servers;
-        let rho =
-            ((per_server - self.idle_power_w) / (self.busy_power_w - self.idle_power_w)).clamp(0.0, 1.0);
+        let rho = ((per_server - self.idle_power_w) / (self.busy_power_w - self.idle_power_w))
+            .clamp(0.0, 1.0);
         rho * self.n_servers / self.mean_service_s
     }
 
@@ -125,7 +124,11 @@ impl ProductionReplicator {
     pub fn schedule_from_profile(&self, profile: &TimeSeries) -> RateSchedule {
         assert!(profile.len() >= 2, "profile needs at least two samples");
         let step = profile.times()[1] - profile.times()[0];
-        let rates: Vec<f64> = profile.values().iter().map(|&w| self.rate_for_power(w)).collect();
+        let rates: Vec<f64> = profile
+            .values()
+            .iter()
+            .map(|&w| self.rate_for_power(w))
+            .collect();
         RateSchedule::new(step, rates)
     }
 
@@ -266,7 +269,10 @@ mod tests {
         let provisioned = row.provisioned_watts();
         let peak_util = reference.peak().unwrap() / provisioned;
         // Table 4: ~79 % peak utilization.
-        assert!((0.70..=0.88).contains(&peak_util), "peak util {peak_util:.3}");
+        assert!(
+            (0.70..=0.88).contains(&peak_util),
+            "peak util {peak_util:.3}"
+        );
         // Max 2 s swing ≤ ~9 %; max 40 s swing ≤ ~12 %.
         let rise2 = reference.max_rise_within(2.0).unwrap() / provisioned;
         let rise40 = reference.max_rise_within(40.0).unwrap() / provisioned;
@@ -274,7 +280,10 @@ mod tests {
         assert!(rise40 < 0.16, "40 s rise {rise40:.3}");
         assert!(rise40 >= rise2);
         // Diurnal: daytime power exceeds nighttime power.
-        let day = reference.slice_time(12.0 * 3600.0, 16.0 * 3600.0).mean().unwrap();
+        let day = reference
+            .slice_time(12.0 * 3600.0, 16.0 * 3600.0)
+            .mean()
+            .unwrap();
         let night = reference.slice_time(0.0, 4.0 * 3600.0).mean().unwrap();
         assert!(day > night * 1.05);
     }

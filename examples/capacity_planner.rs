@@ -9,7 +9,7 @@
 //! Run with `cargo run --release --example capacity_planner`.
 //! `POLCA_DAYS` (default 3) controls the evaluation trace length.
 
-use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca::{OversubscriptionStudy, PolcaPolicy, PolicyKind};
 use polca_cluster::RowConfig;
 
 fn main() {
@@ -47,7 +47,11 @@ fn main() {
     for pct in [0u32, 10, 20, 25, 30, 35, 40, 45] {
         let added = pct as f64 / 100.0;
         let o = study.run(PolicyKind::Polca, added, 1.0);
-        let servers = study.row().clone().with_added_servers(added).total_servers();
+        let servers = study
+            .row()
+            .clone()
+            .with_added_servers(added)
+            .total_servers();
         println!(
             "{:>7} {:>8} {:>7} {:>7.3} {:>7.3} {:>7.1} {:>6}",
             pct,

@@ -9,7 +9,7 @@
 //! Run with `cargo run --release --example oversubscription_study`.
 //! Set `POLCA_DAYS` to change the trace length (default 7).
 
-use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca::{OversubscriptionStudy, PolcaPolicy, PolicyKind};
 use polca_cluster::RowConfig;
 
 fn main() {

@@ -9,8 +9,8 @@ fn insight1_training_peaks_reach_tdp_inference_only_in_prompt() {
     let gpu_spec = GpuSpec::a100_80gb();
     // Training: large models hit/exceed TDP.
     let mut gpu = Gpu::new(gpu_spec.clone());
-    let training = TrainingJob::fine_tuning(&ModelSpec::gpt_neox_20b())
-        .power_series(&mut gpu, 2, 0.01);
+    let training =
+        TrainingJob::fine_tuning(&ModelSpec::gpt_neox_20b()).power_series(&mut gpu, 2, 0.01);
     assert!(training.peak().unwrap() >= gpu_spec.tdp_watts);
 
     // Inference: BLOOM's big-prompt spike also reaches TDP, but only
@@ -26,8 +26,8 @@ fn insight1_training_peaks_reach_tdp_inference_only_in_prompt() {
 fn insight2_training_swings_exceed_inference_swings() {
     let gpu_spec = GpuSpec::a100_80gb();
     let mut gpu = Gpu::new(gpu_spec.clone());
-    let training = TrainingJob::fine_tuning(&ModelSpec::flan_t5_xxl())
-        .power_series(&mut gpu, 3, 0.01);
+    let training =
+        TrainingJob::fine_tuning(&ModelSpec::flan_t5_xxl()).power_series(&mut gpu, 3, 0.01);
     let training_swing = training.peak().unwrap() - training.trough().unwrap();
 
     let bloom = InferenceModel::new(ModelSpec::bloom_176b(), gpu_spec.clone()).unwrap();

@@ -3,7 +3,7 @@
 //! policy evaluation → SLO checking, spanning every crate in the
 //! workspace.
 
-use polca::{OversubscriptionStudy, PolicyKind, PolcaPolicy};
+use polca::{OversubscriptionStudy, PolcaPolicy, PolicyKind};
 use polca_cluster::RowConfig;
 
 fn study(days: f64, seed: u64) -> OversubscriptionStudy {
@@ -40,7 +40,9 @@ fn baselines_brake_where_polca_does_not() {
     s.set_record_power(false);
     let polca = s.run(PolicyKind::Polca, 0.30, 1.0).brake_engagements;
     let no_cap = s.run(PolicyKind::NoCap, 0.30, 1.0).brake_engagements;
-    let one_lp = s.run(PolicyKind::OneThreshLowPri, 0.30, 1.0).brake_engagements;
+    let one_lp = s
+        .run(PolicyKind::OneThreshLowPri, 0.30, 1.0)
+        .brake_engagements;
     assert_eq!(polca, 0);
     assert!(no_cap > 0, "No-cap must hit the UPS brake at +30 %");
     assert!(polca <= one_lp, "POLCA must not brake more than 1-Thresh");

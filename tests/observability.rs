@@ -1,0 +1,136 @@
+//! Observability-layer guarantees (ISSUE 1 acceptance criteria):
+//!
+//! * recording is *passive* — attaching a recorder at any level must
+//!   not perturb simulation results (same seed ⇒ same
+//!   `PolicyOutcome`),
+//! * the event log is *deterministic* — with a fixed seed, two runs
+//!   emit byte-identical `events.jsonl` and Perfetto traces,
+//! * the Chrome trace-event rendering has a stable, golden-file-pinned
+//!   shape.
+
+use polca::{OversubscriptionStudy, PolicyKind, PolicyOutcome};
+use polca_obs::{Event, ObsLevel, Recorder};
+use proptest::prelude::*;
+
+/// Runs the quick-demo study under `kind` with the given recorder.
+fn run_with(seed: u64, kind: PolicyKind, recorder: Recorder) -> (PolicyOutcome, Recorder) {
+    let mut study = OversubscriptionStudy::quick_demo(seed);
+    study.set_recorder(recorder.clone());
+    (study.run(kind, 0.30, 1.0), recorder)
+}
+
+fn assert_outcomes_identical(a: &PolicyOutcome, b: &PolicyOutcome) {
+    assert_eq!(a.kind, b.kind);
+    assert_eq!(a.brake_engagements, b.brake_engagements);
+    assert_eq!(a.counts, b.counts);
+    assert_eq!(a.commands_issued, b.commands_issued);
+    for (qa, qb) in [
+        (&a.low_normalized, &b.low_normalized),
+        (&a.high_normalized, &b.high_normalized),
+        (&a.low_raw, &b.low_raw),
+        (&a.high_raw, &b.high_raw),
+    ] {
+        assert_eq!(qa.count, qb.count);
+        assert_eq!(qa.p50, qb.p50);
+        assert_eq!(qa.p90, qb.p90);
+        assert_eq!(qa.p99, qb.p99);
+        assert_eq!(qa.min, qb.min);
+        assert_eq!(qa.max, qb.max);
+        assert_eq!(qa.mean, qb.mean);
+    }
+    assert_eq!(a.peak_utilization, b.peak_utilization);
+    assert_eq!(a.mean_utilization, b.mean_utilization);
+    assert_eq!(a.low_throughput_norm, b.low_throughput_norm);
+    assert_eq!(a.high_throughput_norm, b.high_throughput_norm);
+    assert_eq!(a.slo.met, b.slo.met);
+    assert_eq!(a.row_power.values(), b.row_power.values());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Observation is passive: a fully-instrumented run and an
+    /// uninstrumented run of the same seeded study are outcome-equal.
+    #[test]
+    fn recording_never_perturbs_outcomes(seed in 0u64..1000) {
+        let (off, _) = run_with(seed, PolicyKind::Polca, Recorder::disabled());
+        let (on, rec) = run_with(seed, PolicyKind::Polca, Recorder::new(ObsLevel::Full));
+        assert_outcomes_identical(&off, &on);
+        // And the instrumented run actually observed something.
+        let artifacts = rec.artifacts();
+        prop_assert!(!artifacts.events.is_empty());
+        prop_assert!(!artifacts.metrics.is_empty());
+    }
+}
+
+#[test]
+fn event_log_is_byte_identical_across_runs() {
+    let (_, rec1) = run_with(11, PolicyKind::Polca, Recorder::new(ObsLevel::Full));
+    let (_, rec2) = run_with(11, PolicyKind::Polca, Recorder::new(ObsLevel::Full));
+    let (a, b) = (rec1.artifacts(), rec2.artifacts());
+    assert!(!a.events.is_empty());
+    assert_eq!(a.events_jsonl(), b.events_jsonl());
+    assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+    assert_eq!(a.metrics_json(), b.metrics_json());
+    assert_eq!(a.power_csv(), b.power_csv());
+    assert_eq!(a.latency_csv(), b.latency_csv());
+}
+
+#[test]
+fn instrumented_run_emits_the_advertised_event_taxonomy() {
+    let (outcome, rec) = run_with(7, PolicyKind::NoCap, Recorder::new(ObsLevel::Events));
+    let kinds: std::collections::BTreeSet<&str> =
+        rec.artifacts().events.iter().map(|e| e.kind()).collect();
+    assert!(kinds.contains("request_dispatched"), "kinds: {kinds:?}");
+    assert!(kinds.contains("request_completed"), "kinds: {kinds:?}");
+    assert!(kinds.contains("power_sample"), "kinds: {kinds:?}");
+    // The power series in the artifacts matches the outcome's record.
+    let csv_lines = rec.artifacts().power_csv().lines().count() - 1;
+    assert_eq!(csv_lines, outcome.row_power.len());
+}
+
+/// Golden-file pin of the Chrome trace-event JSON shape: a hand-built
+/// event list must render exactly as `tests/golden/chrome_trace.json`.
+/// Regenerate deliberately (and review the diff in Perfetto) if the
+/// format changes.
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let events = vec![
+        Event::PowerSample {
+            t: 0.0,
+            watts: 100_000.0,
+        },
+        Event::RequestDispatched {
+            t: 0.5,
+            server: 0,
+            request: 1,
+            priority: "high",
+        },
+        Event::CapApplied {
+            t: 1.0,
+            server: 0,
+            mhz: 1110.0,
+        },
+        Event::RequestCompleted {
+            t: 1.5,
+            server: 0,
+            request: 1,
+            priority: "high",
+            latency_s: 1.0,
+        },
+        Event::BrakeEngaged {
+            t: 2.0,
+            server: 1,
+            on: true,
+        },
+        Event::BrakeEngaged {
+            t: 2.5,
+            server: 1,
+            on: false,
+        },
+        Event::Uncap { t: 3.0, server: 0 },
+    ];
+    let rendered = polca_obs::chrome::trace_json(&events);
+    let golden = include_str!("golden/chrome_trace.json");
+    assert_eq!(rendered, golden);
+}

@@ -41,8 +41,7 @@ fn polca_survives_a_lossy_control_plane() {
     // (reliable) brake keeps the row at or near the provisioned limit.
     let report = run_with_failure_rate(0.20);
     assert!(report.completed > 0);
-    let peak_util =
-        report.peak_row_watts / RowConfig::paper_inference_row().provisioned_watts();
+    let peak_util = report.peak_row_watts / RowConfig::paper_inference_row().provisioned_watts();
     assert!(
         peak_util < 1.06,
         "row power ran away under command loss: {peak_util:.3}"

@@ -19,10 +19,8 @@ fn full_day_replication_meets_the_three_percent_mape_bound() {
         schedule,
         mix: WorkloadClass::table6(),
     };
-    let report = ClusterSim::new(row, SimConfig::default(), NoopController).run(
-        ArrivalGenerator::new(&config),
-        SimTime::from_days(1.0),
-    );
+    let report = ClusterSim::new(row, SimConfig::default(), NoopController)
+        .run(ArrivalGenerator::new(&config), SimTime::from_days(1.0));
     // Skip the half-hour fill-up transient.
     let sim = report.row_power.slice_time(1800.0, f64::INFINITY);
     let reference = reference.slice_time(1800.0, f64::INFINITY);
@@ -43,10 +41,8 @@ fn replicated_cluster_matches_table4_inference_statistics() {
         schedule,
         mix: WorkloadClass::table6(),
     };
-    let report = ClusterSim::new(row, SimConfig::default(), NoopController).run(
-        ArrivalGenerator::new(&config),
-        SimTime::from_days(2.0),
-    );
+    let report = ClusterSim::new(row, SimConfig::default(), NoopController)
+        .run(ArrivalGenerator::new(&config), SimTime::from_days(2.0));
     // Table 4, inference column: high-but-not-full peak utilization …
     let peak_util = report.peak_row_watts / provisioned;
     assert!(
@@ -77,6 +73,9 @@ fn inference_headroom_dwarfs_training_headroom() {
     let inference_headroom = 1.0 - reference.peak().unwrap() / row.provisioned_watts();
 
     assert!(training_headroom < 0.08, "training {training_headroom:.3}");
-    assert!(inference_headroom > 0.15, "inference {inference_headroom:.3}");
+    assert!(
+        inference_headroom > 0.15,
+        "inference {inference_headroom:.3}"
+    );
     assert!(inference_headroom > 3.0 * training_headroom);
 }

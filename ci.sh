@@ -22,4 +22,11 @@ else
     cargo test -q --offline
 fi
 
+echo "== cargo bench --no-run =="
+cargo bench --offline --no-run -q
+
+echo "== polca-cli ingest smoke test =="
+cargo run -q --offline --release -p polca-cli -- \
+    ingest tests/golden/sample_trace.csv
+
 echo "CI OK"

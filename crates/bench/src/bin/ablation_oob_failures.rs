@@ -24,7 +24,10 @@ fn main() {
     let base_row = RowConfig::paper_inference_row();
     let profile = production_reference(&base_row, days, 60.0, seed());
     let replicator = ProductionReplicator::new(&base_row, &WorkloadClass::table6());
-    let schedule = replicator.schedule_from_profile(&profile).scaled(1.3);
+    let schedule = replicator
+        .schedule_from_profile(&profile)
+        .expect("synthesized profile is well-formed")
+        .scaled(1.3);
     let until = SimTime::from_days(days);
 
     println!(

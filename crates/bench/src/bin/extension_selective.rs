@@ -22,7 +22,10 @@ fn main() {
     let base_row = RowConfig::paper_inference_row();
     let profile = production_reference(&base_row, days, 60.0, seed());
     let replicator = ProductionReplicator::new(&base_row, &WorkloadClass::table6());
-    let schedule = replicator.schedule_from_profile(&profile).scaled(1.3);
+    let schedule = replicator
+        .schedule_from_profile(&profile)
+        .expect("synthesized profile is well-formed")
+        .scaled(1.3);
     let row = base_row.with_added_servers(0.30);
     let until = SimTime::from_days(days);
     let trace = TraceConfig {

@@ -1,29 +1,40 @@
 //! Command-line interface for the polca toolkit.
 //!
-//! Four subcommands cover the workflows a capacity engineer needs:
+//! Five subcommands cover the workflows a capacity engineer needs:
 //!
 //! * `characterize` — profile one model/request shape on a simulated
 //!   A100 group, optionally under a frequency lock or power cap (§4.2),
 //! * `trace` — synthesize and summarize a production-shaped power trace
-//!   (§6.4),
+//!   (§6.4), optionally exporting the request stream as Azure-schema
+//!   CSV,
+//! * `ingest` — read an Azure-2024-style request log, report its
+//!   statistics, and fit the generator's diurnal model to it,
 //! * `evaluate` — run one policy at one oversubscription level and
-//!   report latency/brake/SLO outcomes (§6.5–6.6),
+//!   report latency/brake/SLO outcomes (§6.5–6.6), or replay an
+//!   ingested trace through all four Figure 17 policies
+//!   (`--trace-csv`),
 //! * `plan` — sweep oversubscription levels and report the SLO-safe
 //!   maximum (Figure 13's workflow).
 //!
-//! The parser is hand-rolled (`--flag value` pairs) to keep the
-//! dependency set minimal; [`parse_args`] is exposed for testing.
+//! The parser is hand-rolled (`--flag value` pairs plus positional
+//! arguments) to keep the dependency set minimal; [`parse_args`] is
+//! exposed for testing.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 
-use polca::{CostModel, OversubscriptionStudy, PolcaPolicy, PolicyKind};
+use polca::{CostModel, OversubscriptionStudy, PolcaPolicy, PolicyKind, TraceEvaluation};
 use polca_cluster::RowConfig;
 use polca_gpu::{Gpu, GpuSpec};
+use polca_ingest::{
+    requests_to_csv, IngestedTrace, ReplayOptions, TraceCalibration, TraceReplay, TraceStats,
+};
 use polca_llm::{InferenceConfig, InferenceModel, ModelSpec};
 use polca_obs::{ObsLevel, Recorder};
+use polca_sim::{SimRng, SimTime};
 use polca_trace::replicate::production_reference;
+use polca_trace::{ArrivalGenerator, DiurnalPattern, TraceConfig, WorkloadClass};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +43,9 @@ pub struct Invocation {
     pub command: String,
     /// `--key value` options.
     pub options: HashMap<String, String>,
+    /// Arguments that are not `--flag value` pairs (e.g. the CSV path
+    /// in `polca-cli ingest trace.csv`), in order.
+    pub positionals: Vec<String>,
 }
 
 /// Errors surfaced to the user.
@@ -54,6 +68,8 @@ pub enum CliError {
     UnknownModel(String),
     /// Writing observability artifacts failed.
     Io(String),
+    /// Reading, calibrating, or replaying a trace CSV failed.
+    Ingest(String),
 }
 
 impl fmt::Display for CliError {
@@ -67,6 +83,7 @@ impl fmt::Display for CliError {
             }
             CliError::UnknownModel(m) => write!(f, "unknown model `{m}`; see `tab03_model_zoo`"),
             CliError::Io(e) => write!(f, "cannot write artifacts: {e}"),
+            CliError::Ingest(e) => write!(f, "{e}"),
         }
     }
 }
@@ -83,22 +100,27 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
     let mut iter = args.into_iter();
     let command = iter.next().ok_or(CliError::MissingCommand)?;
     let mut options = HashMap::new();
+    let mut positionals = Vec::new();
     let mut pending: Option<String> = None;
     for arg in iter {
         match pending.take() {
             Some(flag) => {
                 options.insert(flag, arg);
             }
-            None => {
-                let flag = arg.trim_start_matches("--").to_string();
-                pending = Some(flag);
+            None if arg.starts_with("--") => {
+                pending = Some(arg.trim_start_matches("--").to_string());
             }
+            None => positionals.push(arg),
         }
     }
     if let Some(flag) = pending {
         return Err(CliError::MissingValue(flag));
     }
-    Ok(Invocation { command, options })
+    Ok(Invocation {
+        command,
+        options,
+        positionals,
+    })
 }
 
 impl Invocation {
@@ -164,12 +186,24 @@ COMMANDS
                 [--lock MHZ] [--cap WATTS]
   trace         synthesize a production-shaped power trace
                 [--days 1] [--seed 17]
+                [--csv-out FILE] export the request stream as
+                Azure-schema CSV; generation knobs: [--rate REQ_S]
+                [--amplitude 0.25] [--peak-hour 14] [--noise 0.05]
+                [--bursts-per-day 6]
+  ingest        read an Azure-2024-style request log (CSV), report its
+                statistics, and fit the synthetic generator to it
+                polca-cli ingest trace.csv  (or --csv trace.csv)
+                [--seed 17] [--extrapolate-days 42]
   evaluate      run one policy at one oversubscription level
                 [--policy polca|1t-lp|1t-all|nocap] [--added 30]
                 [--days 2] [--seed 17] [--power-scale 1.0]
                 [--obs-out DIR] [--obs-level off|metrics|events|full]
                 (--obs-out writes events.jsonl, metrics.json, power.csv,
                  latency.csv, trace.json — open trace.json in Perfetto)
+                with --trace-csv FILE: replay an ingested trace through
+                all four Figure 17 policies instead of synthesizing;
+                [--rate-scale 1.0] [--time-scale 1.0] [--servers 40]
+                [--added 30]
   plan          find the SLO-safe oversubscription maximum
                 [--days 2] [--seed 17] [--servers 40]
   help          print this text
@@ -188,6 +222,7 @@ pub fn run(inv: &Invocation) -> Result<(), CliError> {
         }
         "characterize" => characterize(inv),
         "trace" => trace(inv),
+        "ingest" => ingest(inv),
         "evaluate" => evaluate(inv),
         "plan" => plan(inv),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -247,6 +282,9 @@ fn characterize(inv: &Invocation) -> Result<(), CliError> {
 fn trace(inv: &Invocation) -> Result<(), CliError> {
     let days: f64 = inv.get("days", 1.0)?;
     let seed: u64 = inv.get("seed", 17)?;
+    if let Some(path) = inv.get_opt::<String>("csv-out")? {
+        return trace_csv_out(inv, &path, days, seed);
+    }
     let row = RowConfig::paper_inference_row();
     let profile = production_reference(&row, days, 2.0, seed);
     let provisioned = row.provisioned_watts();
@@ -266,7 +304,80 @@ fn trace(inv: &Invocation) -> Result<(), CliError> {
     Ok(())
 }
 
+/// RNG stream for the `trace --csv-out` schedule synthesis; fixed so a
+/// given seed always exports the same CSV (this is how the bundled
+/// `tests/golden/sample_trace.csv` was produced).
+const CSV_OUT_STREAM: u64 = 0xC5F0;
+
+fn trace_csv_out(inv: &Invocation, path: &str, days: f64, seed: u64) -> Result<(), CliError> {
+    let pattern = DiurnalPattern {
+        base_rate: inv.get("rate", DiurnalPattern::default().base_rate)?,
+        daily_amplitude: inv.get("amplitude", DiurnalPattern::default().daily_amplitude)?,
+        peak_hour: inv.get("peak-hour", DiurnalPattern::default().peak_hour)?,
+        short_term_noise: inv.get("noise", DiurnalPattern::default().short_term_noise)?,
+        bursts_per_day: inv.get("bursts-per-day", DiurnalPattern::default().bursts_per_day)?,
+        ..DiurnalPattern::default()
+    };
+    let horizon = SimTime::from_days(days);
+    let mut rng = SimRng::from_seed_stream(seed, CSV_OUT_STREAM);
+    let config = TraceConfig {
+        seed,
+        horizon,
+        schedule: pattern.schedule(horizon.as_secs(), 60.0, &mut rng),
+        mix: WorkloadClass::table6(),
+    };
+    let requests: Vec<_> = ArrivalGenerator::new(&config).collect();
+    let csv = requests_to_csv(&requests);
+    std::fs::write(path, &csv).map_err(|e| CliError::Io(e.to_string()))?;
+    println!(
+        "wrote {} requests over {days} day(s) (seed {seed}, base rate {:.2} req/s) to {path}",
+        requests.len(),
+        pattern.base_rate
+    );
+    Ok(())
+}
+
+fn ingest(inv: &Invocation) -> Result<(), CliError> {
+    let path = inv
+        .positionals
+        .first()
+        .cloned()
+        .or_else(|| inv.options.get("csv").cloned())
+        .ok_or_else(|| CliError::Ingest("usage: polca-cli ingest <trace.csv>".into()))?;
+    let seed: u64 = inv.get("seed", 17)?;
+    let days: f64 = inv.get("extrapolate-days", 42.0)?;
+    let trace = IngestedTrace::from_csv_path(Path::new(&path))
+        .map_err(|e| CliError::Ingest(e.to_string()))?;
+    println!("ingested {path}:");
+    if trace.skipped_rows() > 0 {
+        println!(
+            "  skipped {} malformed row(s); first: {}",
+            trace.skipped_rows(),
+            trace
+                .row_errors()
+                .first()
+                .map(String::as_str)
+                .unwrap_or("?")
+        );
+    }
+    let stats = TraceStats::from_trace(&trace).map_err(|e| CliError::Ingest(e.to_string()))?;
+    print!("{}", stats.report());
+    let calibration = TraceCalibration::fit_with_stats(&trace, &stats)
+        .map_err(|e| CliError::Ingest(e.to_string()))?;
+    print!("{}", calibration.report());
+    let config = calibration.trace_config(seed, SimTime::from_days(days));
+    println!(
+        "  extrapolated schedule: {days:.1} day(s), mean {:.3} req/s, max {:.3} req/s",
+        config.schedule.mean_rate(),
+        config.schedule.max_rate()
+    );
+    Ok(())
+}
+
 fn evaluate(inv: &Invocation) -> Result<(), CliError> {
+    if inv.options.contains_key("trace-csv") {
+        return evaluate_trace(inv);
+    }
     let policy_name: String = inv.get("policy", "polca".to_string())?;
     let kind = find_policy(&policy_name)?;
     let added: f64 = inv.get("added", 30.0)?;
@@ -315,6 +426,80 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
         value.extra_servers,
         value.avoided_capex_usd / 1e6
     );
+    if let Some(dir) = &obs_out {
+        let files = recorder
+            .write_dir(Path::new(dir))
+            .map_err(|e| CliError::Io(e.to_string()))?;
+        println!(
+            "  obs artifacts ({obs_level}): {} file(s) in {}/",
+            files.len(),
+            dir.trim_end_matches('/')
+        );
+    }
+    Ok(())
+}
+
+fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
+    let path = inv.options.get("trace-csv").cloned().expect("checked");
+    let seed: u64 = inv.get("seed", 17)?;
+    let rate_scale: f64 = inv.get("rate-scale", 1.0)?;
+    let time_scale: f64 = inv.get("time-scale", 1.0)?;
+    let servers: usize = inv.get("servers", 40)?;
+    let added: f64 = inv.get("added", 30.0)?;
+    let obs_out: Option<String> = inv.get_opt("obs-out")?;
+    let obs_level = match inv.options.get("obs-level") {
+        Some(v) => v.parse::<ObsLevel>().map_err(|_| CliError::BadValue {
+            flag: "obs-level".into(),
+            value: v.clone(),
+        })?,
+        None if obs_out.is_some() => ObsLevel::Full,
+        None => ObsLevel::Off,
+    };
+    let recorder = Recorder::new(obs_level);
+
+    let trace = IngestedTrace::from_csv_path_observed(Path::new(&path), &recorder)
+        .map_err(|e| CliError::Ingest(e.to_string()))?;
+    let replay = TraceReplay::with_options(
+        &trace,
+        ReplayOptions {
+            time_scale,
+            rate_scale,
+            seed,
+        },
+    );
+    let requests: Vec<_> = replay.collect();
+    let n = requests.len();
+    let mut row = RowConfig::paper_inference_row();
+    row.base_servers = servers;
+    let row = row.with_added_servers(added / 100.0);
+    let deployed = row.total_servers();
+    let mut eval = TraceEvaluation::new(row, PolcaPolicy::default(), requests, seed);
+    eval.set_recorder(recorder.clone());
+
+    println!(
+        "replaying {path}: {n} requests over {:.1} h on {deployed} servers \
+         (+{added:.0}% oversubscribed, rate ×{rate_scale}, time ×{time_scale})",
+        trace.duration_s() * time_scale / 3600.0
+    );
+    let kinds: Vec<PolicyKind> = match inv.get_opt::<String>("policy")? {
+        Some(name) => vec![find_policy(&name)?],
+        None => PolicyKind::all().to_vec(),
+    };
+    println!(
+        "  {:<18} {:>8} {:>8} {:>10} {:>7}",
+        "policy", "LP p99", "HP p99", "peak util", "brakes"
+    );
+    for kind in kinds {
+        let o = eval.run(kind);
+        println!(
+            "  {:<18} {:>8.3} {:>8.3} {:>9.1}% {:>7}",
+            kind.name(),
+            o.low_normalized.p99,
+            o.high_normalized.p99,
+            o.peak_utilization * 100.0,
+            o.brake_engagements
+        );
+    }
     if let Some(dir) = &obs_out {
         let files = recorder
             .write_dir(Path::new(dir))
@@ -454,5 +639,62 @@ mod tests {
         let inv = parse_args(args(&["help"])).unwrap();
         assert!(run(&inv).is_ok());
         assert!(HELP.contains("characterize"));
+        assert!(HELP.contains("ingest"));
+        assert!(HELP.contains("--trace-csv"));
+    }
+
+    #[test]
+    fn positionals_coexist_with_flags() {
+        let inv = parse_args(args(&["ingest", "trace.csv", "--seed", "3"])).unwrap();
+        assert_eq!(inv.positionals, vec!["trace.csv".to_string()]);
+        assert_eq!(inv.get::<u64>("seed", 0).unwrap(), 3);
+        let inv = parse_args(args(&["ingest"])).unwrap();
+        assert!(inv.positionals.is_empty());
+    }
+
+    #[test]
+    fn ingest_without_a_path_is_an_error() {
+        let inv = parse_args(args(&["ingest"])).unwrap();
+        assert_eq!(
+            run(&inv),
+            Err(CliError::Ingest(
+                "usage: polca-cli ingest <trace.csv>".into()
+            ))
+        );
+    }
+
+    #[test]
+    fn ingest_reports_missing_files_cleanly() {
+        let inv = parse_args(args(&["ingest", "/nonexistent/trace.csv"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::Ingest(_))));
+    }
+
+    #[test]
+    fn trace_export_then_ingest_round_trips_through_the_cli() {
+        let dir = std::env::temp_dir().join(format!("polca-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("exported.csv");
+        let csv_str = csv.to_string_lossy().to_string();
+        let inv = parse_args(args(&[
+            "trace",
+            "--csv-out",
+            &csv_str,
+            "--days",
+            "0.02",
+            "--rate",
+            "1.0",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        run(&inv).unwrap();
+        let body = std::fs::read_to_string(&csv).unwrap();
+        assert!(body.starts_with("timestamp_s,context_tokens,generated_tokens,priority\n"));
+        assert!(body.lines().count() > 100);
+        // The exported file ingests back without losing a single row.
+        let trace = IngestedTrace::from_csv_path(&csv).unwrap();
+        assert_eq!(trace.len(), body.lines().count() - 1);
+        assert_eq!(trace.skipped_rows(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -47,7 +47,7 @@ pub use row::RowConfig;
 pub use server::{InferenceServer, ServerState, HOT_IDLE_INTENSITY};
 pub use server_spec::ServerSpec;
 pub use sim::{
-    ClusterSim, ControlRequest, ControlTarget, NoopController, PowerController, RowContext,
-    SimConfig, SimReport,
+    ClusterSim, ControlRequest, ControlTarget, NoopController, PowerController, RequestSource,
+    RowContext, SimConfig, SimReport,
 };
 pub use training::TrainingCluster;

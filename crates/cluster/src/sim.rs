@@ -48,6 +48,27 @@ pub struct RowContext {
     pub n_servers: usize,
 }
 
+/// A time-ordered stream of requests feeding the simulator.
+///
+/// The simulator is source-agnostic: the synthetic
+/// `polca_trace::ArrivalGenerator`, plain request vectors, and
+/// `polca-ingest`'s verbatim replay of an externally captured trace all
+/// drive [`ClusterSim::run_source`] through this trait. Every iterator
+/// of [`Request`]s is a source via the blanket impl, so generators stay
+/// lazy and replays can stream from disk.
+pub trait RequestSource {
+    /// The next request in arrival order, or `None` when the source is
+    /// exhausted. Requests must be yielded with non-decreasing
+    /// `arrival` timestamps.
+    fn next_request(&mut self) -> Option<Request>;
+}
+
+impl<I: Iterator<Item = Request>> RequestSource for I {
+    fn next_request(&mut self) -> Option<Request> {
+        self.next()
+    }
+}
+
 /// A cluster-level power-management policy.
 ///
 /// The simulator invokes the controller at every row-telemetry tick
@@ -63,6 +84,17 @@ pub trait PowerController {
         observed_row_watts: Option<f64>,
         ctx: &RowContext,
     ) -> Vec<ControlRequest>;
+}
+
+impl<P: PowerController + ?Sized> PowerController for Box<P> {
+    fn on_telemetry(
+        &mut self,
+        now: SimTime,
+        observed_row_watts: Option<f64>,
+        ctx: &RowContext,
+    ) -> Vec<ControlRequest> {
+        (**self).on_telemetry(now, observed_row_watts, ctx)
+    }
 }
 
 /// The do-nothing controller (the paper's `No-cap` baseline, §6.6 —
@@ -295,10 +327,19 @@ impl<P: PowerController> ClusterSim<P> {
     /// # Panics
     ///
     /// Panics if `arrivals` yields requests out of order.
-    pub fn run(mut self, arrivals: impl IntoIterator<Item = Request>, until: SimTime) -> SimReport {
+    pub fn run(self, arrivals: impl IntoIterator<Item = Request>, until: SimTime) -> SimReport {
+        self.run_source(arrivals.into_iter(), until)
+    }
+
+    /// Like [`run`](Self::run) but consumes any [`RequestSource`] — the
+    /// entry point the real-trace replay path uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source yields requests out of order.
+    pub fn run_source(mut self, mut arrivals: impl RequestSource, until: SimTime) -> SimReport {
         let _span = self.obs.time("sim.event_loop");
-        let mut arrivals = arrivals.into_iter();
-        if let Some(first) = arrivals.next() {
+        if let Some(first) = arrivals.next_request() {
             self.queue.schedule(first.arrival, Ev::Arrival(first));
         }
         self.queue.schedule(SimTime::ZERO, Ev::Telemetry);
@@ -311,7 +352,7 @@ impl<P: PowerController> ClusterSim<P> {
             match ev {
                 Ev::Arrival(req) => {
                     self.on_arrival(now, req);
-                    if let Some(next) = arrivals.next() {
+                    if let Some(next) = arrivals.next_request() {
                         assert!(
                             next.arrival >= now,
                             "arrival stream out of order at request {}",

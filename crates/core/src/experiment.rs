@@ -132,7 +132,9 @@ impl OversubscriptionStudy {
         assert!(days > 0.0, "study needs a positive duration");
         let profile = production_reference(&row, days, 60.0, seed);
         let replicator = ProductionReplicator::new(&row, &WorkloadClass::table6());
-        let base_schedule = replicator.schedule_from_profile(&profile);
+        let base_schedule = replicator
+            .schedule_from_profile(&profile)
+            .expect("synthesized profile is well-formed");
         OversubscriptionStudy {
             row,
             policy,

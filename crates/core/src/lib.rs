@@ -43,6 +43,7 @@ pub mod cost;
 pub mod disaggregation;
 pub mod experiment;
 pub mod policy;
+pub mod replay;
 pub mod selective;
 pub mod slo;
 pub mod thresholds;
@@ -52,6 +53,7 @@ pub use cost::{CostModel, OversubscriptionValue};
 pub use disaggregation::{Disaggregation, DisaggregationConfig};
 pub use experiment::{OversubscriptionStudy, PolicyKind, PolicyOutcome};
 pub use policy::{PolcaPolicy, PowerMode};
+pub use replay::{ReplayOutcome, TraceEvaluation};
 pub use selective::SelectiveController;
 pub use slo::{SloReport, SloTargets};
 pub use thresholds::ThresholdTrainer;

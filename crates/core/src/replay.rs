@@ -1,0 +1,254 @@
+//! Policy evaluation on a replayed (ingested) request stream.
+//!
+//! [`OversubscriptionStudy`](crate::experiment::OversubscriptionStudy)
+//! synthesizes its workload; [`TraceEvaluation`] instead takes an
+//! explicit request stream — typically `polca-ingest`'s `TraceReplay`
+//! of a production CSV — and runs the Figure 17 policy comparison on
+//! it verbatim. The reference for latency normalization is the same
+//! stream through an un-capped row (`NoopController`), cached across
+//! policy runs so the four policies share one reference.
+
+use polca_cluster::{ClusterSim, NoopController, PowerController, Request, RowConfig, SimConfig};
+use polca_obs::Recorder;
+use polca_sim::SimTime;
+use polca_stats::Quantiles;
+
+use crate::controller::{NoCapController, PolcaController, SingleThresholdController};
+use crate::experiment::PolicyKind;
+use crate::policy::PolcaPolicy;
+
+/// Drain time appended after the last arrival so in-flight requests
+/// finish inside the simulation horizon.
+const DRAIN_S: f64 = 1800.0;
+
+/// What one policy produced on the replayed stream.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ReplayOutcome {
+    /// The policy that ran.
+    pub kind: PolicyKind,
+    /// Raw low-priority latency quantiles in seconds.
+    pub low_raw: Quantiles,
+    /// Raw high-priority latency quantiles in seconds.
+    pub high_raw: Quantiles,
+    /// Low-priority quantiles normalized to the un-capped reference.
+    pub low_normalized: Quantiles,
+    /// High-priority quantiles normalized to the un-capped reference.
+    pub high_normalized: Quantiles,
+    /// Power-brake events during the run.
+    pub brake_engagements: u64,
+    /// Peak row power over provisioned power.
+    pub peak_utilization: f64,
+    /// Mean row power over provisioned power.
+    pub mean_utilization: f64,
+    /// Requests offered / completed / rejected.
+    pub counts: (u64, u64, u64),
+    /// OOB control commands issued.
+    pub commands_issued: u64,
+}
+
+/// Runs the Figure 17 policy comparison on a fixed request stream.
+#[derive(Debug, Clone)]
+pub struct TraceEvaluation {
+    row: RowConfig,
+    policy: PolcaPolicy,
+    seed: u64,
+    until: SimTime,
+    requests: Vec<Request>,
+    record_power: bool,
+    recorder: Recorder,
+    reference: Option<(Quantiles, Quantiles)>,
+}
+
+impl TraceEvaluation {
+    /// Builds an evaluation of `requests` on `row`. The horizon is the
+    /// last arrival plus a 30-minute drain window (override with
+    /// [`set_horizon`](TraceEvaluation::set_horizon)).
+    pub fn new(row: RowConfig, policy: PolcaPolicy, requests: Vec<Request>, seed: u64) -> Self {
+        let last_arrival = requests.last().map(|r| r.arrival.as_secs()).unwrap_or(0.0);
+        TraceEvaluation {
+            row,
+            policy,
+            seed,
+            until: SimTime::from_secs(last_arrival + DRAIN_S),
+            requests,
+            record_power: false,
+            recorder: Recorder::disabled(),
+            reference: None,
+        }
+    }
+
+    /// Overrides the simulation horizon.
+    pub fn set_horizon(&mut self, until: SimTime) {
+        self.until = until;
+    }
+
+    /// Enables/disables the row-power timeseries in reports.
+    pub fn set_record_power(&mut self, record: bool) {
+        self.record_power = record;
+    }
+
+    /// Attaches an observability recorder to subsequent policy runs
+    /// (the cached reference run stays un-instrumented, like the
+    /// synthetic study).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Number of requests in the replayed stream.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The simulation horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.until
+    }
+
+    fn sim_config(&self, recorder: Recorder) -> SimConfig {
+        SimConfig {
+            seed: self.seed,
+            record_power_series: self.record_power,
+            recorder,
+            ..SimConfig::default()
+        }
+    }
+
+    fn quantiles_or_unit(samples: &[f64]) -> Quantiles {
+        Quantiles::from_samples(samples).unwrap_or(Quantiles {
+            p50: 1.0,
+            p90: 1.0,
+            p99: 1.0,
+            max: 1.0,
+            min: 1.0,
+            mean: 1.0,
+            count: 0,
+        })
+    }
+
+    /// Runs (and caches) the un-capped reference on the same stream.
+    fn reference(&mut self) -> (Quantiles, Quantiles) {
+        if let Some(r) = &self.reference {
+            return *r;
+        }
+        let sim = ClusterSim::new(
+            self.row.clone(),
+            self.sim_config(Recorder::disabled()),
+            NoopController,
+        );
+        let report = sim.run(self.requests.clone(), self.until);
+        let r = (
+            Self::quantiles_or_unit(&report.low_latencies_s),
+            Self::quantiles_or_unit(&report.high_latencies_s),
+        );
+        self.reference = Some(r);
+        r
+    }
+
+    fn controller(&self, kind: PolicyKind, obs: Recorder) -> Box<dyn PowerController> {
+        match kind {
+            PolicyKind::Polca => {
+                Box::new(PolcaController::new(self.policy.clone()).with_recorder(obs))
+            }
+            PolicyKind::OneThreshLowPri => Box::new(
+                SingleThresholdController::low_priority_only(self.policy.clone())
+                    .with_recorder(obs),
+            ),
+            PolicyKind::OneThreshAll => Box::new(
+                SingleThresholdController::all_workloads(self.policy.clone()).with_recorder(obs),
+            ),
+            PolicyKind::NoCap => {
+                Box::new(NoCapController::new(self.policy.clone()).with_recorder(obs))
+            }
+        }
+    }
+
+    /// Replays the stream under `kind` and normalizes against the
+    /// cached un-capped reference.
+    pub fn run(&mut self, kind: PolicyKind) -> ReplayOutcome {
+        let (ref_low, ref_high) = self.reference();
+        let obs = self.recorder.clone();
+        let controller = self.controller(kind, obs.clone());
+        let provisioned = self.row.provisioned_watts();
+        let sim = ClusterSim::new(self.row.clone(), self.sim_config(obs), controller);
+        let report = sim.run(self.requests.clone(), self.until);
+        let low_raw = Self::quantiles_or_unit(&report.low_latencies_s);
+        let high_raw = Self::quantiles_or_unit(&report.high_latencies_s);
+        ReplayOutcome {
+            kind,
+            low_normalized: low_raw.normalized_to(&ref_low),
+            high_normalized: high_raw.normalized_to(&ref_high),
+            low_raw,
+            high_raw,
+            brake_engagements: report.brake_engagements,
+            peak_utilization: report.peak_row_watts / provisioned,
+            mean_utilization: report.mean_row_watts / provisioned,
+            counts: (report.offered, report.completed, report.rejected),
+            commands_issued: report.commands_issued,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polca_cluster::Priority;
+
+    fn burst_requests(n: u64, gap_s: f64) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                Request::new(
+                    i,
+                    SimTime::from_secs(i as f64 * gap_s),
+                    1200,
+                    400,
+                    if i % 2 == 0 {
+                        Priority::High
+                    } else {
+                        Priority::Low
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn small_row() -> RowConfig {
+        let mut row = RowConfig::paper_inference_row();
+        row.base_servers = 20;
+        row
+    }
+
+    #[test]
+    fn nocap_on_reference_stream_normalizes_to_unity() {
+        let requests = burst_requests(400, 2.0);
+        let mut eval = TraceEvaluation::new(small_row(), PolcaPolicy::default(), requests, 3);
+        let outcome = eval.run(PolicyKind::NoCap);
+        assert_eq!(outcome.counts.0, 400);
+        assert!((outcome.low_normalized.p99 - 1.0).abs() < 1e-9);
+        assert!((outcome.high_normalized.p99 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_policies_run_on_the_same_stream() {
+        let requests = burst_requests(300, 1.5);
+        let mut eval = TraceEvaluation::new(small_row(), PolcaPolicy::default(), requests, 3);
+        for kind in PolicyKind::all() {
+            let outcome = eval.run(kind);
+            assert_eq!(outcome.kind, kind);
+            assert_eq!(outcome.counts.0, 300);
+            assert!(outcome.counts.1 > 0, "{kind:?} completed nothing");
+        }
+    }
+
+    #[test]
+    fn horizon_covers_the_drain_window() {
+        let requests = burst_requests(10, 60.0);
+        let eval = TraceEvaluation::new(small_row(), PolcaPolicy::default(), requests, 1);
+        assert!(eval.horizon().as_secs() >= 9.0 * 60.0 + 1800.0);
+        assert_eq!(eval.len(), 10);
+    }
+}

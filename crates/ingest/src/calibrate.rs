@@ -1,0 +1,500 @@
+//! Fitting a [`DiurnalPattern`] + workload mix to an ingested trace.
+//!
+//! The paper extrapolates a short production window to a six-week
+//! evaluation horizon by regenerating it synthetically (§6.4). This
+//! module does the same for an external trace: a least-squares
+//! first-harmonic fit of the hourly arrival rates recovers
+//! `base_rate`/`daily_amplitude`/`peak_hour` (the same cosine the
+//! generator uses, so a well-behaved trace fits with near-zero bias),
+//! residuals against the fit give the short-term-noise and burst
+//! parameters, and per-priority token quantiles give a mean-matched
+//! workload mix. The fit is validated with the same
+//! [`replication_mape`] < 3 % bound the synthetic reference uses.
+
+use polca_cluster::Priority;
+use polca_sim::{SimRng, SimTime};
+use polca_stats::{Quantiles, TimeSeries};
+use polca_trace::replicate::replication_mape;
+use polca_trace::{DiurnalPattern, TraceConfig, WorkloadClass};
+
+use crate::error::IngestError;
+use crate::reader::IngestedTrace;
+use crate::stats::{TraceStats, FINE_BIN_S};
+
+/// RNG stream for schedule extrapolation (distinct from the generator's
+/// `paper_mix` stream so calibrated and paper traces never correlate).
+const EXTRAPOLATE_STREAM: u64 = 0x16357;
+
+/// A fine bin whose rate exceeds the smooth fit by this ratio is
+/// counted as part of a burst episode.
+const BURST_THRESHOLD: f64 = 1.3;
+
+/// A fitted trace model: diurnal pattern, workload mix, and the
+/// validation error of the fit.
+#[derive(Debug, Clone)]
+pub struct TraceCalibration {
+    /// The fitted arrival-rate pattern.
+    pub pattern: DiurnalPattern,
+    /// MAPE (percent) between the empirical hourly rates and the fitted
+    /// smooth rates — the §6.4 replication bound applies (< 3 %).
+    pub mape_pct: f64,
+    /// Mean-matched workload classes (one per observed priority, or a
+    /// single 50:50 class when the trace has no priority column).
+    pub mix: Vec<WorkloadClass>,
+}
+
+/// Solves a 3×3 linear system with partial pivoting; `None` when
+/// singular.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let pivot_row = a[col];
+        for row in col + 1..3 {
+            let f = a[row][col] / pivot_row[col];
+            for (entry, p) in a[row].iter_mut().zip(pivot_row).skip(col) {
+                *entry -= f * p;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut acc = b[row];
+        for k in row + 1..3 {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Least-squares fit of `r(h) = a0 + c·cos(ωh) + s·sin(ωh)` over
+/// (week-seconds, rate) samples. Falls back to a constant fit when the
+/// window is too short or degenerate for the harmonic to be
+/// identifiable.
+fn harmonic_fit(samples: &[(f64, f64)]) -> (f64, f64, f64) {
+    let omega = std::f64::consts::TAU / 86_400.0;
+    let mean = samples.iter().map(|&(_, r)| r).sum::<f64>() / samples.len() as f64;
+    if samples.len() < 6 {
+        return (mean, 0.0, 0.0);
+    }
+    let mut ata = [[0.0f64; 3]; 3];
+    let mut atb = [0.0f64; 3];
+    for &(t, r) in samples {
+        let row = [1.0, (omega * t).cos(), (omega * t).sin()];
+        for i in 0..3 {
+            for j in 0..3 {
+                ata[i][j] += row[i] * row[j];
+            }
+            atb[i] += row[i] * r;
+        }
+    }
+    match solve3(ata, atb) {
+        Some([a0, c, s]) if a0 > 0.0 => (a0, c, s),
+        _ => (mean, 0.0, 0.0),
+    }
+}
+
+impl TraceCalibration {
+    /// Fits the model to `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestError::Calibration`] when the trace is too
+    /// short/flat to derive rates, or when the validation MAPE cannot
+    /// be computed (e.g. an all-zero rate profile).
+    pub fn fit(trace: &IngestedTrace) -> Result<Self, IngestError> {
+        let stats = TraceStats::from_trace(trace)?;
+        Self::fit_with_stats(trace, &stats)
+    }
+
+    /// Like [`TraceCalibration::fit`], reusing an existing statistics
+    /// pass.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TraceCalibration::fit`].
+    pub fn fit_with_stats(trace: &IngestedTrace, stats: &TraceStats) -> Result<Self, IngestError> {
+        if stats.mean_rate <= 0.0 {
+            return Err(IngestError::Calibration(
+                "trace has a zero mean arrival rate".into(),
+            ));
+        }
+        // Hourly samples at bin mid-points, week-aligned.
+        let hourly: Vec<(f64, f64)> = stats
+            .hourly_rates
+            .iter()
+            .map(|(t, r)| (t + 1800.0, r))
+            .collect();
+
+        // Weekend factor: only identifiable when the trace covers most
+        // of a week (otherwise weekday would confound with hour-of-day).
+        let is_weekend = |t: f64| ((t / 86_400.0).floor() as i64).rem_euclid(7) >= 5;
+        let weekend: Vec<f64> = hourly
+            .iter()
+            .filter(|&&(t, _)| is_weekend(t))
+            .map(|&(_, r)| r)
+            .collect();
+        let weekday: Vec<f64> = hourly
+            .iter()
+            .filter(|&&(t, _)| !is_weekend(t))
+            .map(|&(_, r)| r)
+            .collect();
+        let weekend_factor =
+            if stats.duration_s >= 6.0 * 86_400.0 && weekend.len() >= 12 && !weekday.is_empty() {
+                let we = weekend.iter().sum::<f64>() / weekend.len() as f64;
+                let wd = weekday.iter().sum::<f64>() / weekday.len() as f64;
+                if wd > 0.0 {
+                    (we / wd).clamp(0.3, 1.2)
+                } else {
+                    1.0
+                }
+            } else {
+                1.0
+            };
+
+        // De-weekend the samples, then fit the daily harmonic.
+        let deweekended: Vec<(f64, f64)> = hourly
+            .iter()
+            .map(|&(t, r)| (t, if is_weekend(t) { r / weekend_factor } else { r }))
+            .collect();
+        let (a0, c, s) = harmonic_fit(&deweekended);
+        let omega = std::f64::consts::TAU / 86_400.0;
+        let base_rate = a0;
+        let daily_amplitude = ((c * c + s * s).sqrt() / a0).clamp(0.0, 0.95);
+        // r(t) = a0·(1 + A·cos(ω(t − peak))) expands to C = a0·A·cos(ω·peak),
+        // S = a0·A·sin(ω·peak), so the peak falls out of atan2.
+        let peak_hour = if daily_amplitude > 1e-6 {
+            (s.atan2(c) / omega / 3600.0).rem_euclid(24.0)
+        } else {
+            DiurnalPattern::default().peak_hour
+        };
+
+        let smooth = |t: f64| {
+            let hour_term = 1.0 + daily_amplitude * (omega * t - omega * peak_hour * 3600.0).cos();
+            let weekly = if is_weekend(t) { weekend_factor } else { 1.0 };
+            (base_rate * hour_term * weekly).max(0.0)
+        };
+
+        // Residuals against the fit at the fine (per-minute) scale:
+        // burst episodes first, then short-term noise with the Poisson
+        // counting component subtracted.
+        let start = trace.start_s();
+        let phase = trace.week_phase_s();
+        let n_fine = ((stats.duration_s / FINE_BIN_S).floor() as usize) + 1;
+        let mut fine_counts = vec![0u64; n_fine];
+        for r in trace.records() {
+            let idx = (((r.arrival_s - start) / FINE_BIN_S).floor() as usize).min(n_fine - 1);
+            fine_counts[idx] += 1;
+        }
+        let mut burst_bins: Vec<(usize, f64)> = Vec::new();
+        let mut residuals: Vec<f64> = Vec::new();
+        let mut poisson_var = 0.0;
+        for (k, &count) in fine_counts.iter().enumerate() {
+            let mid = phase + (k as f64 + 0.5) * FINE_BIN_S;
+            let expected = smooth(mid) * FINE_BIN_S;
+            if expected < 1.0 {
+                continue;
+            }
+            let ratio = count as f64 / expected;
+            if ratio > BURST_THRESHOLD {
+                burst_bins.push((k, ratio));
+            } else {
+                residuals.push(ratio - 1.0);
+                poisson_var += 1.0 / expected;
+            }
+        }
+        let short_term_noise = if residuals.is_empty() {
+            0.0
+        } else {
+            let var = residuals.iter().map(|r| r * r).sum::<f64>() / residuals.len() as f64;
+            let poisson = poisson_var / residuals.len() as f64;
+            (var - poisson).max(0.0).sqrt().min(0.5)
+        };
+        // Group consecutive burst bins into episodes.
+        let mut episodes = 0usize;
+        let mut episode_bins = 0usize;
+        let mut excess = 0.0;
+        let mut prev: Option<usize> = None;
+        for &(k, ratio) in &burst_bins {
+            if prev != Some(k.wrapping_sub(1)) {
+                episodes += 1;
+            }
+            prev = Some(k);
+            episode_bins += 1;
+            excess += ratio - 1.0;
+        }
+        let days = stats.duration_s / 86_400.0;
+        let (bursts_per_day, burst_magnitude, burst_duration_s) = if episodes > 0 {
+            (
+                episodes as f64 / days,
+                (excess / episode_bins as f64).clamp(0.1, 2.0),
+                (episode_bins as f64 / episodes as f64 * FINE_BIN_S).clamp(30.0, 600.0),
+            )
+        } else {
+            (0.0, 0.6, 90.0)
+        };
+
+        let pattern = DiurnalPattern {
+            base_rate,
+            daily_amplitude,
+            peak_hour,
+            weekend_factor,
+            short_term_noise,
+            bursts_per_day,
+            burst_magnitude,
+            burst_duration_s,
+        };
+
+        // §6.4-style validation: empirical hourly rates vs the fitted
+        // smooth rates at the same instants.
+        let empirical: TimeSeries = hourly.iter().copied().collect();
+        let fitted: TimeSeries = hourly.iter().map(|&(t, _)| (t, smooth(t))).collect();
+        let mape_pct = replication_mape(&empirical, &fitted)?;
+
+        let mix = fit_mix(trace, stats);
+        Ok(TraceCalibration {
+            pattern,
+            mape_pct,
+            mix,
+        })
+    }
+
+    /// Extrapolates the fit to a [`TraceConfig`] over `horizon` — the
+    /// paper's "ingest a day, evaluate six weeks" workflow. The
+    /// schedule starts at Monday midnight (the generator convention),
+    /// not at the ingested trace's phase.
+    pub fn trace_config(&self, seed: u64, horizon: SimTime) -> TraceConfig {
+        let mut rng = SimRng::from_seed_stream(seed, EXTRAPOLATE_STREAM);
+        let schedule = self.pattern.schedule(horizon.as_secs(), 60.0, &mut rng);
+        TraceConfig {
+            seed,
+            horizon,
+            schedule,
+            mix: self.mix.clone(),
+        }
+    }
+
+    /// The multi-line fitted-model report `polca-cli ingest` prints.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "  fitted pattern: base {:.3} req/s, amplitude {:.2}, peak {:.1} h, weekend ×{:.2}\n",
+            self.pattern.base_rate,
+            self.pattern.daily_amplitude,
+            self.pattern.peak_hour,
+            self.pattern.weekend_factor
+        ));
+        s.push_str(&format!(
+            "                  noise {:.3}, {:.1} bursts/day (×{:.2}, {:.0} s)\n",
+            self.pattern.short_term_noise,
+            self.pattern.bursts_per_day,
+            1.0 + self.pattern.burst_magnitude,
+            self.pattern.burst_duration_s
+        ));
+        for class in &self.mix {
+            s.push_str(&format!(
+                "  mix: {:<13} share {:.2}  prompt {}..={}  output {}..={}\n",
+                class.name,
+                class.share,
+                class.prompt_range.0,
+                class.prompt_range.1,
+                class.output_range.0,
+                class.output_range.1
+            ));
+        }
+        s.push_str(&format!(
+            "  replication MAPE {:.2}% (paper bound: < 3%)\n",
+            self.mape_pct
+        ));
+        s
+    }
+}
+
+/// A token range that is uniform-sampleable and mean-matched: the
+/// range midpoint equals the observed mean, clipped to the observed
+/// min/max so extrapolated requests stay in-distribution.
+fn mean_matched_range(q: &Quantiles) -> (u32, u32) {
+    let half = (q.mean - q.min).min(q.max - q.mean).max(0.0);
+    let lo = (q.mean - half).round().max(1.0) as u32;
+    let hi = (q.mean + half).round() as u32;
+    (lo, hi.max(lo))
+}
+
+fn class_for(
+    name: &'static str,
+    ctx: &[f64],
+    gen: &[f64],
+    share: f64,
+    high_priority_fraction: f64,
+) -> Option<WorkloadClass> {
+    let prompt = mean_matched_range(&Quantiles::from_samples(ctx)?);
+    let output = mean_matched_range(&Quantiles::from_samples(gen)?);
+    Some(WorkloadClass {
+        name,
+        prompt_range: prompt,
+        output_range: output,
+        share,
+        high_priority_fraction,
+    })
+}
+
+fn fit_mix(trace: &IngestedTrace, stats: &TraceStats) -> Vec<WorkloadClass> {
+    let records = trace.records();
+    let collect = |want: Option<Priority>| -> (Vec<f64>, Vec<f64>) {
+        let mut ctx = Vec::new();
+        let mut gen = Vec::new();
+        for r in records {
+            if want.is_none() || r.priority == want {
+                ctx.push(r.context_tokens as f64);
+                gen.push(r.generated_tokens as f64);
+            }
+        }
+        (ctx, gen)
+    };
+    match stats.high_priority_share {
+        Some(high_share) => {
+            let (hi_ctx, hi_gen) = collect(Some(Priority::High));
+            let (lo_ctx, lo_gen) = collect(Some(Priority::Low));
+            let mut mix = Vec::new();
+            if let Some(c) = class_for("IngestedHigh", &hi_ctx, &hi_gen, high_share, 1.0) {
+                mix.push(c);
+            }
+            if let Some(c) = class_for("IngestedLow", &lo_ctx, &lo_gen, 1.0 - high_share, 0.0) {
+                mix.push(c);
+            }
+            if mix.is_empty() {
+                // Defensive: priority column present but unparseable mix.
+                let (ctx, gen) = collect(None);
+                mix.extend(class_for("Ingested", &ctx, &gen, 1.0, 0.5));
+            }
+            mix
+        }
+        None => {
+            let (ctx, gen) = collect(None);
+            // No priority column: assume the paper's 50:50 split so the
+            // POLCA/baseline comparison still has two tiers to work on.
+            class_for("Ingested", &ctx, &gen, 1.0, 0.5)
+                .into_iter()
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polca_trace::ArrivalGenerator;
+
+    use crate::export::requests_to_csv;
+    use crate::reader::IngestedTrace;
+
+    fn synthetic_trace(pattern: &DiurnalPattern, days: f64, seed: u64) -> IngestedTrace {
+        let horizon = SimTime::from_days(days);
+        let mut rng = SimRng::from_seed_stream(seed, 0xF17);
+        let schedule = pattern.schedule(horizon.as_secs(), 60.0, &mut rng);
+        let config = TraceConfig {
+            seed,
+            horizon,
+            schedule,
+            mix: WorkloadClass::table6(),
+        };
+        let requests: Vec<_> = ArrivalGenerator::new(&config).collect();
+        let csv = requests_to_csv(&requests);
+        IngestedTrace::from_reader(csv.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn fit_recovers_a_known_diurnal_pattern() {
+        let truth = DiurnalPattern {
+            base_rate: 1.2,
+            daily_amplitude: 0.3,
+            peak_hour: 15.0,
+            weekend_factor: 1.0,
+            short_term_noise: 0.02,
+            bursts_per_day: 0.0,
+            ..DiurnalPattern::default()
+        };
+        let trace = synthetic_trace(&truth, 2.0, 11);
+        let cal = TraceCalibration::fit(&trace).unwrap();
+        let p = &cal.pattern;
+        assert!(
+            (p.base_rate - truth.base_rate).abs() / truth.base_rate < 0.05,
+            "base {}",
+            p.base_rate
+        );
+        assert!(
+            (p.daily_amplitude - truth.daily_amplitude).abs() < 0.08,
+            "amplitude {}",
+            p.daily_amplitude
+        );
+        assert!(
+            (p.peak_hour - truth.peak_hour).abs() < 1.0,
+            "peak {}",
+            p.peak_hour
+        );
+        assert!(cal.mape_pct < 3.0, "MAPE {:.2}%", cal.mape_pct);
+        // Table 6 priorities survive into the fitted mix.
+        assert_eq!(cal.mix.len(), 2);
+        let high_share: f64 = cal
+            .mix
+            .iter()
+            .map(|c| c.share * c.high_priority_fraction)
+            .sum();
+        assert!((high_share - 0.5).abs() < 0.05, "high share {high_share}");
+    }
+
+    #[test]
+    fn extrapolated_config_matches_the_fitted_rate() {
+        let truth = DiurnalPattern {
+            base_rate: 0.8,
+            short_term_noise: 0.02,
+            bursts_per_day: 0.0,
+            weekend_factor: 1.0,
+            ..DiurnalPattern::default()
+        };
+        let trace = synthetic_trace(&truth, 1.0, 5);
+        let cal = TraceCalibration::fit(&trace).unwrap();
+        let config = cal.trace_config(7, SimTime::from_days(2.0));
+        assert_eq!(config.seed, 7);
+        assert!((config.schedule.horizon_s() - 2.0 * 86_400.0).abs() < 120.0);
+        assert!(
+            (config.schedule.mean_rate() - truth.base_rate).abs() / truth.base_rate < 0.1,
+            "mean rate {}",
+            config.schedule.mean_rate()
+        );
+    }
+
+    #[test]
+    fn flat_trace_fits_with_near_zero_amplitude() {
+        let mut csv = String::from("timestamp_s,context_tokens,generated_tokens\n");
+        for i in 0..14_400 {
+            csv.push_str(&format!("{},1000,500\n", i as f64 * 0.5));
+        }
+        let trace = IngestedTrace::from_reader(csv.as_bytes()).unwrap();
+        let cal = TraceCalibration::fit(&trace).unwrap();
+        assert!((cal.pattern.base_rate - 2.0).abs() < 0.05);
+        assert!(cal.pattern.daily_amplitude < 0.05);
+        assert!(cal.pattern.short_term_noise < 0.02);
+        assert!(cal.mape_pct < 1.0, "MAPE {:.2}%", cal.mape_pct);
+        // No priority column: one 50:50 class with a tight token range.
+        assert_eq!(cal.mix.len(), 1);
+        assert_eq!(cal.mix[0].high_priority_fraction, 0.5);
+        assert_eq!(cal.mix[0].prompt_range, (1000, 1000));
+        let report = cal.report();
+        assert!(report.contains("MAPE"));
+    }
+
+    #[test]
+    fn mean_matched_ranges_preserve_the_mean() {
+        let q = Quantiles::from_samples(&[100.0, 200.0, 900.0]).unwrap();
+        let (lo, hi) = mean_matched_range(&q);
+        assert_eq!((lo + hi) / 2, 400);
+        assert!(lo >= 100 && hi <= 900);
+    }
+}

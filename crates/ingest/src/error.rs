@@ -1,0 +1,89 @@
+//! Typed ingestion errors with line-level diagnostics.
+
+use std::fmt;
+use std::io;
+
+use polca_trace::ReplicationError;
+
+/// Why a trace could not be ingested, calibrated, or replayed.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Reading the underlying file or stream failed.
+    Io(io::Error),
+    /// The input has no header line at all.
+    EmptyInput,
+    /// The header is present but a required column is missing.
+    MissingColumn {
+        /// The canonical name of the missing column.
+        column: &'static str,
+    },
+    /// A data row failed to parse. `line` is 1-based and counts the
+    /// header, so it matches what an editor shows for the file.
+    Row {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What went wrong on that line.
+        message: String,
+    },
+    /// The header parsed but not a single data row survived.
+    NoRecords,
+    /// The trace parsed but is too short, flat, or sparse to calibrate.
+    Calibration(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "cannot read trace: {e}"),
+            IngestError::EmptyInput => write!(f, "trace is empty (no header line)"),
+            IngestError::MissingColumn { column } => {
+                write!(f, "header has no `{column}` column")
+            }
+            IngestError::Row { line, message } => write!(f, "line {line}: {message}"),
+            IngestError::NoRecords => write!(f, "trace has a header but no valid data rows"),
+            IngestError::Calibration(msg) => write!(f, "cannot calibrate trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<ReplicationError> for IngestError {
+    fn from(e: ReplicationError) -> Self {
+        IngestError::Calibration(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_errors_carry_line_numbers() {
+        let e = IngestError::Row {
+            line: 17,
+            message: "bad token count".into(),
+        };
+        assert_eq!(e.to_string(), "line 17: bad token count");
+    }
+
+    #[test]
+    fn replication_errors_convert_to_calibration_diagnostics() {
+        let e: IngestError = ReplicationError::EmptyOverlap.into();
+        assert!(e.to_string().contains("cannot calibrate"));
+        assert!(e.to_string().contains("do not overlap"));
+    }
+}

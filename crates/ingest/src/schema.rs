@@ -1,0 +1,310 @@
+//! The typed schema of Azure-2024-style request logs.
+//!
+//! The public Azure LLM inference trace ships as
+//! `TIMESTAMP,ContextTokens,GeneratedTokens`; other exports of the same
+//! data use snake_case or `input`/`output` vocabulary, and some carry a
+//! priority/class column. [`TraceSchema`] maps any of those header
+//! variants onto column indices, and [`parse_timestamp`] accepts both
+//! numeric seconds and `YYYY-MM-DD HH:MM:SS[.ffffff]` datetimes without
+//! any date-time dependency.
+
+use polca_cluster::Priority;
+
+use crate::error::IngestError;
+
+/// One parsed request-log row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Arrival time in seconds. Numeric timestamps are kept verbatim;
+    /// datetime timestamps are seconds since the Unix epoch until
+    /// [`IngestedTrace`](crate::reader::IngestedTrace) rebases them.
+    pub arrival_s: f64,
+    /// Prompt length in tokens (≥ 1).
+    pub context_tokens: u32,
+    /// Tokens generated (≥ 1).
+    pub generated_tokens: u32,
+    /// Priority class, if the log carries one.
+    pub priority: Option<Priority>,
+}
+
+/// How a trace encodes its timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimestampKind {
+    /// Plain seconds (what [`requests_to_csv`](crate::export::requests_to_csv)
+    /// writes); `t = 0` is midnight on a Monday, matching
+    /// `DiurnalPattern`'s convention.
+    Seconds,
+    /// A `YYYY-MM-DD HH:MM:SS[.ffffff]` civil datetime (the Azure trace
+    /// format), converted to seconds since the Unix epoch.
+    DateTime,
+}
+
+/// Column indices for the recognized fields of a request log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSchema {
+    /// Index of the timestamp column.
+    pub timestamp: usize,
+    /// Index of the context/prompt-tokens column.
+    pub context: usize,
+    /// Index of the generated/output-tokens column.
+    pub generated: usize,
+    /// Index of the optional priority/class column.
+    pub priority: Option<usize>,
+    /// Total number of header columns (rows must not have fewer).
+    pub width: usize,
+}
+
+/// Lower-cases and strips `_`, `-`, and spaces so that `ContextTokens`,
+/// `context_tokens`, and `Context Tokens` all normalize identically.
+fn normalize(header: &str) -> String {
+    header
+        .trim()
+        .trim_start_matches('\u{feff}')
+        .chars()
+        .filter(|c| !matches!(c, '_' | '-' | ' '))
+        .flat_map(|c| c.to_lowercase())
+        .collect()
+}
+
+impl TraceSchema {
+    /// Maps a header row onto the schema, tolerating the known naming
+    /// variants in any column order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestError::MissingColumn`] naming the first required
+    /// column that could not be found.
+    pub fn from_header(fields: &[String]) -> Result<Self, IngestError> {
+        let normalized: Vec<String> = fields.iter().map(|f| normalize(f)).collect();
+        let find = |names: &[&str]| normalized.iter().position(|h| names.iter().any(|n| h == n));
+        let timestamp = find(&["timestamp", "timestamps", "time", "arrival", "arrivals"]).ok_or(
+            IngestError::MissingColumn {
+                column: "TIMESTAMP",
+            },
+        )?;
+        let context = find(&[
+            "contexttokens",
+            "context",
+            "inputtokens",
+            "input",
+            "prompttokens",
+            "prompt",
+        ])
+        .ok_or(IngestError::MissingColumn {
+            column: "ContextTokens",
+        })?;
+        let generated = find(&[
+            "generatedtokens",
+            "generated",
+            "outputtokens",
+            "output",
+            "completiontokens",
+        ])
+        .ok_or(IngestError::MissingColumn {
+            column: "GeneratedTokens",
+        })?;
+        let priority = find(&["priority", "class", "tier"]);
+        Ok(TraceSchema {
+            timestamp,
+            context,
+            generated,
+            priority,
+            width: fields.len(),
+        })
+    }
+}
+
+/// Days from 1970-01-01 to the given civil date (proleptic Gregorian);
+/// the standard era-based formulation, exact over the whole range.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = if m > 2 { m - 3 } else { m + 9 } as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// The weekday of an epoch-day count, 0 = Monday … 6 = Sunday.
+pub(crate) fn weekday_mon0(epoch_days: i64) -> i64 {
+    // 1970-01-01 was a Thursday (= 3 with Monday as 0).
+    (epoch_days + 3).rem_euclid(7)
+}
+
+fn civil_days_in_month(y: i64, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Parses a timestamp field: numeric seconds first, then an Azure-style
+/// `YYYY-MM-DD HH:MM:SS[.ffffff]` datetime (space or `T` separator).
+///
+/// # Errors
+///
+/// Returns a human-readable message describing which format check
+/// failed.
+pub fn parse_timestamp(field: &str) -> Result<(f64, TimestampKind), String> {
+    let field = field.trim();
+    if let Ok(secs) = field.parse::<f64>() {
+        if !secs.is_finite() {
+            return Err(format!("timestamp `{field}` is not finite"));
+        }
+        if secs < 0.0 {
+            return Err(format!("timestamp `{field}` is negative"));
+        }
+        return Ok((secs, TimestampKind::Seconds));
+    }
+    parse_datetime(field)
+        .map(|s| (s, TimestampKind::DateTime))
+        .ok_or_else(|| {
+            format!("cannot parse timestamp `{field}` (expected seconds or YYYY-MM-DD HH:MM:SS)")
+        })
+}
+
+fn parse_datetime(s: &str) -> Option<f64> {
+    // "2024-05-10 00:00:38.719382" — date and time split by ' ' or 'T'.
+    let (date, time) = s.split_once([' ', 'T'])?;
+    let mut dp = date.split('-');
+    let y: i64 = dp.next()?.parse().ok()?;
+    let m: u32 = dp.next()?.parse().ok()?;
+    let d: u32 = dp.next()?.parse().ok()?;
+    if dp.next().is_some() || !(1..=12).contains(&m) {
+        return None;
+    }
+    if d < 1 || d > civil_days_in_month(y, m) {
+        return None;
+    }
+    let mut tp = time.split(':');
+    let hh: u32 = tp.next()?.parse().ok()?;
+    let mm: u32 = tp.next()?.parse().ok()?;
+    let ss: f64 = tp.next()?.parse().ok()?;
+    if tp.next().is_some() || hh > 23 || mm > 59 || !(0.0..60.0).contains(&ss) {
+        return None;
+    }
+    let days = days_from_civil(y, m, d);
+    Some(days as f64 * 86_400.0 + hh as f64 * 3600.0 + mm as f64 * 60.0 + ss)
+}
+
+/// Seconds into the (Monday-started) week at the given epoch-seconds
+/// instant — the phase a datetime trace carries for diurnal alignment.
+pub(crate) fn week_phase_s(epoch_s: f64) -> f64 {
+    let days = (epoch_s / 86_400.0).floor() as i64;
+    let weekday = weekday_mon0(days);
+    weekday as f64 * 86_400.0 + epoch_s.rem_euclid(86_400.0)
+}
+
+/// Parses a priority field: `high`/`hi`/`1` or `low`/`lo`/`0`,
+/// case-insensitively.
+pub(crate) fn parse_priority(field: &str) -> Result<Priority, String> {
+    match field.trim().to_ascii_lowercase().as_str() {
+        "high" | "hi" | "1" => Ok(Priority::High),
+        "low" | "lo" | "0" => Ok(Priority::Low),
+        other => Err(format!("unknown priority `{other}` (expected high|low)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn azure_header_maps_exactly() {
+        let s =
+            TraceSchema::from_header(&fields(&["TIMESTAMP", "ContextTokens", "GeneratedTokens"]))
+                .unwrap();
+        assert_eq!((s.timestamp, s.context, s.generated), (0, 1, 2));
+        assert_eq!(s.priority, None);
+        assert_eq!(s.width, 3);
+    }
+
+    #[test]
+    fn snake_case_and_permuted_headers_map() {
+        let s = TraceSchema::from_header(&fields(&[
+            "output_tokens",
+            "priority",
+            "timestamp_s",
+            "input_tokens",
+        ]))
+        .unwrap();
+        assert_eq!(s.timestamp, 2);
+        assert_eq!(s.context, 3);
+        assert_eq!(s.generated, 0);
+        assert_eq!(s.priority, Some(1));
+    }
+
+    #[test]
+    fn missing_column_is_named() {
+        let err = TraceSchema::from_header(&fields(&["TIMESTAMP", "GeneratedTokens"])).unwrap_err();
+        assert!(matches!(
+            err,
+            IngestError::MissingColumn {
+                column: "ContextTokens"
+            }
+        ));
+    }
+
+    #[test]
+    fn numeric_timestamps_parse_verbatim() {
+        let (t, kind) = parse_timestamp("1234.5678901234").unwrap();
+        assert_eq!(t, 1234.5678901234);
+        assert_eq!(kind, TimestampKind::Seconds);
+        assert!(parse_timestamp("-1.0").is_err());
+        assert!(parse_timestamp("inf").is_err());
+    }
+
+    #[test]
+    fn azure_datetimes_parse_to_epoch_seconds() {
+        // 2024-05-10 is 19853 days after the epoch.
+        let (t, kind) = parse_timestamp("2024-05-10 00:00:38.719382").unwrap();
+        assert_eq!(kind, TimestampKind::DateTime);
+        assert!((t - (19_853.0 * 86_400.0 + 38.719382)).abs() < 1e-6, "{t}");
+        // 'T' separator and no fraction also work.
+        let (t2, _) = parse_timestamp("2024-05-10T01:02:03").unwrap();
+        assert!((t2 - (19_853.0 * 86_400.0 + 3723.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_datetimes_are_rejected() {
+        for bad in [
+            "2024-13-01 00:00:00",
+            "2024-02-30 00:00:00",
+            "2024-05-10 24:00:00",
+            "2024-05-10 00:61:00",
+            "yesterday",
+        ] {
+            assert!(parse_timestamp(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn weekday_and_week_phase_line_up() {
+        // 1970-01-01 was a Thursday; 2024-05-10 was a Friday.
+        assert_eq!(weekday_mon0(0), 3);
+        assert_eq!(weekday_mon0(days_from_civil(2024, 5, 10)), 4);
+        let (t, _) = parse_timestamp("2024-05-10 06:00:00").unwrap();
+        assert!((week_phase_s(t) - (4.0 * 86_400.0 + 6.0 * 3600.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn priority_variants_parse() {
+        assert_eq!(parse_priority("High").unwrap(), Priority::High);
+        assert_eq!(parse_priority(" low ").unwrap(), Priority::Low);
+        assert_eq!(parse_priority("1").unwrap(), Priority::High);
+        assert!(parse_priority("urgent").is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! The trace-statistics pass: arrival rates, token-length
+//! distributions, burstiness, and the diurnal profile.
+//!
+//! Everything here is computed once over an [`IngestedTrace`] and then
+//! drives both the human-readable `polca-cli ingest` report and the
+//! [`calibration`](crate::calibrate) fit.
+
+use polca_cluster::Priority;
+use polca_stats::histogram::Histogram;
+use polca_stats::{Quantiles, TimeSeries};
+use polca_trace::RateSchedule;
+
+use crate::error::IngestError;
+use crate::reader::IngestedTrace;
+
+/// Bin width for the fine-grained (burstiness) pass, in seconds.
+pub const FINE_BIN_S: f64 = 60.0;
+
+/// Summary statistics of an ingested request trace.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub n_requests: usize,
+    /// First-to-last arrival span in seconds.
+    pub duration_s: f64,
+    /// Mean arrival rate in requests/s.
+    pub mean_rate: f64,
+    /// Hourly arrival rates; timestamps are week-aligned seconds
+    /// (`week_phase_s + offset`), so hour-of-day falls out of the
+    /// timestamp directly.
+    pub hourly_rates: TimeSeries,
+    /// Mean arrival rate per hour-of-day slot (NaN for slots the trace
+    /// never visits).
+    pub diurnal_profile: [f64; 24],
+    /// Index of dispersion (variance/mean) of per-minute arrival
+    /// counts; 1.0 is Poisson, higher is burstier.
+    pub dispersion: f64,
+    /// Coefficient of variation of inter-arrival gaps.
+    pub interarrival_cv: f64,
+    /// Context (prompt) token quantiles.
+    pub context_tokens: Quantiles,
+    /// Generated (output) token quantiles.
+    pub generated_tokens: Quantiles,
+    /// Context token histogram (32 bins over the observed range).
+    pub context_hist: Histogram,
+    /// Generated token histogram (32 bins over the observed range).
+    pub generated_hist: Histogram,
+    /// Share of requests marked high priority, if the trace carries
+    /// priorities.
+    pub high_priority_share: Option<f64>,
+}
+
+/// Per-bin arrival counts over the trace span, starting at the first
+/// arrival.
+fn bin_counts(trace: &IngestedTrace, bin_s: f64) -> Vec<u64> {
+    let start = trace.start_s();
+    let n_bins = ((trace.duration_s() / bin_s).floor() as usize) + 1;
+    let mut counts = vec![0u64; n_bins];
+    for r in trace.records() {
+        let idx = (((r.arrival_s - start) / bin_s).floor() as usize).min(n_bins - 1);
+        counts[idx] += 1;
+    }
+    counts
+}
+
+impl TraceStats {
+    /// Computes the full statistics pass over `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestError::Calibration`] if the trace spans less
+    /// than one fine bin (too short to derive any rate).
+    pub fn from_trace(trace: &IngestedTrace) -> Result<Self, IngestError> {
+        let n_requests = trace.len();
+        let duration_s = trace.duration_s();
+        if duration_s < FINE_BIN_S {
+            return Err(IngestError::Calibration(format!(
+                "trace spans {duration_s:.1} s; need at least {FINE_BIN_S:.0} s to derive rates"
+            )));
+        }
+        let mean_rate = n_requests as f64 / duration_s;
+
+        // Hourly rates, week-aligned. The final (partial) hour is
+        // normalized by its actual coverage so it is not biased low.
+        let start = trace.start_s();
+        let phase = trace.week_phase_s();
+        let hour_counts = bin_counts(trace, 3600.0);
+        let mut hourly_rates = TimeSeries::new();
+        for (k, &c) in hour_counts.iter().enumerate() {
+            let covered = (duration_s - k as f64 * 3600.0).min(3600.0);
+            if covered < 60.0 {
+                continue;
+            }
+            hourly_rates.push(phase + k as f64 * 3600.0, c as f64 / covered);
+        }
+
+        // Diurnal profile: arrivals per hour-of-day slot over the
+        // seconds of coverage each slot actually received.
+        let mut slot_counts = [0.0f64; 24];
+        let mut slot_coverage = [0.0f64; 24];
+        for r in trace.records() {
+            let hour = (((phase + r.arrival_s - start) / 3600.0).rem_euclid(24.0)) as usize % 24;
+            slot_counts[hour] += 1.0;
+        }
+        // Walk the span hour by hour to accumulate per-slot coverage.
+        let mut t = 0.0;
+        while t < duration_s {
+            let abs = phase + t;
+            let hour = ((abs / 3600.0).rem_euclid(24.0)) as usize % 24;
+            let until_next = 3600.0 - abs.rem_euclid(3600.0);
+            let dt = until_next.min(duration_s - t);
+            slot_coverage[hour] += dt;
+            t += dt;
+        }
+        let mut diurnal_profile = [f64::NAN; 24];
+        for h in 0..24 {
+            if slot_coverage[h] > 0.0 {
+                diurnal_profile[h] = slot_counts[h] / slot_coverage[h];
+            }
+        }
+
+        // Burstiness: index of dispersion of per-minute counts.
+        let fine = bin_counts(trace, FINE_BIN_S);
+        let m = fine.iter().sum::<u64>() as f64 / fine.len() as f64;
+        let var = fine.iter().map(|&c| (c as f64 - m).powi(2)).sum::<f64>() / fine.len() as f64;
+        let dispersion = if m > 0.0 { var / m } else { 0.0 };
+
+        // Inter-arrival coefficient of variation.
+        let gaps: Vec<f64> = trace
+            .records()
+            .windows(2)
+            .map(|w| w[1].arrival_s - w[0].arrival_s)
+            .collect();
+        let interarrival_cv = if gaps.is_empty() {
+            0.0
+        } else {
+            let gm = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let gv = gaps.iter().map(|g| (g - gm).powi(2)).sum::<f64>() / gaps.len() as f64;
+            if gm > 0.0 {
+                gv.sqrt() / gm
+            } else {
+                0.0
+            }
+        };
+
+        let ctx: Vec<f64> = trace
+            .records()
+            .iter()
+            .map(|r| r.context_tokens as f64)
+            .collect();
+        let gen: Vec<f64> = trace
+            .records()
+            .iter()
+            .map(|r| r.generated_tokens as f64)
+            .collect();
+        let context_tokens = Quantiles::from_samples(&ctx).expect("trace is non-empty");
+        let generated_tokens = Quantiles::from_samples(&gen).expect("trace is non-empty");
+        let context_hist = token_histogram(&ctx, context_tokens.max);
+        let generated_hist = token_histogram(&gen, generated_tokens.max);
+
+        let high_priority_share = if trace.priority_coverage() > 0.0 {
+            let high = trace
+                .records()
+                .iter()
+                .filter(|r| r.priority == Some(Priority::High))
+                .count();
+            Some(high as f64 / n_requests as f64)
+        } else {
+            None
+        };
+
+        Ok(TraceStats {
+            n_requests,
+            duration_s,
+            mean_rate,
+            hourly_rates,
+            diurnal_profile,
+            dispersion,
+            interarrival_cv,
+            context_tokens,
+            generated_tokens,
+            context_hist,
+            generated_hist,
+            high_priority_share,
+        })
+    }
+
+    /// The multi-line, human-readable statistics report `polca-cli
+    /// ingest` prints.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "  {} requests over {:.2} h  (mean {:.3} req/s)\n",
+            self.n_requests,
+            self.duration_s / 3600.0,
+            self.mean_rate
+        ));
+        s.push_str(&format!(
+            "  burstiness: dispersion {:.2} (1.0 = Poisson), inter-arrival CV {:.2}\n",
+            self.dispersion, self.interarrival_cv
+        ));
+        s.push_str(&format!(
+            "  context tokens   p50 {:>6.0}  p90 {:>6.0}  p99 {:>6.0}  max {:>6.0}\n",
+            self.context_tokens.p50,
+            self.context_tokens.p90,
+            self.context_tokens.p99,
+            self.context_tokens.max
+        ));
+        s.push_str(&format!(
+            "  generated tokens p50 {:>6.0}  p90 {:>6.0}  p99 {:>6.0}  max {:>6.0}\n",
+            self.generated_tokens.p50,
+            self.generated_tokens.p90,
+            self.generated_tokens.p99,
+            self.generated_tokens.max
+        ));
+        match self.high_priority_share {
+            Some(share) => s.push_str(&format!(
+                "  priority: {:.0}% high / {:.0}% low\n",
+                share * 100.0,
+                (1.0 - share) * 100.0
+            )),
+            None => s.push_str("  priority: column absent (replay assigns a 50:50 split)\n"),
+        }
+        let visited: Vec<(usize, f64)> = self
+            .diurnal_profile
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_finite())
+            .map(|(h, &r)| (h, r))
+            .collect();
+        if let (Some(&(lo_h, _)), Some(&(hi_h, _))) = (
+            visited.iter().min_by(|a, b| a.1.total_cmp(&b.1)),
+            visited.iter().max_by(|a, b| a.1.total_cmp(&b.1)),
+        ) {
+            s.push_str(&format!(
+                "  diurnal: trough {lo_h:02}:00, peak {hi_h:02}:00 ({}/24 hour slots observed)\n",
+                visited.len()
+            ));
+        }
+        s
+    }
+}
+
+fn token_histogram(samples: &[f64], max: f64) -> Histogram {
+    let mut h = Histogram::new(0.0, max.max(1.0) + 1.0, 32);
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// The empirical arrival-rate schedule of `trace` at `bin_s`
+/// resolution — the "replay without fitting" schedule.
+///
+/// # Errors
+///
+/// Returns [`IngestError::Calibration`] if the trace spans less than
+/// one bin.
+pub fn empirical_schedule(trace: &IngestedTrace, bin_s: f64) -> Result<RateSchedule, IngestError> {
+    if trace.duration_s() < bin_s {
+        return Err(IngestError::Calibration(format!(
+            "trace spans {:.1} s; need at least one {bin_s:.0} s bin",
+            trace.duration_s()
+        )));
+    }
+    let rates: Vec<f64> = bin_counts(trace, bin_s)
+        .into_iter()
+        .map(|c| c as f64 / bin_s)
+        .collect();
+    Ok(RateSchedule::new(bin_s, rates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic CSV with one request every 0.5 s for two hours,
+    /// alternating priorities.
+    fn uniform_csv() -> String {
+        let mut s = String::from("timestamp_s,context_tokens,generated_tokens,priority\n");
+        let n = 2 * 3600 * 2;
+        for i in 0..n {
+            let t = i as f64 * 0.5;
+            let p = if i % 4 == 0 { "high" } else { "low" };
+            s.push_str(&format!("{t},1000,{},{p}\n", 100 + (i % 7) * 10));
+        }
+        s
+    }
+
+    #[test]
+    fn uniform_trace_statistics_are_flat() {
+        let trace = IngestedTrace::from_reader(uniform_csv().as_bytes()).unwrap();
+        let stats = TraceStats::from_trace(&trace).unwrap();
+        assert_eq!(stats.n_requests, 14_400);
+        assert!((stats.mean_rate - 2.0).abs() < 0.01, "{}", stats.mean_rate);
+        // Perfectly regular arrivals: no dispersion, no CV.
+        assert!(stats.dispersion < 0.1, "dispersion {}", stats.dispersion);
+        assert!(stats.interarrival_cv < 0.01);
+        assert!((stats.high_priority_share.unwrap() - 0.25).abs() < 0.01);
+        assert_eq!(stats.context_tokens.p50, 1000.0);
+        // Only the first two hour slots are observed.
+        let visited = stats
+            .diurnal_profile
+            .iter()
+            .filter(|r| r.is_finite())
+            .count();
+        assert!((2..=3).contains(&visited), "{visited} slots");
+        assert!((stats.diurnal_profile[0] - 2.0).abs() < 0.05);
+        let report = stats.report();
+        assert!(report.contains("14400 requests"));
+        assert!(report.contains("p50"));
+    }
+
+    #[test]
+    fn empirical_schedule_recovers_the_rate() {
+        let trace = IngestedTrace::from_reader(uniform_csv().as_bytes()).unwrap();
+        let schedule = empirical_schedule(&trace, 300.0).unwrap();
+        assert!((schedule.mean_rate() - 2.0).abs() < 0.05);
+        assert_eq!(schedule.step_s(), 300.0);
+    }
+
+    #[test]
+    fn too_short_traces_fail_with_a_diagnostic() {
+        let csv = "timestamp_s,context_tokens,generated_tokens\n1.0,10,10\n2.0,10,10\n";
+        let trace = IngestedTrace::from_reader(csv.as_bytes()).unwrap();
+        let err = TraceStats::from_trace(&trace).unwrap_err();
+        assert!(err.to_string().contains("need at least"));
+        assert!(empirical_schedule(&trace, 60.0).is_err());
+    }
+}

@@ -42,5 +42,5 @@ pub mod workload;
 
 pub use generator::{ArrivalGenerator, TraceConfig};
 pub use pattern::{DiurnalPattern, RateSchedule};
-pub use replicate::ProductionReplicator;
+pub use replicate::{ProductionReplicator, ReplicationError};
 pub use workload::WorkloadClass;

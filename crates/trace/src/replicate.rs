@@ -14,6 +14,8 @@
 //! synthesizes a reference with the Table 4 statistics (diurnal, ~79 %
 //! peak utilization, small fast swings).
 
+use std::fmt;
+
 use polca_cluster::{RowConfig, HOT_IDLE_INTENSITY};
 use polca_llm::{InferenceConfig, InferenceModel};
 use polca_sim::SimRng;
@@ -21,6 +23,68 @@ use polca_stats::{mape, TimeSeries};
 
 use crate::pattern::RateSchedule;
 use crate::workload::WorkloadClass;
+
+/// Why a reference power series could not be replicated.
+///
+/// Ingested traces can legitimately be short, flat, or sparse; these
+/// errors replace the panics the synthetic-only pipeline used to rely
+/// on, so a degenerate input fails with a diagnostic instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicationError {
+    /// The reference series has fewer than two samples, so no time step
+    /// (and therefore no rate schedule) can be derived from it.
+    TooFewSamples(usize),
+    /// The reference series is not uniformly sampled: the step between
+    /// samples `at` and `at + 1` differs from the first step.
+    NonUniformStep {
+        /// Index of the first sample whose spacing deviates.
+        at: usize,
+        /// The expected step in seconds (from the first two samples).
+        expected_s: f64,
+        /// The step actually found there, in seconds.
+        found_s: f64,
+    },
+    /// A reference sample is NaN, infinite, or negative power.
+    NonFiniteSample {
+        /// Index of the offending sample.
+        at: usize,
+    },
+    /// The reference and replicated series do not overlap after
+    /// resampling, so no error metric can be computed.
+    EmptyOverlap,
+    /// Every reference point is zero, so percentage error is undefined.
+    ZeroReference,
+}
+
+impl fmt::Display for ReplicationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicationError::TooFewSamples(n) => {
+                write!(f, "reference series has {n} sample(s); need at least 2")
+            }
+            ReplicationError::NonUniformStep {
+                at,
+                expected_s,
+                found_s,
+            } => write!(
+                f,
+                "reference series is not uniformly sampled: step at sample {at} \
+                 is {found_s:.3} s, expected {expected_s:.3} s"
+            ),
+            ReplicationError::NonFiniteSample { at } => {
+                write!(f, "reference sample {at} is NaN, infinite, or negative")
+            }
+            ReplicationError::EmptyOverlap => {
+                write!(f, "reference and replicated series do not overlap")
+            }
+            ReplicationError::ZeroReference => {
+                write!(f, "every reference point is zero; MAPE is undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplicationError {}
 
 /// Inverts the cluster power model to replicate a power profile as an
 /// arrival-rate schedule.
@@ -117,19 +181,44 @@ impl ProductionReplicator {
     /// Inverts a reference power profile into an arrival-rate schedule
     /// with the profile's own time resolution.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the profile has fewer than two samples or a
-    /// non-uniform time step.
-    pub fn schedule_from_profile(&self, profile: &TimeSeries) -> RateSchedule {
-        assert!(profile.len() >= 2, "profile needs at least two samples");
-        let step = profile.times()[1] - profile.times()[0];
+    /// Returns a [`ReplicationError`] if the profile has fewer than two
+    /// samples, a non-uniform time step, or a non-finite/negative
+    /// sample — all of which an ingested trace can legitimately exhibit.
+    pub fn schedule_from_profile(
+        &self,
+        profile: &TimeSeries,
+    ) -> Result<RateSchedule, ReplicationError> {
+        if profile.len() < 2 {
+            return Err(ReplicationError::TooFewSamples(profile.len()));
+        }
+        let times = profile.times();
+        let step = times[1] - times[0];
+        for (i, pair) in times.windows(2).enumerate().skip(1) {
+            let found = pair[1] - pair[0];
+            // Tolerate float accumulation, not genuinely irregular sampling.
+            if (found - step).abs() > 1e-6 * step.max(1.0) {
+                return Err(ReplicationError::NonUniformStep {
+                    at: i,
+                    expected_s: step,
+                    found_s: found,
+                });
+            }
+        }
+        if let Some(at) = profile
+            .values()
+            .iter()
+            .position(|w| !w.is_finite() || *w < 0.0)
+        {
+            return Err(ReplicationError::NonFiniteSample { at });
+        }
         let rates: Vec<f64> = profile
             .values()
             .iter()
             .map(|&w| self.rate_for_power(w))
             .collect();
-        RateSchedule::new(step, rates)
+        Ok(RateSchedule::new(step, rates))
     }
 
     /// The power series this replicator predicts for `schedule`
@@ -202,15 +291,24 @@ pub fn production_reference(row: &RowConfig, days: f64, dt_s: f64, seed: u64) ->
 
 /// The MAPE (percent) between a reference and a replicated power
 /// series, both resampled to 5-minute means over their overlap — the
-/// §6.4 validation metric. Returns `None` if the overlap is empty.
-pub fn replication_mape(reference: &TimeSeries, replicated: &TimeSeries) -> Option<f64> {
+/// §6.4 validation metric.
+///
+/// # Errors
+///
+/// Returns [`ReplicationError::EmptyOverlap`] if either resampled
+/// series is empty, and [`ReplicationError::ZeroReference`] if every
+/// overlapping reference point is zero (percentage error undefined).
+pub fn replication_mape(
+    reference: &TimeSeries,
+    replicated: &TimeSeries,
+) -> Result<f64, ReplicationError> {
     let ref_rs = reference.resample_mean(300.0);
     let rep_rs = replicated.resample_mean(300.0);
     let n = ref_rs.len().min(rep_rs.len());
     if n == 0 {
-        return None;
+        return Err(ReplicationError::EmptyOverlap);
     }
-    mape(&ref_rs.values()[..n], &rep_rs.values()[..n])
+    mape(&ref_rs.values()[..n], &rep_rs.values()[..n]).ok_or(ReplicationError::ZeroReference)
 }
 
 #[cfg(test)]
@@ -295,7 +393,7 @@ mod tests {
         let row = row();
         let reference = production_reference(&row, 1.0, 60.0, 3);
         let r = replicator();
-        let schedule = r.schedule_from_profile(&reference);
+        let schedule = r.schedule_from_profile(&reference).unwrap();
         let predicted = r.predicted_power_series(&schedule);
         let err = replication_mape(&reference, &predicted).unwrap();
         assert!(err < 0.5, "analytic MAPE {err:.3}%");
@@ -308,7 +406,7 @@ mod tests {
         let row = row();
         let reference = production_reference(&row, 0.25, 60.0, 5);
         let r = replicator();
-        let schedule = r.schedule_from_profile(&reference);
+        let schedule = r.schedule_from_profile(&reference).unwrap();
         let config = TraceConfig {
             seed: 5,
             horizon: SimTime::from_hours(6.0),
@@ -326,10 +424,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two samples")]
-    fn schedule_from_tiny_profile_panics() {
+    fn schedule_from_tiny_profile_is_typed_error() {
         let mut ts = TimeSeries::new();
         ts.push(0.0, 100.0);
-        let _ = replicator().schedule_from_profile(&ts);
+        assert_eq!(
+            replicator().schedule_from_profile(&ts),
+            Err(ReplicationError::TooFewSamples(1))
+        );
+    }
+
+    #[test]
+    fn schedule_from_irregular_profile_is_typed_error() {
+        let r = replicator();
+        let ts: TimeSeries = [(0.0, 1e5), (60.0, 1e5), (150.0, 1e5)]
+            .into_iter()
+            .collect();
+        match r.schedule_from_profile(&ts) {
+            Err(ReplicationError::NonUniformStep { at, .. }) => assert_eq!(at, 1),
+            other => panic!("expected NonUniformStep, got {other:?}"),
+        }
+        let bad: TimeSeries = [(0.0, 1e5), (60.0, f64::NAN)].into_iter().collect();
+        assert_eq!(
+            r.schedule_from_profile(&bad),
+            Err(ReplicationError::NonFiniteSample { at: 1 })
+        );
+    }
+
+    #[test]
+    fn replication_mape_degenerate_inputs_are_typed_errors() {
+        let empty = TimeSeries::new();
+        let some: TimeSeries = [(0.0, 1.0), (300.0, 2.0)].into_iter().collect();
+        assert_eq!(
+            replication_mape(&empty, &some),
+            Err(ReplicationError::EmptyOverlap)
+        );
+        let zeros: TimeSeries = [(0.0, 0.0), (300.0, 0.0)].into_iter().collect();
+        assert_eq!(
+            replication_mape(&zeros, &some),
+            Err(ReplicationError::ZeroReference)
+        );
+        // Errors render as human-readable diagnostics.
+        let msg = ReplicationError::TooFewSamples(1).to_string();
+        assert!(msg.contains("at least 2"), "message: {msg}");
     }
 }

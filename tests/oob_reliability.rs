@@ -13,7 +13,10 @@ fn run_with_failure_rate(failure_rate: f64) -> polca_cluster::SimReport {
     let base_row = RowConfig::paper_inference_row();
     let profile = production_reference(&base_row, days, 60.0, 41);
     let replicator = ProductionReplicator::new(&base_row, &WorkloadClass::table6());
-    let schedule = replicator.schedule_from_profile(&profile).scaled(1.3);
+    let schedule = replicator
+        .schedule_from_profile(&profile)
+        .expect("synthesized profile is well-formed")
+        .scaled(1.3);
     let until = SimTime::from_days(days);
     let trace = TraceConfig {
         seed: 41,

@@ -12,7 +12,9 @@ fn full_day_replication_meets_the_three_percent_mape_bound() {
     let row = RowConfig::paper_inference_row();
     let reference = production_reference(&row, 1.0, 60.0, 29);
     let replicator = ProductionReplicator::new(&row, &WorkloadClass::table6());
-    let schedule = replicator.schedule_from_profile(&reference);
+    let schedule = replicator
+        .schedule_from_profile(&reference)
+        .expect("synthesized reference is well-formed");
     let config = TraceConfig {
         seed: 29,
         horizon: SimTime::from_days(1.0),
@@ -34,7 +36,9 @@ fn replicated_cluster_matches_table4_inference_statistics() {
     let provisioned = row.provisioned_watts();
     let reference = production_reference(&row, 2.0, 60.0, 31);
     let replicator = ProductionReplicator::new(&row, &WorkloadClass::table6());
-    let schedule = replicator.schedule_from_profile(&reference);
+    let schedule = replicator
+        .schedule_from_profile(&reference)
+        .expect("synthesized reference is well-formed");
     let config = TraceConfig {
         seed: 31,
         horizon: SimTime::from_days(2.0),

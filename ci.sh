@@ -29,4 +29,22 @@ echo "== polca-cli ingest smoke test =="
 cargo run -q --offline --release -p polca-cli -- \
     ingest tests/golden/sample_trace.csv
 
+echo "== polca-cli watch smoke test =="
+watch_out="$(mktemp -d)"
+trap 'rm -rf "$watch_out"' EXIT
+cargo run -q --offline --release -p polca-cli -- \
+    evaluate --trace-csv tests/golden/sample_trace.csv \
+    --policy polca --watch --obs-out "$watch_out"
+for f in incidents.jsonl report.md metrics.prom trace.json; do
+    [[ -f "$watch_out/$f" ]] || { echo "missing watch artifact: $f"; exit 1; }
+done
+grep -q '^# Watch report' "$watch_out/report.md"
+grep -q '^# TYPE ' "$watch_out/metrics.prom"
+# Every incident line must be a JSON object with the lifecycle fields.
+if [[ -s "$watch_out/incidents.jsonl" ]]; then
+    grep -vq '^{"id":' "$watch_out/incidents.jsonl" \
+        && { echo "malformed incidents.jsonl line"; exit 1; }
+    grep -q '"detection_lag_s"' "$watch_out/incidents.jsonl"
+fi
+
 echo "CI OK"

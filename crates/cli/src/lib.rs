@@ -33,8 +33,10 @@ use polca_ingest::{
 use polca_llm::{InferenceConfig, InferenceModel, ModelSpec};
 use polca_obs::{ObsLevel, Recorder};
 use polca_sim::{SimRng, SimTime};
+use polca_telemetry::RowPowerTaps;
 use polca_trace::replicate::production_reference;
 use polca_trace::{ArrivalGenerator, DiurnalPattern, TraceConfig, WorkloadClass};
+use polca_watch::{IncidentState, RuleSet, WatchArtifacts, WatchConfig, WatchPlane};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +99,8 @@ impl std::error::Error for CliError {}
 /// Returns [`CliError`] when no subcommand is present or a flag is
 /// missing its value.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, CliError> {
+    /// Flags that take no value; their presence stores `"true"`.
+    const BOOL_FLAGS: &[&str] = &["watch"];
     let mut iter = args.into_iter();
     let command = iter.next().ok_or(CliError::MissingCommand)?;
     let mut options = HashMap::new();
@@ -108,7 +112,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
                 options.insert(flag, arg);
             }
             None if arg.starts_with("--") => {
-                pending = Some(arg.trim_start_matches("--").to_string());
+                let flag = arg.trim_start_matches("--").to_string();
+                if BOOL_FLAGS.contains(&flag.as_str()) {
+                    options.insert(flag, "true".to_string());
+                } else {
+                    pending = Some(flag);
+                }
             }
             None => positionals.push(arg),
         }
@@ -198,8 +207,14 @@ COMMANDS
                 [--policy polca|1t-lp|1t-all|nocap] [--added 30]
                 [--days 2] [--seed 17] [--power-scale 1.0]
                 [--obs-out DIR] [--obs-level off|metrics|events|full]
-                (--obs-out writes events.jsonl, metrics.json, power.csv,
-                 latency.csv, trace.json — open trace.json in Perfetto)
+                (--obs-out writes events.jsonl, metrics.json,
+                 metrics.prom, power.csv, latency.csv, trace.json —
+                 open trace.json in Perfetto)
+                [--watch] run the online alerting/incident plane on the
+                delayed OOB telemetry (forces obs level >= events; with
+                --obs-out also writes incidents.jsonl, report.md, and
+                alert markers merged into trace.json)
+                [--watch-rules FILE] override the built-in alert rules
                 with --trace-csv FILE: replay an ingested trace through
                 all four Figure 17 policies instead of synthesizing;
                 [--rate-scale 1.0] [--time-scale 1.0] [--servers 40]
@@ -374,6 +389,87 @@ fn ingest(inv: &Invocation) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Builds the watch plane when `--watch` was given, loading
+/// `--watch-rules` if present.
+fn build_watch_plane(
+    inv: &Invocation,
+    provisioned_watts: f64,
+) -> Result<Option<WatchPlane>, CliError> {
+    if !inv.options.contains_key("watch") {
+        return Ok(None);
+    }
+    let mut cfg = WatchConfig::new(provisioned_watts);
+    if let Some(path) = inv.options.get("watch-rules") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        cfg.rules = RuleSet::parse(&text).map_err(|e| CliError::BadValue {
+            flag: "watch-rules".into(),
+            value: e.to_string(),
+        })?;
+    }
+    Ok(Some(WatchPlane::new(cfg)))
+}
+
+/// One-line digest of a finished watch run, plus a line per incident.
+fn print_watch_summary(artifacts: &WatchArtifacts, indent: &str) {
+    let unresolved = artifacts
+        .incidents()
+        .iter()
+        .filter(|i| i.state != IncidentState::Resolved)
+        .count();
+    println!(
+        "{indent}watch: {} alert(s), {} incident(s) ({unresolved} unresolved at end of run)",
+        artifacts.alerts().len(),
+        artifacts.incidents().len(),
+    );
+    for inc in artifacts.incidents() {
+        let lag = match inc.detection_lag_s {
+            Some(lag) => format!("{lag:.1}s detection lag"),
+            None => "onset unknown".to_string(),
+        };
+        println!(
+            "{indent}  #{} {} [{}] {} — {lag}",
+            inc.id,
+            inc.rule,
+            inc.severity,
+            inc.state.tag(),
+        );
+    }
+}
+
+/// Writes `incidents.jsonl` + `report.md` into `dir` and re-renders
+/// `trace.json` with the watch plane's alert/incident instant markers.
+fn write_watch_artifacts(
+    recorder: &Recorder,
+    artifacts: &WatchArtifacts,
+    dir: &str,
+) -> Result<(), CliError> {
+    let dir_path = Path::new(dir);
+    let files = artifacts
+        .write_dir(dir_path)
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    let run = recorder.artifacts();
+    let annotated = run.level.events_enabled();
+    if annotated {
+        std::fs::write(
+            dir_path.join("trace.json"),
+            run.chrome_trace_json_with(&artifacts.annotations()),
+        )
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    }
+    println!(
+        "  watch artifacts: {} file(s) in {}/{}",
+        files.len(),
+        dir.trim_end_matches('/'),
+        if annotated {
+            " (alert markers merged into trace.json)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
 fn evaluate(inv: &Invocation) -> Result<(), CliError> {
     if inv.options.contains_key("trace-csv") {
         return evaluate_trace(inv);
@@ -394,6 +490,13 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
         None if obs_out.is_some() => ObsLevel::Full,
         None => ObsLevel::Off,
     };
+    // The watch plane's count rules and burn tracker ride the event
+    // stream, so `--watch` needs at least the events level.
+    let obs_level = if inv.options.contains_key("watch") {
+        obs_level.max(ObsLevel::Events)
+    } else {
+        obs_level
+    };
     let recorder = Recorder::new(obs_level);
 
     let mut study = OversubscriptionStudy::new(
@@ -404,6 +507,13 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
     );
     study.set_record_power(false);
     study.set_recorder(recorder.clone());
+    let watch = build_watch_plane(inv, study.row().provisioned_watts())?;
+    if let Some(plane) = &watch {
+        let mut taps = RowPowerTaps::new();
+        taps.subscribe(plane.subscriber());
+        study.set_oob_taps(taps);
+        recorder.set_tap(plane.event_tap());
+    }
     let o = study.run(kind, added / 100.0, power_scale);
     println!(
         "{} at +{added:.0}% servers, power×{power_scale}, {days} day(s):",
@@ -436,6 +546,14 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
             dir.trim_end_matches('/')
         );
     }
+    if let Some(plane) = &watch {
+        recorder.clear_tap();
+        let artifacts = plane.finalize(SimTime::from_days(days));
+        print_watch_summary(&artifacts, "  ");
+        if let Some(dir) = &obs_out {
+            write_watch_artifacts(&recorder, &artifacts, dir)?;
+        }
+    }
     Ok(())
 }
 
@@ -455,6 +573,11 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
         None if obs_out.is_some() => ObsLevel::Full,
         None => ObsLevel::Off,
     };
+    let obs_level = if inv.options.contains_key("watch") {
+        obs_level.max(ObsLevel::Events)
+    } else {
+        obs_level
+    };
     let recorder = Recorder::new(obs_level);
 
     let trace = IngestedTrace::from_csv_path_observed(Path::new(&path), &recorder)
@@ -473,6 +596,7 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
     row.base_servers = servers;
     let row = row.with_added_servers(added / 100.0);
     let deployed = row.total_servers();
+    let eval_row_provisioned = row.provisioned_watts();
     let mut eval = TraceEvaluation::new(row, PolcaPolicy::default(), requests, seed);
     eval.set_recorder(recorder.clone());
 
@@ -489,7 +613,20 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
         "  {:<18} {:>8} {:>8} {:>10} {:>7}",
         "policy", "LP p99", "HP p99", "peak util", "brakes"
     );
+    // Each policy run gets its own watch plane: the replay clock
+    // restarts per run, and a shared engine would see time jump
+    // backwards. The obs-out incident artifacts come from the first
+    // policy's plane (POLCA when running the full comparison).
+    let provisioned = eval_row_provisioned;
+    let mut first_watch: Option<(PolicyKind, WatchArtifacts)> = None;
     for kind in kinds {
+        let watch = build_watch_plane(inv, provisioned)?;
+        if let Some(plane) = &watch {
+            let mut taps = RowPowerTaps::new();
+            taps.subscribe(plane.subscriber());
+            eval.set_oob_taps(taps);
+            recorder.set_tap(plane.event_tap());
+        }
         let o = eval.run(kind);
         println!(
             "  {:<18} {:>8.3} {:>8.3} {:>9.1}% {:>7}",
@@ -499,6 +636,14 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
             o.peak_utilization * 100.0,
             o.brake_engagements
         );
+        if let Some(plane) = watch {
+            recorder.clear_tap();
+            let artifacts = plane.finalize(eval.horizon());
+            print_watch_summary(&artifacts, "    ");
+            if first_watch.is_none() {
+                first_watch = Some((kind, artifacts));
+            }
+        }
     }
     if let Some(dir) = &obs_out {
         let files = recorder
@@ -509,6 +654,10 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
             files.len(),
             dir.trim_end_matches('/')
         );
+        if let Some((kind, artifacts)) = &first_watch {
+            println!("  watch artifacts below are from the {} run", kind.name());
+            write_watch_artifacts(&recorder, artifacts, dir)?;
+        }
     }
     Ok(())
 }
@@ -576,6 +725,16 @@ mod tests {
             parse_args(args(&["plan", "--days"])),
             Err(CliError::MissingValue("days".into()))
         );
+    }
+
+    #[test]
+    fn watch_is_a_boolean_flag() {
+        // `--watch` consumes no value, even mid-argv or trailing.
+        let inv = parse_args(args(&["evaluate", "--watch", "--days", "1"])).unwrap();
+        assert_eq!(inv.options.get("watch").unwrap(), "true");
+        assert_eq!(inv.get::<f64>("days", 0.0).unwrap(), 1.0);
+        let inv = parse_args(args(&["evaluate", "--watch"])).unwrap();
+        assert!(inv.options.contains_key("watch"));
     }
 
     #[test]
@@ -667,6 +826,61 @@ mod tests {
     fn ingest_reports_missing_files_cleanly() {
         let inv = parse_args(args(&["ingest", "/nonexistent/trace.csv"])).unwrap();
         assert!(matches!(run(&inv), Err(CliError::Ingest(_))));
+    }
+
+    #[test]
+    fn evaluate_with_watch_writes_incident_artifacts() {
+        let dir = std::env::temp_dir().join(format!("polca-cli-watch-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        let inv = parse_args(args(&[
+            "evaluate",
+            "--watch",
+            "--days",
+            "0.05",
+            "--added",
+            "30",
+            "--obs-out",
+            &out,
+        ]))
+        .unwrap();
+        run(&inv).unwrap();
+        for file in ["incidents.jsonl", "report.md", "metrics.prom", "trace.json"] {
+            assert!(dir.join(file).exists(), "{file} missing");
+        }
+        let report = std::fs::read_to_string(dir.join("report.md")).unwrap();
+        assert!(report.contains("# Watch report"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_watch_rules_file_is_a_clean_error() {
+        let dir = std::env::temp_dir().join(format!("polca-cli-rules-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("rules.txt");
+        std::fs::write(&rules, "bad nonsense x=1\n").unwrap();
+        let rules_str = rules.to_string_lossy().to_string();
+        let inv = parse_args(args(&[
+            "evaluate",
+            "--watch",
+            "--watch-rules",
+            &rules_str,
+            "--days",
+            "0.05",
+        ]))
+        .unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+        let inv = parse_args(args(&[
+            "evaluate",
+            "--watch",
+            "--watch-rules",
+            "/nonexistent/rules.txt",
+            "--days",
+            "0.05",
+        ]))
+        .unwrap();
+        assert!(matches!(run(&inv), Err(CliError::Io(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use polca_obs::{Event, Label, Recorder};
 use polca_sim::{EventQueue, SimTime};
 use polca_stats::TimeSeries;
-use polca_telemetry::{ControlAction, DelayedSignal, OobControlPlane};
+use polca_telemetry::{ControlAction, DelayedSignal, OobControlPlane, RowPowerTaps};
 
 use crate::request::{CompletedRequest, Priority, Request};
 use crate::row::RowConfig;
@@ -136,6 +136,12 @@ pub struct SimConfig {
     /// Observability sink for the run (disabled by default; equality on
     /// this field compares the capture *level*, not accumulated data).
     pub recorder: Recorder,
+    /// Passive subscribers to the delayed row-power stream (empty by
+    /// default; equality compares the subscriber count, not identity).
+    /// Subscribers see exactly what the controller sees — the stale
+    /// [`DelayedSignal`] read — plus a ground-truth feed reserved for
+    /// detection-lag annotation.
+    pub oob_taps: RowPowerTaps,
 }
 
 impl Default for SimConfig {
@@ -150,6 +156,7 @@ impl Default for SimConfig {
             power_scale: 1.0,
             record_power_series: true,
             recorder: Recorder::disabled(),
+            oob_taps: RowPowerTaps::new(),
         }
     }
 }
@@ -560,6 +567,11 @@ impl<P: PowerController> ClusterSim<P> {
             self.row_power_watts / self.ctx.provisioned_watts,
         );
         let observed = self.row_signal.read(now);
+        // One combined publish per tick (truth first, then the delayed
+        // view) so subscribers with interior locking lock only once.
+        self.config
+            .oob_taps
+            .publish_tick(now, self.row_power_watts, observed);
         let requests = {
             let _span = self.obs.time("controller.on_telemetry");
             self.controller.on_telemetry(now, observed, &self.ctx)

@@ -16,6 +16,7 @@ use polca_cluster::{ClusterSim, Priority, RowConfig, SimConfig};
 use polca_obs::{Event, Recorder};
 use polca_sim::SimTime;
 use polca_stats::{Quantiles, TimeSeries};
+use polca_telemetry::RowPowerTaps;
 use polca_trace::replicate::{production_reference, ProductionReplicator};
 use polca_trace::{ArrivalGenerator, RateSchedule, TraceConfig, WorkloadClass};
 
@@ -119,6 +120,7 @@ pub struct OversubscriptionStudy {
     record_power: bool,
     reference: Option<Reference>,
     recorder: Recorder,
+    oob_taps: RowPowerTaps,
 }
 
 impl OversubscriptionStudy {
@@ -146,6 +148,7 @@ impl OversubscriptionStudy {
             record_power: true,
             reference: None,
             recorder: Recorder::disabled(),
+            oob_taps: RowPowerTaps::new(),
         }
     }
 
@@ -214,6 +217,13 @@ impl OversubscriptionStudy {
     /// [`set_recorder`]: OversubscriptionStudy::set_recorder
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Attaches delayed-telemetry subscribers (the online watch plane).
+    /// Like the recorder, taps apply to policy runs only — the cached
+    /// reference run stays un-instrumented.
+    pub fn set_oob_taps(&mut self, taps: RowPowerTaps) {
+        self.oob_taps = taps;
     }
 
     /// The study duration in days.
@@ -300,6 +310,7 @@ impl OversubscriptionStudy {
         let obs = self.recorder.clone();
         let mut config = self.sim_config(power_scale);
         config.recorder = obs.clone();
+        config.oob_taps = self.oob_taps.clone();
         let arrivals = {
             let _span = obs.time("study.trace_synthesis");
             ArrivalGenerator::new(&self.trace(added_fraction))

@@ -55,5 +55,5 @@ pub use experiment::{OversubscriptionStudy, PolicyKind, PolicyOutcome};
 pub use policy::{PolcaPolicy, PowerMode};
 pub use replay::{ReplayOutcome, TraceEvaluation};
 pub use selective::SelectiveController;
-pub use slo::{SloReport, SloTargets};
+pub use slo::{SloQuantile, SloReport, SloTargets, SloViolation};
 pub use thresholds::ThresholdTrainer;

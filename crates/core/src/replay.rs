@@ -12,6 +12,7 @@ use polca_cluster::{ClusterSim, NoopController, PowerController, Request, RowCon
 use polca_obs::Recorder;
 use polca_sim::SimTime;
 use polca_stats::Quantiles;
+use polca_telemetry::RowPowerTaps;
 
 use crate::controller::{NoCapController, PolcaController, SingleThresholdController};
 use crate::experiment::PolicyKind;
@@ -56,6 +57,7 @@ pub struct TraceEvaluation {
     requests: Vec<Request>,
     record_power: bool,
     recorder: Recorder,
+    oob_taps: RowPowerTaps,
     reference: Option<(Quantiles, Quantiles)>,
 }
 
@@ -73,6 +75,7 @@ impl TraceEvaluation {
             requests,
             record_power: false,
             recorder: Recorder::disabled(),
+            oob_taps: RowPowerTaps::new(),
             reference: None,
         }
     }
@@ -92,6 +95,13 @@ impl TraceEvaluation {
     /// synthetic study).
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
+    }
+
+    /// Attaches delayed-telemetry subscribers (the online watch plane)
+    /// to subsequent policy runs; the cached reference run stays
+    /// un-instrumented.
+    pub fn set_oob_taps(&mut self, taps: RowPowerTaps) {
+        self.oob_taps = taps;
     }
 
     /// Number of requests in the replayed stream.
@@ -174,7 +184,9 @@ impl TraceEvaluation {
         let obs = self.recorder.clone();
         let controller = self.controller(kind, obs.clone());
         let provisioned = self.row.provisioned_watts();
-        let sim = ClusterSim::new(self.row.clone(), self.sim_config(obs), controller);
+        let mut config = self.sim_config(obs);
+        config.oob_taps = self.oob_taps.clone();
+        let sim = ClusterSim::new(self.row.clone(), config, controller);
         let report = sim.run(self.requests.clone(), self.until);
         let low_raw = Self::quantiles_or_unit(&report.low_latencies_s);
         let high_raw = Self::quantiles_or_unit(&report.high_latencies_s);

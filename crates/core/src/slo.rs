@@ -1,5 +1,8 @@
 //! The service-level objectives of Table 6.
 
+use std::fmt;
+
+use polca_cluster::Priority;
 use polca_stats::Quantiles;
 
 /// Latency and safety SLOs per Table 6: normalized latency impact caps
@@ -30,13 +33,118 @@ impl Default for SloTargets {
     }
 }
 
+/// Which latency quantile an SLO constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SloQuantile {
+    /// The median.
+    P50,
+    /// The 99th percentile.
+    P99,
+}
+
+impl fmt::Display for SloQuantile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SloQuantile::P50 => write!(f, "p50"),
+            SloQuantile::P99 => write!(f, "p99"),
+        }
+    }
+}
+
+/// One objective breach, carrying the class, quantile, and the observed
+/// vs target values — shared by the end-of-run checker and the online
+/// watch plane so "what counts as a violation" has exactly one
+/// definition.
+///
+/// `Display` reproduces the strings the old `Vec<String>` report
+/// carried (e.g. `high-priority p50: 1.200 > 1.010`), so snapshots and
+/// event-log goldens are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum SloViolation {
+    /// A normalized latency quantile exceeded its Table 6 cap.
+    Latency {
+        /// The priority class whose objective was breached.
+        priority: Priority,
+        /// Which quantile breached.
+        quantile: SloQuantile,
+        /// The normalized latency observed.
+        observed: f64,
+        /// The Table 6 cap it exceeded.
+        target: f64,
+    },
+    /// More power-brake events than the target tolerates (paper: any).
+    BrakeEvents {
+        /// Brake engagements observed.
+        observed: u64,
+        /// The tolerated maximum.
+        limit: u64,
+    },
+    /// An online multi-window burn-rate breach: the class is consuming
+    /// its error budget faster than the alerting threshold in both the
+    /// fast and slow windows. Produced by the watch plane, never by the
+    /// end-of-run checker.
+    BurnRate {
+        /// The priority class burning its budget.
+        priority: Priority,
+        /// Fast-window length in seconds (Google-SRE style: 5 m).
+        window_fast_s: f64,
+        /// Slow-window length in seconds (1 h).
+        window_slow_s: f64,
+        /// Burn multiple over the fast window (1.0 = exactly on budget).
+        fast_burn: f64,
+        /// Burn multiple over the slow window.
+        slow_burn: f64,
+    },
+}
+
+/// Lower-case class label matching the historical report strings.
+fn class(priority: Priority) -> &'static str {
+    match priority {
+        Priority::Low => "low",
+        Priority::High => "high",
+    }
+}
+
+impl fmt::Display for SloViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SloViolation::Latency {
+                priority,
+                quantile,
+                observed,
+                target,
+            } => write!(
+                f,
+                "{}-priority {quantile}: {observed:.3} > {target:.3}",
+                class(*priority)
+            ),
+            SloViolation::BrakeEvents { observed, limit } => {
+                write!(f, "power brakes: {observed} > {limit}")
+            }
+            SloViolation::BurnRate {
+                priority,
+                window_fast_s,
+                window_slow_s,
+                fast_burn,
+                slow_burn,
+            } => write!(
+                f,
+                "{}-priority burn-rate: {fast_burn:.1}x over {window_fast_s:.0}s and \
+                 {slow_burn:.1}x over {window_slow_s:.0}s",
+                class(*priority)
+            ),
+        }
+    }
+}
+
 /// The outcome of checking a run against [`SloTargets`].
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SloReport {
     /// Whether every objective was met.
     pub met: bool,
-    /// Human-readable violations, empty when `met`.
-    pub violations: Vec<String>,
+    /// Typed violations, empty when `met`; `Display` renders the
+    /// historical human-readable strings.
+    pub violations: Vec<SloViolation>,
 }
 
 impl SloTargets {
@@ -49,24 +157,59 @@ impl SloTargets {
         brake_events: u64,
     ) -> SloReport {
         let mut violations = Vec::new();
-        let mut check = |name: &str, value: f64, limit: f64| {
-            if value > limit {
-                violations.push(format!("{name}: {value:.3} > {limit:.3}"));
+        let mut check = |priority: Priority, quantile: SloQuantile, observed: f64, target: f64| {
+            if observed > target {
+                violations.push(SloViolation::Latency {
+                    priority,
+                    quantile,
+                    observed,
+                    target,
+                });
             }
         };
-        check("high-priority p50", high_normalized.p50, self.high_p50);
-        check("high-priority p99", high_normalized.p99, self.high_p99);
-        check("low-priority p50", low_normalized.p50, self.low_p50);
-        check("low-priority p99", low_normalized.p99, self.low_p99);
+        check(
+            Priority::High,
+            SloQuantile::P50,
+            high_normalized.p50,
+            self.high_p50,
+        );
+        check(
+            Priority::High,
+            SloQuantile::P99,
+            high_normalized.p99,
+            self.high_p99,
+        );
+        check(
+            Priority::Low,
+            SloQuantile::P50,
+            low_normalized.p50,
+            self.low_p50,
+        );
+        check(
+            Priority::Low,
+            SloQuantile::P99,
+            low_normalized.p99,
+            self.low_p99,
+        );
         if brake_events > self.max_brake_events {
-            violations.push(format!(
-                "power brakes: {brake_events} > {}",
-                self.max_brake_events
-            ));
+            violations.push(SloViolation::BrakeEvents {
+                observed: brake_events,
+                limit: self.max_brake_events,
+            });
         }
         SloReport {
             met: violations.is_empty(),
             violations,
+        }
+    }
+
+    /// The normalized-latency cap for `priority`/`quantile`.
+    pub fn latency_target(&self, priority: Priority, quantile: SloQuantile) -> f64 {
+        match (priority, quantile) {
+            (Priority::High, SloQuantile::P50) => self.high_p50,
+            (Priority::High, SloQuantile::P99) => self.high_p99,
+            (Priority::Low, SloQuantile::P50) => self.low_p50,
+            (Priority::Low, SloQuantile::P99) => self.low_p99,
         }
     }
 }
@@ -108,14 +251,74 @@ mod tests {
     fn high_priority_p50_breach_is_reported() {
         let report = SloTargets::default().check(&quantiles(1.0, 1.0), &quantiles(1.02, 1.0), 0);
         assert!(!report.met);
-        assert!(report.violations[0].contains("high-priority p50"));
+        assert_eq!(
+            report.violations[0],
+            SloViolation::Latency {
+                priority: Priority::High,
+                quantile: SloQuantile::P50,
+                observed: 1.02,
+                target: 1.01,
+            }
+        );
+        assert!(report.violations[0]
+            .to_string()
+            .contains("high-priority p50"));
     }
 
     #[test]
     fn brake_events_violate() {
         let report = SloTargets::default().check(&quantiles(1.0, 1.0), &quantiles(1.0, 1.0), 1);
         assert!(!report.met);
-        assert!(report.violations[0].contains("power brakes"));
+        assert_eq!(
+            report.violations[0],
+            SloViolation::BrakeEvents {
+                observed: 1,
+                limit: 0
+            }
+        );
+        assert!(report.violations[0].to_string().contains("power brakes"));
+    }
+
+    #[test]
+    fn display_matches_the_historical_strings() {
+        let latency = SloViolation::Latency {
+            priority: Priority::High,
+            quantile: SloQuantile::P50,
+            observed: 1.2,
+            target: 1.01,
+        };
+        assert_eq!(latency.to_string(), "high-priority p50: 1.200 > 1.010");
+        let brakes = SloViolation::BrakeEvents {
+            observed: 3,
+            limit: 0,
+        };
+        assert_eq!(brakes.to_string(), "power brakes: 3 > 0");
+        let burn = SloViolation::BurnRate {
+            priority: Priority::Low,
+            window_fast_s: 300.0,
+            window_slow_s: 3600.0,
+            fast_burn: 15.25,
+            slow_burn: 7.04,
+        };
+        assert_eq!(
+            burn.to_string(),
+            "low-priority burn-rate: 15.2x over 300s and 7.0x over 3600s"
+        );
+    }
+
+    #[test]
+    fn latency_target_lookup_matches_fields() {
+        let t = SloTargets::default();
+        assert_eq!(
+            t.latency_target(Priority::High, SloQuantile::P50),
+            t.high_p50
+        );
+        assert_eq!(
+            t.latency_target(Priority::High, SloQuantile::P99),
+            t.high_p99
+        );
+        assert_eq!(t.latency_target(Priority::Low, SloQuantile::P50), t.low_p50);
+        assert_eq!(t.latency_target(Priority::Low, SloQuantile::P99), t.low_p99);
     }
 
     #[test]

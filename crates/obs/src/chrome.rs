@@ -22,8 +22,28 @@ use crate::json::{esc, num};
 
 const PID: u32 = 1;
 
+/// An extra "instant" marker merged into the trace on the cluster
+/// track — how the watch plane overlays alert firings and incident
+/// lifecycle transitions onto the Perfetto timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// Simulation time in seconds.
+    pub t: f64,
+    /// Marker name (e.g. `alert:row-power-high`).
+    pub name: String,
+    /// Free-form detail shown in the args pane.
+    pub detail: String,
+}
+
 /// Builds a complete Chrome trace JSON document from an event log.
 pub fn trace_json(events: &[Event]) -> String {
+    trace_json_annotated(events, &[])
+}
+
+/// Like [`trace_json`] but appends `annotations` as instant events on
+/// the cluster track (tid 0). With an empty slice the output is
+/// byte-identical to [`trace_json`].
+pub fn trace_json_annotated(events: &[Event], annotations: &[Annotation]) -> String {
     let mut out: Vec<String> = Vec::new();
     let t_end = events.iter().map(Event::t).fold(0.0_f64, f64::max);
 
@@ -221,6 +241,15 @@ pub fn trace_json(events: &[Event]) -> String {
         ));
     }
 
+    for a in annotations {
+        out.push(instant(
+            &a.name,
+            0,
+            a.t,
+            &format!("{{\"detail\":\"{}\"}}", esc(&a.detail)),
+        ));
+    }
+
     let mut doc = String::from("{\"traceEvents\":[\n");
     doc.push_str(&out.join(",\n"));
     doc.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
@@ -302,6 +331,25 @@ mod tests {
         let j = trace_json(&events);
         assert!(j.contains("\"ph\":\"C\""), "{j}");
         assert!(j.contains("row_power_w"), "{j}");
+    }
+
+    #[test]
+    fn annotations_merge_as_cluster_instants() {
+        let events = vec![Event::PowerSample {
+            t: 5.0,
+            watts: 100.0,
+        }];
+        let notes = vec![Annotation {
+            t: 3.0,
+            name: "alert:row-power-high".to_string(),
+            detail: "0.97 of provisioned".to_string(),
+        }];
+        let j = trace_json_annotated(&events, &notes);
+        assert!(j.contains("\"name\":\"alert:row-power-high\""), "{j}");
+        assert!(j.contains("\"detail\":\"0.97 of provisioned\""), "{j}");
+        assert!(j.contains("\"ts\":3000000"), "{j}");
+        // An empty annotation set reproduces the plain export exactly.
+        assert_eq!(trace_json_annotated(&events, &[]), trace_json(&events));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! |----------------|--------------------------------------------------|
 //! | `events.jsonl` | the structured event log, one JSON object/line   |
 //! | `metrics.json` | counters, gauges, histogram summaries            |
+//! | `metrics.prom` | the same registry in Prometheus text exposition  |
 //! | `power.csv`    | `t_s,watts` timeseries from power samples        |
 //! | `latency.csv`  | per-request completion latencies                 |
 //! | `trace.json`   | Chrome trace-event JSON (Perfetto-loadable)      |
@@ -98,6 +99,11 @@ impl RunArtifacts {
         self.metrics.to_json()
     }
 
+    /// The metrics registry in the Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics.to_prometheus()
+    }
+
     /// The aggregate power timeseries as CSV (`t_s,watts`).
     pub fn power_csv(&self) -> String {
         let mut s = String::from("t_s,watts\n");
@@ -137,6 +143,12 @@ impl RunArtifacts {
         chrome::trace_json(&self.events)
     }
 
+    /// Chrome trace-event JSON with extra instant markers merged onto
+    /// the cluster track (the watch plane's incident annotations).
+    pub fn chrome_trace_json_with(&self, annotations: &[chrome::Annotation]) -> String {
+        chrome::trace_json_annotated(&self.events, annotations)
+    }
+
     /// Wall-clock span timings as JSON.
     pub fn profile_json(&self) -> String {
         self.spans.to_json()
@@ -146,7 +158,7 @@ impl RunArtifacts {
     /// creating the directory if needed, and returns the written
     /// paths in a deterministic order.
     ///
-    /// * `ObsLevel::Metrics` → `metrics.json`
+    /// * `ObsLevel::Metrics` → `metrics.json`, `metrics.prom`
     /// * `ObsLevel::Events` → plus `events.jsonl`, `power.csv`,
     ///   `latency.csv`, `trace.json`
     /// * `ObsLevel::Full` → plus `profile.json`
@@ -161,6 +173,7 @@ impl RunArtifacts {
         };
         if self.level.metrics_enabled() {
             put("metrics.json", self.metrics_json())?;
+            put("metrics.prom", self.metrics_prometheus())?;
         }
         if self.level.events_enabled() {
             put("events.jsonl", self.events_jsonl())?;
@@ -244,13 +257,14 @@ mod tests {
         let mut a = sample();
         a.level = ObsLevel::Metrics;
         let files = a.write_dir(&dir).unwrap();
-        assert_eq!(files.len(), 1);
+        assert_eq!(files.len(), 2);
         assert!(dir.join("metrics.json").exists());
+        assert!(dir.join("metrics.prom").exists());
         assert!(!dir.join("events.jsonl").exists());
 
         a.level = ObsLevel::Full;
         let files = a.write_dir(&dir).unwrap();
-        assert_eq!(files.len(), 6);
+        assert_eq!(files.len(), 7);
         assert!(dir.join("trace.json").exists());
         assert!(dir.join("profile.json").exists());
 

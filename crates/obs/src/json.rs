@@ -6,7 +6,7 @@
 //! non-finite values serialize as `null` to keep the output valid JSON.
 
 /// Escapes a string for inclusion inside a JSON string literal.
-pub(crate) fn esc(s: &str) -> String {
+pub fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -23,7 +23,7 @@ pub(crate) fn esc(s: &str) -> String {
 }
 
 /// Formats an `f64` as a JSON number (`null` if non-finite).
-pub(crate) fn num(v: f64) -> String {
+pub fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

@@ -45,13 +45,14 @@
 pub mod chrome;
 pub mod event;
 pub mod export;
-mod json;
+pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod span;
 
+pub use chrome::Annotation;
 pub use event::Event;
 pub use export::RunArtifacts;
 pub use metrics::{Label, MetricsRegistry, StreamingHistogram};
-pub use recorder::{ObsLevel, QueueProbe, Recorder};
+pub use recorder::{EventTap, ObsLevel, QueueProbe, Recorder};
 pub use span::{SpanGuard, SpanStats};

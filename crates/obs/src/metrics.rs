@@ -263,6 +263,125 @@ impl MetricsRegistry {
         s.push_str("\n  ]\n}\n");
         s
     }
+
+    /// Serializes the registry in the Prometheus text exposition format
+    /// (version 0.0.4), suitable for a `metrics.prom` artifact or a
+    /// scrape endpoint.
+    ///
+    /// * Metric names are sanitized to `[a-zA-Z0-9_:]` (the registry's
+    ///   `.`-separated names become `_`-separated) and counters gain
+    ///   the conventional `_total` suffix.
+    /// * Labels render as `{server="3"}` / `{tag="high"}` with
+    ///   backslash, quote, and newline escaping per the spec.
+    /// * Histograms export as summaries: `{quantile="0.5"}` /
+    ///   `{quantile="0.99"}` sample lines plus `_sum` and `_count`.
+    /// * Ordering is deterministic: family kind (counters, gauges,
+    ///   summaries), then name, then label — inherited from the
+    ///   `BTreeMap` storage, so repeated exports are byte-identical.
+    pub fn to_prometheus(&self) -> String {
+        fn name_of(raw: &str, suffix: &str) -> String {
+            let mut n: String = raw
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            if n.starts_with(|c: char| c.is_ascii_digit()) {
+                n.insert(0, '_');
+            }
+            n.push_str(suffix);
+            n
+        }
+        fn label_escape(v: &str) -> String {
+            v.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        }
+        fn label_of(label: Label, extra: Option<(&str, &str)>) -> String {
+            let mut pairs: Vec<String> = Vec::new();
+            match label {
+                Label::Global => {}
+                Label::Server(i) => pairs.push(format!("server=\"{i}\"")),
+                Label::Tag(t) => pairs.push(format!("tag=\"{}\"", label_escape(t))),
+            }
+            if let Some((k, v)) = extra {
+                pairs.push(format!("{k}=\"{}\"", label_escape(v)));
+            }
+            if pairs.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", pairs.join(","))
+            }
+        }
+        fn value_of(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else if v.is_nan() {
+                "NaN".to_string()
+            } else if v > 0.0 {
+                "+Inf".to_string()
+            } else {
+                "-Inf".to_string()
+            }
+        }
+
+        struct Family(Option<String>);
+        impl Family {
+            fn type_line(&mut self, s: &mut String, family: &str, kind: &str) {
+                if self.0.as_deref() != Some(family) {
+                    s.push_str(&format!("# TYPE {family} {kind}\n"));
+                    self.0 = Some(family.to_string());
+                }
+            }
+        }
+
+        let mut s = String::new();
+        let mut fam = Family(None);
+        for (name, label, v) in self.counters() {
+            let family = name_of(name, "_total");
+            fam.type_line(&mut s, &family, "counter");
+            s.push_str(&format!("{family}{} {v}\n", label_of(label, None)));
+        }
+        let mut fam = Family(None);
+        for (name, label, v) in self.gauges() {
+            let family = name_of(name, "");
+            fam.type_line(&mut s, &family, "gauge");
+            s.push_str(&format!(
+                "{family}{} {}\n",
+                label_of(label, None),
+                value_of(v)
+            ));
+        }
+        let mut fam = Family(None);
+        for (name, label, h) in self.histograms() {
+            let family = name_of(name, "");
+            fam.type_line(&mut s, &family, "summary");
+            for (q, qv) in [("0.5", h.quantile(0.50)), ("0.99", h.quantile(0.99))] {
+                if let Some(qv) = qv {
+                    s.push_str(&format!(
+                        "{family}{} {}\n",
+                        label_of(label, Some(("quantile", q))),
+                        value_of(qv)
+                    ));
+                }
+            }
+            s.push_str(&format!(
+                "{family}_sum{} {}\n",
+                label_of(label, None),
+                value_of(h.sum())
+            ));
+            s.push_str(&format!(
+                "{family}_count{} {}\n",
+                label_of(label, None),
+                h.count()
+            ));
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -323,6 +442,67 @@ mod tests {
         h.record(f64::INFINITY);
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_stable_and_escaped() {
+        let build = || {
+            let mut m = MetricsRegistry::new();
+            m.add("cluster.requests_offered", Label::Tag("high"), 3);
+            m.add("cluster.requests_offered", Label::Tag("low"), 5);
+            m.set_gauge("cluster.row_power_w", Label::Global, 1234.5);
+            m.set_gauge("power_w", Label::Server(2), 300.0);
+            for i in 0..100 {
+                m.observe("cluster.latency_s", Label::Tag("high"), i as f64 / 50.0);
+            }
+            m.to_prometheus()
+        };
+        let p = build();
+        assert_eq!(p, build(), "exposition must be deterministic");
+        assert!(
+            p.contains("# TYPE cluster_requests_offered_total counter"),
+            "{p}"
+        );
+        assert!(
+            p.contains("cluster_requests_offered_total{tag=\"high\"} 3"),
+            "{p}"
+        );
+        assert!(p.contains("# TYPE cluster_row_power_w gauge"), "{p}");
+        assert!(p.contains("cluster_row_power_w 1234.5"), "{p}");
+        assert!(p.contains("power_w{server=\"2\"} 300"), "{p}");
+        assert!(p.contains("# TYPE cluster_latency_s summary"), "{p}");
+        assert!(
+            p.contains("cluster_latency_s{tag=\"high\",quantile=\"0.5\"}"),
+            "{p}"
+        );
+        assert!(
+            p.contains("cluster_latency_s_count{tag=\"high\"} 100"),
+            "{p}"
+        );
+        // The TYPE line appears once per family even with several series.
+        assert_eq!(
+            p.matches("# TYPE cluster_requests_offered_total counter")
+                .count(),
+            1,
+            "{p}"
+        );
+        // Every line is a comment or `name[{labels}] value`.
+        for line in p.lines() {
+            assert!(
+                line.starts_with("# ") || line.split(' ').count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_label_values_escape_specials() {
+        // Tag labels are &'static str so exotic values are unusual, but
+        // the escaping must still be correct if they appear.
+        let mut m = MetricsRegistry::new();
+        m.add("c", Label::Tag("a\"b\\c\nd"), 1);
+        let p = m.to_prometheus();
+        assert!(p.contains("c_total{tag=\"a\\\"b\\\\c\\nd\"} 1"), "{p}");
     }
 
     #[test]

@@ -80,12 +80,39 @@ impl fmt::Display for ObsLevel {
     }
 }
 
+/// A streaming consumer of recorded events.
+///
+/// A tap sees every event the moment it enters the log — the hook the
+/// online watch plane uses to evaluate rules while the simulation runs,
+/// instead of mining `events.jsonl` afterwards. Taps fire only when the
+/// recorder's level captures events, so they sit behind the same
+/// [`ObsLevel`] gate as the log itself, and they must not call back
+/// into the recorder (the core is locked while they run).
+pub trait EventTap: Send + Sync {
+    /// Called with each event as it is recorded.
+    fn on_event(&self, event: &Event);
+}
+
+/// Holds the optional event tap inside the shared core (newtype so the
+/// core can keep deriving `Debug`/`Default`).
+#[derive(Default)]
+pub(crate) struct TapSlot(Option<Arc<dyn EventTap>>);
+
+impl fmt::Debug for TapSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("TapSlot")
+            .field(&self.0.as_ref().map(|_| "set"))
+            .finish()
+    }
+}
+
 /// The shared mutable state behind an enabled recorder.
 #[derive(Debug, Default)]
 pub(crate) struct ObsCore {
     pub(crate) events: Vec<Event>,
     pub(crate) metrics: MetricsRegistry,
     pub(crate) spans: SpanStats,
+    pub(crate) tap: TapSlot,
 }
 
 /// A cheap, cloneable observability handle.
@@ -146,6 +173,7 @@ impl Recorder {
         if self.level.events_enabled() {
             if let Some(mut core) = self.lock() {
                 core.events.push(event);
+                Self::fire_tap(&core);
             }
         }
     }
@@ -157,7 +185,31 @@ impl Recorder {
         if self.level.events_enabled() {
             if let Some(mut core) = self.lock() {
                 core.events.push(make());
+                Self::fire_tap(&core);
             }
+        }
+    }
+
+    /// Forwards the just-pushed event to the tap, if one is attached.
+    fn fire_tap(core: &MutexGuard<'_, ObsCore>) {
+        if let (Some(tap), Some(event)) = (&core.tap.0, core.events.last()) {
+            tap.on_event(event);
+        }
+    }
+
+    /// Attaches a streaming [`EventTap`]; every clone of this recorder
+    /// (they share one core) feeds it from now on. No-op below
+    /// [`ObsLevel::Events`]. Replaces any previous tap.
+    pub fn set_tap(&self, tap: Arc<dyn EventTap>) {
+        if let Some(mut core) = self.lock() {
+            core.tap.0 = Some(tap);
+        }
+    }
+
+    /// Detaches the streaming tap, if any.
+    pub fn clear_tap(&self) {
+        if let Some(mut core) = self.lock() {
+            core.tap.0 = None;
         }
     }
 
@@ -335,6 +387,37 @@ mod tests {
         assert!("verbose".parse::<ObsLevel>().is_err());
         assert!(ObsLevel::Full.events_enabled());
         assert!(!ObsLevel::Metrics.events_enabled());
+    }
+
+    #[test]
+    fn taps_stream_events_through_any_clone() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[derive(Default)]
+        struct Counting(AtomicUsize);
+        impl EventTap for Counting {
+            fn on_event(&self, _event: &Event) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let r = Recorder::new(ObsLevel::Events);
+        let clone = r.clone();
+        let tap = Arc::new(Counting::default());
+        r.set_tap(tap.clone());
+        clone.record(Event::Uncap { t: 1.0, server: 0 });
+        r.record(Event::Uncap { t: 2.0, server: 1 });
+        assert_eq!(tap.0.load(Ordering::Relaxed), 2);
+        r.clear_tap();
+        r.record(Event::Uncap { t: 3.0, server: 2 });
+        assert_eq!(tap.0.load(Ordering::Relaxed), 2);
+
+        // Below Events the tap never fires (same gate as the log).
+        let m = Recorder::new(ObsLevel::Metrics);
+        let tap2 = Arc::new(Counting::default());
+        m.set_tap(tap2.clone());
+        m.record(Event::Uncap { t: 1.0, server: 0 });
+        assert_eq!(tap2.0.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Fan-out subscription for delayed OOB telemetry signals.
+//!
+//! The row power manager is not the only consumer of the 2 s delayed
+//! row-power signal: an online monitoring plane (alerting, SLO burn
+//! tracking) must watch the *same* stale readings the operator sees —
+//! never the simulator's ground truth. [`RowPowerTaps`] is the
+//! publish/subscribe seam: the cluster simulator publishes each
+//! telemetry tick to every registered [`RowPowerSubscriber`], carrying
+//! the delayed observation (or its absence, before the first reading
+//! propagates) plus a separate ground-truth reference feed that
+//! subscribers may use **only** for annotation — e.g. measuring how
+//! late a delayed-signal detection fired relative to the true event.
+//!
+//! Subscribers take `&self` and use interior mutability, mirroring the
+//! `polca-obs` recorder idiom, so one subscriber handle can sit behind
+//! the simulator's cloneable configuration struct.
+
+use std::fmt;
+use std::sync::Arc;
+
+use polca_sim::SimTime;
+
+/// A consumer of the row-level OOB power telemetry stream.
+///
+/// Callbacks fire once per row telemetry tick (2 s in the paper's
+/// Table 1 configuration). `on_observed` / `on_gap` carry what an
+/// operator actually sees — the [`DelayedSignal`] read, stale by the
+/// Table 2 propagation delay. `on_truth` carries the instantaneous
+/// ground-truth power and exists solely so monitoring planes can
+/// annotate detections with the true event time; acting on it would
+/// give a subscriber information no production system has.
+///
+/// [`DelayedSignal`]: crate::delay::DelayedSignal
+pub trait RowPowerSubscriber: Send + Sync {
+    /// A delayed reading became visible at `now`.
+    fn on_observed(&self, now: SimTime, watts: f64);
+
+    /// A telemetry tick at `now` had no propagated reading yet.
+    fn on_gap(&self, _now: SimTime) {}
+
+    /// Ground-truth row power at `now` (annotation only).
+    fn on_truth(&self, _now: SimTime, _watts: f64) {}
+
+    /// One complete telemetry tick: the ground-truth reading plus the
+    /// delayed view (`None` while nothing has propagated). The default
+    /// forwards to the three fine-grained callbacks, truth first;
+    /// subscribers with interior locking can override it to take their
+    /// lock once per tick instead of twice.
+    fn on_tick(&self, now: SimTime, truth_watts: f64, observed: Option<f64>) {
+        self.on_truth(now, truth_watts);
+        match observed {
+            Some(watts) => self.on_observed(now, watts),
+            None => self.on_gap(now),
+        }
+    }
+}
+
+/// A cloneable set of [`RowPowerSubscriber`] handles.
+///
+/// Lives inside the simulator configuration, which derives `Clone` and
+/// `PartialEq`; clones share the underlying subscribers (they are
+/// `Arc`s), and equality compares only the subscriber *count* — the
+/// set is wiring, not data, exactly like the obs recorder's
+/// level-only equality.
+#[derive(Clone, Default)]
+pub struct RowPowerTaps {
+    subs: Vec<Arc<dyn RowPowerSubscriber>>,
+}
+
+impl fmt::Debug for RowPowerTaps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RowPowerTaps")
+            .field("subscribers", &self.subs.len())
+            .finish()
+    }
+}
+
+impl PartialEq for RowPowerTaps {
+    fn eq(&self, other: &Self) -> bool {
+        self.subs.len() == other.subs.len()
+    }
+}
+
+impl RowPowerTaps {
+    /// An empty tap set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a subscriber.
+    pub fn subscribe(&mut self, sub: Arc<dyn RowPowerSubscriber>) {
+        self.subs.push(sub);
+    }
+
+    /// Whether any subscriber is registered.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Number of registered subscribers.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Publishes the ground-truth reading for this tick.
+    pub fn publish_truth(&self, now: SimTime, watts: f64) {
+        for sub in &self.subs {
+            sub.on_truth(now, watts);
+        }
+    }
+
+    /// Publishes the delayed observation for this tick (`None` while
+    /// nothing has propagated yet).
+    pub fn publish_observed(&self, now: SimTime, observed: Option<f64>) {
+        for sub in &self.subs {
+            match observed {
+                Some(watts) => sub.on_observed(now, watts),
+                None => sub.on_gap(now),
+            }
+        }
+    }
+
+    /// Publishes one complete telemetry tick — ground truth plus the
+    /// delayed view — as a single [`RowPowerSubscriber::on_tick`] call
+    /// per subscriber.
+    pub fn publish_tick(&self, now: SimTime, truth_watts: f64, observed: Option<f64>) {
+        for sub in &self.subs {
+            sub.on_tick(now, truth_watts, observed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Probe {
+        log: Mutex<Vec<String>>,
+    }
+
+    impl RowPowerSubscriber for Probe {
+        fn on_observed(&self, now: SimTime, watts: f64) {
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("obs@{}={watts}", now.as_secs()));
+        }
+        fn on_gap(&self, now: SimTime) {
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("gap@{}", now.as_secs()));
+        }
+        fn on_truth(&self, now: SimTime, watts: f64) {
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("truth@{}={watts}", now.as_secs()));
+        }
+    }
+
+    #[test]
+    fn publishes_reach_every_subscriber() {
+        let a = Arc::new(Probe::default());
+        let b = Arc::new(Probe::default());
+        let mut taps = RowPowerTaps::new();
+        taps.subscribe(a.clone());
+        taps.subscribe(b.clone());
+        assert_eq!(taps.len(), 2);
+        taps.publish_truth(SimTime::from_secs(2.0), 100.0);
+        taps.publish_observed(SimTime::from_secs(2.0), None);
+        taps.publish_observed(SimTime::from_secs(4.0), Some(100.0));
+        for p in [&a, &b] {
+            let log = p.log.lock().unwrap();
+            assert_eq!(*log, vec!["truth@2=100", "gap@2", "obs@4=100"]);
+        }
+    }
+
+    #[test]
+    fn empty_taps_are_cheap_noops() {
+        let taps = RowPowerTaps::new();
+        assert!(taps.is_empty());
+        taps.publish_truth(SimTime::ZERO, 1.0);
+        taps.publish_observed(SimTime::ZERO, Some(1.0));
+    }
+
+    #[test]
+    fn equality_is_by_subscriber_count() {
+        let mut a = RowPowerTaps::new();
+        let b = RowPowerTaps::new();
+        assert_eq!(a, b);
+        a.subscribe(Arc::new(Probe::default()));
+        assert_ne!(a, b);
+        let mut c = RowPowerTaps::new();
+        c.subscribe(Arc::new(Probe::default()));
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn clones_share_subscribers() {
+        let probe = Arc::new(Probe::default());
+        let mut taps = RowPowerTaps::new();
+        taps.subscribe(probe.clone());
+        let clone = taps.clone();
+        clone.publish_truth(SimTime::from_secs(1.0), 5.0);
+        assert_eq!(probe.log.lock().unwrap().len(), 1);
+    }
+}

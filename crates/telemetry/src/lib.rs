@@ -15,7 +15,10 @@
 //! * [`sampler`] — periodic sampling clocks with jitter and measurement
 //!   noise (DCGM's 100 ms, IPMI's 1–5 s, the row manager's 2 s),
 //! * [`control`] — [`control::OobControlPlane`]: command
-//!   dispatch with actuation latency ranges and silent-failure injection.
+//!   dispatch with actuation latency ranges and silent-failure injection,
+//! * [`fanout`] — [`fanout::RowPowerTaps`]: publish/subscribe fan-out of
+//!   the delayed row-power stream to passive observers (the online watch
+//!   plane), with a ground-truth reference feed for annotation only.
 //!
 //! # Examples
 //!
@@ -32,12 +35,14 @@
 
 pub mod control;
 pub mod delay;
+pub mod fanout;
 pub mod interfaces;
 pub mod monitors;
 pub mod sampler;
 
 pub use control::{ControlAction, ControlCommand, OobControlPlane};
 pub use delay::DelayedSignal;
+pub use fanout::{RowPowerSubscriber, RowPowerTaps};
 pub use interfaces::{Granularity, MonitorInterface, Path, RowParameters};
 pub use monitors::{DcgmMonitor, SmbpbiReader};
 pub use sampler::PeriodicSampler;

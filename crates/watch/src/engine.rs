@@ -1,0 +1,729 @@
+//! The streaming rule-evaluation engine.
+//!
+//! [`WatchEngine`] consumes three feeds:
+//!
+//! * **observed** — the delayed, gappy row-power readings, exactly what
+//!   the in-simulation controller sees (`DelayedSignal::read`). This is
+//!   the *only* feed that can fire power rules.
+//! * **events** — the obs event stream (caps, brakes, completions…),
+//!   which drives `count` rules and the SLO burn tracker.
+//! * **truth** — the simulator's ground-truth row power. The engine
+//!   uses it *exclusively* to timestamp when a condition actually
+//!   began, so each incident can report its detection lag. Truth never
+//!   asserts, clears, or otherwise influences an alert.
+//!
+//! Everything is a pure function of the feed contents, so a fixed-seed
+//! simulation produces byte-identical alert and incident logs.
+
+use std::collections::VecDeque;
+
+use polca_cluster::Priority;
+use polca_obs::Event;
+
+use crate::burn::{BurnConfig, BurnTracker, BurnTransition};
+use crate::incident::IncidentLog;
+use crate::rules::{Rule, RuleKind, RuleSet, Severity};
+
+/// One fired alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// When the alert fired (simulation seconds, observed-feed time).
+    pub t: f64,
+    /// Name of the rule (or synthetic burn rule) that fired.
+    pub rule: String,
+    /// Severity at firing time.
+    pub severity: Severity,
+    /// The rule's measured value at firing (power fraction, event
+    /// count, burn multiple, or staleness gap — rule-dependent).
+    pub value: f64,
+    /// Ground-truth time the condition first held, if the truth feed
+    /// disclosed it. Annotation only.
+    pub truth_t: Option<f64>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Per-rule runtime state.
+#[derive(Debug, Clone)]
+enum RuleRt {
+    Threshold {
+        /// Alert currently asserted.
+        asserted: bool,
+        /// Observed feed first went ≥ `over` at this time (hold timer).
+        above_since: Option<f64>,
+        /// Ground-truth shadow: currently ≥ `over`.
+        truth_above: bool,
+        /// Ground-truth shadow: first crossing of the current episode.
+        truth_crossed_at: Option<f64>,
+    },
+    Rate {
+        /// `(t, fraction)` observed samples within the window, kept as
+        /// a monotonic min-deque: the front is always the window
+        /// minimum (sliding-window-minimum, amortized O(1) per sample).
+        window: VecDeque<(f64, f64)>,
+        asserted: bool,
+        /// Ground-truth shadow window (same min-deque discipline).
+        truth_window: VecDeque<(f64, f64)>,
+        truth_risen: bool,
+        truth_crossed_at: Option<f64>,
+    },
+    Absence {
+        asserted: bool,
+    },
+    Count {
+        /// Firing-event timestamps within the window.
+        times: VecDeque<f64>,
+        asserted: bool,
+    },
+}
+
+/// Pushes `(now, frac)` onto a sliding-window min-deque and expires
+/// entries older than `window_s`, returning the current window minimum.
+/// Samples dominated by a newer, lower reading are dropped on entry, so
+/// the deque stays sorted ascending by fraction and the front is the
+/// minimum of the live window.
+fn window_min(window: &mut VecDeque<(f64, f64)>, now: f64, frac: f64, window_s: f64) -> f64 {
+    while window.back().is_some_and(|&(_, f)| f >= frac) {
+        window.pop_back();
+    }
+    window.push_back((now, frac));
+    while window.front().is_some_and(|&(t, _)| now - t > window_s) {
+        window.pop_front();
+    }
+    window.front().map_or(frac, |&(_, f)| f)
+}
+
+impl RuleRt {
+    fn new(rule: &Rule) -> RuleRt {
+        match &rule.kind {
+            RuleKind::Threshold { .. } => RuleRt::Threshold {
+                asserted: false,
+                above_since: None,
+                truth_above: false,
+                truth_crossed_at: None,
+            },
+            RuleKind::Rate { .. } => RuleRt::Rate {
+                window: VecDeque::new(),
+                asserted: false,
+                truth_window: VecDeque::new(),
+                truth_risen: false,
+                truth_crossed_at: None,
+            },
+            RuleKind::Absence { .. } => RuleRt::Absence { asserted: false },
+            RuleKind::Count { .. } => RuleRt::Count {
+                times: VecDeque::new(),
+                asserted: false,
+            },
+        }
+    }
+}
+
+/// The engine: rules + burn tracker + incident log over the feeds.
+#[derive(Debug, Clone)]
+pub struct WatchEngine {
+    provisioned_watts: f64,
+    rules: Vec<Rule>,
+    rt: Vec<RuleRt>,
+    /// Indices of `count` rules — the only ones the (high-volume) event
+    /// feed drives, precomputed so `event()` skips the rest.
+    count_idx: Vec<usize>,
+    burn: BurnTracker,
+    incidents: IncidentLog,
+    alerts: Vec<Alert>,
+    /// Time of the last observed (non-gap) sample.
+    last_observed_t: Option<f64>,
+    /// Next time burn levels are worth re-deriving. The tracker buckets
+    /// completions at `BurnConfig::bucket_s`, so its windowed sums only
+    /// change at bucket granularity — re-evaluating on every obs event
+    /// (the busiest feed) would scan the full slow window thousands of
+    /// times per simulated hour for identical answers.
+    next_burn_eval_t: f64,
+}
+
+impl WatchEngine {
+    /// An engine for a row provisioned at `provisioned_watts`.
+    pub fn new(
+        provisioned_watts: f64,
+        rules: &RuleSet,
+        burn: BurnConfig,
+        escalate_after_alerts: u64,
+        resolve_after_s: f64,
+    ) -> Self {
+        let rules: Vec<Rule> = rules.rules().to_vec();
+        let rt = rules.iter().map(RuleRt::new).collect();
+        let count_idx = rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r.kind, RuleKind::Count { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        WatchEngine {
+            provisioned_watts,
+            rules,
+            rt,
+            count_idx,
+            burn: BurnTracker::new(burn),
+            incidents: IncidentLog::new(escalate_after_alerts, resolve_after_s),
+            alerts: Vec::new(),
+            last_observed_t: None,
+            next_burn_eval_t: 0.0,
+        }
+    }
+
+    fn fire(alerts: &mut Vec<Alert>, incidents: &mut IncidentLog, alert: Alert) {
+        incidents.on_alert(&alert);
+        alerts.push(alert);
+    }
+
+    /// Feeds one *delayed* observed row-power reading.
+    pub fn observe(&mut self, now: f64, watts: f64) {
+        let frac = if self.provisioned_watts > 0.0 {
+            watts / self.provisioned_watts
+        } else {
+            0.0
+        };
+        self.last_observed_t = Some(now);
+        for (rule, rt) in self.rules.iter().zip(self.rt.iter_mut()) {
+            match (&rule.kind, rt) {
+                (
+                    RuleKind::Threshold {
+                        over,
+                        clear,
+                        hold_s,
+                    },
+                    RuleRt::Threshold {
+                        asserted,
+                        above_since,
+                        truth_above,
+                        truth_crossed_at,
+                    },
+                ) => {
+                    if frac >= *over {
+                        let since = *above_since.get_or_insert(now);
+                        if !*asserted && now - since >= *hold_s {
+                            *asserted = true;
+                            Self::fire(
+                                &mut self.alerts,
+                                &mut self.incidents,
+                                Alert {
+                                    t: now,
+                                    rule: rule.name.clone(),
+                                    severity: rule.severity,
+                                    value: frac,
+                                    truth_t: *truth_crossed_at,
+                                    detail: format!(
+                                        "row power at {:.1}% of provisioned (≥{:.0}% for {:.0}s)",
+                                        frac * 100.0,
+                                        over * 100.0,
+                                        now - since
+                                    ),
+                                },
+                            );
+                        }
+                    } else if frac < *clear {
+                        *above_since = None;
+                        if *asserted {
+                            *asserted = false;
+                            self.incidents.on_clear(&rule.name, now);
+                        }
+                        if !*truth_above {
+                            // Both views quiet: the episode is over.
+                            *truth_crossed_at = None;
+                        }
+                    } else {
+                        // Hysteresis band: not firing, not clearing;
+                        // the hold timer restarts on re-crossing.
+                        *above_since = None;
+                    }
+                }
+                (
+                    RuleKind::Rate { rise, window_s },
+                    RuleRt::Rate {
+                        window,
+                        asserted,
+                        truth_risen,
+                        truth_crossed_at,
+                        ..
+                    },
+                ) => {
+                    let low = window_min(window, now, frac, *window_s);
+                    let delta = frac - low;
+                    if delta >= *rise {
+                        if !*asserted {
+                            *asserted = true;
+                            Self::fire(
+                                &mut self.alerts,
+                                &mut self.incidents,
+                                Alert {
+                                    t: now,
+                                    rule: rule.name.clone(),
+                                    severity: rule.severity,
+                                    value: delta,
+                                    truth_t: *truth_crossed_at,
+                                    detail: format!(
+                                        "row power rose {:.1} points of provisioned within {:.0}s",
+                                        delta * 100.0,
+                                        window_s
+                                    ),
+                                },
+                            );
+                        }
+                    } else if delta < rise * 0.5 {
+                        if *asserted {
+                            *asserted = false;
+                            self.incidents.on_clear(&rule.name, now);
+                        }
+                        if !*truth_risen {
+                            *truth_crossed_at = None;
+                        }
+                    }
+                }
+                // A sample arrived: staleness over.
+                (RuleKind::Absence { .. }, RuleRt::Absence { asserted }) if *asserted => {
+                    *asserted = false;
+                    self.incidents.on_clear(&rule.name, now);
+                }
+                _ => {}
+            }
+        }
+        self.tick(now);
+    }
+
+    /// Feeds one telemetry tick on which the delayed read had no data
+    /// (start-up or a silent telemetry failure).
+    pub fn gap(&mut self, now: f64) {
+        let last = self.last_observed_t;
+        for (rule, rt) in self.rules.iter().zip(self.rt.iter_mut()) {
+            if let (RuleKind::Absence { gap_s }, RuleRt::Absence { asserted }) = (&rule.kind, rt) {
+                let gap = now - last.unwrap_or(0.0);
+                if gap > *gap_s && !*asserted {
+                    *asserted = true;
+                    Self::fire(
+                        &mut self.alerts,
+                        &mut self.incidents,
+                        Alert {
+                            t: now,
+                            rule: rule.name.clone(),
+                            severity: rule.severity,
+                            value: gap,
+                            // Staleness is detected from the absence
+                            // itself; the condition began when samples
+                            // stopped arriving.
+                            truth_t: last,
+                            detail: format!("no row telemetry for {gap:.0}s (limit {gap_s:.0}s)"),
+                        },
+                    );
+                }
+            }
+        }
+        self.tick(now);
+    }
+
+    /// Feeds one *ground-truth* row-power reading. Shadow bookkeeping
+    /// only: records when conditions actually began so alerts can be
+    /// annotated with their detection lag. Never fires or clears.
+    pub fn truth(&mut self, now: f64, watts: f64) {
+        let frac = if self.provisioned_watts > 0.0 {
+            watts / self.provisioned_watts
+        } else {
+            0.0
+        };
+        for (rule, rt) in self.rules.iter().zip(self.rt.iter_mut()) {
+            match (&rule.kind, rt) {
+                (
+                    RuleKind::Threshold { over, clear, .. },
+                    RuleRt::Threshold {
+                        asserted,
+                        truth_above,
+                        truth_crossed_at,
+                        ..
+                    },
+                ) => {
+                    if frac >= *over {
+                        if !*truth_above {
+                            *truth_above = true;
+                            truth_crossed_at.get_or_insert(now);
+                        }
+                    } else if frac < *clear {
+                        *truth_above = false;
+                        if !*asserted {
+                            *truth_crossed_at = None;
+                        }
+                    }
+                }
+                (
+                    RuleKind::Rate { rise, window_s },
+                    RuleRt::Rate {
+                        truth_window,
+                        truth_risen,
+                        truth_crossed_at,
+                        asserted,
+                        ..
+                    },
+                ) => {
+                    let low = window_min(truth_window, now, frac, *window_s);
+                    let delta = frac - low;
+                    if delta >= *rise {
+                        if !*truth_risen {
+                            *truth_risen = true;
+                            truth_crossed_at.get_or_insert(now);
+                        }
+                    } else if delta < rise * 0.5 {
+                        *truth_risen = false;
+                        if !*asserted {
+                            *truth_crossed_at = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Feeds one obs event. `count` rules match on the event's kind tag
+    /// (with `brake` split into `brake_on`/`brake_off`); completions
+    /// also feed the SLO burn tracker. Ground-truth `power_sample`
+    /// events are ignored — power rules run on the delayed feed only.
+    pub fn event(&mut self, event: &Event) {
+        let t = event.t();
+        let tag: &str = match event {
+            Event::PowerSample { .. } => return,
+            Event::BrakeEngaged { on, .. } => {
+                if *on {
+                    "brake_on"
+                } else {
+                    "brake_off"
+                }
+            }
+            other => other.kind(),
+        };
+        if let Event::RequestCompleted {
+            priority,
+            latency_s,
+            ..
+        } = event
+        {
+            let priority = if *priority == "high" {
+                Priority::High
+            } else {
+                Priority::Low
+            };
+            self.burn.record(t, priority, *latency_s);
+        }
+        for &i in &self.count_idx {
+            let (rule, rt) = (&self.rules[i], &mut self.rt[i]);
+            if let (RuleKind::Count { event, k, window_s }, RuleRt::Count { times, asserted }) =
+                (&rule.kind, rt)
+            {
+                if event != tag {
+                    continue;
+                }
+                times.push_back(t);
+                while times.front().is_some_and(|&ft| t - ft > *window_s) {
+                    times.pop_front();
+                }
+                let below_k = (times.len() as u64) < *k;
+                if *asserted && below_k {
+                    // Expiry alone can drop the window below `k`
+                    // between telemetry ticks; clear on the event that
+                    // revealed it rather than waiting for the grid.
+                    *asserted = false;
+                    self.incidents.on_clear(&rule.name, t);
+                } else if !below_k && !*asserted {
+                    *asserted = true;
+                    Self::fire(
+                        &mut self.alerts,
+                        &mut self.incidents,
+                        Alert {
+                            t,
+                            rule: rule.name.clone(),
+                            severity: rule.severity,
+                            value: times.len() as f64,
+                            // Events carry their own exact timestamps,
+                            // so a count condition is detected the
+                            // instant it becomes true: zero lag.
+                            truth_t: Some(t),
+                            detail: format!(
+                                "{} x '{}' within {:.0}s (limit {})",
+                                times.len(),
+                                event,
+                                window_s,
+                                k
+                            ),
+                        },
+                    );
+                }
+            }
+        }
+        // No shared tick here: events are by far the busiest feed, and
+        // window expiry / burn levels / resolution timers are already
+        // advanced on every 2 s telemetry tick (`observe`/`gap`), which
+        // is the engine's evaluation granularity.
+    }
+
+    /// Shared per-feed housekeeping: expire count windows, re-evaluate
+    /// burn levels, advance incident resolution timers.
+    fn tick(&mut self, now: f64) {
+        self.tick_inner(now, false);
+    }
+
+    fn tick_inner(&mut self, now: f64, force_burn: bool) {
+        for &i in &self.count_idx {
+            let (rule, rt) = (&self.rules[i], &mut self.rt[i]);
+            if let (RuleKind::Count { k, window_s, .. }, RuleRt::Count { times, asserted }) =
+                (&rule.kind, rt)
+            {
+                while times.front().is_some_and(|&ft| now - ft > *window_s) {
+                    times.pop_front();
+                }
+                if *asserted && (times.len() as u64) < *k {
+                    *asserted = false;
+                    self.incidents.on_clear(&rule.name, now);
+                }
+            }
+        }
+        if force_burn || now >= self.next_burn_eval_t {
+            self.next_burn_eval_t = now + self.burn.config().bucket_s;
+            for tr in self.burn.evaluate(now) {
+                self.apply_burn_transition(now, tr);
+            }
+        }
+        self.incidents.on_tick(now);
+    }
+
+    fn apply_burn_transition(&mut self, now: f64, tr: BurnTransition) {
+        let rule = match tr.priority {
+            Priority::Low => "slo-burn-low",
+            Priority::High => "slo-burn-high",
+        };
+        match tr.to {
+            Some(severity) => {
+                let cfg = self.burn.config();
+                let class = match tr.priority {
+                    Priority::Low => "low",
+                    Priority::High => "high",
+                };
+                Self::fire(
+                    &mut self.alerts,
+                    &mut self.incidents,
+                    Alert {
+                        t: now,
+                        rule: rule.to_string(),
+                        severity,
+                        value: tr.fast_burn,
+                        // Burn is computed from completion events,
+                        // which are exact: detected as soon as knowable.
+                        truth_t: Some(now),
+                        detail: format!(
+                            "{class}-priority burn-rate: {:.1}x over {:.0}s and {:.1}x over {:.0}s",
+                            tr.fast_burn, cfg.fast_window_s, tr.slow_burn, cfg.slow_window_s
+                        ),
+                    },
+                );
+            }
+            None => self.incidents.on_clear(rule, now),
+        }
+    }
+
+    /// Final pass at the end of the run.
+    pub fn finalize(&mut self, t_end: f64) {
+        self.tick_inner(t_end, true);
+        self.incidents.finalize(t_end);
+    }
+
+    /// All fired alerts, in firing order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// The incident log.
+    pub fn incidents(&self) -> &IncidentLog {
+        &self.incidents
+    }
+
+    /// The burn tracker (for end-of-run summaries).
+    pub fn burn(&self) -> &BurnTracker {
+        &self.burn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incident::IncidentState;
+
+    fn engine(rules: &str) -> WatchEngine {
+        WatchEngine::new(
+            1000.0,
+            &RuleSet::parse(rules).unwrap(),
+            BurnConfig::default(),
+            3,
+            300.0,
+        )
+    }
+
+    #[test]
+    fn threshold_fires_after_hold_and_clears_with_hysteresis() {
+        let mut e = engine("hot threshold over=0.9 clear=0.85 hold=4s severity=critical\n");
+        e.observe(0.0, 950.0);
+        e.observe(2.0, 950.0);
+        assert!(e.alerts().is_empty(), "hold not yet met");
+        e.observe(4.0, 950.0);
+        assert_eq!(e.alerts().len(), 1);
+        assert_eq!(e.alerts()[0].rule, "hot");
+        assert_eq!(e.alerts()[0].t, 4.0);
+
+        // Dip into the hysteresis band: no clear, no re-fire.
+        e.observe(6.0, 880.0);
+        e.observe(8.0, 950.0);
+        assert_eq!(e.alerts().len(), 1);
+
+        // Full clear, then a fresh episode fires again.
+        e.observe(10.0, 100.0);
+        assert_eq!(
+            e.incidents().incidents()[0].state,
+            IncidentState::MitigateObserved
+        );
+        e.observe(12.0, 950.0);
+        e.observe(16.0, 950.0);
+        assert_eq!(e.alerts().len(), 2);
+    }
+
+    #[test]
+    fn truth_feed_annotates_lag_but_never_fires() {
+        let mut e = engine("hot threshold over=0.9 hold=0s\n");
+        // Truth crosses at t=10; observed (delayed 2s) crosses at t=12.
+        e.truth(10.0, 950.0);
+        e.observe(10.0, 500.0);
+        assert!(e.alerts().is_empty(), "truth alone must not fire");
+        e.truth(12.0, 960.0);
+        e.observe(12.0, 950.0);
+        assert_eq!(e.alerts().len(), 1);
+        assert_eq!(e.alerts()[0].truth_t, Some(10.0));
+        let inc = &e.incidents().incidents()[0];
+        assert_eq!(inc.detection_lag_s, Some(2.0));
+    }
+
+    #[test]
+    fn truth_only_episode_leaves_no_incident() {
+        let mut e = engine("hot threshold over=0.9 hold=0s\n");
+        for i in 0..50 {
+            e.truth(i as f64, 990.0);
+            e.observe(i as f64, 200.0);
+        }
+        assert!(e.alerts().is_empty());
+        assert!(e.incidents().incidents().is_empty());
+    }
+
+    #[test]
+    fn rate_rule_detects_a_spike() {
+        let mut e = engine("spike rate rise=0.1 window=10s\n");
+        e.observe(0.0, 500.0);
+        e.observe(2.0, 520.0);
+        e.observe(4.0, 700.0);
+        assert_eq!(e.alerts().len(), 1);
+        assert!((e.alerts()[0].value - 0.2).abs() < 1e-9);
+        // Plateau: the old low leaves the window, delta shrinks, clears.
+        for i in 0..10 {
+            e.observe(6.0 + 2.0 * i as f64, 700.0);
+        }
+        assert_eq!(e.alerts().len(), 1);
+        assert_eq!(
+            e.incidents().incidents()[0].state,
+            IncidentState::MitigateObserved
+        );
+    }
+
+    #[test]
+    fn absence_rule_detects_staleness_gap() {
+        let mut e = engine("stale absence gap=6s severity=critical\n");
+        e.observe(0.0, 100.0);
+        e.observe(2.0, 100.0);
+        e.gap(4.0);
+        e.gap(6.0);
+        assert!(e.alerts().is_empty(), "gap of 4s is under the limit");
+        e.gap(10.0);
+        assert_eq!(e.alerts().len(), 1);
+        assert_eq!(e.alerts()[0].truth_t, Some(2.0));
+        // Telemetry returns: incident mitigates.
+        e.observe(12.0, 100.0);
+        assert_eq!(
+            e.incidents().incidents()[0].state,
+            IncidentState::MitigateObserved
+        );
+    }
+
+    #[test]
+    fn count_rule_fires_on_kth_event_with_zero_lag() {
+        let mut e = engine("storm count event=brake_on k=2 window=300s\n");
+        let brake = |t, on| Event::BrakeEngaged { t, server: 0, on };
+        e.event(&brake(10.0, true));
+        assert!(e.alerts().is_empty());
+        e.event(&brake(11.0, false)); // brake_off does not match
+        e.event(&brake(20.0, true));
+        assert_eq!(e.alerts().len(), 1);
+        assert_eq!(e.alerts()[0].t, 20.0);
+        assert_eq!(e.alerts()[0].truth_t, Some(20.0));
+        assert_eq!(e.incidents().incidents()[0].detection_lag_s, Some(0.0));
+    }
+
+    #[test]
+    fn power_sample_events_are_ignored() {
+        let mut e = engine("hot threshold over=0.5 hold=0s\n");
+        e.event(&Event::PowerSample {
+            t: 1.0,
+            watts: 990.0,
+        });
+        assert!(e.alerts().is_empty(), "ground-truth events must not fire");
+    }
+
+    #[test]
+    fn repeated_alerts_escalate_the_incident() {
+        let mut e = engine("hot threshold over=0.9 clear=0.85 hold=0s\n");
+        for i in 0..3 {
+            let t = 10.0 * i as f64;
+            e.observe(t, 950.0);
+            e.observe(t + 2.0, 100.0);
+            // Regression within the cool-down re-fires the rule.
+        }
+        let inc = &e.incidents().incidents()[0];
+        assert_eq!(e.incidents().incidents().len(), 1);
+        assert_eq!(inc.alerts, 3);
+        // Each regression escalated; the trailing clear put the
+        // incident back into its cool-down.
+        assert_eq!(inc.state, IncidentState::MitigateObserved);
+        assert!(inc.escalated_t.is_some());
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let run = || {
+            let mut e = engine(crate::rules::DEFAULT_RULES);
+            for i in 0..500 {
+                let t = i as f64 * 2.0;
+                let truth = 800.0 + 250.0 * ((i % 60) as f64 / 60.0);
+                e.truth(t, truth);
+                if i % 97 == 13 {
+                    e.gap(t);
+                } else if i >= 1 {
+                    let j = i - 1;
+                    e.observe(t, 800.0 + 250.0 * ((j % 60) as f64 / 60.0));
+                }
+                if i % 7 == 0 {
+                    e.event(&Event::CapApplied {
+                        t,
+                        server: i % 4,
+                        mhz: 1200.0,
+                    });
+                }
+            }
+            e.finalize(1000.0);
+            (e.alerts().to_vec(), e.incidents().to_jsonl())
+        };
+        let (alerts_a, jsonl_a) = run();
+        let (alerts_b, jsonl_b) = run();
+        assert_eq!(alerts_a, alerts_b);
+        assert_eq!(jsonl_a, jsonl_b);
+        assert!(!alerts_a.is_empty(), "the synthetic feed should alert");
+    }
+}

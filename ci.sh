@@ -29,9 +29,22 @@ echo "== polca-cli ingest smoke test =="
 cargo run -q --offline --release -p polca-cli -- \
     ingest tests/golden/sample_trace.csv
 
+echo "== polca-cli fleet smoke test =="
+fleet_out="$(mktemp -d)"
+trap 'rm -rf "$fleet_out"' EXIT
+cargo run -q --offline --release -p polca-cli -- \
+    evaluate --trace-csv tests/golden/sample_trace.csv \
+    --rows 4 --jobs 2 --servers 10 --obs-out "$fleet_out"
+for row in row0 row1 row2 row3; do
+    [[ -f "$fleet_out/$row/events.jsonl" ]] \
+        || { echo "missing fleet artifact: $row/events.jsonl"; exit 1; }
+done
+[[ -f "$fleet_out/metrics.json" ]] \
+    || { echo "missing fleet-level metrics.json"; exit 1; }
+
 echo "== polca-cli watch smoke test =="
 watch_out="$(mktemp -d)"
-trap 'rm -rf "$watch_out"' EXIT
+trap 'rm -rf "$watch_out" "$fleet_out"' EXIT
 cargo run -q --offline --release -p polca-cli -- \
     evaluate --trace-csv tests/golden/sample_trace.csv \
     --policy polca --watch --obs-out "$watch_out"

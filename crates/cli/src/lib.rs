@@ -24,8 +24,11 @@ use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 
-use polca::{CostModel, OversubscriptionStudy, PolcaPolicy, PolicyKind, TraceEvaluation};
-use polca_cluster::RowConfig;
+use polca::{
+    CostModel, NoCapController, OversubscriptionStudy, PolcaController, PolcaPolicy, PolicyKind,
+    SingleThresholdController, TraceEvaluation,
+};
+use polca_cluster::{FleetConfig, FleetReport, FleetSim, PowerController, RowConfig};
 use polca_gpu::{Gpu, GpuSpec};
 use polca_ingest::{
     requests_to_csv, IngestedTrace, ReplayOptions, TraceCalibration, TraceReplay, TraceStats,
@@ -100,7 +103,7 @@ impl std::error::Error for CliError {}
 /// missing its value.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, CliError> {
     /// Flags that take no value; their presence stores `"true"`.
-    const BOOL_FLAGS: &[&str] = &["watch"];
+    const BOOL_FLAGS: &[&str] = &["watch", "enforce-budgets"];
     let mut iter = args.into_iter();
     let command = iter.next().ok_or(CliError::MissingCommand)?;
     let mut options = HashMap::new();
@@ -215,12 +218,23 @@ COMMANDS
                 --obs-out also writes incidents.jsonl, report.md, and
                 alert markers merged into trace.json)
                 [--watch-rules FILE] override the built-in alert rules
+                [--rows N] simulate an N-row fleet (round-robin
+                dispatch under per-PDU and datacenter power budgets)
+                and print the per-row + aggregate fleet table;
+                [--rows-per-pdu 2] sets the PDU fan-in and
+                [--enforce-budgets] brakes every row behind an
+                overloaded PDU; with --obs-out, fleet artifacts land
+                in DIR/ and each row's in DIR/rowN/
+                [--jobs N] worker threads for multi-cell runs (the
+                four-policy --trace-csv panel); artifacts and tables
+                are byte-identical whatever N is
                 with --trace-csv FILE: replay an ingested trace through
                 all four Figure 17 policies instead of synthesizing;
                 [--rate-scale 1.0] [--time-scale 1.0] [--servers 40]
-                [--added 30]
+                [--added 30] (--rows N replays the stream across an
+                N-row fleet under one policy instead)
   plan          find the SLO-safe oversubscription maximum
-                [--days 2] [--seed 17] [--servers 40]
+                [--days 2] [--seed 17] [--servers 40] [--jobs N]
   help          print this text
 ";
 
@@ -470,9 +484,115 @@ fn write_watch_artifacts(
     Ok(())
 }
 
+/// The per-row policy controller for the fleet paths, mirroring the
+/// Figure 17 panel construction.
+fn fleet_controller(
+    kind: PolicyKind,
+    policy: &PolcaPolicy,
+    obs: &Recorder,
+) -> Box<dyn PowerController> {
+    match kind {
+        PolicyKind::Polca => {
+            Box::new(PolcaController::new(policy.clone()).with_recorder(obs.clone()))
+        }
+        PolicyKind::OneThreshLowPri => Box::new(
+            SingleThresholdController::low_priority_only(policy.clone()).with_recorder(obs.clone()),
+        ),
+        PolicyKind::OneThreshAll => Box::new(
+            SingleThresholdController::all_workloads(policy.clone()).with_recorder(obs.clone()),
+        ),
+        PolicyKind::NoCap => {
+            Box::new(NoCapController::new(policy.clone()).with_recorder(obs.clone()))
+        }
+    }
+}
+
+/// Prints the fleet table: one line per row, an aggregate line, and
+/// the PDU / datacenter budget summary.
+fn print_fleet_table(report: &FleetReport) {
+    println!(
+        "  {:<6} {:>8} {:>10} {:>9} {:>9} {:>9} {:>7}",
+        "row", "offered", "completed", "rejected", "peak kW", "mean kW", "brakes"
+    );
+    for (i, r) in report.rows.iter().enumerate() {
+        println!(
+            "  {:<6} {:>8} {:>10} {:>9} {:>9.1} {:>9.1} {:>7}",
+            i,
+            r.offered,
+            r.completed,
+            r.rejected,
+            r.peak_row_watts / 1000.0,
+            r.mean_row_watts / 1000.0,
+            r.brake_engagements
+        );
+    }
+    println!(
+        "  {:<6} {:>8} {:>10} {:>9} {:>9.1} {:>9.1} {:>7}",
+        "fleet",
+        report.offered(),
+        report.completed(),
+        report.rejected(),
+        report.datacenter_peak_watts / 1000.0,
+        report.mean_fleet_watts() / 1000.0,
+        report.fleet_brake_engagements
+    );
+    for (pdu, (&peak, &budget)) in report
+        .pdu_peak_watts
+        .iter()
+        .zip(&report.pdu_budget_watts)
+        .enumerate()
+    {
+        println!(
+            "  PDU {pdu}: peak {:.1} kW / budget {:.1} kW",
+            peak / 1000.0,
+            budget / 1000.0
+        );
+    }
+    println!(
+        "  datacenter: peak {:.1} kW / budget {:.1} kW (util {:.1}%), \
+         {} PDU / {} datacenter violation sample(s)",
+        report.datacenter_peak_watts / 1000.0,
+        report.datacenter_budget_watts / 1000.0,
+        report.datacenter_peak_utilization() * 100.0,
+        report.pdu_violation_samples,
+        report.datacenter_violation_samples
+    );
+}
+
+/// Writes the fleet-level artifacts into `dir` and each row's
+/// artifacts into `dir/rowN/`.
+fn write_fleet_artifacts(
+    recorder: &Recorder,
+    report: &FleetReport,
+    dir: &str,
+    obs_level: ObsLevel,
+) -> Result<(), CliError> {
+    let dir_path = Path::new(dir);
+    let mut total = recorder
+        .write_dir(dir_path)
+        .map_err(|e| CliError::Io(e.to_string()))?
+        .len();
+    for (i, rec) in report.row_recorders.iter().enumerate() {
+        total += rec
+            .write_dir(&dir_path.join(format!("row{i}")))
+            .map_err(|e| CliError::Io(e.to_string()))?
+            .len();
+    }
+    println!(
+        "  obs artifacts ({obs_level}): {total} file(s) in {}/ (fleet level) and row0..row{}/",
+        dir.trim_end_matches('/'),
+        report.rows.len() - 1
+    );
+    Ok(())
+}
+
 fn evaluate(inv: &Invocation) -> Result<(), CliError> {
     if inv.options.contains_key("trace-csv") {
         return evaluate_trace(inv);
+    }
+    let rows: usize = inv.get("rows", 1)?;
+    if rows > 1 {
+        return evaluate_fleet(inv, rows);
     }
     let policy_name: String = inv.get("policy", "polca".to_string())?;
     let kind = find_policy(&policy_name)?;
@@ -481,21 +601,12 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
     let seed: u64 = inv.get("seed", 17)?;
     let power_scale: f64 = inv.get("power-scale", 1.0)?;
     let obs_out: Option<String> = inv.get_opt("obs-out")?;
-    let obs_level = match inv.options.get("obs-level") {
-        Some(v) => v.parse::<ObsLevel>().map_err(|_| CliError::BadValue {
-            flag: "obs-level".into(),
-            value: v.clone(),
-        })?,
-        // `--obs-out` without an explicit level means "give me everything".
-        None if obs_out.is_some() => ObsLevel::Full,
-        None => ObsLevel::Off,
-    };
     // The watch plane's count rules and burn tracker ride the event
     // stream, so `--watch` needs at least the events level.
     let obs_level = if inv.options.contains_key("watch") {
-        obs_level.max(ObsLevel::Events)
+        parse_obs_level(inv, &obs_out)?.max(ObsLevel::Events)
     } else {
-        obs_level
+        parse_obs_level(inv, &obs_out)?
     };
     let recorder = Recorder::new(obs_level);
 
@@ -557,6 +668,89 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses `--obs-level`, defaulting to `Full` when `--obs-out` is set.
+fn parse_obs_level(inv: &Invocation, obs_out: &Option<String>) -> Result<ObsLevel, CliError> {
+    match inv.options.get("obs-level") {
+        Some(v) => v.parse::<ObsLevel>().map_err(|_| CliError::BadValue {
+            flag: "obs-level".into(),
+            value: v.clone(),
+        }),
+        // `--obs-out` without an explicit level means "give me everything".
+        None if obs_out.is_some() => Ok(ObsLevel::Full),
+        None => Ok(ObsLevel::Off),
+    }
+}
+
+/// The `evaluate --rows N` path: a multi-row fleet on the synthetic
+/// production-shaped workload, dispatched round-robin across rows
+/// under per-PDU and datacenter power budgets.
+fn evaluate_fleet(inv: &Invocation, rows: usize) -> Result<(), CliError> {
+    let policy_name: String = inv.get("policy", "polca".to_string())?;
+    let kind = find_policy(&policy_name)?;
+    let added: f64 = inv.get("added", 30.0)?;
+    let days: f64 = inv.get("days", 2.0)?;
+    let seed: u64 = inv.get("seed", 17)?;
+    let power_scale: f64 = inv.get("power-scale", 1.0)?;
+    let rows_per_pdu: usize = inv.get("rows-per-pdu", 2)?;
+    let enforce = inv.options.contains_key("enforce-budgets");
+    if inv.options.contains_key("watch") {
+        println!("note: --watch applies to single-row runs; ignoring it for the fleet");
+    }
+    let obs_out: Option<String> = inv.get_opt("obs-out")?;
+    let obs_level = parse_obs_level(inv, &obs_out)?;
+    let recorder = Recorder::new(obs_level);
+
+    // The fleet serves the same production-shaped workload as the
+    // single-row study, scaled so each of the `rows` rows sees the
+    // oversubscribed per-row offered load after round-robin dispatch.
+    let base_row = RowConfig::paper_inference_row();
+    let study = OversubscriptionStudy::new(base_row.clone(), PolcaPolicy::default(), days, seed);
+    let horizon = SimTime::from_days(days);
+    let config = TraceConfig {
+        seed,
+        horizon,
+        schedule: study
+            .base_schedule()
+            .scaled((1.0 + added / 100.0) * rows as f64),
+        mix: WorkloadClass::table6(),
+    };
+    let source = ArrivalGenerator::new(&config);
+    let row = base_row.with_added_servers(added / 100.0);
+
+    let mut fleet_cfg = FleetConfig::with_rows(rows);
+    fleet_cfg.rows_per_pdu = rows_per_pdu;
+    fleet_cfg.enforce_budgets = enforce;
+    fleet_cfg.base.seed = seed;
+    fleet_cfg.base.power_scale = power_scale;
+    fleet_cfg.base.record_power_series = false;
+    fleet_cfg.base.recorder = recorder.clone();
+    let policy = PolcaPolicy::default();
+    let fleet = FleetSim::new(
+        row,
+        fleet_cfg,
+        |_, rec| fleet_controller(kind, &policy, rec),
+        source,
+        horizon,
+    );
+    let report = fleet.run();
+    println!(
+        "{} fleet: {rows} rows (+{added:.0}% servers each), {} PDU(s), \
+         {days} day(s), budgets {}:",
+        kind.name(),
+        report.pdu_budget_watts.len(),
+        if enforce { "enforced" } else { "monitored" }
+    );
+    print_fleet_table(&report);
+    if let Some(dir) = &obs_out {
+        write_fleet_artifacts(&recorder, &report, dir, obs_level)?;
+    }
+    Ok(())
+}
+
+/// Drain window appended after the last replayed arrival in the fleet
+/// replay path, matching `TraceEvaluation`'s horizon rule.
+const FLEET_DRAIN_S: f64 = 1800.0;
+
 fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
     let path = inv.options.get("trace-csv").cloned().expect("checked");
     let seed: u64 = inv.get("seed", 17)?;
@@ -564,19 +758,13 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
     let time_scale: f64 = inv.get("time-scale", 1.0)?;
     let servers: usize = inv.get("servers", 40)?;
     let added: f64 = inv.get("added", 30.0)?;
+    let rows: usize = inv.get("rows", 1)?;
+    let jobs: usize = inv.get("jobs", 1)?;
     let obs_out: Option<String> = inv.get_opt("obs-out")?;
-    let obs_level = match inv.options.get("obs-level") {
-        Some(v) => v.parse::<ObsLevel>().map_err(|_| CliError::BadValue {
-            flag: "obs-level".into(),
-            value: v.clone(),
-        })?,
-        None if obs_out.is_some() => ObsLevel::Full,
-        None => ObsLevel::Off,
-    };
     let obs_level = if inv.options.contains_key("watch") {
-        obs_level.max(ObsLevel::Events)
+        parse_obs_level(inv, &obs_out)?.max(ObsLevel::Events)
     } else {
-        obs_level
+        parse_obs_level(inv, &obs_out)?
     };
     let recorder = Recorder::new(obs_level);
 
@@ -597,6 +785,55 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
     let row = row.with_added_servers(added / 100.0);
     let deployed = row.total_servers();
     let eval_row_provisioned = row.provisioned_watts();
+
+    if rows > 1 {
+        // Fleet replay: the ingested stream fans out round-robin
+        // across `rows` identical rows under one policy.
+        if inv.options.contains_key("watch") {
+            println!("note: --watch applies to single-row runs; ignoring it for the fleet");
+        }
+        let rows_per_pdu: usize = inv.get("rows-per-pdu", 2)?;
+        let enforce = inv.options.contains_key("enforce-budgets");
+        let kind = match inv.get_opt::<String>("policy")? {
+            Some(name) => find_policy(&name)?,
+            None => PolicyKind::Polca,
+        };
+        let last_arrival = requests.last().map(|r| r.arrival.as_secs()).unwrap_or(0.0);
+        let horizon = SimTime::from_secs(last_arrival + FLEET_DRAIN_S);
+        println!(
+            "replaying {path} across {rows} rows: {n} requests over {:.1} h on \
+             {deployed} servers/row (+{added:.0}% oversubscribed, rate ×{rate_scale}, \
+             time ×{time_scale})",
+            trace.duration_s() * time_scale / 3600.0
+        );
+        let mut fleet_cfg = FleetConfig::with_rows(rows);
+        fleet_cfg.rows_per_pdu = rows_per_pdu;
+        fleet_cfg.enforce_budgets = enforce;
+        fleet_cfg.base.seed = seed;
+        fleet_cfg.base.record_power_series = false;
+        fleet_cfg.base.recorder = recorder.clone();
+        let policy = PolcaPolicy::default();
+        let fleet = FleetSim::new(
+            row,
+            fleet_cfg,
+            |_, rec| fleet_controller(kind, &policy, rec),
+            requests.into_iter(),
+            horizon,
+        );
+        let report = fleet.run();
+        println!(
+            "{} fleet: {} PDU(s), budgets {}:",
+            kind.name(),
+            report.pdu_budget_watts.len(),
+            if enforce { "enforced" } else { "monitored" }
+        );
+        print_fleet_table(&report);
+        if let Some(dir) = &obs_out {
+            write_fleet_artifacts(&recorder, &report, dir, obs_level)?;
+        }
+        return Ok(());
+    }
+
     let mut eval = TraceEvaluation::new(row, PolcaPolicy::default(), requests, seed);
     eval.set_recorder(recorder.clone());
 
@@ -613,35 +850,58 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
         "  {:<18} {:>8} {:>8} {:>10} {:>7}",
         "policy", "LP p99", "HP p99", "peak util", "brakes"
     );
-    // Each policy run gets its own watch plane: the replay clock
-    // restarts per run, and a shared engine would see time jump
-    // backwards. The obs-out incident artifacts come from the first
-    // policy's plane (POLCA when running the full comparison).
-    let provisioned = eval_row_provisioned;
+    let watch_on = inv.options.contains_key("watch");
     let mut first_watch: Option<(PolicyKind, WatchArtifacts)> = None;
-    for kind in kinds {
-        let watch = build_watch_plane(inv, provisioned)?;
-        if let Some(plane) = &watch {
-            let mut taps = RowPowerTaps::new();
-            taps.subscribe(plane.subscriber());
-            eval.set_oob_taps(taps);
-            recorder.set_tap(plane.event_tap());
+    if !watch_on && kinds.len() > 1 {
+        // Full Figure 17 panel with no watch plane: every cell is
+        // pure, so run them on `--jobs` worker threads. Outcomes and
+        // per-cell recorders come back in canonical panel order, so
+        // the table and the absorbed artifacts are byte-identical to
+        // a sequential run whatever `jobs` is.
+        for o in eval.run_all(jobs) {
+            println!(
+                "  {:<18} {:>8.3} {:>8.3} {:>9.1}% {:>7}",
+                o.kind.name(),
+                o.low_normalized.p99,
+                o.high_normalized.p99,
+                o.peak_utilization * 100.0,
+                o.brake_engagements
+            );
         }
-        let o = eval.run(kind);
-        println!(
-            "  {:<18} {:>8.3} {:>8.3} {:>9.1}% {:>7}",
-            kind.name(),
-            o.low_normalized.p99,
-            o.high_normalized.p99,
-            o.peak_utilization * 100.0,
-            o.brake_engagements
-        );
-        if let Some(plane) = watch {
-            recorder.clear_tap();
-            let artifacts = plane.finalize(eval.horizon());
-            print_watch_summary(&artifacts, "    ");
-            if first_watch.is_none() {
-                first_watch = Some((kind, artifacts));
+    } else {
+        if jobs > 1 {
+            println!("  note: --watch and single-policy runs are sequential; ignoring --jobs");
+        }
+        // Each policy run gets its own watch plane: the replay clock
+        // restarts per run, and a shared engine would see time jump
+        // backwards. The obs-out incident artifacts come from the
+        // first policy's plane (POLCA when running the full
+        // comparison).
+        let provisioned = eval_row_provisioned;
+        for kind in kinds {
+            let watch = build_watch_plane(inv, provisioned)?;
+            if let Some(plane) = &watch {
+                let mut taps = RowPowerTaps::new();
+                taps.subscribe(plane.subscriber());
+                eval.set_oob_taps(taps);
+                recorder.set_tap(plane.event_tap());
+            }
+            let o = eval.run(kind);
+            println!(
+                "  {:<18} {:>8.3} {:>8.3} {:>9.1}% {:>7}",
+                kind.name(),
+                o.low_normalized.p99,
+                o.high_normalized.p99,
+                o.peak_utilization * 100.0,
+                o.brake_engagements
+            );
+            if let Some(plane) = watch {
+                recorder.clear_tap();
+                let artifacts = plane.finalize(eval.horizon());
+                print_watch_summary(&artifacts, "    ");
+                if first_watch.is_none() {
+                    first_watch = Some((kind, artifacts));
+                }
             }
         }
     }
@@ -666,6 +926,7 @@ fn plan(inv: &Invocation) -> Result<(), CliError> {
     let days: f64 = inv.get("days", 2.0)?;
     let seed: u64 = inv.get("seed", 17)?;
     let servers: usize = inv.get("servers", 40)?;
+    let jobs: usize = inv.get("jobs", 1)?;
     let mut row = RowConfig::paper_inference_row();
     row.base_servers = servers;
     let mut study = OversubscriptionStudy::new(row, PolcaPolicy::default(), days, seed);
@@ -678,10 +939,18 @@ fn plan(inv: &Invocation) -> Result<(), CliError> {
         trainer.t2() * 100.0,
         trainer.max_spike_40s_frac * 100.0
     );
+    // The sweep runner executes the levels on `--jobs` worker threads
+    // and hands back outcomes in level order, so the printed table is
+    // byte-identical whatever `jobs` is.
+    const LEVELS: [u32; 7] = [0, 10, 20, 25, 30, 35, 40];
+    let cells: Vec<(PolicyKind, f64, f64)> = LEVELS
+        .iter()
+        .map(|&pct| (PolicyKind::Polca, pct as f64 / 100.0, 1.0))
+        .collect();
+    let outcomes = study.sweep(&cells, jobs);
     let mut best = 0.0;
-    for pct in [0u32, 10, 20, 25, 30, 35, 40] {
+    for (&pct, o) in LEVELS.iter().zip(&outcomes) {
         let added = pct as f64 / 100.0;
-        let o = study.run(PolicyKind::Polca, added, 1.0);
         let ok = o.slo.met;
         println!(
             "  +{pct:>2}%: brakes {:>4}, LP p99 {:.3}, HP p99 {:.3} — {}",
@@ -881,6 +1150,70 @@ mod tests {
         .unwrap();
         assert!(matches!(run(&inv), Err(CliError::Io(_))));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enforce_budgets_is_a_boolean_flag() {
+        let inv = parse_args(args(&["evaluate", "--enforce-budgets", "--rows", "4"])).unwrap();
+        assert_eq!(inv.options.get("enforce-budgets").unwrap(), "true");
+        assert_eq!(inv.get::<usize>("rows", 1).unwrap(), 4);
+    }
+
+    #[test]
+    fn evaluate_fleet_writes_per_row_artifacts() {
+        let dir = std::env::temp_dir().join(format!("polca-cli-fleet-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        let inv = parse_args(args(&[
+            "evaluate",
+            "--rows",
+            "3",
+            "--rows-per-pdu",
+            "2",
+            "--days",
+            "0.02",
+            "--added",
+            "30",
+            "--obs-out",
+            &out,
+        ]))
+        .unwrap();
+        run(&inv).unwrap();
+        assert!(dir.join("metrics.json").exists(), "fleet metrics missing");
+        for row in 0..3 {
+            let row_dir = dir.join(format!("row{row}"));
+            for file in ["events.jsonl", "metrics.json"] {
+                assert!(row_dir.join(file).exists(), "row{row}/{file} missing");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_csv_fleet_replay_runs_on_the_golden_trace() {
+        let csv = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/golden/sample_trace.csv"
+        );
+        let inv = parse_args(args(&[
+            "evaluate",
+            "--trace-csv",
+            csv,
+            "--rows",
+            "2",
+            "--servers",
+            "10",
+            "--time-scale",
+            "0.05",
+        ]))
+        .unwrap();
+        run(&inv).unwrap();
+    }
+
+    #[test]
+    fn plan_accepts_a_jobs_flag() {
+        let inv = parse_args(args(&["plan", "--jobs", "4"])).unwrap();
+        assert_eq!(inv.get::<usize>("jobs", 1).unwrap(), 4);
     }
 
     #[test]

@@ -1,0 +1,613 @@
+//! Multi-row fleet composition: N resumable row engines under the
+//! PDU/datacenter budget hierarchy.
+//!
+//! The paper's evaluation simulates one 52-server row (§6.4); its
+//! characterization argues at cluster scale (§5, Table 4). [`FleetSim`]
+//! bridges the two: it composes N independent [`RowSim`] engines —
+//! each with its own event queue, OOB control plane, stream-split RNG
+//! seed, recorder, and telemetry taps — steps them in lockstep one
+//! telemetry window at a time, and between windows aggregates
+//! ground-truth row power up the [`PowerHierarchy`] to check per-PDU
+//! and datacenter budgets.
+//!
+//! Determinism is the design constraint everything here serves:
+//!
+//! * arrivals are split across rows by a deterministic round-robin
+//!   dispatcher that preserves per-row arrival order, so a 1-row fleet
+//!   feeds its single row the unmodified source stream;
+//! * per-row seeds come from [`row_seed`], a splitmix-style mix whose
+//!   row-0 value is the fleet seed itself;
+//! * budget *monitoring* is passive by default — a 1-row fleet run is
+//!   bit-identical (events.jsonl and all) to the legacy single-row
+//!   [`ClusterSim`] path. Active enforcement (braking the rows behind
+//!   an overloaded PDU) is opt-in via
+//!   [`FleetConfig::enforce_budgets`].
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use polca_obs::{Event, Label, Recorder};
+use polca_sim::SimTime;
+use polca_telemetry::ControlAction;
+
+use crate::hierarchy::PowerHierarchy;
+use crate::request::{Priority, Request};
+use crate::row::RowConfig;
+use crate::sim::{
+    ClusterSim, ControlRequest, ControlTarget, PowerController, RequestSource, RowSim, SimConfig,
+    SimReport,
+};
+
+/// Derives the seed for fleet row `row` from the fleet seed.
+///
+/// The mix is a splitmix64-style finalizer over the row index with no
+/// additive constants, so `row_seed(seed, 0) == seed` — the first row
+/// of a fleet replays exactly the RNG streams of a single-row run with
+/// the same seed — while distinct rows land on well-separated streams.
+pub fn row_seed(fleet_seed: u64, row: usize) -> u64 {
+    let mut x = (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    fleet_seed ^ x
+}
+
+/// Fleet-level simulator knobs, wrapping the per-row [`SimConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of rows in the fleet.
+    pub rows: usize,
+    /// Rows behind each PDU (Figure 2; the last PDU may feed fewer).
+    pub rows_per_pdu: usize,
+    /// Per-PDU budget override in watts (`None`: provisioned power of
+    /// the rows behind it).
+    pub pdu_budget_watts: Option<f64>,
+    /// Datacenter budget override in watts (`None`: provisioned power
+    /// of every row).
+    pub datacenter_budget_watts: Option<f64>,
+    /// When `true`, the fleet actively engages the power brake on every
+    /// row behind an overloaded PDU (and on all rows when the
+    /// datacenter budget is exceeded), releasing it once aggregate
+    /// power falls below [`Self::RELEASE_FRACTION`] of the budget.
+    /// When `false` (the default) budgets are monitored only, which
+    /// keeps a 1-row fleet bit-identical to the single-row path.
+    pub enforce_budgets: bool,
+    /// The per-row configuration template. `seed` is stream-split per
+    /// row via [`row_seed`]; `recorder` becomes the *fleet-level*
+    /// recorder while each row records into a fresh per-row recorder of
+    /// the same level; `oob_taps` fan out with the row index attached.
+    pub base: SimConfig,
+}
+
+impl FleetConfig {
+    /// Aggregate power must fall below this fraction of the budget
+    /// before an enforcement brake releases (hysteresis against
+    /// brake/unbrake limit cycles at the breaker threshold).
+    pub const RELEASE_FRACTION: f64 = 0.95;
+
+    /// A fleet of `rows` rows with default per-row knobs.
+    pub fn with_rows(rows: usize) -> Self {
+        FleetConfig {
+            rows,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            rows: 1,
+            rows_per_pdu: 1,
+            pdu_budget_watts: None,
+            datacenter_budget_watts: None,
+            enforce_budgets: false,
+            base: SimConfig::default(),
+        }
+    }
+}
+
+/// Round-robin arrival dispatcher shared by every row's feed.
+struct Dispatch<S> {
+    source: S,
+    buffers: Vec<VecDeque<Request>>,
+    next_row: usize,
+}
+
+impl<S: RequestSource> Dispatch<S> {
+    /// Next request routed to `row`, pulling (and routing) from the
+    /// shared source until that row's buffer is non-empty or the
+    /// source is exhausted.
+    fn pull_for(&mut self, row: usize) -> Option<Request> {
+        loop {
+            if let Some(req) = self.buffers[row].pop_front() {
+                return Some(req);
+            }
+            let req = self.source.next_request()?;
+            let target = self.next_row;
+            self.next_row = (self.next_row + 1) % self.buffers.len();
+            self.buffers[target].push_back(req);
+        }
+    }
+}
+
+/// One row's view of the shared dispatcher (a lazy [`RequestSource`]).
+struct RowFeed<S> {
+    shared: Rc<RefCell<Dispatch<S>>>,
+    row: usize,
+}
+
+impl<S: RequestSource> RequestSource for RowFeed<S> {
+    fn next_request(&mut self) -> Option<Request> {
+        self.shared.borrow_mut().pull_for(self.row)
+    }
+}
+
+/// Everything a fleet run produces.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-row reports, in row order.
+    pub rows: Vec<SimReport>,
+    /// Per-row recorders (fresh recorders at the fleet config's level;
+    /// row 0's event log is bit-identical to a solo run when budgets
+    /// are not enforced).
+    pub row_recorders: Vec<Recorder>,
+    /// Highest aggregate power seen at each PDU, in watts.
+    pub pdu_peak_watts: Vec<f64>,
+    /// Budget of each PDU, in watts.
+    pub pdu_budget_watts: Vec<f64>,
+    /// Highest datacenter aggregate power seen, in watts.
+    pub datacenter_peak_watts: f64,
+    /// The datacenter budget, in watts.
+    pub datacenter_budget_watts: f64,
+    /// Boundary samples at which some PDU exceeded its budget.
+    pub pdu_violation_samples: u64,
+    /// Boundary samples at which the datacenter exceeded its budget.
+    pub datacenter_violation_samples: u64,
+    /// Fleet-level brake engagements (enforcement mode only).
+    pub fleet_brake_engagements: u64,
+    /// Duration simulated.
+    pub duration: SimTime,
+}
+
+impl FleetReport {
+    /// Total requests offered across rows.
+    pub fn offered(&self) -> u64 {
+        self.rows.iter().map(|r| r.offered).sum()
+    }
+
+    /// Total requests completed across rows.
+    pub fn completed(&self) -> u64 {
+        self.rows.iter().map(|r| r.completed).sum()
+    }
+
+    /// Total requests rejected across rows.
+    pub fn rejected(&self) -> u64 {
+        self.rows.iter().map(|r| r.rejected).sum()
+    }
+
+    /// Total discrete events processed across rows.
+    pub fn events_processed(&self) -> u64 {
+        self.rows.iter().map(|r| r.events_processed).sum()
+    }
+
+    /// All completion latencies for `priority`, concatenated in row
+    /// order (quantiles over the fleet, not one row).
+    pub fn latencies(&self, priority: Priority) -> Vec<f64> {
+        let mut all = Vec::new();
+        for r in &self.rows {
+            all.extend_from_slice(r.latencies(priority));
+        }
+        all
+    }
+
+    /// Datacenter peak power as a fraction of the datacenter budget.
+    pub fn datacenter_peak_utilization(&self) -> f64 {
+        self.datacenter_peak_watts / self.datacenter_budget_watts
+    }
+
+    /// Sum of the rows' time-weighted mean powers (the fleet's mean
+    /// aggregate power).
+    pub fn mean_fleet_watts(&self) -> f64 {
+        self.rows.iter().map(|r| r.mean_row_watts).sum()
+    }
+}
+
+/// N lockstep row engines under the fleet power hierarchy.
+///
+/// See the [module docs](self) for the determinism contract. Controller
+/// construction is a factory so every row gets an independent policy
+/// instance (policies carry mutable per-row state).
+pub struct FleetSim<P, S> {
+    rows: Vec<RowSim<P, RowFeed<S>>>,
+    row_recorders: Vec<Recorder>,
+    hierarchy: PowerHierarchy,
+    obs: Recorder,
+    window: SimTime,
+    horizon: SimTime,
+    enforce: bool,
+    pdu_braked: Vec<bool>,
+    pdu_peak: Vec<f64>,
+    datacenter_peak: f64,
+    pdu_violations: u64,
+    datacenter_violations: u64,
+    fleet_brakes: u64,
+}
+
+impl<P: PowerController, S: RequestSource> FleetSim<P, S> {
+    /// Builds a fleet of `fleet.rows` copies of `row`, each driven by
+    /// its share of `source` (round-robin) and controlled by its own
+    /// `make_controller(row_index, row_recorder)` instance, up to
+    /// `horizon`. The recorder handed to the factory is the fresh
+    /// per-row recorder the row simulates into, so controllers that
+    /// record their own transitions land them in the right row's log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fleet.rows` or `fleet.rows_per_pdu` is zero, or the
+    /// base telemetry interval is not positive.
+    pub fn new(
+        row: RowConfig,
+        fleet: FleetConfig,
+        mut make_controller: impl FnMut(usize, &Recorder) -> P,
+        source: S,
+        horizon: SimTime,
+    ) -> Self {
+        assert!(
+            fleet.base.telemetry_interval_s > 0.0,
+            "fleet stepping needs a positive telemetry interval"
+        );
+        let mut hierarchy =
+            PowerHierarchy::provisioned(fleet.rows, fleet.rows_per_pdu, row.provisioned_watts());
+        if let Some(w) = fleet.pdu_budget_watts {
+            hierarchy = hierarchy.with_pdu_budget(w);
+        }
+        if let Some(w) = fleet.datacenter_budget_watts {
+            hierarchy = hierarchy.with_datacenter_budget(w);
+        }
+        let shared = Rc::new(RefCell::new(Dispatch {
+            source,
+            buffers: vec![VecDeque::new(); fleet.rows],
+            next_row: 0,
+        }));
+        let mut rows = Vec::with_capacity(fleet.rows);
+        let mut row_recorders = Vec::with_capacity(fleet.rows);
+        for i in 0..fleet.rows {
+            let recorder = Recorder::new(fleet.base.recorder.level());
+            let mut cfg = fleet.base.clone();
+            cfg.seed = row_seed(fleet.base.seed, i);
+            cfg.recorder = recorder.clone();
+            cfg.oob_taps = fleet.base.oob_taps.for_row(i);
+            let feed = RowFeed {
+                shared: Rc::clone(&shared),
+                row: i,
+            };
+            let controller = make_controller(i, &recorder);
+            rows.push(ClusterSim::new(row.clone(), cfg, controller).into_row_sim(feed, horizon));
+            row_recorders.push(recorder);
+        }
+        let n_pdus = hierarchy.n_pdus();
+        FleetSim {
+            rows,
+            row_recorders,
+            obs: fleet.base.recorder,
+            window: SimTime::from_secs(fleet.base.telemetry_interval_s),
+            horizon,
+            enforce: fleet.enforce_budgets,
+            pdu_braked: vec![false; n_pdus],
+            pdu_peak: vec![0.0; n_pdus],
+            datacenter_peak: 0.0,
+            pdu_violations: 0,
+            datacenter_violations: 0,
+            fleet_brakes: 0,
+            hierarchy,
+        }
+    }
+
+    /// Number of rows in the fleet.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The fleet power hierarchy (budgets, PDU grouping).
+    pub fn hierarchy(&self) -> &PowerHierarchy {
+        &self.hierarchy
+    }
+
+    /// Runs every row to the horizon, aggregating power at each
+    /// telemetry-window boundary, and returns the fleet report.
+    pub fn run(mut self) -> FleetReport {
+        let mut t = SimTime::ZERO;
+        loop {
+            let target = (t + self.window).min(self.horizon);
+            for row in &mut self.rows {
+                row.step_until(target);
+            }
+            t = target;
+            self.observe_boundary(t);
+            if t >= self.horizon {
+                break;
+            }
+        }
+        let pdu_budget_watts: Vec<f64> = (0..self.hierarchy.n_pdus())
+            .map(|p| self.hierarchy.pdu_budget_watts(p))
+            .collect();
+        FleetReport {
+            rows: self.rows.into_iter().map(RowSim::finish).collect(),
+            row_recorders: self.row_recorders,
+            pdu_peak_watts: self.pdu_peak,
+            pdu_budget_watts,
+            datacenter_peak_watts: self.datacenter_peak,
+            datacenter_budget_watts: self.hierarchy.datacenter_budget_watts(),
+            pdu_violation_samples: self.pdu_violations,
+            datacenter_violation_samples: self.datacenter_violations,
+            fleet_brake_engagements: self.fleet_brakes,
+            duration: self.horizon,
+        }
+    }
+
+    /// Aggregates ground-truth power at a window boundary: records
+    /// fleet metrics/events, tracks peaks and violations, and (in
+    /// enforcement mode) engages or releases PDU-scoped brakes.
+    fn observe_boundary(&mut self, now: SimTime) {
+        let row_watts: Vec<f64> = self.rows.iter().map(RowSim::row_power_watts).collect();
+        let t = now.as_secs();
+        for (i, &w) in row_watts.iter().enumerate() {
+            self.obs.gauge("fleet.row_power_w", Label::Row(i), w);
+            self.obs.record(Event::FleetPowerSample {
+                t,
+                row: i,
+                watts: w,
+            });
+        }
+        let pdu_powers = self.hierarchy.pdu_powers(&row_watts);
+        let mut any_pdu_violation = false;
+        for (pdu, &w) in pdu_powers.iter().enumerate() {
+            let budget = self.hierarchy.pdu_budget_watts(pdu);
+            self.obs.gauge("fleet.pdu_power_w", Label::Pdu(pdu), w);
+            if w > self.pdu_peak[pdu] {
+                self.pdu_peak[pdu] = w;
+            }
+            if w > budget {
+                any_pdu_violation = true;
+                self.obs.add("fleet.pdu_violations", Label::Pdu(pdu), 1);
+                self.obs.record(Event::BudgetViolation {
+                    t,
+                    scope: "pdu",
+                    unit: pdu,
+                    watts: w,
+                    budget_watts: budget,
+                });
+            }
+            if self.enforce {
+                self.enforce_pdu(now, pdu, w, budget);
+            }
+        }
+        if any_pdu_violation {
+            self.pdu_violations += 1;
+        }
+        let dc = self.hierarchy.datacenter_power(&row_watts);
+        let dc_budget = self.hierarchy.datacenter_budget_watts();
+        self.obs
+            .gauge("fleet.datacenter_power_w", Label::Global, dc);
+        if dc > self.datacenter_peak {
+            self.datacenter_peak = dc;
+        }
+        if dc > dc_budget {
+            self.datacenter_violations += 1;
+            self.obs
+                .add("fleet.datacenter_violations", Label::Global, 1);
+            self.obs.record(Event::BudgetViolation {
+                t,
+                scope: "datacenter",
+                unit: 0,
+                watts: dc,
+                budget_watts: dc_budget,
+            });
+        }
+    }
+
+    /// PDU-scoped brake with hysteresis: engage above budget, release
+    /// below [`FleetConfig::RELEASE_FRACTION`] of it.
+    fn enforce_pdu(&mut self, now: SimTime, pdu: usize, watts: f64, budget: f64) {
+        let engage = watts > budget && !self.pdu_braked[pdu];
+        let release = self.pdu_braked[pdu] && watts < budget * FleetConfig::RELEASE_FRACTION;
+        if !(engage || release) {
+            return;
+        }
+        self.pdu_braked[pdu] = engage;
+        if engage {
+            self.fleet_brakes += 1;
+            self.obs.add("fleet.brake_engagements", Label::Pdu(pdu), 1);
+        }
+        let cr = ControlRequest {
+            target: ControlTarget::All,
+            action: ControlAction::PowerBrake { on: engage },
+        };
+        for row in self.hierarchy.rows_in_pdu(pdu) {
+            self.rows[row].inject(now, cr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NoopController;
+    use polca_obs::ObsLevel;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn small_row() -> RowConfig {
+        let mut row = RowConfig::paper_inference_row();
+        row.base_servers = 4;
+        row
+    }
+
+    fn mixed_requests(n: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                Request::new(
+                    i,
+                    t(i as f64 * 3.0),
+                    1024,
+                    64,
+                    if i % 2 == 0 {
+                        Priority::Low
+                    } else {
+                        Priority::High
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn row_seed_is_identity_for_row_zero() {
+        assert_eq!(row_seed(42, 0), 42);
+        assert_eq!(row_seed(0, 0), 0);
+        assert_eq!(row_seed(u64::MAX, 0), u64::MAX);
+        let seeds: std::collections::BTreeSet<u64> = (0..64).map(|r| row_seed(42, r)).collect();
+        assert_eq!(seeds.len(), 64, "row seeds must be distinct");
+    }
+
+    #[test]
+    fn one_row_fleet_is_bit_identical_to_cluster_sim() {
+        let reqs = mixed_requests(50);
+        let solo_rec = Recorder::new(ObsLevel::Full);
+        let solo_cfg = SimConfig {
+            recorder: solo_rec.clone(),
+            ..SimConfig::default()
+        };
+        let solo =
+            ClusterSim::new(small_row(), solo_cfg, NoopController).run(reqs.clone(), t(1000.0));
+
+        let mut fleet_cfg = FleetConfig::with_rows(1);
+        fleet_cfg.base.recorder = Recorder::new(ObsLevel::Full);
+        let fleet = FleetSim::new(
+            small_row(),
+            fleet_cfg,
+            |_, _: &Recorder| NoopController,
+            reqs.into_iter(),
+            t(1000.0),
+        )
+        .run();
+
+        assert_eq!(fleet.rows.len(), 1);
+        let row = &fleet.rows[0];
+        assert_eq!(row.offered, solo.offered);
+        assert_eq!(row.completed, solo.completed);
+        assert_eq!(row.rejected, solo.rejected);
+        assert_eq!(row.low_latencies_s, solo.low_latencies_s);
+        assert_eq!(row.high_latencies_s, solo.high_latencies_s);
+        assert_eq!(row.peak_row_watts, solo.peak_row_watts);
+        assert_eq!(row.mean_row_watts, solo.mean_row_watts);
+        assert_eq!(row.events_processed, solo.events_processed);
+        assert_eq!(row.row_power.values(), solo.row_power.values());
+        // The row's event log is byte-for-byte the single-row log.
+        assert_eq!(
+            fleet.row_recorders[0].artifacts().events_jsonl(),
+            solo_rec.artifacts().events_jsonl()
+        );
+    }
+
+    #[test]
+    fn round_robin_dispatch_splits_arrivals_evenly() {
+        let mut fleet_cfg = FleetConfig::with_rows(2);
+        fleet_cfg.rows_per_pdu = 2;
+        let fleet = FleetSim::new(
+            small_row(),
+            fleet_cfg,
+            |_, _: &Recorder| NoopController,
+            mixed_requests(50).into_iter(),
+            t(1000.0),
+        )
+        .run();
+        assert_eq!(fleet.rows[0].offered, 25);
+        assert_eq!(fleet.rows[1].offered, 25);
+        assert_eq!(fleet.offered(), 50);
+        assert_eq!(
+            fleet.completed(),
+            fleet.rows[0].completed + fleet.rows[1].completed
+        );
+        assert!(fleet.events_processed() > 0);
+        assert_eq!(
+            fleet.latencies(Priority::Low).len(),
+            fleet.rows[0].low_latencies_s.len() + fleet.rows[1].low_latencies_s.len()
+        );
+    }
+
+    #[test]
+    fn budget_monitoring_counts_violations_without_intervening() {
+        let mut fleet_cfg = FleetConfig::with_rows(2);
+        fleet_cfg.rows_per_pdu = 2;
+        fleet_cfg.pdu_budget_watts = Some(1.0); // violated at every boundary
+        fleet_cfg.datacenter_budget_watts = Some(1.0);
+        fleet_cfg.base.recorder = Recorder::new(ObsLevel::Events);
+        let monitored = FleetSim::new(
+            small_row(),
+            fleet_cfg.clone(),
+            |_, _: &Recorder| NoopController,
+            mixed_requests(50).into_iter(),
+            t(100.0),
+        );
+        assert_eq!(monitored.n_rows(), 2);
+        assert_eq!(monitored.hierarchy().n_pdus(), 1);
+        let report = monitored.run();
+        assert_eq!(report.pdu_violation_samples, 50); // 100 s / 2 s windows
+        assert_eq!(report.datacenter_violation_samples, 50);
+        assert_eq!(report.fleet_brake_engagements, 0);
+        assert_eq!(report.rows[0].brake_engagements, 0);
+        assert!(report.datacenter_peak_watts > report.datacenter_budget_watts);
+        assert!(report.datacenter_peak_utilization() > 1.0);
+        let kinds: std::collections::BTreeSet<&str> = fleet_cfg
+            .base
+            .recorder
+            .artifacts()
+            .events
+            .iter()
+            .map(Event::kind)
+            .collect();
+        assert!(kinds.contains("fleet_power_sample"), "kinds: {kinds:?}");
+        assert!(kinds.contains("budget_violation"), "kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn enforcement_brakes_rows_behind_an_overloaded_pdu() {
+        let reqs = mixed_requests(50);
+        let mut fleet_cfg = FleetConfig::with_rows(2);
+        fleet_cfg.rows_per_pdu = 2;
+        fleet_cfg.pdu_budget_watts = Some(1.0); // always over; brake never releases
+        let free = FleetSim::new(
+            small_row(),
+            fleet_cfg.clone(),
+            |_, _: &Recorder| NoopController,
+            reqs.clone().into_iter(),
+            t(1000.0),
+        )
+        .run();
+        fleet_cfg.enforce_budgets = true;
+        let braked = FleetSim::new(
+            small_row(),
+            fleet_cfg,
+            |_, _: &Recorder| NoopController,
+            reqs.into_iter(),
+            t(1000.0),
+        )
+        .run();
+        assert_eq!(braked.fleet_brake_engagements, 1);
+        assert_eq!(braked.rows[0].brake_engagements, 1);
+        assert_eq!(braked.rows[1].brake_engagements, 1);
+        assert!(
+            braked.mean_fleet_watts() < free.mean_fleet_watts(),
+            "{} vs {}",
+            braked.mean_fleet_watts(),
+            free.mean_fleet_watts()
+        );
+    }
+}

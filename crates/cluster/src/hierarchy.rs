@@ -7,7 +7,129 @@
 //! rack-level views matter for placement and for validating that no
 //! single rack exceeds its own breaker.
 
+use std::ops::Range;
+
 use crate::server::InferenceServer;
+
+/// The fleet-level power-distribution topology: rows grouped behind
+/// PDUs, PDUs feeding one datacenter bus.
+///
+/// This is the upper half of Figure 2 — `RackLayout` covers servers →
+/// racks inside one row; `PowerHierarchy` covers rows → PDUs →
+/// datacenter. The fleet simulator consults it at every aggregation
+/// boundary to compute per-PDU and datacenter power, check the
+/// corresponding budgets, and (when enforcement is enabled) decide
+/// which rows to brake.
+///
+/// Budgets default to the provisioned power of the members (each PDU's
+/// budget is `rows-behind-it × row_provisioned_watts`, the datacenter's
+/// is the sum over all rows) and can be overridden to model
+/// oversubscription at either level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerHierarchy {
+    n_rows: usize,
+    rows_per_pdu: usize,
+    row_provisioned_watts: f64,
+    pdu_budget_override: Option<f64>,
+    datacenter_budget_override: Option<f64>,
+}
+
+impl PowerHierarchy {
+    /// A hierarchy of `n_rows` rows, `rows_per_pdu` behind each PDU,
+    /// with budgets at every level equal to provisioned power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_rows` or `rows_per_pdu` is zero.
+    pub fn provisioned(n_rows: usize, rows_per_pdu: usize, row_provisioned_watts: f64) -> Self {
+        assert!(n_rows > 0, "a fleet needs at least one row");
+        assert!(rows_per_pdu > 0, "a PDU must feed at least one row");
+        PowerHierarchy {
+            n_rows,
+            rows_per_pdu,
+            row_provisioned_watts,
+            pdu_budget_override: None,
+            datacenter_budget_override: None,
+        }
+    }
+
+    /// Overrides every PDU's budget with `watts` (oversubscription at
+    /// the PDU breaker).
+    pub fn with_pdu_budget(mut self, watts: f64) -> Self {
+        self.pdu_budget_override = Some(watts);
+        self
+    }
+
+    /// Overrides the datacenter-level budget with `watts`.
+    pub fn with_datacenter_budget(mut self, watts: f64) -> Self {
+        self.datacenter_budget_override = Some(watts);
+        self
+    }
+
+    /// Number of rows in the fleet.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of PDUs (the last one may feed fewer rows).
+    pub fn n_pdus(&self) -> usize {
+        self.n_rows.div_ceil(self.rows_per_pdu)
+    }
+
+    /// The PDU feeding `row`.
+    pub fn pdu_of(&self, row: usize) -> usize {
+        row / self.rows_per_pdu
+    }
+
+    /// The row indices behind PDU `pdu`.
+    pub fn rows_in_pdu(&self, pdu: usize) -> Range<usize> {
+        let start = pdu * self.rows_per_pdu;
+        start..((start + self.rows_per_pdu).min(self.n_rows))
+    }
+
+    /// Budget of PDU `pdu` in watts: the override if set, otherwise the
+    /// provisioned power of the rows it actually feeds.
+    pub fn pdu_budget_watts(&self, pdu: usize) -> f64 {
+        self.pdu_budget_override
+            .unwrap_or(self.rows_in_pdu(pdu).len() as f64 * self.row_provisioned_watts)
+    }
+
+    /// The datacenter budget in watts: the override if set, otherwise
+    /// the provisioned power of every row.
+    pub fn datacenter_budget_watts(&self) -> f64 {
+        self.datacenter_budget_override
+            .unwrap_or(self.n_rows as f64 * self.row_provisioned_watts)
+    }
+
+    /// Per-PDU aggregate power for the given per-row powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_watts` does not hold exactly one entry per row.
+    pub fn pdu_powers(&self, row_watts: &[f64]) -> Vec<f64> {
+        assert_eq!(row_watts.len(), self.n_rows, "one power entry per row");
+        let mut powers = vec![0.0; self.n_pdus()];
+        for (row, &w) in row_watts.iter().enumerate() {
+            powers[self.pdu_of(row)] += w;
+        }
+        powers
+    }
+
+    /// Total datacenter power for the given per-row powers.
+    pub fn datacenter_power(&self, row_watts: &[f64]) -> f64 {
+        row_watts.iter().sum()
+    }
+
+    /// Indices of PDUs whose aggregate power exceeds their budget.
+    pub fn overloaded_pdus(&self, row_watts: &[f64]) -> Vec<usize> {
+        self.pdu_powers(row_watts)
+            .into_iter()
+            .enumerate()
+            .filter(|&(pdu, p)| p > self.pdu_budget_watts(pdu))
+            .map(|(pdu, _)| pdu)
+            .collect()
+    }
+}
 
 /// Physical layout of a row: servers grouped into racks behind one PDU.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +217,38 @@ mod tests {
         let mut row = RowConfig::paper_inference_row();
         row.base_servers = n;
         row.build_servers()
+    }
+
+    #[test]
+    fn hierarchy_groups_rows_behind_pdus() {
+        let h = PowerHierarchy::provisioned(5, 2, 1000.0);
+        assert_eq!(h.n_rows(), 5);
+        assert_eq!(h.n_pdus(), 3);
+        assert_eq!(h.pdu_of(0), 0);
+        assert_eq!(h.pdu_of(3), 1);
+        assert_eq!(h.pdu_of(4), 2);
+        assert_eq!(h.rows_in_pdu(0), 0..2);
+        assert_eq!(h.rows_in_pdu(2), 4..5); // partial PDU
+        assert_eq!(h.pdu_budget_watts(0), 2000.0);
+        assert_eq!(h.pdu_budget_watts(2), 1000.0);
+        assert_eq!(h.datacenter_budget_watts(), 5000.0);
+    }
+
+    #[test]
+    fn hierarchy_aggregates_and_flags_overloads() {
+        let h = PowerHierarchy::provisioned(4, 2, 1000.0).with_pdu_budget(1500.0);
+        let watts = [900.0, 700.0, 400.0, 300.0];
+        assert_eq!(h.pdu_powers(&watts), vec![1600.0, 700.0]);
+        assert_eq!(h.datacenter_power(&watts), 2300.0);
+        assert_eq!(h.overloaded_pdus(&watts), vec![0]);
+        let capped = h.with_datacenter_budget(2000.0);
+        assert!(capped.datacenter_power(&watts) > capped.datacenter_budget_watts());
+    }
+
+    #[test]
+    #[should_panic(expected = "one power entry per row")]
+    fn hierarchy_rejects_mismatched_row_powers() {
+        PowerHierarchy::provisioned(3, 1, 1000.0).pdu_powers(&[1.0, 2.0]);
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //! * [`sim`] — the event-driven simulator: arrivals, dispatch, phase
 //!   transitions, 2 s row telemetry with propagation delay, OOB command
 //!   delivery, and a pluggable [`sim::PowerController`]
-//!   (POLCA and its baselines live in the `polca` crate),
+//!   (POLCA and its baselines live in the `polca` crate). The run loop
+//!   is factored into the resumable [`sim::RowSim`] engine, which
+//!   supports `step_until`-style incremental execution,
+//! * [`fleet`] — [`fleet::FleetSim`]: N rows stepped in lockstep under
+//!   the per-PDU and datacenter budgets of [`hierarchy::PowerHierarchy`],
 //! * [`training`] — the synchronized training-cluster power model behind
 //!   Table 4's training column.
 //!
@@ -33,6 +37,9 @@
 //! assert_eq!(report.completed, 0);
 //! ```
 
+#![deny(missing_docs)]
+
+pub mod fleet;
 pub mod hierarchy;
 pub mod request;
 pub mod row;
@@ -41,13 +48,14 @@ pub mod server_spec;
 pub mod sim;
 pub mod training;
 
-pub use hierarchy::RackLayout;
+pub use fleet::{row_seed, FleetConfig, FleetReport, FleetSim};
+pub use hierarchy::{PowerHierarchy, RackLayout};
 pub use request::{CompletedRequest, Priority, Request};
 pub use row::RowConfig;
 pub use server::{InferenceServer, ServerState, HOT_IDLE_INTENSITY};
 pub use server_spec::ServerSpec;
 pub use sim::{
     ClusterSim, ControlRequest, ControlTarget, NoopController, PowerController, RequestSource,
-    RowContext, SimConfig, SimReport,
+    RowContext, RowSim, SimConfig, SimReport,
 };
 pub use training::TrainingCluster;

@@ -10,7 +10,7 @@
 //! seed, so competing policies can be compared on identical request
 //! streams.
 
-use polca_obs::{Event, Label, Recorder};
+use polca_obs::{Event, Label, Recorder, SpanGuard};
 use polca_sim::{EventQueue, SimTime};
 use polca_stats::TimeSeries;
 use polca_telemetry::{ControlAction, DelayedSignal, OobControlPlane, RowPowerTaps};
@@ -190,6 +190,10 @@ pub struct SimReport {
     pub brake_engagements: u64,
     /// OOB commands issued on the control plane.
     pub commands_issued: u64,
+    /// Discrete events processed by the row engine (arrivals, phase
+    /// ends, telemetry ticks, control deliveries) — the numerator of
+    /// the `sim_throughput` events/sec figure.
+    pub events_processed: u64,
     /// Duration simulated.
     pub duration: SimTime,
 }
@@ -289,22 +293,7 @@ impl<P: PowerController> ClusterSim<P> {
             row_signal: DelayedSignal::new(SimTime::from_secs(config.telemetry_delay_s)),
             plane,
             queue,
-            report: SimReport {
-                offered: 0,
-                completed: 0,
-                rejected: 0,
-                low_latencies_s: Vec::new(),
-                high_latencies_s: Vec::new(),
-                completed_by_priority: (0, 0),
-                offered_by_priority: (0, 0),
-                rejected_by_priority: (0, 0),
-                row_power: TimeSeries::new(),
-                peak_row_watts: row_power_watts,
-                mean_row_watts: 0.0,
-                brake_engagements: 0,
-                commands_issued: 0,
-                duration: SimTime::ZERO,
-            },
+            report: blank_report(row_power_watts),
             row_power_watts,
             rr_cursor: (0, 0),
             last_power_change: SimTime::ZERO,
@@ -341,54 +330,25 @@ impl<P: PowerController> ClusterSim<P> {
     /// Like [`run`](Self::run) but consumes any [`RequestSource`] — the
     /// entry point the real-trace replay path uses.
     ///
+    /// Internally this is one [`RowSim`] stepped straight to the
+    /// horizon; the resumable engine and this one-shot entry point are
+    /// the same code and produce bit-identical results.
+    ///
     /// # Panics
     ///
     /// Panics if the source yields requests out of order.
-    pub fn run_source(mut self, mut arrivals: impl RequestSource, until: SimTime) -> SimReport {
-        let _span = self.obs.time("sim.event_loop");
-        if let Some(first) = arrivals.next_request() {
-            self.queue.schedule(first.arrival, Ev::Arrival(first));
-        }
-        self.queue.schedule(SimTime::ZERO, Ev::Telemetry);
+    pub fn run_source(self, arrivals: impl RequestSource, until: SimTime) -> SimReport {
+        let mut row = self.into_row_sim(arrivals, until);
+        row.step_until(until);
+        row.finish()
+    }
 
-        while let Some(next_at) = self.queue.peek_time() {
-            if next_at > until {
-                break;
-            }
-            let (now, ev) = self.queue.pop().expect("peeked event exists");
-            match ev {
-                Ev::Arrival(req) => {
-                    self.on_arrival(now, req);
-                    if let Some(next) = arrivals.next_request() {
-                        assert!(
-                            next.arrival >= now,
-                            "arrival stream out of order at request {}",
-                            next.id
-                        );
-                        self.queue.schedule(next.arrival, Ev::Arrival(next));
-                    }
-                }
-                Ev::PhaseEnd { server, version } => self.on_phase_end(now, server, version),
-                Ev::Telemetry => {
-                    self.on_telemetry(now);
-                    let next_tick = now + SimTime::from_secs(self.config.telemetry_interval_s);
-                    if next_tick <= until {
-                        self.queue.schedule(next_tick, Ev::Telemetry);
-                    }
-                }
-                Ev::ControlDelivery => self.on_control_delivery(now),
-            }
-        }
-
-        // Close out the power integral at the horizon.
-        self.accumulate_power(until);
-        self.report.duration = until;
-        self.report.mean_row_watts = if until == SimTime::ZERO {
-            self.row_power_watts
-        } else {
-            self.power_integral / until.as_secs()
-        };
-        self.report
+    /// Converts this simulator into a resumable [`RowSim`] driven by
+    /// `arrivals` up to `horizon`. The engine primes the first arrival
+    /// and the t = 0 telemetry tick immediately, exactly as
+    /// [`run_source`](Self::run_source) would.
+    pub fn into_row_sim<S: RequestSource>(self, arrivals: S, horizon: SimTime) -> RowSim<P, S> {
+        RowSim::start(self, arrivals, horizon)
     }
 
     fn accumulate_power(&mut self, now: SimTime) {
@@ -647,6 +607,190 @@ impl<P: PowerController> ClusterSim<P> {
     }
 }
 
+/// A resumable row engine: the body of [`ClusterSim::run_source`]
+/// exposed as an incremental `step_until` API.
+///
+/// A `RowSim` owns one row's complete simulation state — servers, event
+/// queue, OOB control plane, delayed telemetry signal, RNG streams —
+/// and advances it in bounded time slices instead of straight to the
+/// horizon. That is what lets `FleetSim` interleave N rows in lockstep
+/// (stepping each row one telemetry window at a time and inspecting
+/// aggregate power between windows) while each row replays *exactly*
+/// the event sequence it would have seen in a solo
+/// [`ClusterSim::run`]: stepping to `t1` then `t2` processes the same
+/// events in the same order as stepping to `t2` directly, so the
+/// resumable and one-shot paths are bit-identical.
+///
+/// The horizon is fixed at construction because it is part of the
+/// event schedule itself (the last telemetry tick is the one at or
+/// before the horizon); [`finish`](Self::finish) closes the power
+/// integral there and yields the [`SimReport`].
+pub struct RowSim<P, S> {
+    sim: ClusterSim<P>,
+    source: S,
+    horizon: SimTime,
+    stepped_to: SimTime,
+    /// Wall-clock span over the whole engine lifetime (`sim.event_loop`),
+    /// recorded when the engine is finished/dropped.
+    _span: Option<SpanGuard>,
+}
+
+impl<P: PowerController, S: RequestSource> RowSim<P, S> {
+    /// Builds a row engine directly from a row description, mirroring
+    /// [`ClusterSim::new`] + [`ClusterSim::into_row_sim`].
+    pub fn new(
+        row: RowConfig,
+        config: SimConfig,
+        controller: P,
+        source: S,
+        horizon: SimTime,
+    ) -> Self {
+        ClusterSim::new(row, config, controller).into_row_sim(source, horizon)
+    }
+
+    fn start(sim: ClusterSim<P>, source: S, horizon: SimTime) -> Self {
+        let span = sim.obs.time("sim.event_loop");
+        let mut row = RowSim {
+            sim,
+            source,
+            horizon,
+            stepped_to: SimTime::ZERO,
+            _span: span,
+        };
+        if let Some(first) = row.source.next_request() {
+            row.sim.queue.schedule(first.arrival, Ev::Arrival(first));
+        }
+        row.sim.queue.schedule(SimTime::ZERO, Ev::Telemetry);
+        row
+    }
+
+    /// Processes every event at or before `min(t, horizon)`. Calling
+    /// with non-increasing `t` is a no-op; the engine never runs past
+    /// its horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request source yields requests out of order.
+    pub fn step_until(&mut self, t: SimTime) {
+        let limit = t.min(self.horizon);
+        while let Some(next_at) = self.sim.queue.peek_time() {
+            if next_at > limit {
+                break;
+            }
+            let (now, ev) = self.sim.queue.pop().expect("peeked event exists");
+            self.sim.report.events_processed += 1;
+            match ev {
+                Ev::Arrival(req) => {
+                    self.sim.on_arrival(now, req);
+                    if let Some(next) = self.source.next_request() {
+                        assert!(
+                            next.arrival >= now,
+                            "arrival stream out of order at request {}",
+                            next.id
+                        );
+                        self.sim.queue.schedule(next.arrival, Ev::Arrival(next));
+                    }
+                }
+                Ev::PhaseEnd { server, version } => self.sim.on_phase_end(now, server, version),
+                Ev::Telemetry => {
+                    self.sim.on_telemetry(now);
+                    let next_tick = now + SimTime::from_secs(self.sim.config.telemetry_interval_s);
+                    if next_tick <= self.horizon {
+                        self.sim.queue.schedule(next_tick, Ev::Telemetry);
+                    }
+                }
+                Ev::ControlDelivery => self.sim.on_control_delivery(now),
+            }
+        }
+        if limit > self.stepped_to {
+            self.stepped_to = limit;
+        }
+    }
+
+    /// How far the engine has been stepped (capped at the horizon).
+    pub fn now(&self) -> SimTime {
+        self.stepped_to
+    }
+
+    /// The fixed simulation horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Instantaneous ground-truth row power, in watts.
+    pub fn row_power_watts(&self) -> f64 {
+        self.sim.row_power_watts
+    }
+
+    /// The row context (provisioned budget, server count).
+    pub fn context(&self) -> &RowContext {
+        &self.sim.ctx
+    }
+
+    /// Immutable view of the servers.
+    pub fn servers(&self) -> &[InferenceServer] {
+        self.sim.servers()
+    }
+
+    /// Read-only view of the report accumulated so far (totals are
+    /// final only after [`finish`](Self::finish)).
+    pub fn report_so_far(&self) -> &SimReport {
+        &self.sim.report
+    }
+
+    /// Issues a control request on the row's OOB plane at `now`, as if
+    /// the row's own controller had emitted it — the hook a fleet-level
+    /// budget enforcer uses to engage a power brake across rows. The
+    /// command pays the same OOB latency (and failure) model as any
+    /// controller-issued command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than events already processed.
+    pub fn inject(&mut self, now: SimTime, cr: ControlRequest) {
+        self.sim.issue(now, cr);
+        if let Some(at) = self.sim.plane.next_delivery() {
+            self.sim.queue.schedule(at.max(now), Ev::ControlDelivery);
+        }
+    }
+
+    /// Steps to the horizon if not already there, closes the power
+    /// integral, and returns the final report.
+    pub fn finish(mut self) -> SimReport {
+        self.step_until(self.horizon);
+        let sim = &mut self.sim;
+        sim.accumulate_power(self.horizon);
+        sim.report.duration = self.horizon;
+        sim.report.mean_row_watts = if self.horizon == SimTime::ZERO {
+            sim.row_power_watts
+        } else {
+            sim.power_integral / self.horizon.as_secs()
+        };
+        std::mem::replace(&mut sim.report, blank_report(0.0))
+    }
+}
+
+/// An empty [`SimReport`] used to move the real one out of the engine.
+fn blank_report(peak: f64) -> SimReport {
+    SimReport {
+        offered: 0,
+        completed: 0,
+        rejected: 0,
+        low_latencies_s: Vec::new(),
+        high_latencies_s: Vec::new(),
+        completed_by_priority: (0, 0),
+        offered_by_priority: (0, 0),
+        rejected_by_priority: (0, 0),
+        row_power: TimeSeries::new(),
+        peak_row_watts: peak,
+        mean_row_watts: 0.0,
+        brake_engagements: 0,
+        commands_issued: 0,
+        events_processed: 0,
+        duration: SimTime::ZERO,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -841,6 +985,105 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.low_latencies_s, b.low_latencies_s);
         assert_eq!(a.peak_row_watts, b.peak_row_watts);
+    }
+
+    /// A mixed 50-request stream exercising queueing and both priorities.
+    fn mixed_requests() -> Vec<Request> {
+        (0..50)
+            .map(|i| {
+                mk_request(
+                    i,
+                    i as f64 * 3.0,
+                    if i % 2 == 0 {
+                        Priority::Low
+                    } else {
+                        Priority::High
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stepped_rowsim_matches_one_shot_run() {
+        let reqs = mixed_requests();
+        let one_shot = ClusterSim::new(small_row(), SimConfig::default(), NoopController)
+            .run(reqs.clone(), t(1000.0));
+        let mut row = RowSim::new(
+            small_row(),
+            SimConfig::default(),
+            NoopController,
+            reqs.into_iter(),
+            t(1000.0),
+        );
+        // Irregular slice boundaries, including repeats and off-grid times.
+        for s in [0.0, 1.0, 1.0, 3.7, 250.0, 250.0, 999.9, 1500.0] {
+            row.step_until(t(s));
+        }
+        assert_eq!(row.now(), t(1000.0));
+        let stepped = row.finish();
+        assert_eq!(stepped.completed, one_shot.completed);
+        assert_eq!(stepped.offered, one_shot.offered);
+        assert_eq!(stepped.low_latencies_s, one_shot.low_latencies_s);
+        assert_eq!(stepped.high_latencies_s, one_shot.high_latencies_s);
+        assert_eq!(stepped.peak_row_watts, one_shot.peak_row_watts);
+        assert_eq!(stepped.mean_row_watts, one_shot.mean_row_watts);
+        assert_eq!(stepped.events_processed, one_shot.events_processed);
+        assert_eq!(stepped.row_power.len(), one_shot.row_power.len());
+    }
+
+    #[test]
+    fn rowsim_exposes_progress_and_state() {
+        let mut row = RowSim::new(
+            small_row(),
+            SimConfig::default(),
+            NoopController,
+            std::iter::empty(),
+            t(100.0),
+        );
+        assert_eq!(row.horizon(), t(100.0));
+        assert_eq!(row.servers().len(), 4);
+        assert!(row.context().provisioned_watts > 0.0);
+        row.step_until(t(10.0));
+        assert_eq!(row.now(), t(10.0));
+        assert!(row.row_power_watts() > 0.0);
+        assert!(row.report_so_far().events_processed > 0);
+        let report = row.finish();
+        assert_eq!(report.duration, t(100.0));
+    }
+
+    #[test]
+    fn injected_brake_engages_servers() {
+        let reqs = mixed_requests();
+        let free = ClusterSim::new(small_row(), SimConfig::default(), NoopController)
+            .run(reqs.clone(), t(1000.0));
+        let mut row = RowSim::new(
+            small_row(),
+            SimConfig::default(),
+            NoopController,
+            reqs.into_iter(),
+            t(1000.0),
+        );
+        row.step_until(t(10.0));
+        row.inject(
+            t(10.0),
+            ControlRequest {
+                target: ControlTarget::All,
+                action: ControlAction::PowerBrake { on: true },
+            },
+        );
+        let braked = row.finish();
+        assert_eq!(braked.brake_engagements, 1);
+        assert!(braked.commands_issued >= 4);
+        // The brake throttles every server for the rest of the run, so
+        // time-weighted mean power drops versus the unbraked run of the
+        // same stream (the pre-brake peak is unaffected).
+        assert!(
+            braked.mean_row_watts < free.mean_row_watts,
+            "{} vs {}",
+            braked.mean_row_watts,
+            free.mean_row_watts
+        );
     }
 
     #[test]

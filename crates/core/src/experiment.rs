@@ -12,7 +12,10 @@
 //!    un-oversubscribed reference run,
 //! 5. check the Table 6 SLOs.
 
-use polca_cluster::{ClusterSim, Priority, RowConfig, SimConfig};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use polca_cluster::{ClusterSim, Priority, Request, RowConfig, SimConfig};
 use polca_obs::{Event, Recorder};
 use polca_sim::SimTime;
 use polca_stats::{Quantiles, TimeSeries};
@@ -108,7 +111,16 @@ struct Reference {
 }
 
 /// The end-to-end evaluation pipeline.
-#[derive(Debug, Clone)]
+///
+/// Every `(policy, added_fraction, power_scale)` cell is a *pure* job:
+/// [`run_cell`] takes `&self` plus an explicit recorder/tap pair and
+/// touches only interior-mutable caches (the reference run and the
+/// synthesized arrival traces), so the deterministic sweep runner can
+/// execute cells from worker threads while the canonical-order merge
+/// keeps artifacts byte-identical to a sequential run.
+///
+/// [`run_cell`]: OversubscriptionStudy::run_cell
+#[derive(Debug)]
 pub struct OversubscriptionStudy {
     row: RowConfig,
     policy: PolcaPolicy,
@@ -118,9 +130,38 @@ pub struct OversubscriptionStudy {
     profile: TimeSeries,
     base_schedule: RateSchedule,
     record_power: bool,
-    reference: Option<Reference>,
+    reference: OnceLock<Reference>,
+    /// Synthesized arrival traces keyed by `added_fraction` bits —
+    /// every policy compared at the same oversubscription level replays
+    /// the identical stream, so synthesizing it once per level is both
+    /// a determinism statement and the dominant sweep-setup saving.
+    trace_cache: Mutex<HashMap<u64, Arc<Vec<Request>>>>,
     recorder: Recorder,
     oob_taps: RowPowerTaps,
+}
+
+impl Clone for OversubscriptionStudy {
+    fn clone(&self) -> Self {
+        OversubscriptionStudy {
+            row: self.row.clone(),
+            policy: self.policy.clone(),
+            days: self.days,
+            seed: self.seed,
+            slo: self.slo,
+            profile: self.profile.clone(),
+            base_schedule: self.base_schedule.clone(),
+            record_power: self.record_power,
+            reference: self.reference.clone(),
+            trace_cache: Mutex::new(
+                self.trace_cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone(),
+            ),
+            recorder: self.recorder.clone(),
+            oob_taps: self.oob_taps.clone(),
+        }
+    }
 }
 
 impl OversubscriptionStudy {
@@ -146,7 +187,8 @@ impl OversubscriptionStudy {
             profile,
             base_schedule,
             record_power: true,
-            reference: None,
+            reference: OnceLock::new(),
+            trace_cache: Mutex::new(HashMap::new()),
             recorder: Recorder::disabled(),
             oob_taps: RowPowerTaps::new(),
         }
@@ -272,49 +314,81 @@ impl OversubscriptionStudy {
         })
     }
 
-    /// Runs (and caches) the reference: no added servers, no policy.
-    fn reference(&mut self) -> Reference {
-        if let Some(r) = &self.reference {
-            return r.clone();
+    /// The synthesized arrival trace for `added_fraction`, materialized
+    /// once and shared by every subsequent cell at the same level. The
+    /// `study.trace_synthesis` span fires only on cache misses, so its
+    /// count equals the number of *distinct* oversubscription levels a
+    /// sweep visits, not the number of cells.
+    fn cached_arrivals(&self, added_fraction: f64, obs: &Recorder) -> Arc<Vec<Request>> {
+        let mut cache = self.trace_cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(trace) = cache.get(&added_fraction.to_bits()) {
+            return Arc::clone(trace);
         }
-        let sim = ClusterSim::new(
-            self.row.clone(),
-            self.sim_config(1.0),
-            polca_cluster::NoopController,
-        );
-        let report = sim.run(
-            ArrivalGenerator::new(&self.trace(0.0)),
-            SimTime::from_days(self.days),
-        );
-        let r = Reference {
-            low: Self::quantiles_or_unit(&report.low_latencies_s),
-            high: Self::quantiles_or_unit(&report.high_latencies_s),
-            low_goodput: report.goodput(Priority::Low),
-            high_goodput: report.goodput(Priority::High),
+        let trace = {
+            let _span = obs.time("study.trace_synthesis");
+            Arc::new(ArrivalGenerator::new(&self.trace(added_fraction)).collect::<Vec<Request>>())
         };
-        self.reference = Some(r.clone());
-        r
+        cache.insert(added_fraction.to_bits(), Arc::clone(&trace));
+        trace
+    }
+
+    /// Runs (and caches) the reference: no added servers, no policy.
+    /// The run stays un-instrumented so artifacts never depend on
+    /// whether the cache was already warm.
+    fn reference(&self) -> &Reference {
+        self.reference.get_or_init(|| {
+            let sim = ClusterSim::new(
+                self.row.clone(),
+                self.sim_config(1.0),
+                polca_cluster::NoopController,
+            );
+            let arrivals = self.cached_arrivals(0.0, &Recorder::disabled());
+            let report = sim.run(arrivals.iter().cloned(), SimTime::from_days(self.days));
+            Reference {
+                low: Self::quantiles_or_unit(&report.low_latencies_s),
+                high: Self::quantiles_or_unit(&report.high_latencies_s),
+                low_goodput: report.goodput(Priority::Low),
+                high_goodput: report.goodput(Priority::High),
+            }
+        })
     }
 
     /// Runs `kind` with `added_fraction` more servers (and a
-    /// proportionally scaled workload) at `power_scale` workload power.
+    /// proportionally scaled workload) at `power_scale` workload power,
+    /// recording into the study's attached recorder and taps.
     pub fn run(
         &mut self,
         kind: PolicyKind,
         added_fraction: f64,
         power_scale: f64,
     ) -> PolicyOutcome {
+        let obs = self.recorder.clone();
+        let taps = self.oob_taps.clone();
+        self.run_cell(kind, added_fraction, power_scale, &obs, &taps)
+    }
+
+    /// One pure sweep cell: runs `kind` at `added_fraction` /
+    /// `power_scale` against the study's cached reference, recording
+    /// events and metrics into `obs` and publishing telemetry to
+    /// `taps`. Takes `&self` — only the interior-mutable reference and
+    /// trace caches are touched — so the sweep runner may call it from
+    /// several worker threads at once.
+    pub fn run_cell(
+        &self,
+        kind: PolicyKind,
+        added_fraction: f64,
+        power_scale: f64,
+        obs: &Recorder,
+        taps: &RowPowerTaps,
+    ) -> PolicyOutcome {
         let reference = self.reference();
         let row = self.row.clone().with_added_servers(added_fraction);
         let provisioned = row.provisioned_watts();
-        let obs = self.recorder.clone();
         let mut config = self.sim_config(power_scale);
         config.recorder = obs.clone();
-        config.oob_taps = self.oob_taps.clone();
-        let arrivals = {
-            let _span = obs.time("study.trace_synthesis");
-            ArrivalGenerator::new(&self.trace(added_fraction))
-        };
+        config.oob_taps = taps.clone();
+        let trace = self.cached_arrivals(added_fraction, obs);
+        let arrivals = trace.iter().cloned();
         let until = SimTime::from_days(self.days);
         let report = match kind {
             PolicyKind::Polca => ClusterSim::new(
@@ -376,6 +450,37 @@ impl OversubscriptionStudy {
             counts: (report.offered, report.completed, report.rejected),
             commands_issued: report.commands_issued,
         }
+    }
+
+    /// Executes every `(policy, added_fraction, power_scale)` cell on
+    /// `jobs` worker threads and returns the outcomes in cell order.
+    ///
+    /// Each cell runs against a fresh recorder at the study recorder's
+    /// capture level; the per-cell recorders are then absorbed into the
+    /// study recorder in canonical cell order, so `events.jsonl` (and
+    /// every artifact derived from events and metrics) is byte-for-byte
+    /// identical whatever `jobs` is — parallelism changes wall-clock
+    /// time, never output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn sweep(&self, cells: &[(PolicyKind, f64, f64)], jobs: usize) -> Vec<PolicyOutcome> {
+        let level = self.recorder.level();
+        let results = crate::sweep::run_parallel(jobs, cells.len(), |i| {
+            let (kind, added_fraction, power_scale) = cells[i];
+            let cell_obs = Recorder::new(level);
+            let outcome =
+                self.run_cell(kind, added_fraction, power_scale, &cell_obs, &self.oob_taps);
+            (outcome, cell_obs)
+        });
+        results
+            .into_iter()
+            .map(|(outcome, cell_obs)| {
+                self.recorder.absorb(&cell_obs);
+                outcome
+            })
+            .collect()
     }
 }
 
@@ -455,5 +560,74 @@ mod tests {
         let mut s = OversubscriptionStudy::quick_demo(3);
         let outcome = s.run(PolicyKind::Polca, 0.30, 1.0);
         assert!(outcome.counts.0 > 0, "demo must offer requests");
+    }
+
+    #[test]
+    fn trace_synthesis_runs_once_per_oversubscription_level() {
+        let mut s = OversubscriptionStudy::quick_demo(5);
+        s.set_recorder(polca_obs::Recorder::new(polca_obs::ObsLevel::Full));
+        s.run(PolicyKind::Polca, 0.30, 1.0);
+        s.run(PolicyKind::NoCap, 0.30, 1.0);
+        s.run(PolicyKind::NoCap, 0.30, 1.05);
+        // The 0.0 level was already materialized by the (un-instrumented)
+        // reference run, so this is a cache hit too.
+        s.run(PolicyKind::NoCap, 0.0, 1.0);
+        let spans = s.recorder().artifacts().spans;
+        let synth = spans.get("study.trace_synthesis").expect("span recorded");
+        assert_eq!(
+            synth.count, 1,
+            "one synthesis for four runs at two levels (0.30 cached, 0.0 warmed by the reference)"
+        );
+    }
+
+    #[test]
+    fn cached_trace_reproduces_the_lazy_generator_byte_for_byte() {
+        let s = OversubscriptionStudy::quick_demo(6);
+        let cached = s.cached_arrivals(0.25, &Recorder::disabled());
+        let lazy: Vec<Request> = ArrivalGenerator::new(&s.trace(0.25)).collect();
+        assert!(!cached.is_empty());
+        assert_eq!(*cached, lazy);
+    }
+
+    #[test]
+    fn sweep_outcomes_match_individual_runs_in_cell_order() {
+        let cells = [
+            (PolicyKind::Polca, 0.30, 1.0),
+            (PolicyKind::NoCap, 0.30, 1.0),
+            (PolicyKind::NoCap, 0.0, 1.0),
+        ];
+        let s = OversubscriptionStudy::quick_demo(7);
+        let swept = s.sweep(&cells, 2);
+        let mut seq = OversubscriptionStudy::quick_demo(7);
+        for (got, &(kind, added, scale)) in swept.iter().zip(&cells) {
+            let want = seq.run(kind, added, scale);
+            assert_eq!(got.kind, want.kind);
+            assert_eq!(got.counts, want.counts);
+            assert_eq!(got.brake_engagements, want.brake_engagements);
+            assert_eq!(got.low_normalized.p99, want.low_normalized.p99);
+            assert_eq!(got.peak_utilization, want.peak_utilization);
+            assert_eq!(got.row_power.values(), want.row_power.values());
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_artifacts_are_byte_identical_to_single_job() {
+        let cells = [
+            (PolicyKind::Polca, 0.30, 1.0),
+            (PolicyKind::OneThreshAll, 0.30, 1.0),
+            (PolicyKind::NoCap, 0.30, 1.0),
+            (PolicyKind::NoCap, 0.0, 1.0),
+        ];
+        let run = |jobs: usize| {
+            let mut s = OversubscriptionStudy::quick_demo(8);
+            s.set_recorder(polca_obs::Recorder::new(polca_obs::ObsLevel::Events));
+            s.sweep(&cells, jobs);
+            s.recorder().artifacts()
+        };
+        let (one, four) = (run(1), run(4));
+        assert!(!one.events.is_empty());
+        assert_eq!(one.events_jsonl(), four.events_jsonl());
+        assert_eq!(one.metrics_json(), four.metrics_json());
+        assert_eq!(one.chrome_trace_json(), four.chrome_trace_json());
     }
 }

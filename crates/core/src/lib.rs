@@ -46,6 +46,7 @@ pub mod policy;
 pub mod replay;
 pub mod selective;
 pub mod slo;
+pub mod sweep;
 pub mod thresholds;
 
 pub use controller::{NoCapController, PolcaController, SingleThresholdController};

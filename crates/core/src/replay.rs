@@ -8,6 +8,8 @@
 //! stream through an un-capped row (`NoopController`), cached across
 //! policy runs so the four policies share one reference.
 
+use std::sync::OnceLock;
+
 use polca_cluster::{ClusterSim, NoopController, PowerController, Request, RowConfig, SimConfig};
 use polca_obs::Recorder;
 use polca_sim::SimTime;
@@ -58,7 +60,7 @@ pub struct TraceEvaluation {
     record_power: bool,
     recorder: Recorder,
     oob_taps: RowPowerTaps,
-    reference: Option<(Quantiles, Quantiles)>,
+    reference: OnceLock<(Quantiles, Quantiles)>,
 }
 
 impl TraceEvaluation {
@@ -76,7 +78,7 @@ impl TraceEvaluation {
             record_power: false,
             recorder: Recorder::disabled(),
             oob_taps: RowPowerTaps::new(),
-            reference: None,
+            reference: OnceLock::new(),
         }
     }
 
@@ -141,25 +143,26 @@ impl TraceEvaluation {
     }
 
     /// Runs (and caches) the un-capped reference on the same stream.
-    fn reference(&mut self) -> (Quantiles, Quantiles) {
-        if let Some(r) = &self.reference {
-            return *r;
-        }
-        let sim = ClusterSim::new(
-            self.row.clone(),
-            self.sim_config(Recorder::disabled()),
-            NoopController,
-        );
-        let report = sim.run(self.requests.clone(), self.until);
-        let r = (
-            Self::quantiles_or_unit(&report.low_latencies_s),
-            Self::quantiles_or_unit(&report.high_latencies_s),
-        );
-        self.reference = Some(r);
-        r
+    fn reference(&self) -> (Quantiles, Quantiles) {
+        *self.reference.get_or_init(|| {
+            let sim = ClusterSim::new(
+                self.row.clone(),
+                self.sim_config(Recorder::disabled()),
+                NoopController,
+            );
+            let report = sim.run(self.requests.clone(), self.until);
+            (
+                Self::quantiles_or_unit(&report.low_latencies_s),
+                Self::quantiles_or_unit(&report.high_latencies_s),
+            )
+        })
     }
 
-    fn controller(&self, kind: PolicyKind, obs: Recorder) -> Box<dyn PowerController> {
+    /// The policy controller instance for `kind`, recording into `obs`.
+    ///
+    /// Public so fleet-scale drivers can hand each row its own
+    /// controller built from this evaluation's policy parameters.
+    pub fn controller(&self, kind: PolicyKind, obs: Recorder) -> Box<dyn PowerController> {
         match kind {
             PolicyKind::Polca => {
                 Box::new(PolcaController::new(self.policy.clone()).with_recorder(obs))
@@ -180,12 +183,22 @@ impl TraceEvaluation {
     /// Replays the stream under `kind` and normalizes against the
     /// cached un-capped reference.
     pub fn run(&mut self, kind: PolicyKind) -> ReplayOutcome {
-        let (ref_low, ref_high) = self.reference();
         let obs = self.recorder.clone();
+        let taps = self.oob_taps.clone();
+        self.run_cell(kind, &obs, &taps)
+    }
+
+    /// One pure comparison cell: replays the stream under `kind`,
+    /// recording into `obs` and publishing telemetry to `taps`. Takes
+    /// `&self` (only the interior-mutable reference cache is touched)
+    /// so [`run_all`](TraceEvaluation::run_all) can execute policies on
+    /// worker threads.
+    pub fn run_cell(&self, kind: PolicyKind, obs: &Recorder, taps: &RowPowerTaps) -> ReplayOutcome {
+        let (ref_low, ref_high) = self.reference();
         let controller = self.controller(kind, obs.clone());
         let provisioned = self.row.provisioned_watts();
-        let mut config = self.sim_config(obs);
-        config.oob_taps = self.oob_taps.clone();
+        let mut config = self.sim_config(obs.clone());
+        config.oob_taps = taps.clone();
         let sim = ClusterSim::new(self.row.clone(), config, controller);
         let report = sim.run(self.requests.clone(), self.until);
         let low_raw = Self::quantiles_or_unit(&report.low_latencies_s);
@@ -202,6 +215,46 @@ impl TraceEvaluation {
             counts: (report.offered, report.completed, report.rejected),
             commands_issued: report.commands_issued,
         }
+    }
+
+    /// Runs the full Figure 17 policy panel on `jobs` worker threads
+    /// and returns outcomes in figure order. Per-policy recorders are
+    /// absorbed into the attached recorder in that same canonical
+    /// order, so artifacts are byte-identical whatever `jobs` is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn run_all(&self, jobs: usize) -> Vec<ReplayOutcome> {
+        let kinds = PolicyKind::all();
+        let level = self.recorder.level();
+        let results = crate::sweep::run_parallel(jobs, kinds.len(), |i| {
+            let cell_obs = Recorder::new(level);
+            let outcome = self.run_cell(kinds[i], &cell_obs, &self.oob_taps);
+            (outcome, cell_obs)
+        });
+        results
+            .into_iter()
+            .map(|(outcome, cell_obs)| {
+                self.recorder.absorb(&cell_obs);
+                outcome
+            })
+            .collect()
+    }
+
+    /// The row configuration the stream replays on.
+    pub fn row(&self) -> &RowConfig {
+        &self.row
+    }
+
+    /// The replayed request stream, in arrival order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// The experiment seed (OOB latency draws).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 }
 
@@ -253,6 +306,23 @@ mod tests {
             assert_eq!(outcome.kind, kind);
             assert_eq!(outcome.counts.0, 300);
             assert!(outcome.counts.1 > 0, "{kind:?} completed nothing");
+        }
+    }
+
+    #[test]
+    fn parallel_policy_panel_matches_sequential_runs() {
+        let requests = burst_requests(300, 1.5);
+        let eval = TraceEvaluation::new(small_row(), PolcaPolicy::default(), requests.clone(), 3);
+        let outcomes = eval.run_all(4);
+        let mut seq = TraceEvaluation::new(small_row(), PolcaPolicy::default(), requests, 3);
+        assert_eq!(outcomes.len(), PolicyKind::all().len());
+        for (got, kind) in outcomes.iter().zip(PolicyKind::all()) {
+            let want = seq.run(kind);
+            assert_eq!(got.kind, want.kind);
+            assert_eq!(got.counts, want.counts);
+            assert_eq!(got.commands_issued, want.commands_issued);
+            assert_eq!(got.low_normalized.p99, want.low_normalized.p99);
+            assert_eq!(got.high_normalized.p99, want.high_normalized.p99);
         }
     }
 

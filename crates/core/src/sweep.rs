@@ -1,0 +1,122 @@
+//! Deterministic parallel execution of sweep cells.
+//!
+//! The paper's figures are grids of independent simulation cells —
+//! four policies × several oversubscription levels × power scales
+//! (Figures 14, 17, 18). Each cell is a pure function of its inputs,
+//! so the only thing parallelism is allowed to change is wall-clock
+//! time: [`run_parallel`] executes cells on scoped worker threads that
+//! claim indices from a shared counter, writes each result into its
+//! own slot, and returns the slots in index order. Callers that need
+//! merged side artifacts (event logs, metrics) collect them per cell
+//! and fold them in the returned canonical order, which makes the
+//! merged output byte-identical to a sequential run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(0..n)` on up to `jobs` worker threads and returns the
+/// results in index order.
+///
+/// `jobs == 1` (or `n <= 1`) degenerates to a plain sequential loop on
+/// the calling thread — no threads are spawned, so single-job sweeps
+/// behave exactly like the historical sequential driver. With more
+/// jobs, scoped threads claim indices from an atomic counter; claiming
+/// order is racy but *completion placement* is not — result `i` always
+/// lands in slot `i`.
+///
+/// A panic in any cell propagates to the caller once the scope joins.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let squares = polca::sweep::run_parallel(4, 8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn run_parallel<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(jobs > 0, "a sweep needs at least one worker");
+    let workers = jobs.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every claimed index produced a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let sequential = run_parallel(1, 10, |i| i * 3);
+        let parallel = run_parallel(4, 10, |i| i * 3);
+        assert_eq!(sequential, (0..10).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = run_parallel(8, 100, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn more_jobs_than_cells_is_fine() {
+        assert_eq!(run_parallel(16, 2, |i| i), vec![0, 1]);
+        assert_eq!(run_parallel(3, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_jobs_is_rejected() {
+        run_parallel(0, 4, |i| i);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            run_parallel(2, 4, |i| {
+                if i == 2 {
+                    panic!("cell exploded");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

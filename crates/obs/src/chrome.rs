@@ -195,6 +195,32 @@ pub fn trace_json_annotated(events: &[Event], annotations: &[Annotation]) -> Str
                     &format!("{{\"detail\":\"{}\"}}", esc(detail)),
                 ));
             }
+            Event::FleetPowerSample { t, row, watts } => {
+                out.push(format!(
+                    "{{\"ph\":\"C\",\"pid\":{PID},\"name\":\"fleet_row{row}_power_w\",\"ts\":{},\"args\":{{\"watts\":{}}}}}",
+                    us(*t),
+                    num(*watts)
+                ));
+            }
+            Event::BudgetViolation {
+                t,
+                scope,
+                unit,
+                watts,
+                budget_watts,
+            } => {
+                out.push(instant(
+                    "budget_violation",
+                    0,
+                    *t,
+                    &format!(
+                        "{{\"scope\":\"{}\",\"unit\":{unit},\"watts\":{},\"budget_watts\":{}}}",
+                        esc(scope),
+                        num(*watts),
+                        num(*budget_watts)
+                    ),
+                ));
+            }
         }
     }
 

@@ -140,6 +140,29 @@ pub enum Event {
         /// Human-readable violation, e.g. `"high-priority p50: 1.2 > 1.01"`.
         detail: String,
     },
+    /// Ground-truth power of one fleet row, sampled by the fleet
+    /// composition layer at its aggregation boundary.
+    FleetPowerSample {
+        /// Simulation time in seconds.
+        t: f64,
+        /// Fleet row index.
+        row: usize,
+        /// Instantaneous row power in watts.
+        watts: f64,
+    },
+    /// Aggregate power exceeded a budget in the distribution hierarchy.
+    BudgetViolation {
+        /// Simulation time in seconds.
+        t: f64,
+        /// Hierarchy level (`"pdu"` or `"datacenter"`).
+        scope: &'static str,
+        /// Index of the violated unit (PDU index; 0 for the datacenter).
+        unit: usize,
+        /// Aggregate power at the sample, in watts.
+        watts: f64,
+        /// The violated budget, in watts.
+        budget_watts: f64,
+    },
 }
 
 impl Event {
@@ -159,7 +182,9 @@ impl Event {
             | Event::OobCommandLost { t, .. }
             | Event::PowerSample { t, .. }
             | Event::ControllerTransition { t, .. }
-            | Event::SloViolation { t, .. } => *t,
+            | Event::SloViolation { t, .. }
+            | Event::FleetPowerSample { t, .. }
+            | Event::BudgetViolation { t, .. } => *t,
         }
     }
 
@@ -180,6 +205,8 @@ impl Event {
             Event::PowerSample { .. } => "power_sample",
             Event::ControllerTransition { .. } => "controller_transition",
             Event::SloViolation { .. } => "slo_violation",
+            Event::FleetPowerSample { .. } => "fleet_power_sample",
+            Event::BudgetViolation { .. } => "budget_violation",
         }
     }
 
@@ -281,6 +308,22 @@ impl Event {
             Event::SloViolation { detail, .. } => {
                 push_field_str(&mut s, "detail", detail);
             }
+            Event::FleetPowerSample { row, watts, .. } => {
+                push_field_usize(&mut s, "row", *row);
+                push_field_f64(&mut s, "watts", *watts);
+            }
+            Event::BudgetViolation {
+                scope,
+                unit,
+                watts,
+                budget_watts,
+                ..
+            } => {
+                push_field_str(&mut s, "scope", scope);
+                push_field_usize(&mut s, "unit", *unit);
+                push_field_f64(&mut s, "watts", *watts);
+                push_field_f64(&mut s, "budget_watts", *budget_watts);
+            }
         }
         s.push('}');
         s
@@ -327,6 +370,33 @@ mod tests {
         assert_eq!(e.t(), 12.5);
         assert_eq!(e.kind(), "cap_applied");
         assert_eq!(e.server(), Some(3));
+    }
+
+    #[test]
+    fn fleet_event_json_is_stable() {
+        let e = Event::FleetPowerSample {
+            t: 4.0,
+            row: 2,
+            watts: 190250.5,
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"ev":"fleet_power_sample","t":4,"row":2,"watts":190250.5}"#
+        );
+        assert_eq!(e.server(), None);
+
+        let e = Event::BudgetViolation {
+            t: 6.0,
+            scope: "pdu",
+            unit: 1,
+            watts: 250000.0,
+            budget_watts: 240000.0,
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"ev":"budget_violation","t":6,"scope":"pdu","unit":1,"watts":250000,"budget_watts":240000}"#
+        );
+        assert_eq!(e.t(), 6.0);
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub enum Label {
     /// One series per named partition — a priority class (`"high"`,
     /// `"low"`) or a policy name (`"polca"`, `"nocap"`, …).
     Tag(&'static str),
+    /// One series per fleet row index (a row of racks fed by a PDU).
+    Row(usize),
+    /// One series per power distribution unit in the fleet hierarchy.
+    Pdu(usize),
 }
 
 impl Label {
@@ -29,6 +33,8 @@ impl Label {
             Label::Global => "null".to_string(),
             Label::Server(i) => format!("{{\"server\":{i}}}"),
             Label::Tag(t) => format!("\"{}\"", esc(t)),
+            Label::Row(i) => format!("{{\"row\":{i}}}"),
+            Label::Pdu(i) => format!("{{\"pdu\":{i}}}"),
         }
     }
 }
@@ -87,6 +93,44 @@ impl StreamingHistogram {
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self`, as if every observation recorded
+    /// into `other` had been recorded into `self` instead.
+    ///
+    /// Bin placement, `count`, `min`, and `max` merge *exactly*:
+    /// ranges grow by doubling from the same `[0, 1)` origin, so the
+    /// wider histogram's bins cover a power-of-two multiple of the
+    /// narrower one's, and pairwise bin folding
+    /// (`floor(floor(v/w)/2) == floor(v/2w)`) reproduces the bin a
+    /// sample would have landed in had it been recorded directly at
+    /// the wider range. Only `sum` (and therefore `mean`) can drift by
+    /// a ULP, because adding two partial sums associates differently
+    /// than one interleaved stream. Merging the *same* partials in the
+    /// *same* order is fully deterministic, which is what the sweep
+    /// runner relies on for `--jobs N` byte-identity.
+    pub fn merge_from(&mut self, other: &StreamingHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        let mut shift = 0u32;
+        while self.hi < other.hi {
+            self.double_range();
+        }
+        let mut hi = other.hi;
+        while hi < self.hi {
+            hi *= 2.0;
+            shift += 1;
+        }
+        for (i, &n) in other.bins.iter().enumerate() {
+            if n > 0 {
+                self.bins[i >> shift] += n;
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     fn double_range(&mut self) {
@@ -186,6 +230,26 @@ impl MetricsRegistry {
     /// The histogram series `(name, label)`, if any value was observed.
     pub fn histogram(&self, name: &'static str, label: Label) -> Option<&StreamingHistogram> {
         self.histograms.get(&(name, label))
+    }
+
+    /// Folds every series of `other` into `self`: counters add,
+    /// gauges take `other`'s value (last-write-wins, matching what a
+    /// sequential run sharing one registry would have kept), and
+    /// histograms merge exactly via
+    /// [`StreamingHistogram::merge_from`].
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, label, v) in other.counters() {
+            self.add(name, label, v);
+        }
+        for (name, label, v) in other.gauges() {
+            self.set_gauge(name, label, v);
+        }
+        for (name, label, h) in other.histograms() {
+            self.histograms
+                .entry((name, label))
+                .or_default()
+                .merge_from(h);
+        }
     }
 
     /// Whether no series exist at all.
@@ -307,6 +371,8 @@ impl MetricsRegistry {
                 Label::Global => {}
                 Label::Server(i) => pairs.push(format!("server=\"{i}\"")),
                 Label::Tag(t) => pairs.push(format!("tag=\"{}\"", label_escape(t))),
+                Label::Row(i) => pairs.push(format!("row=\"{i}\"")),
+                Label::Pdu(i) => pairs.push(format!("pdu=\"{i}\"")),
             }
             if let Some((k, v)) = extra {
                 pairs.push(format!("{k}=\"{}\"", label_escape(v)));
@@ -503,6 +569,83 @@ mod tests {
         m.add("c", Label::Tag("a\"b\\c\nd"), 1);
         let p = m.to_prometheus();
         assert!(p.contains("c_total{tag=\"a\\\"b\\\\c\\nd\"} 1"), "{p}");
+    }
+
+    #[test]
+    fn row_and_pdu_labels_render_in_json_and_prometheus() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("fleet.row_power_w", Label::Row(3), 100.0);
+        m.set_gauge("fleet.pdu_power_w", Label::Pdu(1), 400.0);
+        let j = m.to_json();
+        assert!(j.contains("{\"row\":3}"), "{j}");
+        assert!(j.contains("{\"pdu\":1}"), "{j}");
+        let p = m.to_prometheus();
+        assert!(p.contains("fleet_row_power_w{row=\"3\"} 100"), "{p}");
+        assert!(p.contains("fleet_pdu_power_w{pdu=\"1\"} 400"), "{p}");
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        // Whatever the interleaving, merging split histograms must
+        // reproduce the sequential histogram bit-for-bit.
+        let samples: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 7.3) % 250.0)
+            .chain([0.0, 0.99, 1.0, 1023.9, 4096.0])
+            .collect();
+        for split in [1, 17, 250, samples.len() - 1] {
+            let mut seq = StreamingHistogram::new();
+            for &v in &samples {
+                seq.record(v);
+            }
+            let (mut a, mut b) = (StreamingHistogram::new(), StreamingHistogram::new());
+            for &v in &samples[..split] {
+                a.record(v);
+            }
+            for &v in &samples[split..] {
+                b.record(v);
+            }
+            a.merge_from(&b);
+            // Everything except the FP sum is bit-exact; the sum can
+            // differ by a ULP from addition-order association.
+            assert_eq!(a.fixed(), seq.fixed(), "bins, split at {split}");
+            assert_eq!(a.count(), seq.count(), "split at {split}");
+            assert_eq!(a.min(), seq.min(), "split at {split}");
+            assert_eq!(a.max(), seq.max(), "split at {split}");
+            let (s, t) = (a.sum(), seq.sum());
+            assert!((s - t).abs() <= t.abs() * 1e-12, "sum {s} vs {t}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_handles_empty_sides() {
+        let mut a = StreamingHistogram::new();
+        let b = StreamingHistogram::new();
+        a.record(3.0);
+        let before = a.clone();
+        a.merge_from(&b);
+        assert_eq!(a, before);
+        let mut e = StreamingHistogram::new();
+        e.merge_from(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn registry_merge_matches_sequential() {
+        let mut seq = MetricsRegistry::new();
+        let (mut a, mut b) = (MetricsRegistry::new(), MetricsRegistry::new());
+        for reg in [&mut a, &mut seq] {
+            reg.add("c", Label::Global, 2);
+            reg.set_gauge("g", Label::Row(0), 1.0);
+            reg.observe("h", Label::Global, 0.5);
+        }
+        for reg in [&mut b, &mut seq] {
+            reg.add("c", Label::Global, 3);
+            reg.set_gauge("g", Label::Row(0), 7.0);
+            reg.observe("h", Label::Global, 9.5);
+        }
+        a.merge_from(&b);
+        assert_eq!(a, seq);
+        assert_eq!(a.to_json(), seq.to_json());
     }
 
     #[test]

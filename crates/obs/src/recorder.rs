@@ -256,6 +256,36 @@ impl Recorder {
         }
     }
 
+    /// Folds everything `other` captured into this recorder: events
+    /// append in `other`'s order, counters add, gauges last-write-win,
+    /// histograms merge exactly, and span aggregates add.
+    ///
+    /// This is the merge step of the deterministic sweep runner: give
+    /// each parallel job its own recorder, then absorb the job
+    /// recorders in canonical cell order — the combined event log (and
+    /// `events.jsonl`) comes out byte-identical to a sequential run
+    /// that shared one recorder. The streaming tap deliberately does
+    /// *not* fire for absorbed events (they are historical, not live);
+    /// callers that need a live tap must run sequentially. Absorbing a
+    /// recorder into itself (same shared core) is a no-op.
+    pub fn absorb(&self, other: &Recorder) {
+        let (Some(own), Some(theirs)) = (self.core.as_ref(), other.core.as_ref()) else {
+            return;
+        };
+        if Arc::ptr_eq(own, theirs) {
+            return;
+        }
+        let mut core = own.lock().unwrap_or_else(|e| e.into_inner());
+        let src = theirs.lock().unwrap_or_else(|e| e.into_inner());
+        if self.level.events_enabled() {
+            core.events.extend(src.events.iter().cloned());
+        }
+        if self.level.metrics_enabled() {
+            core.metrics.merge_from(&src.metrics);
+        }
+        core.spans.merge_from(&src.spans);
+    }
+
     /// A probe suitable for attaching to `polca_sim::EventQueue`.
     pub fn queue_probe(&self) -> QueueProbe {
         QueueProbe { rec: self.clone() }
@@ -418,6 +448,65 @@ mod tests {
         m.set_tap(tap2.clone());
         m.record(Event::Uncap { t: 1.0, server: 0 });
         assert_eq!(tap2.0.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn absorb_concatenates_like_a_shared_core() {
+        let seq = Recorder::new(ObsLevel::Full);
+        let a = Recorder::new(ObsLevel::Full);
+        let b = Recorder::new(ObsLevel::Full);
+        for (rec, t) in [(&a, 1.0), (&seq, 1.0)] {
+            rec.record(Event::Uncap { t, server: 0 });
+            rec.add("c", Label::Global, 1);
+            rec.observe("h", Label::Global, t);
+        }
+        for (rec, t) in [(&b, 2.0), (&seq, 2.0)] {
+            rec.record(Event::Uncap { t, server: 1 });
+            rec.add("c", Label::Global, 4);
+            rec.observe("h", Label::Global, t);
+        }
+        a.absorb(&b);
+        let merged = a.artifacts();
+        let sequential = seq.artifacts();
+        assert_eq!(merged.events, sequential.events);
+        assert_eq!(merged.metrics, sequential.metrics);
+        assert_eq!(merged.events_jsonl(), sequential.events_jsonl());
+    }
+
+    #[test]
+    fn absorb_self_and_disabled_are_noops() {
+        let r = Recorder::new(ObsLevel::Events);
+        r.record(Event::Uncap { t: 1.0, server: 0 });
+        let clone = r.clone();
+        r.absorb(&clone); // same core: must not duplicate
+        assert_eq!(r.artifacts().events.len(), 1);
+        r.absorb(&Recorder::disabled());
+        assert_eq!(r.artifacts().events.len(), 1);
+        let d = Recorder::disabled();
+        d.absorb(&r);
+        assert!(d.artifacts().events.is_empty());
+    }
+
+    #[test]
+    fn absorb_does_not_fire_the_tap() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[derive(Default)]
+        struct Counting(AtomicUsize);
+        impl EventTap for Counting {
+            fn on_event(&self, _event: &Event) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let r = Recorder::new(ObsLevel::Events);
+        let tap = Arc::new(Counting::default());
+        r.set_tap(tap.clone());
+        let other = Recorder::new(ObsLevel::Events);
+        other.record(Event::Uncap { t: 1.0, server: 0 });
+        r.absorb(&other);
+        assert_eq!(r.artifacts().events.len(), 1);
+        assert_eq!(tap.0.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -42,6 +42,18 @@ impl SpanStats {
         a.max = a.max.max(elapsed);
     }
 
+    /// Folds `other`'s aggregates into `self` (counts and totals add,
+    /// maxima take the larger). Wall-clock data stays non-deterministic
+    /// after a merge, exactly as before one.
+    pub fn merge_from(&mut self, other: &SpanStats) {
+        for (name, a) in other.iter() {
+            let e = self.agg.entry(name).or_default();
+            e.count += a.count;
+            e.total += a.total;
+            e.max = e.max.max(a.max);
+        }
+    }
+
     /// Aggregate for one span name, if it was ever entered.
     pub fn get(&self, name: &str) -> Option<SpanAgg> {
         self.agg.get(name).copied()

@@ -28,6 +28,8 @@
 //! assert_eq!((t.as_secs(), e), (1.0, "first"));
 //! ```
 
+#![deny(missing_docs)]
+
 mod chacha;
 pub mod queue;
 pub mod rng;

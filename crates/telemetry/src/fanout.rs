@@ -53,6 +53,16 @@ pub trait RowPowerSubscriber: Send + Sync {
             None => self.on_gap(now),
         }
     }
+
+    /// Row-qualified variant of [`on_tick`](Self::on_tick), fired when
+    /// the tap set carries a fleet row index. The default discards the
+    /// row and forwards to `on_tick`, so single-row subscribers (the
+    /// watch plane, overhead probes) work unchanged in a fleet; fleet
+    /// aware subscribers override this to partition state per row.
+    fn on_row_tick(&self, row: usize, now: SimTime, truth_watts: f64, observed: Option<f64>) {
+        let _ = row;
+        self.on_tick(now, truth_watts, observed);
+    }
 }
 
 /// A cloneable set of [`RowPowerSubscriber`] handles.
@@ -65,19 +75,21 @@ pub trait RowPowerSubscriber: Send + Sync {
 #[derive(Clone, Default)]
 pub struct RowPowerTaps {
     subs: Vec<Arc<dyn RowPowerSubscriber>>,
+    row: usize,
 }
 
 impl fmt::Debug for RowPowerTaps {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RowPowerTaps")
             .field("subscribers", &self.subs.len())
+            .field("row", &self.row)
             .finish()
     }
 }
 
 impl PartialEq for RowPowerTaps {
     fn eq(&self, other: &Self) -> bool {
-        self.subs.len() == other.subs.len()
+        self.subs.len() == other.subs.len() && self.row == other.row
     }
 }
 
@@ -90,6 +102,21 @@ impl RowPowerTaps {
     /// Registers a subscriber.
     pub fn subscribe(&mut self, sub: Arc<dyn RowPowerSubscriber>) {
         self.subs.push(sub);
+    }
+
+    /// A clone of this tap set publishing as fleet row `row`: same
+    /// shared subscribers, different row qualifier on every tick. Row
+    /// 0 is the default, so a single-row simulator and `for_row(0)`
+    /// are indistinguishable.
+    pub fn for_row(&self, row: usize) -> Self {
+        let mut taps = self.clone();
+        taps.row = row;
+        taps
+    }
+
+    /// The fleet row index this tap set publishes as (0 by default).
+    pub fn row(&self) -> usize {
+        self.row
     }
 
     /// Whether any subscriber is registered.
@@ -121,11 +148,14 @@ impl RowPowerTaps {
     }
 
     /// Publishes one complete telemetry tick — ground truth plus the
-    /// delayed view — as a single [`RowPowerSubscriber::on_tick`] call
-    /// per subscriber.
+    /// delayed view — as a single
+    /// [`RowPowerSubscriber::on_row_tick`] call per subscriber,
+    /// qualified by this tap set's row index (the default
+    /// `on_row_tick` drops the row and lands on `on_tick`, so
+    /// existing subscribers observe the historical behaviour).
     pub fn publish_tick(&self, now: SimTime, truth_watts: f64, observed: Option<f64>) {
         for sub in &self.subs {
-            sub.on_tick(now, truth_watts, observed);
+            sub.on_row_tick(self.row, now, truth_watts, observed);
         }
     }
 }
@@ -196,6 +226,47 @@ mod tests {
         let mut c = RowPowerTaps::new();
         c.subscribe(Arc::new(Probe::default()));
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn row_qualifier_reaches_fleet_aware_subscribers() {
+        #[derive(Default)]
+        struct RowProbe {
+            log: Mutex<Vec<(usize, u64)>>,
+        }
+        impl RowPowerSubscriber for RowProbe {
+            fn on_observed(&self, _now: SimTime, _watts: f64) {}
+            fn on_row_tick(&self, row: usize, now: SimTime, _truth: f64, _obs: Option<f64>) {
+                self.log.lock().unwrap().push((row, now.as_secs() as u64));
+            }
+        }
+        let probe = Arc::new(RowProbe::default());
+        let mut taps = RowPowerTaps::new();
+        taps.subscribe(probe.clone());
+        assert_eq!(taps.row(), 0);
+        taps.publish_tick(SimTime::from_secs(2.0), 100.0, None);
+        let row3 = taps.for_row(3);
+        assert_eq!(row3.row(), 3);
+        row3.publish_tick(SimTime::from_secs(4.0), 100.0, Some(99.0));
+        assert_eq!(*probe.log.lock().unwrap(), vec![(0, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn row_agnostic_subscribers_see_plain_ticks_from_any_row() {
+        let probe = Arc::new(Probe::default());
+        let mut taps = RowPowerTaps::new();
+        taps.subscribe(probe.clone());
+        taps.for_row(7)
+            .publish_tick(SimTime::from_secs(2.0), 50.0, Some(49.0));
+        // Default on_row_tick discards the row: truth then observed.
+        assert_eq!(*probe.log.lock().unwrap(), vec!["truth@2=50", "obs@2=49"]);
+    }
+
+    #[test]
+    fn equality_includes_row_index() {
+        let taps = RowPowerTaps::new();
+        assert_eq!(taps, taps.for_row(0));
+        assert_ne!(taps, taps.for_row(1));
     }
 
     #[test]

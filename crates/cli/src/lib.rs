@@ -14,7 +14,10 @@
 //!   ingested trace through all four Figure 17 policies
 //!   (`--trace-csv`),
 //! * `plan` — sweep oversubscription levels and report the SLO-safe
-//!   maximum (Figure 13's workflow).
+//!   maximum (Figure 13's workflow),
+//! * `profile` — self-profile the simulator with polca-prof on the
+//!   quick-demo study, print the per-component attribution table, and
+//!   emit the `BENCH_*.json` perf-trajectory baselines.
 //!
 //! The parser is hand-rolled (`--flag value` pairs plus positional
 //! arguments) to keep the dependency set minimal; [`parse_args`] is
@@ -23,6 +26,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
+use std::time::Instant;
 
 use polca::{
     CostModel, NoCapController, OversubscriptionStudy, PolcaController, PolcaPolicy, PolicyKind,
@@ -34,7 +38,7 @@ use polca_ingest::{
     requests_to_csv, IngestedTrace, ReplayOptions, TraceCalibration, TraceReplay, TraceStats,
 };
 use polca_llm::{InferenceConfig, InferenceModel, ModelSpec};
-use polca_obs::{ObsLevel, Recorder};
+use polca_obs::{BenchReport, ObsLevel, ProfCounter, Recorder};
 use polca_sim::{SimRng, SimTime};
 use polca_telemetry::RowPowerTaps;
 use polca_trace::replicate::production_reference;
@@ -103,7 +107,7 @@ impl std::error::Error for CliError {}
 /// missing its value.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, CliError> {
     /// Flags that take no value; their presence stores `"true"`.
-    const BOOL_FLAGS: &[&str] = &["watch", "enforce-budgets"];
+    const BOOL_FLAGS: &[&str] = &["watch", "enforce-budgets", "profile"];
     let mut iter = args.into_iter();
     let command = iter.next().ok_or(CliError::MissingCommand)?;
     let mut options = HashMap::new();
@@ -212,7 +216,10 @@ COMMANDS
                 [--obs-out DIR] [--obs-level off|metrics|events|full]
                 (--obs-out writes events.jsonl, metrics.json,
                  metrics.prom, power.csv, latency.csv, trace.json —
-                 open trace.json in Perfetto)
+                 open trace.json in Perfetto; at the full level also
+                 prof.json, prof.folded, prof.trace.json)
+                [--profile] print the polca-prof attribution table for
+                the run (forces obs level full)
                 [--watch] run the online alerting/incident plane on the
                 delayed OOB telemetry (forces obs level >= events; with
                 --obs-out also writes incidents.jsonl, report.md, and
@@ -235,6 +242,16 @@ COMMANDS
                 N-row fleet under one policy instead)
   plan          find the SLO-safe oversubscription maximum
                 [--days 2] [--seed 17] [--servers 40] [--jobs N]
+  profile       self-profile the simulator (polca-prof) on the
+                quick-demo study and print the per-component
+                attribution table
+                [--seed 17] [--reps 3] best-of-N timing repetitions
+                [--out DIR] write the full obs artifact set including
+                prof.json, prof.folded (load in speedscope), and
+                prof.trace.json (open in Perfetto)
+                [--bench-out DIR] write the BENCH_sim.json,
+                BENCH_watch.json, BENCH_ingest.json perf baselines
+                that ci.sh's bench-smoke step gates against
   help          print this text
 ";
 
@@ -254,6 +271,7 @@ pub fn run(inv: &Invocation) -> Result<(), CliError> {
         "ingest" => ingest(inv),
         "evaluate" => evaluate(inv),
         "plan" => plan(inv),
+        "profile" => profile(inv),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -561,6 +579,11 @@ fn print_fleet_table(report: &FleetReport) {
 
 /// Writes the fleet-level artifacts into `dir` and each row's
 /// artifacts into `dir/rowN/`.
+///
+/// Each row's `prof.json` lands in its own `rowN/` directory, and the
+/// fleet-level `prof.json` aggregates every row's profile (plus the
+/// fleet loop's own power-aggregation phase) so one file answers
+/// "where did the whole fleet run spend its time".
 fn write_fleet_artifacts(
     recorder: &Recorder,
     report: &FleetReport,
@@ -568,6 +591,9 @@ fn write_fleet_artifacts(
     obs_level: ObsLevel,
 ) -> Result<(), CliError> {
     let dir_path = Path::new(dir);
+    for rec in &report.row_recorders {
+        recorder.absorb_profiling(rec);
+    }
     let mut total = recorder
         .write_dir(dir_path)
         .map_err(|e| CliError::Io(e.to_string()))?
@@ -601,13 +627,17 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
     let seed: u64 = inv.get("seed", 17)?;
     let power_scale: f64 = inv.get("power-scale", 1.0)?;
     let obs_out: Option<String> = inv.get_opt("obs-out")?;
+    let profiling = inv.options.contains_key("profile");
     // The watch plane's count rules and burn tracker ride the event
-    // stream, so `--watch` needs at least the events level.
-    let obs_level = if inv.options.contains_key("watch") {
-        parse_obs_level(inv, &obs_out)?.max(ObsLevel::Events)
-    } else {
-        parse_obs_level(inv, &obs_out)?
-    };
+    // stream, so `--watch` needs at least the events level; polca-prof
+    // accumulators only exist at the full level.
+    let mut obs_level = parse_obs_level(inv, &obs_out)?;
+    if inv.options.contains_key("watch") {
+        obs_level = obs_level.max(ObsLevel::Events);
+    }
+    if profiling {
+        obs_level = obs_level.max(ObsLevel::Full);
+    }
     let recorder = Recorder::new(obs_level);
 
     let mut study = OversubscriptionStudy::new(
@@ -625,7 +655,9 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
         study.set_oob_taps(taps);
         recorder.set_tap(plane.event_tap());
     }
+    let run_start = Instant::now();
     let o = study.run(kind, added / 100.0, power_scale);
+    let run_wall_ns = run_start.elapsed().as_nanos() as u64;
     println!(
         "{} at +{added:.0}% servers, power×{power_scale}, {days} day(s):",
         kind.name()
@@ -647,6 +679,15 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
         value.extra_servers,
         value.avoided_capex_usd / 1e6
     );
+    if profiling {
+        // Snapshot before artifact I/O so the table accounts against
+        // the run's wall time only.
+        let snap = recorder.prof().snapshot();
+        println!("  self-profile (polca-prof):");
+        for line in snap.attribution_table(run_wall_ns).lines() {
+            println!("    {line}");
+        }
+    }
     if let Some(dir) = &obs_out {
         let files = recorder
             .write_dir(Path::new(dir))
@@ -967,6 +1008,202 @@ fn plan(inv: &Invocation) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The `profile` subcommand: self-profiles the simulator with
+/// polca-prof on the quick-demo oversubscription study, prints the
+/// per-component attribution table, and (on request) writes the
+/// profiling artifact set and the `BENCH_*.json` perf baselines.
+///
+/// The reference run and the arrival-trace cache are warmed by an
+/// un-instrumented run first, so the timed repetitions measure
+/// simulation work rather than one-off synthesis, and the attribution
+/// table can account for ≥90 % of the measured wall time.
+fn profile(inv: &Invocation) -> Result<(), CliError> {
+    let seed: u64 = inv.get("seed", 17)?;
+    let reps: usize = inv.get("reps", 3)?.max(1);
+    let out: Option<String> = inv.get_opt("out")?;
+    let bench_out: Option<String> = inv.get_opt("bench-out")?;
+
+    // --- sim: the quick-demo study under POLCA, fully instrumented ---
+    let mut study = OversubscriptionStudy::quick_demo(seed);
+    study.set_record_power(false);
+    let _ = study.run(PolicyKind::Polca, 0.30, 1.0); // warm caches
+    let recorder = Recorder::new(ObsLevel::Full);
+    study.set_recorder(recorder.clone());
+    let start = Instant::now();
+    for _ in 0..reps {
+        let _ = study.run(PolicyKind::Polca, 0.30, 1.0);
+    }
+    let wall = start.elapsed();
+    let wall_ns = wall.as_nanos() as u64;
+    let snap = recorder.prof().snapshot();
+    let sim_s = study.days() * 86_400.0 * reps as f64;
+    let events = snap.counter(ProfCounter::EventsPopped);
+    let wall_s = wall.as_secs_f64();
+    let sim_rate = sim_s / wall_s;
+    let event_rate = events as f64 / wall_s;
+    println!(
+        "profiled quick-demo study (seed {seed}, {reps} rep(s)): \
+         {sim_s:.0} simulated s, {events} events in {wall_s:.3} s wall"
+    );
+    println!(
+        "  {sim_rate:.0} simulated-seconds/sec  {event_rate:.0} events/sec  \
+         peak queue depth {}",
+        snap.counter(ProfCounter::PeakQueueDepth)
+    );
+    print!("{}", snap.attribution_table(wall_ns));
+
+    // --- watch: attach cost of the online alerting plane ---
+    // Best-of-N on both sides: the quick-demo run is milliseconds
+    // long, so single samples are too noisy for the ci.sh gate.
+    let mut base_s = f64::MAX;
+    let mut watch_s = f64::MAX;
+    let (mut alerts, mut incidents) = (0, 0);
+    for _ in 0..reps {
+        base_s = base_s.min(profile_study_run(&mut study));
+        let rec = Recorder::new(ObsLevel::Full);
+        study.set_recorder(rec.clone());
+        let plane = WatchPlane::new(WatchConfig::new(study.row().provisioned_watts()));
+        let mut taps = RowPowerTaps::new();
+        plane.attach(&mut taps, &rec);
+        study.set_oob_taps(taps);
+        let start = Instant::now();
+        let _ = study.run(PolicyKind::Polca, 0.30, 1.0);
+        watch_s = watch_s.min(start.elapsed().as_secs_f64());
+        rec.clear_tap();
+        study.set_oob_taps(RowPowerTaps::new());
+        let artifacts = plane.finalize(SimTime::from_days(study.days()));
+        alerts = artifacts.alerts().len();
+        incidents = artifacts.incidents().len();
+    }
+    let watch_overhead_pct = if base_s > 0.0 {
+        (watch_s - base_s) / base_s * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "watch plane: baseline {base_s:.3} s, with watch {watch_s:.3} s \
+         ({watch_overhead_pct:+.1}% — {alerts} alert(s), {incidents} incident(s))"
+    );
+
+    // --- ingest: CSV parse / stats / calibrate / replay pipeline ---
+    let csv = profile_ingest_corpus(seed);
+    let rows = csv.lines().count().saturating_sub(1);
+    let (mut parse_s, mut stats_s, mut calibrate_s, mut replay_s) =
+        (f64::MAX, f64::MAX, f64::MAX, f64::MAX);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let trace = IngestedTrace::from_reader(csv.as_bytes())
+            .map_err(|e| CliError::Ingest(e.to_string()))?;
+        parse_s = parse_s.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let stats = TraceStats::from_trace(&trace).map_err(|e| CliError::Ingest(e.to_string()))?;
+        stats_s = stats_s.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let _ = TraceCalibration::fit_with_stats(&trace, &stats)
+            .map_err(|e| CliError::Ingest(e.to_string()))?;
+        calibrate_s = calibrate_s.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let replay = TraceReplay::with_options(
+            &trace,
+            ReplayOptions {
+                rate_scale: 1.3,
+                ..ReplayOptions::default()
+            },
+        );
+        let _ = replay.count();
+        replay_s = replay_s.min(start.elapsed().as_secs_f64());
+    }
+    let rows_per_s = rows as f64 / parse_s;
+    println!(
+        "ingest: {rows} rows — parse {:.1} us ({rows_per_s:.0} rows/sec), \
+         stats {:.1} us, calibrate {:.1} us, replay {:.1} us",
+        parse_s * 1e6,
+        stats_s * 1e6,
+        calibrate_s * 1e6,
+        replay_s * 1e6
+    );
+
+    if let Some(dir) = &out {
+        let files = recorder
+            .write_dir(Path::new(dir))
+            .map_err(|e| CliError::Io(e.to_string()))?;
+        println!(
+            "profiling artifacts: {} file(s) in {}/ (prof.json, prof.folded, prof.trace.json, …)",
+            files.len(),
+            dir.trim_end_matches('/')
+        );
+    }
+    if let Some(dir) = &bench_out {
+        let dir_path = Path::new(dir);
+        let sim = BenchReport::new("sim")
+            .metric("sim_s_per_s", sim_rate)
+            .metric("events_per_s", event_rate)
+            .metric("wall_s", wall_s)
+            .metric("ns_per_event", wall_ns as f64 / events.max(1) as f64)
+            .metric("coverage_pct", snap.coverage(wall_ns) * 100.0)
+            .metric_u64("events", events)
+            .metric_u64(
+                "peak_queue_depth",
+                snap.counter(ProfCounter::PeakQueueDepth),
+            )
+            .phases(&snap);
+        let watch = BenchReport::new("watch")
+            .metric("watch_runs_per_s", 1.0 / watch_s.max(1e-9))
+            .metric("wall_s_baseline", base_s)
+            .metric("wall_s_watch", watch_s)
+            .metric("overhead_pct", watch_overhead_pct)
+            .metric_u64("alerts", alerts as u64)
+            .metric_u64("incidents", incidents as u64);
+        let ingest = BenchReport::new("ingest")
+            .metric("rows_per_s", rows_per_s)
+            .metric("parse_s", parse_s)
+            .metric("stats_s", stats_s)
+            .metric("calibrate_s", calibrate_s)
+            .metric("replay_s", replay_s)
+            .metric_u64("rows", rows as u64);
+        for report in [&sim, &watch, &ingest] {
+            let path = report
+                .write(dir_path)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            println!("wrote {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+/// One timed, fully-instrumented quick-demo run on a fresh recorder
+/// (the watch-overhead baseline).
+fn profile_study_run(study: &mut OversubscriptionStudy) -> f64 {
+    let rec = Recorder::new(ObsLevel::Full);
+    study.set_recorder(rec.clone());
+    let start = Instant::now();
+    let _ = study.run(PolicyKind::Polca, 0.30, 1.0);
+    start.elapsed().as_secs_f64()
+}
+
+/// RNG stream for the `profile` ingest corpus (mirrors the
+/// `ingest` Criterion bench so their row shapes match).
+const PROFILE_CORPUS_STREAM: u64 = 0xBE7C;
+
+/// A one-hour synthetic trace exported through the user-facing CSV
+/// path — the corpus the ingest pipeline is profiled on.
+fn profile_ingest_corpus(seed: u64) -> String {
+    let pattern = DiurnalPattern {
+        base_rate: 1.5,
+        ..DiurnalPattern::default()
+    };
+    let horizon_s = 3_600.0;
+    let mut rng = SimRng::from_seed_stream(seed, PROFILE_CORPUS_STREAM);
+    let config = TraceConfig {
+        seed,
+        horizon: SimTime::from_secs(horizon_s),
+        schedule: pattern.schedule(horizon_s, 60.0, &mut rng),
+        mix: WorkloadClass::table6(),
+    };
+    let requests: Vec<_> = ArrivalGenerator::new(&config).collect();
+    requests_to_csv(&requests)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1182,10 +1419,23 @@ mod tests {
         assert!(dir.join("metrics.json").exists(), "fleet metrics missing");
         for row in 0..3 {
             let row_dir = dir.join(format!("row{row}"));
-            for file in ["events.jsonl", "metrics.json"] {
+            for file in ["events.jsonl", "metrics.json", "prof.json", "prof.folded"] {
                 assert!(row_dir.join(file).exists(), "row{row}/{file} missing");
             }
         }
+        // The fleet-level prof.json aggregates the absorbed per-row
+        // profiles (row phases present) on top of the fleet recorder's
+        // own aggregation phase and occupancy gauge.
+        let fleet_prof = std::fs::read_to_string(dir.join("prof.json")).unwrap();
+        assert!(fleet_prof.contains("\"row.step\""), "{fleet_prof}");
+        assert!(
+            fleet_prof.contains("\"fleet.power_aggregation\""),
+            "{fleet_prof}"
+        );
+        assert!(
+            fleet_prof.contains("\"batched_tick_occupancy\""),
+            "{fleet_prof}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

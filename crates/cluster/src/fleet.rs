@@ -27,7 +27,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use polca_obs::{Event, Label, Recorder};
+use polca_obs::{Event, Label, Phase, ProfCounter, Recorder};
 use polca_sim::SimTime;
 use polca_telemetry::ControlAction;
 
@@ -353,6 +353,11 @@ impl<P: PowerController, S: RequestSource> FleetSim<P, S> {
     /// fleet metrics/events, tracks peaks and violations, and (in
     /// enforcement mode) engages or releases PDU-scoped brakes.
     fn observe_boundary(&mut self, now: SimTime) {
+        let _p = self.obs.prof().time(Phase::PowerAggregation);
+        self.obs.prof().count(ProfCounter::FleetWindows, 1);
+        self.obs
+            .prof()
+            .count(ProfCounter::FleetRowWindows, self.rows.len() as u64);
         let row_watts: Vec<f64> = self.rows.iter().map(RowSim::row_power_watts).collect();
         let t = now.as_secs();
         for (i, &w) in row_watts.iter().enumerate() {

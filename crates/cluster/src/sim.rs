@@ -10,7 +10,7 @@
 //! seed, so competing policies can be compared on identical request
 //! streams.
 
-use polca_obs::{Event, Label, Recorder, SpanGuard};
+use polca_obs::{Event, Label, Phase, Recorder, SpanGuard};
 use polca_sim::{EventQueue, SimTime};
 use polca_stats::TimeSeries;
 use polca_telemetry::{ControlAction, DelayedSignal, OobControlPlane, RowPowerTaps};
@@ -534,6 +534,7 @@ impl<P: PowerController> ClusterSim<P> {
             .publish_tick(now, self.row_power_watts, observed);
         let requests = {
             let _span = self.obs.time("controller.on_telemetry");
+            let _phase = self.obs.prof().time(Phase::ControllerEval);
             self.controller.on_telemetry(now, observed, &self.ctx)
         };
         for cr in requests {
@@ -673,6 +674,12 @@ impl<P: PowerController, S: RequestSource> RowSim<P, S> {
     /// Panics if the request source yields requests out of order.
     pub fn step_until(&mut self, t: SimTime) {
         let limit = t.min(self.horizon);
+        // One cheap handle clone per slice; `time` is a single branch
+        // when profiling is off, so the per-event cost below is nil.
+        let prof = self.sim.obs.prof().clone();
+        // Outer frame: its self-time is the event loop itself (peek,
+        // match dispatch, bookkeeping) net of the per-event phases.
+        let _step = prof.time(Phase::RowStep);
         while let Some(next_at) = self.sim.queue.peek_time() {
             if next_at > limit {
                 break;
@@ -681,6 +688,7 @@ impl<P: PowerController, S: RequestSource> RowSim<P, S> {
             self.sim.report.events_processed += 1;
             match ev {
                 Ev::Arrival(req) => {
+                    let _p = prof.time(Phase::Dispatch);
                     self.sim.on_arrival(now, req);
                     if let Some(next) = self.source.next_request() {
                         assert!(
@@ -691,15 +699,22 @@ impl<P: PowerController, S: RequestSource> RowSim<P, S> {
                         self.sim.queue.schedule(next.arrival, Ev::Arrival(next));
                     }
                 }
-                Ev::PhaseEnd { server, version } => self.sim.on_phase_end(now, server, version),
+                Ev::PhaseEnd { server, version } => {
+                    let _p = prof.time(Phase::PhaseEnd);
+                    self.sim.on_phase_end(now, server, version)
+                }
                 Ev::Telemetry => {
+                    let _p = prof.time(Phase::TelemetryTick);
                     self.sim.on_telemetry(now);
                     let next_tick = now + SimTime::from_secs(self.sim.config.telemetry_interval_s);
                     if next_tick <= self.horizon {
                         self.sim.queue.schedule(next_tick, Ev::Telemetry);
                     }
                 }
-                Ev::ControlDelivery => self.sim.on_control_delivery(now),
+                Ev::ControlDelivery => {
+                    let _p = prof.time(Phase::ControlDelivery);
+                    self.sim.on_control_delivery(now)
+                }
             }
         }
         if limit > self.stepped_to {

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use polca_cluster::{ClusterSim, Priority, Request, RowConfig, SimConfig};
-use polca_obs::{Event, Recorder};
+use polca_obs::{Event, Phase, ProfCounter, Recorder};
 use polca_sim::SimTime;
 use polca_stats::{Quantiles, TimeSeries};
 use polca_telemetry::RowPowerTaps;
@@ -322,10 +322,13 @@ impl OversubscriptionStudy {
     fn cached_arrivals(&self, added_fraction: f64, obs: &Recorder) -> Arc<Vec<Request>> {
         let mut cache = self.trace_cache.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(trace) = cache.get(&added_fraction.to_bits()) {
+            obs.prof().count(ProfCounter::TraceCacheHits, 1);
             return Arc::clone(trace);
         }
+        obs.prof().count(ProfCounter::TraceCacheMisses, 1);
         let trace = {
             let _span = obs.time("study.trace_synthesis");
+            let _phase = obs.prof().time(Phase::TraceSynthesis);
             Arc::new(ArrivalGenerator::new(&self.trace(added_fraction)).collect::<Vec<Request>>())
         };
         cache.insert(added_fraction.to_bits(), Arc::clone(&trace));

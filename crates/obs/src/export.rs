@@ -3,20 +3,26 @@
 //! [`RunArtifacts`] is a snapshot of everything a [`Recorder`] captured
 //! and knows how to render each artifact format:
 //!
-//! | file           | contents                                         |
-//! |----------------|--------------------------------------------------|
-//! | `events.jsonl` | the structured event log, one JSON object/line   |
-//! | `metrics.json` | counters, gauges, histogram summaries            |
-//! | `metrics.prom` | the same registry in Prometheus text exposition  |
-//! | `power.csv`    | `t_s,watts` timeseries from power samples        |
-//! | `latency.csv`  | per-request completion latencies                 |
-//! | `trace.json`   | Chrome trace-event JSON (Perfetto-loadable)      |
-//! | `profile.json` | wall-clock span timings (non-deterministic)      |
+//! | file              | contents                                         |
+//! |-------------------|--------------------------------------------------|
+//! | `events.jsonl`    | the structured event log, one JSON object/line   |
+//! | `metrics.json`    | counters, gauges, histogram summaries            |
+//! | `metrics.prom`    | registry + deterministic polca-prof counters in  |
+//! |                   | Prometheus text exposition                       |
+//! | `power.csv`       | `t_s,watts` timeseries from power samples        |
+//! | `latency.csv`     | per-request completion latencies                 |
+//! | `trace.json`      | Chrome trace-event JSON (Perfetto-loadable)      |
+//! | `profile.json`    | wall-clock span timings (non-deterministic)      |
+//! | `prof.json`       | polca-prof phase/counter totals (non-determ.)    |
+//! | `prof.folded`     | collapsed stacks for speedscope/flamegraph       |
+//! | `prof.trace.json` | the phase breakdown as a Perfetto track          |
 //!
-//! Everything except `profile.json` is a pure function of the event
-//! log and metrics, which are themselves sim-deterministic — so with a
-//! fixed seed, re-running a simulation reproduces those files
-//! byte-for-byte.
+//! Everything except `profile.json` and the wall-clock `prof.*`
+//! artifacts is a pure function of the event log and metrics, which
+//! are themselves sim-deterministic — so with a fixed seed, re-running
+//! a simulation reproduces those files byte-for-byte. (`metrics.prom`
+//! keeps that property: it only ever includes the deterministic subset
+//! of the profile — call and occupancy counters, never nanoseconds.)
 //!
 //! [`Recorder`]: crate::Recorder
 
@@ -28,6 +34,7 @@ use crate::chrome;
 use crate::event::Event;
 use crate::json::num;
 use crate::metrics::MetricsRegistry;
+use crate::prof::ProfSnapshot;
 use crate::recorder::ObsLevel;
 use crate::span::SpanStats;
 
@@ -81,6 +88,9 @@ pub struct RunArtifacts {
     pub metrics: MetricsRegistry,
     /// Wall-clock span aggregates (empty below [`ObsLevel::Full`]).
     pub spans: SpanStats,
+    /// polca-prof phase and counter totals (empty below
+    /// [`ObsLevel::Full`]).
+    pub prof: ProfSnapshot,
 }
 
 impl RunArtifacts {
@@ -99,9 +109,14 @@ impl RunArtifacts {
         self.metrics.to_json()
     }
 
-    /// The metrics registry in the Prometheus text exposition format.
+    /// The metrics registry in the Prometheus text exposition format,
+    /// followed by the deterministic polca-prof counter series (phase
+    /// calls, queue depth high-water mark, occupancy) when profiling
+    /// captured anything.
     pub fn metrics_prometheus(&self) -> String {
-        self.metrics.to_prometheus()
+        let mut s = self.metrics.to_prometheus();
+        s.push_str(&self.prof.to_prometheus());
+        s
     }
 
     /// The aggregate power timeseries as CSV (`t_s,watts`).
@@ -154,6 +169,23 @@ impl RunArtifacts {
         self.spans.to_json()
     }
 
+    /// polca-prof phase/counter totals as JSON (`prof.json` body).
+    pub fn prof_json(&self) -> String {
+        self.prof.to_json()
+    }
+
+    /// polca-prof collapsed stacks (`prof.folded` body) for
+    /// speedscope/flamegraph.
+    pub fn prof_folded(&self) -> String {
+        self.prof.folded()
+    }
+
+    /// polca-prof phase breakdown as Chrome trace-event JSON
+    /// (`prof.trace.json` body).
+    pub fn prof_chrome_json(&self) -> String {
+        self.prof.chrome_trace_json()
+    }
+
     /// Writes the level-appropriate artifact files into `dir`,
     /// creating the directory if needed, and returns the written
     /// paths in a deterministic order.
@@ -161,7 +193,8 @@ impl RunArtifacts {
     /// * `ObsLevel::Metrics` → `metrics.json`, `metrics.prom`
     /// * `ObsLevel::Events` → plus `events.jsonl`, `power.csv`,
     ///   `latency.csv`, `trace.json`
-    /// * `ObsLevel::Full` → plus `profile.json`
+    /// * `ObsLevel::Full` → plus `profile.json`, `prof.json`,
+    ///   `prof.folded`, `prof.trace.json`
     pub fn write_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
         fs::create_dir_all(dir)?;
         let mut written = Vec::new();
@@ -183,6 +216,9 @@ impl RunArtifacts {
         }
         if self.level.profiling_enabled() {
             put("profile.json", self.profile_json())?;
+            put("prof.json", self.prof_json())?;
+            put("prof.folded", self.prof_folded())?;
+            put("prof.trace.json", self.prof_chrome_json())?;
         }
         Ok(written)
     }
@@ -212,6 +248,7 @@ mod tests {
             ],
             metrics,
             spans: SpanStats::default(),
+            prof: ProfSnapshot::default(),
         }
     }
 
@@ -264,9 +301,12 @@ mod tests {
 
         a.level = ObsLevel::Full;
         let files = a.write_dir(&dir).unwrap();
-        assert_eq!(files.len(), 7);
+        assert_eq!(files.len(), 10);
         assert!(dir.join("trace.json").exists());
         assert!(dir.join("profile.json").exists());
+        assert!(dir.join("prof.json").exists());
+        assert!(dir.join("prof.folded").exists());
+        assert!(dir.join("prof.trace.json").exists());
 
         fs::remove_dir_all(&dir).unwrap();
     }

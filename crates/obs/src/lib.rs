@@ -15,6 +15,11 @@
 //! * [`SpanStats`] — wall-clock span timing around the event-queue
 //!   loop, trace synthesis, and the policy controller (a perf baseline
 //!   for optimisation work),
+//! * [`Profiler`] (polca-prof) — lock-free, self-time phase accounting
+//!   of the simulator's own hot paths, with an attribution table,
+//!   folded-stack/speedscope and Chrome-trace exports, and the
+//!   [`BenchReport`] machinery behind the `BENCH_*.json` perf
+//!   trajectory,
 //! * [`RunArtifacts`] — exporters: a JSONL event log, CSV power and
 //!   latency timeseries, and a Chrome trace-event JSON that opens
 //!   directly in Perfetto (`https://ui.perfetto.dev`) or
@@ -47,6 +52,7 @@ pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod recorder;
 pub mod span;
 
@@ -54,5 +60,6 @@ pub use chrome::Annotation;
 pub use event::Event;
 pub use export::RunArtifacts;
 pub use metrics::{Label, MetricsRegistry, StreamingHistogram};
+pub use prof::{BenchReport, Phase, PhaseAgg, ProfCounter, ProfGuard, ProfSnapshot, Profiler};
 pub use recorder::{EventTap, ObsLevel, QueueProbe, Recorder};
 pub use span::{SpanGuard, SpanStats};

@@ -17,6 +17,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use crate::event::Event;
 use crate::export::RunArtifacts;
 use crate::metrics::{Label, MetricsRegistry};
+use crate::prof::{Phase, ProfCounter, ProfGuard, ProfSnapshot, Profiler};
 use crate::span::{SpanGuard, SpanStats};
 
 /// How much a [`Recorder`] captures.
@@ -32,7 +33,7 @@ pub enum ObsLevel {
     Metrics,
     /// Metrics plus the structured event log.
     Events,
-    /// Events plus wall-clock span profiling.
+    /// Events plus wall-clock span and phase (polca-prof) profiling.
     Full,
 }
 
@@ -47,7 +48,8 @@ impl ObsLevel {
         self >= ObsLevel::Events
     }
 
-    /// Whether wall-clock spans are captured at this level.
+    /// Whether wall-clock spans and polca-prof phase timings are
+    /// captured at this level.
     pub fn profiling_enabled(self) -> bool {
         self >= ObsLevel::Full
     }
@@ -130,6 +132,7 @@ pub(crate) struct ObsCore {
 pub struct Recorder {
     level: ObsLevel,
     core: Option<Arc<Mutex<ObsCore>>>,
+    prof: Profiler,
 }
 
 impl PartialEq for Recorder {
@@ -148,7 +151,8 @@ impl Recorder {
     /// core at all.
     pub fn new(level: ObsLevel) -> Self {
         let core = (level > ObsLevel::Off).then(|| Arc::new(Mutex::new(ObsCore::default())));
-        Recorder { level, core }
+        let prof = Profiler::new(level.profiling_enabled());
+        Recorder { level, core, prof }
     }
 
     /// The capture level this recorder was created with.
@@ -171,6 +175,7 @@ impl Recorder {
     /// [`ObsLevel::Events`]).
     pub fn record(&self, event: Event) {
         if self.level.events_enabled() {
+            self.prof.count(ProfCounter::EventsRecorded, 1);
             if let Some(mut core) = self.lock() {
                 core.events.push(event);
                 Self::fire_tap(&core);
@@ -183,6 +188,7 @@ impl Recorder {
     /// cost nothing when disabled.
     pub fn record_with(&self, make: impl FnOnce() -> Event) {
         if self.level.events_enabled() {
+            self.prof.count(ProfCounter::EventsRecorded, 1);
             if let Some(mut core) = self.lock() {
                 core.events.push(make());
                 Self::fire_tap(&core);
@@ -256,6 +262,21 @@ impl Recorder {
         }
     }
 
+    /// The polca-prof handle feeding this recorder's phase
+    /// accumulators (disabled below [`ObsLevel::Full`]). Hot loops
+    /// clone it once and call [`Profiler::time`] directly — no mutex
+    /// is involved.
+    pub fn prof(&self) -> &Profiler {
+        &self.prof
+    }
+
+    /// Starts timing a polca-prof phase; sugar for
+    /// `self.prof().time(phase)`.
+    #[inline]
+    pub fn time_phase(&self, phase: Phase) -> Option<ProfGuard> {
+        self.prof.time(phase)
+    }
+
     /// Folds everything `other` captured into this recorder: events
     /// append in `other`'s order, counters add, gauges last-write-win,
     /// histograms merge exactly, and span aggregates add.
@@ -269,6 +290,7 @@ impl Recorder {
     /// callers that need a live tap must run sequentially. Absorbing a
     /// recorder into itself (same shared core) is a no-op.
     pub fn absorb(&self, other: &Recorder) {
+        self.prof.merge_from(&other.prof);
         let (Some(own), Some(theirs)) = (self.core.as_ref(), other.core.as_ref()) else {
             return;
         };
@@ -286,6 +308,28 @@ impl Recorder {
         core.spans.merge_from(&src.spans);
     }
 
+    /// Folds only `other`'s *profiling* output — span aggregates and
+    /// polca-prof phases/counters — into this recorder, leaving events
+    /// and metrics untouched.
+    ///
+    /// This builds the fleet-level aggregate profile: row recorders
+    /// keep their own event logs (written under `DIR/rowN/`), while
+    /// the fleet recorder's `prof.json`/`profile.json` account for all
+    /// rows combined. Absorbing into a disabled side or a recorder
+    /// sharing the same core is a no-op.
+    pub fn absorb_profiling(&self, other: &Recorder) {
+        self.prof.merge_from(&other.prof);
+        let (Some(own), Some(theirs)) = (self.core.as_ref(), other.core.as_ref()) else {
+            return;
+        };
+        if Arc::ptr_eq(own, theirs) {
+            return;
+        }
+        let mut core = own.lock().unwrap_or_else(|e| e.into_inner());
+        let src = theirs.lock().unwrap_or_else(|e| e.into_inner());
+        core.spans.merge_from(&src.spans);
+    }
+
     /// A probe suitable for attaching to `polca_sim::EventQueue`.
     pub fn queue_probe(&self) -> QueueProbe {
         QueueProbe { rec: self.clone() }
@@ -299,12 +343,14 @@ impl Recorder {
                 events: core.events.clone(),
                 metrics: core.metrics.clone(),
                 spans: core.spans.clone(),
+                prof: self.prof.snapshot(),
             },
             None => RunArtifacts {
                 level: self.level,
                 events: Vec::new(),
                 metrics: MetricsRegistry::default(),
                 spans: SpanStats::default(),
+                prof: ProfSnapshot::default(),
             },
         }
     }
@@ -312,10 +358,15 @@ impl Recorder {
     /// Writes the level-appropriate artifact files into `dir`
     /// (creating it), returning the paths written. A disabled recorder
     /// writes nothing.
+    /// Recorder I/O time lands in the [`Phase::RecorderIo`] phase; as
+    /// the snapshot is taken before the files are rendered, it shows
+    /// up in *subsequent* exports (e.g. the attribution table printed
+    /// after the artifacts are on disk).
     pub fn write_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
         if !self.is_enabled() {
             return Ok(Vec::new());
         }
+        let _io = self.prof.time(Phase::RecorderIo);
         self.artifacts().write_dir(dir)
     }
 }
@@ -333,8 +384,12 @@ pub struct QueueProbe {
 
 impl QueueProbe {
     /// Called after an event is scheduled; `depth` is the new queue
-    /// length.
+    /// length. Also feeds the lock-free polca-prof counters (events
+    /// scheduled, peak queue depth).
     pub fn on_schedule(&self, depth: usize) {
+        let prof = self.rec.prof();
+        prof.count(ProfCounter::EventsScheduled, 1);
+        prof.record_max(ProfCounter::PeakQueueDepth, depth as u64);
         self.rec.add("sim.events_scheduled", Label::Global, 1);
         self.rec
             .observe("sim.queue_depth", Label::Global, depth as f64);
@@ -343,9 +398,24 @@ impl QueueProbe {
     /// Called after an event is popped; `depth` is the remaining queue
     /// length.
     pub fn on_pop(&self, depth: usize) {
+        self.rec.prof().count(ProfCounter::EventsPopped, 1);
         self.rec.add("sim.events_popped", Label::Global, 1);
         self.rec
             .gauge("sim.queue_depth_last", Label::Global, depth as f64);
+    }
+
+    /// Starts timing a heap push ([`Phase::QueuePush`]); `None` unless
+    /// the recorder profiles.
+    #[inline]
+    pub fn time_push(&self) -> Option<ProfGuard> {
+        self.rec.prof().time(Phase::QueuePush)
+    }
+
+    /// Starts timing a heap pop ([`Phase::QueuePop`]); `None` unless
+    /// the recorder profiles.
+    #[inline]
+    pub fn time_pop(&self) -> Option<ProfGuard> {
+        self.rec.prof().time(Phase::QueuePop)
     }
 }
 

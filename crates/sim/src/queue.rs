@@ -98,6 +98,7 @@ impl<E> EventQueue<E> {
             "scheduled event in the past: {at} < {}",
             self.now
         );
+        let _t = self.probe.as_ref().and_then(QueueProbe::time_push);
         self.heap.push(Reverse(Entry {
             at,
             seq: self.seq,
@@ -116,6 +117,7 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the next event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let _t = self.probe.as_ref().and_then(QueueProbe::time_pop);
         let Reverse(entry) = self.heap.pop()?;
         self.now = entry.at;
         if let Some(p) = &self.probe {

@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-use polca_obs::{Event, Label, Recorder};
+use polca_obs::{Event, Label, ProfCounter, Recorder};
 use polca_sim::{SimRng, SimTime};
 
 /// A power-management action targeting one server's GPUs.
@@ -164,6 +164,9 @@ impl OobControlPlane {
         self.issued += 1;
         let path = if action.is_brake() { "brake" } else { "cap" };
         self.recorder
+            .prof()
+            .count(ProfCounter::OobCommandsIssued, 1);
+        self.recorder
             .add("oob.commands_issued", Label::Tag(path), 1);
         if self.rng.chance(self.failure_rate) && !action.is_brake() {
             // Silent failure: the command vanishes without an error.
@@ -211,6 +214,11 @@ impl OobControlPlane {
             } else {
                 break;
             }
+        }
+        if !due.is_empty() {
+            self.recorder
+                .prof()
+                .count(ProfCounter::OobCommandsDelivered, due.len() as u64);
         }
         due
     }

@@ -60,6 +60,31 @@ if [[ -s "$watch_out/incidents.jsonl" ]]; then
     grep -q '"detection_lag_s"' "$watch_out/incidents.jsonl"
 fi
 
+echo "== polca-cli serve smoke test =="
+serve_out="$(mktemp -d)"
+trap 'rm -rf "$serve_out" "$watch_out" "$fleet_out"' EXIT
+cargo run -q --offline --release -p polca-cli -- \
+    evaluate --engine batched --days 0.02 --obs-out "$serve_out/agg"
+cargo run -q --offline --release -p polca-cli -- \
+    evaluate --engine batched --split-pools --days 0.02 \
+    --obs-out "$serve_out/split"
+for d in agg split; do
+    for f in events.jsonl metrics.prom prof.json; do
+        [[ -f "$serve_out/$d/$f" ]] \
+            || { echo "missing serve artifact: $d/$f"; exit 1; }
+    done
+    grep -q '^serve_kv_occupancy ' "$serve_out/$d/metrics.prom" \
+        || { echo "no KV-occupancy gauge in $d/metrics.prom"; exit 1; }
+    grep -q '"serve.iteration"' "$serve_out/$d/prof.json" \
+        || { echo "no serve.iteration phase in $d/prof.json"; exit 1; }
+done
+grep -q 'serve_pool_power_w{tag="aggregated"}' "$serve_out/agg/metrics.prom" \
+    || { echo "no aggregated pool power gauge"; exit 1; }
+grep -q 'serve_pool_power_w{tag="prefill"}' "$serve_out/split/metrics.prom" \
+    || { echo "no prefill pool power gauge"; exit 1; }
+grep -q 'serve_pool_power_w{tag="decode"}' "$serve_out/split/metrics.prom" \
+    || { echo "no decode pool power gauge"; exit 1; }
+
 echo "== bench-smoke (polca-cli profile vs committed BENCH_*.json) =="
 # The committed BENCH_sim.json / BENCH_watch.json / BENCH_ingest.json
 # at the repository root are the perf-trajectory baseline, written by:
@@ -75,7 +100,7 @@ echo "== bench-smoke (polca-cli profile vs committed BENCH_*.json) =="
 # re-baseline with the command above when CI hardware changes, or
 # raise the tolerance via the environment for shared/noisy runners.
 bench_out="$(mktemp -d)"
-trap 'rm -rf "$bench_out" "$watch_out" "$fleet_out"' EXIT
+trap 'rm -rf "$bench_out" "$serve_out" "$watch_out" "$fleet_out"' EXIT
 cargo run -q --offline --release -p polca-cli -- \
     profile --reps 3 --bench-out "$bench_out" > "$bench_out/profile.txt"
 grep -q '^accounted: ' "$bench_out/profile.txt" \
@@ -104,5 +129,6 @@ check_bench() { # <name> <throughput-key>
 check_bench sim sim_s_per_s
 check_bench watch watch_runs_per_s
 check_bench ingest rows_per_s
+check_bench serve serve_sim_s_per_s
 
 echo "CI OK"

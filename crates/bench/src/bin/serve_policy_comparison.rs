@@ -1,0 +1,81 @@
+//! Figure 17 re-run on the continuous-batching engine: the four capping
+//! policies at 30 % oversubscription, on aggregated and on disaggregated
+//! (split prefill/decode) pool topologies.
+//!
+//! As in `fig17_policy_comparison`, latencies are normalized against
+//! POLCA *within the same topology* (lower is better; 1.0 = POLCA), so
+//! the table isolates what each policy costs on top of the serving
+//! model rather than the raw speed difference between topologies.
+
+use polca::{DisaggregationConfig, OversubscriptionStudy, PolcaPolicy, PolicyKind, PolicyOutcome};
+use polca_bench::{eval_days, header, obs_out_arg, seed, Table};
+use polca_cluster::RowConfig;
+
+fn run_topology(split: bool, days: f64) -> Vec<(String, PolicyOutcome)> {
+    let mut study = OversubscriptionStudy::new(
+        RowConfig::paper_inference_row(),
+        PolcaPolicy::default(),
+        days,
+        seed(),
+    );
+    study.set_record_power(false);
+    study.set_engine(DisaggregationConfig::default().batched_engine(split));
+    PolicyKind::all()
+        .iter()
+        .map(|kind| (kind.name().to_string(), study.run(*kind, 0.30, 1.0)))
+        .collect()
+}
+
+fn main() {
+    header(
+        "Serve policy comparison",
+        "POLCA vs thresholding baselines at +30% on the continuous-batching engine",
+    );
+    let days = eval_days(2.0);
+
+    let mut table = Table::new(&[
+        "pools",
+        "policy (vs POLCA)",
+        "LP p50",
+        "HP p50",
+        "LP p99",
+        "HP p99",
+        "peak util",
+        "brakes",
+    ]);
+    let mut peaks = Vec::new();
+    for split in [false, true] {
+        let label = if split { "split" } else { "aggregated" };
+        let outcomes = run_topology(split, days);
+        let polca = outcomes[0].1.clone();
+        peaks.push((label, polca.peak_utilization));
+        let rel = |a: f64, b: f64| if b == 0.0 { 1.0 } else { a / b };
+        for (name, o) in &outcomes {
+            table.row(vec![
+                label.to_string(),
+                name.clone(),
+                format!("{:.3}", rel(o.low_raw.p50, polca.low_raw.p50)),
+                format!("{:.3}", rel(o.high_raw.p50, polca.high_raw.p50)),
+                format!("{:.3}", rel(o.low_raw.p99, polca.low_raw.p99)),
+                format!("{:.3}", rel(o.high_raw.p99, polca.high_raw.p99)),
+                format!("{:.1}%", o.peak_utilization * 100.0),
+                format!("{}", o.brake_engagements),
+            ]);
+        }
+    }
+    table.print();
+    if let Some(dir) = obs_out_arg() {
+        table
+            .save_csv(&dir.join("serve_policy_comparison.csv"))
+            .expect("write serve policy CSV");
+    }
+    println!(
+        "\nreading: the Fig 17 ordering survives the engine swap — POLCA holds \
+         the tightest tails on both topologies. Splitting the pools lowers peak \
+         row utilization ({:.1}% -> {:.1}% here) because the decode pool runs at \
+         a locked memory-bound clock, so capping policies have less overshoot to \
+         police in the first place",
+        peaks[0].1 * 100.0,
+        peaks[1].1 * 100.0,
+    );
+}

@@ -29,10 +29,10 @@ use std::path::Path;
 use std::time::Instant;
 
 use polca::{
-    CostModel, NoCapController, OversubscriptionStudy, PolcaController, PolcaPolicy, PolicyKind,
-    SingleThresholdController, TraceEvaluation,
+    CostModel, DisaggregationConfig, NoCapController, OversubscriptionStudy, PolcaController,
+    PolcaPolicy, PolicyKind, SingleThresholdController, TraceEvaluation,
 };
-use polca_cluster::{FleetConfig, FleetReport, FleetSim, PowerController, RowConfig};
+use polca_cluster::{EngineKind, FleetConfig, FleetReport, FleetSim, PowerController, RowConfig};
 use polca_gpu::{Gpu, GpuSpec};
 use polca_ingest::{
     requests_to_csv, IngestedTrace, ReplayOptions, TraceCalibration, TraceReplay, TraceStats,
@@ -107,7 +107,7 @@ impl std::error::Error for CliError {}
 /// missing its value.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, CliError> {
     /// Flags that take no value; their presence stores `"true"`.
-    const BOOL_FLAGS: &[&str] = &["watch", "enforce-budgets", "profile"];
+    const BOOL_FLAGS: &[&str] = &["watch", "enforce-budgets", "profile", "split-pools"];
     let mut iter = args.into_iter();
     let command = iter.next().ok_or(CliError::MissingCommand)?;
     let mut options = HashMap::new();
@@ -179,6 +179,40 @@ pub fn find_model(name: &str) -> Result<ModelSpec, CliError> {
         .ok_or_else(|| CliError::UnknownModel(name.to_string()))
 }
 
+/// Parses `--engine legacy|batched` plus `--split-pools` into the row
+/// serving engine. The batched configuration reuses the §5.2
+/// disaggregation constants (interconnect bandwidth, token-pool
+/// clock) from [`DisaggregationConfig`].
+fn parse_engine(inv: &Invocation) -> Result<EngineKind, CliError> {
+    let name: String = inv.get("engine", "legacy".to_string())?;
+    let split = inv.options.contains_key("split-pools");
+    match name.to_ascii_lowercase().as_str() {
+        "legacy" => {
+            if split {
+                return Err(CliError::BadValue {
+                    flag: "split-pools".into(),
+                    value: "requires --engine batched".into(),
+                });
+            }
+            Ok(EngineKind::Legacy)
+        }
+        "batched" => Ok(DisaggregationConfig::default().batched_engine(split)),
+        other => Err(CliError::BadValue {
+            flag: "engine".into(),
+            value: other.to_string(),
+        }),
+    }
+}
+
+/// Human-readable tag for the engine in run headers.
+fn engine_tag(engine: &EngineKind) -> &'static str {
+    match engine {
+        EngineKind::Legacy => "legacy",
+        EngineKind::Batched(cfg) if cfg.pools.is_split() => "batched/split-pools",
+        EngineKind::Batched(_) => "batched",
+    }
+}
+
 /// Resolves a policy by name.
 pub fn find_policy(name: &str) -> Result<PolicyKind, CliError> {
     match name.to_ascii_lowercase().as_str() {
@@ -218,6 +252,13 @@ COMMANDS
                  metrics.prom, power.csv, latency.csv, trace.json —
                  open trace.json in Perfetto; at the full level also
                  prof.json, prof.folded, prof.trace.json)
+                [--engine legacy|batched] row serving engine: the
+                default legacy whole-request model (§6.6), or the
+                polca-serve continuous-batching engine (iteration-level
+                scheduling, paged KV-cache, chunked prefill);
+                [--split-pools] with the batched engine runs
+                disaggregated prefill/decode pools (§5.2) with KV
+                transfer over the interconnect
                 [--profile] print the polca-prof attribution table for
                 the run (forces obs level full)
                 [--watch] run the online alerting/incident plane on the
@@ -250,8 +291,9 @@ COMMANDS
                 prof.json, prof.folded (load in speedscope), and
                 prof.trace.json (open in Perfetto)
                 [--bench-out DIR] write the BENCH_sim.json,
-                BENCH_watch.json, BENCH_ingest.json perf baselines
-                that ci.sh's bench-smoke step gates against
+                BENCH_watch.json, BENCH_ingest.json, BENCH_serve.json
+                perf baselines that ci.sh's bench-smoke step gates
+                against
   help          print this text
 ";
 
@@ -648,6 +690,8 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
     );
     study.set_record_power(false);
     study.set_recorder(recorder.clone());
+    let engine = parse_engine(inv)?;
+    study.set_engine(engine.clone());
     let watch = build_watch_plane(inv, study.row().provisioned_watts())?;
     if let Some(plane) = &watch {
         let mut taps = RowPowerTaps::new();
@@ -659,8 +703,9 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
     let o = study.run(kind, added / 100.0, power_scale);
     let run_wall_ns = run_start.elapsed().as_nanos() as u64;
     println!(
-        "{} at +{added:.0}% servers, power×{power_scale}, {days} day(s):",
-        kind.name()
+        "{} at +{added:.0}% servers, power×{power_scale}, {days} day(s), engine {}:",
+        kind.name(),
+        engine_tag(&engine)
     );
     println!(
         "  normalized latency  LP p50 {:.3} p99 {:.3} | HP p50 {:.3} p99 {:.3}",
@@ -765,6 +810,8 @@ fn evaluate_fleet(inv: &Invocation, rows: usize) -> Result<(), CliError> {
     fleet_cfg.base.power_scale = power_scale;
     fleet_cfg.base.record_power_series = false;
     fleet_cfg.base.recorder = recorder.clone();
+    let engine = parse_engine(inv)?;
+    fleet_cfg.base.engine = engine.clone();
     let policy = PolcaPolicy::default();
     let fleet = FleetSim::new(
         row,
@@ -776,9 +823,10 @@ fn evaluate_fleet(inv: &Invocation, rows: usize) -> Result<(), CliError> {
     let report = fleet.run();
     println!(
         "{} fleet: {rows} rows (+{added:.0}% servers each), {} PDU(s), \
-         {days} day(s), budgets {}:",
+         {days} day(s), engine {}, budgets {}:",
         kind.name(),
         report.pdu_budget_watts.len(),
+        engine_tag(&engine),
         if enforce { "enforced" } else { "monitored" }
     );
     print_fleet_table(&report);
@@ -826,6 +874,7 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
     let row = row.with_added_servers(added / 100.0);
     let deployed = row.total_servers();
     let eval_row_provisioned = row.provisioned_watts();
+    let engine = parse_engine(inv)?;
 
     if rows > 1 {
         // Fleet replay: the ingested stream fans out round-robin
@@ -853,6 +902,7 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
         fleet_cfg.base.seed = seed;
         fleet_cfg.base.record_power_series = false;
         fleet_cfg.base.recorder = recorder.clone();
+        fleet_cfg.base.engine = engine.clone();
         let policy = PolcaPolicy::default();
         let fleet = FleetSim::new(
             row,
@@ -877,11 +927,13 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
 
     let mut eval = TraceEvaluation::new(row, PolcaPolicy::default(), requests, seed);
     eval.set_recorder(recorder.clone());
+    eval.set_engine(engine.clone());
 
     println!(
         "replaying {path}: {n} requests over {:.1} h on {deployed} servers \
-         (+{added:.0}% oversubscribed, rate ×{rate_scale}, time ×{time_scale})",
-        trace.duration_s() * time_scale / 3600.0
+         (+{added:.0}% oversubscribed, rate ×{rate_scale}, time ×{time_scale}, engine {})",
+        trace.duration_s() * time_scale / 3600.0,
+        engine_tag(&engine)
     );
     let kinds: Vec<PolicyKind> = match inv.get_opt::<String>("policy")? {
         Some(name) => vec![find_policy(&name)?],
@@ -1123,6 +1175,29 @@ fn profile(inv: &Invocation) -> Result<(), CliError> {
         replay_s * 1e6
     );
 
+    // --- serve: the continuous-batching engine on the same study ---
+    let mut serve_study = OversubscriptionStudy::quick_demo(seed);
+    serve_study.set_record_power(false);
+    serve_study.set_engine(DisaggregationConfig::default().batched_engine(false));
+    let _ = serve_study.run(PolicyKind::Polca, 0.30, 1.0); // warm caches
+    let serve_rec = Recorder::new(ObsLevel::Full);
+    serve_study.set_recorder(serve_rec.clone());
+    let mut serve_wall = f64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let _ = serve_study.run(PolicyKind::Polca, 0.30, 1.0);
+        serve_wall = serve_wall.min(start.elapsed().as_secs_f64());
+    }
+    let serve_snap = serve_rec.prof().snapshot();
+    let serve_sim_rate = serve_study.days() * 86_400.0 / serve_wall;
+    println!(
+        "serve engine (batched): {serve_sim_rate:.0} simulated-seconds/sec — \
+         peak batch {}, peak KV blocks {}, {} preemption(s)",
+        serve_snap.counter(ProfCounter::ServePeakBatch),
+        serve_snap.counter(ProfCounter::ServeKvPeakBlocks),
+        serve_snap.counter(ProfCounter::ServePreemptions),
+    );
+
     if let Some(dir) = &out {
         let files = recorder
             .write_dir(Path::new(dir))
@@ -1161,7 +1236,22 @@ fn profile(inv: &Invocation) -> Result<(), CliError> {
             .metric("calibrate_s", calibrate_s)
             .metric("replay_s", replay_s)
             .metric_u64("rows", rows as u64);
-        for report in [&sim, &watch, &ingest] {
+        let serve = BenchReport::new("serve")
+            .metric("serve_sim_s_per_s", serve_sim_rate)
+            .metric("wall_s", serve_wall)
+            .metric_u64(
+                "peak_batch",
+                serve_snap.counter(ProfCounter::ServePeakBatch),
+            )
+            .metric_u64(
+                "kv_peak_blocks",
+                serve_snap.counter(ProfCounter::ServeKvPeakBlocks),
+            )
+            .metric_u64(
+                "preemptions",
+                serve_snap.counter(ProfCounter::ServePreemptions),
+            );
+        for report in [&sim, &watch, &ingest, &serve] {
             let path = report
                 .write(dir_path)
                 .map_err(|e| CliError::Io(e.to_string()))?;

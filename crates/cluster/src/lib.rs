@@ -11,16 +11,21 @@
 //!   Figure 11 (GPUs ≈ 60 % of server power),
 //! * [`request`] — inference requests with the two priority classes of
 //!   Table 5/6,
-//! * [`server`] — the per-server state machine: one-request buffer,
-//!   prompt → token phase progression, frequency lock / power brake
-//!   effects on in-flight work,
+//! * [`server`] — the *legacy* per-server state machine used by the
+//!   paper's §6.6 evaluation: one request in service plus a small
+//!   buffer, prompt → token phase progression, frequency lock / power
+//!   brake effects on in-flight work. The `polca-serve` crate provides
+//!   the alternative continuous-batching engine (iteration-level
+//!   scheduling, paged KV-cache, prefill/decode pools), selected per
+//!   run via [`sim::EngineKind`],
 //! * [`row`] — the row of Table 2: 40 DGX-A100 servers behind one PDU,
 //! * [`sim`] — the event-driven simulator: arrivals, dispatch, phase
 //!   transitions, 2 s row telemetry with propagation delay, OOB command
 //!   delivery, and a pluggable [`sim::PowerController`]
 //!   (POLCA and its baselines live in the `polca` crate). The run loop
 //!   is factored into the resumable [`sim::RowSim`] engine, which
-//!   supports `step_until`-style incremental execution,
+//!   supports `step_until`-style incremental execution and drives
+//!   either serving engine,
 //! * [`fleet`] — [`fleet::FleetSim`]: N rows stepped in lockstep under
 //!   the per-PDU and datacenter budgets of [`hierarchy::PowerHierarchy`],
 //! * [`training`] — the synchronized training-cluster power model behind
@@ -55,7 +60,7 @@ pub use row::RowConfig;
 pub use server::{InferenceServer, ServerState, HOT_IDLE_INTENSITY};
 pub use server_spec::ServerSpec;
 pub use sim::{
-    ClusterSim, ControlRequest, ControlTarget, NoopController, PowerController, RequestSource,
-    RowContext, RowSim, SimConfig, SimReport,
+    ClusterSim, ControlRequest, ControlTarget, EngineKind, NoopController, PowerController,
+    RequestSource, RowContext, RowSim, SimConfig, SimReport,
 };
 pub use training::TrainingCluster;

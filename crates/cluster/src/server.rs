@@ -1,4 +1,4 @@
-//! The per-server inference state machine.
+//! The *legacy* per-server inference state machine (§6.6).
 //!
 //! Each server runs one tensor-parallel model instance across all its
 //! GPUs (the POLCA evaluation serves BLOOM-176B on 8×A100-80GB), with a
@@ -6,6 +6,13 @@
 //! In-flight requests progress through the prompt and token phases of the
 //! `polca-llm` model; frequency locks and the power brake stretch the
 //! remaining work of whatever phase is active when they land.
+//!
+//! This whole-request model is what the paper evaluated and remains the
+//! default — every historical result reproduces on it bit-for-bit. The
+//! `polca-serve` crate implements the modern alternative (iteration-level
+//! continuous batching over a paged KV-cache, optionally split into
+//! prefill/decode pools); select between them per run with
+//! [`crate::sim::EngineKind`].
 
 use std::collections::VecDeque;
 

@@ -1,23 +1,39 @@
 //! The discrete-event inference-cluster simulator (§6.4).
 //!
 //! The simulator drives a row of inference servers through a request
-//! trace: arrivals are dispatched to idle servers (or a one-request
-//! buffer), requests progress through prompt and token phases, the row
-//! manager samples aggregate power every 2 s with a 2 s propagation
-//! delay, and a pluggable [`PowerController`] observes the (stale)
-//! telemetry and issues control requests that travel the slow OOB plane
-//! before landing on devices. Everything is deterministic under a fixed
-//! seed, so competing policies can be compared on identical request
-//! streams.
+//! trace: the row manager samples aggregate power every 2 s with a 2 s
+//! propagation delay, and a pluggable [`PowerController`] observes the
+//! (stale) telemetry and issues control requests that travel the slow
+//! OOB plane before landing on devices. Everything is deterministic
+//! under a fixed seed, so competing policies can be compared on
+//! identical request streams.
+//!
+//! Two serving engines can carry the traffic, selected via
+//! [`EngineKind`]:
+//!
+//! * **Legacy** (default) — the paper's §6.6 whole-request model:
+//!   arrivals are dispatched to idle servers (or a one-request
+//!   buffer) and progress through prompt and token phases,
+//! * **Batched** — the `polca-serve` continuous-batching engine:
+//!   iteration-level scheduling over a paged KV-cache, chunked
+//!   prefill, and optionally disaggregated prefill/decode pools.
+//!
+//! Both engines sit below the same telemetry, OOB control, power
+//! accounting, and observability planes, so every controller and
+//! downstream consumer works unchanged on either.
 
+use polca_llm::InferenceModel;
 use polca_obs::{Event, Label, Phase, Recorder, SpanGuard};
+use polca_serve::{
+    AdmissionKind, BatchedRow, BatchedRowParams, ServeConfig, ServeOutcome, ServeRequest,
+};
 use polca_sim::{EventQueue, SimTime};
 use polca_stats::TimeSeries;
 use polca_telemetry::{ControlAction, DelayedSignal, OobControlPlane, RowPowerTaps};
 
 use crate::request::{CompletedRequest, Priority, Request};
 use crate::row::RowConfig;
-use crate::server::{InferenceServer, PhaseOutcome};
+use crate::server::{InferenceServer, PhaseOutcome, HOT_IDLE_INTENSITY};
 
 /// Who a control request targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +129,19 @@ impl PowerController for NoopController {
     }
 }
 
+/// Which serving engine drives the row.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum EngineKind {
+    /// The legacy §6.6 whole-request model: one request in service per
+    /// server plus a small buffer. The default; every historical result
+    /// reproduces bit-identically on it.
+    #[default]
+    Legacy,
+    /// The `polca-serve` continuous-batching engine: iteration-level
+    /// scheduling, paged KV-cache, and optional prefill/decode pools.
+    Batched(ServeConfig),
+}
+
 /// Simulator knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -142,6 +171,8 @@ pub struct SimConfig {
     /// [`DelayedSignal`] read — plus a ground-truth feed reserved for
     /// detection-lag annotation.
     pub oob_taps: RowPowerTaps,
+    /// Which serving engine drives the row.
+    pub engine: EngineKind,
 }
 
 impl Default for SimConfig {
@@ -157,6 +188,7 @@ impl Default for SimConfig {
             record_power_series: true,
             recorder: Recorder::disabled(),
             oob_taps: RowPowerTaps::new(),
+            engine: EngineKind::Legacy,
         }
     }
 }
@@ -244,14 +276,27 @@ impl SimReport {
 #[derive(Debug)]
 enum Ev {
     Arrival(Request),
-    PhaseEnd { server: usize, version: u64 },
+    PhaseEnd {
+        server: usize,
+        version: u64,
+    },
     Telemetry,
     ControlDelivery,
+    /// Batched engine: a server's next composition boundary.
+    ServeWake {
+        server: usize,
+        version: u64,
+    },
+    /// Batched engine: the earliest in-flight KV transfer lands.
+    ServeTransfer,
 }
 
 /// The cluster simulator.
 pub struct ClusterSim<P> {
     servers: Vec<InferenceServer>,
+    /// The continuous-batching engine when `SimConfig::engine` is
+    /// [`EngineKind::Batched`]; `None` runs the legacy per-server path.
+    engine: Option<BatchedRow<Request>>,
     ctx: RowContext,
     config: SimConfig,
     controller: P,
@@ -277,7 +322,31 @@ impl<P: PowerController> ClusterSim<P> {
             s.set_power_scale(config.power_scale);
         }
         let obs = config.recorder.clone();
-        let row_power_watts: f64 = servers.iter().map(InferenceServer::power_watts).sum();
+        let engine = match &config.engine {
+            EngineKind::Legacy => None,
+            EngineKind::Batched(serve_cfg) => {
+                let deployment =
+                    InferenceModel::new(row.model.clone(), row.server_spec.gpu.clone())
+                        .expect("row model must fit its GPU allocation");
+                let params = BatchedRowParams {
+                    deployment,
+                    classes: servers
+                        .iter()
+                        .map(|s| s.priority() == Priority::High)
+                        .collect(),
+                    spec_gpus: row.server_spec.n_gpus,
+                    non_gpu_base_watts: row.server_spec.non_gpu_base_watts,
+                    non_gpu_per_gpu_watt: row.server_spec.non_gpu_per_gpu_watt,
+                    hot_idle_intensity: HOT_IDLE_INTENSITY,
+                    power_scale: config.power_scale,
+                };
+                Some(BatchedRow::new(params, serve_cfg, obs.prof().clone()))
+            }
+        };
+        let row_power_watts: f64 = match &engine {
+            Some(e) => e.total_power_watts(),
+            None => servers.iter().map(InferenceServer::power_watts).sum(),
+        };
         let mut plane = OobControlPlane::new(config.seed)
             .with_cap_latency(config.oob_cap_latency_s.0, config.oob_cap_latency_s.1)
             .with_brake_latency(config.oob_brake_latency_s.0, config.oob_brake_latency_s.1)
@@ -300,6 +369,7 @@ impl<P: PowerController> ClusterSim<P> {
             power_integral: 0.0,
             obs,
             servers,
+            engine,
             ctx,
             config,
             controller,
@@ -312,8 +382,17 @@ impl<P: PowerController> ClusterSim<P> {
     }
 
     /// Immutable view of the servers (for tests and inspection).
+    ///
+    /// Under [`EngineKind::Batched`] these carry the row's static
+    /// priority layout but see no traffic; inspect
+    /// [`batched_row`](Self::batched_row) instead.
     pub fn servers(&self) -> &[InferenceServer] {
         &self.servers
+    }
+
+    /// The continuous-batching engine, when one is configured.
+    pub fn batched_row(&self) -> Option<&BatchedRow<Request>> {
+        self.engine.as_ref()
     }
 
     /// Runs the simulation over `arrivals` (which must be ordered by
@@ -384,6 +463,119 @@ impl<P: PowerController> ClusterSim<P> {
         }
     }
 
+    /// Runs `f` against the batched engine, keeping the cached row
+    /// power and its peak/integral in sync — the batched analog of
+    /// [`mutate_server`](Self::mutate_server).
+    fn serve_op<T>(&mut self, now: SimTime, f: impl FnOnce(&mut BatchedRow<Request>) -> T) -> T {
+        self.accumulate_power(now);
+        let engine = self
+            .engine
+            .as_mut()
+            .expect("serve_op without batched engine");
+        let out = f(engine);
+        self.row_power_watts = engine.total_power_watts();
+        if self.row_power_watts > self.report.peak_row_watts {
+            self.report.peak_row_watts = self.row_power_watts;
+        }
+        out
+    }
+
+    /// Folds one batched-engine outcome into the report and the event
+    /// queue: completions, preemption counters, the server's next wake,
+    /// and a transfer event for newly queued KV hand-offs.
+    fn absorb_serve(&mut self, now: SimTime, outcome: ServeOutcome<Request>) {
+        if outcome.preemptions > 0 {
+            self.obs
+                .add("serve.preemptions", Label::Global, outcome.preemptions);
+        }
+        for c in outcome.completions {
+            self.record_completion(CompletedRequest {
+                request: c.payload,
+                started_at: c.started_at,
+                completed_at: now,
+                server: c.server,
+            });
+        }
+        if let Some((at, version)) = outcome.wake {
+            self.queue.schedule(
+                at,
+                Ev::ServeWake {
+                    server: outcome.server,
+                    version,
+                },
+            );
+        }
+        if outcome.transfers_queued {
+            if let Some(at) = self.engine.as_ref().and_then(BatchedRow::next_transfer_due) {
+                self.queue.schedule(at.max(now), Ev::ServeTransfer);
+            }
+        }
+    }
+
+    fn on_serve_wake(&mut self, now: SimTime, server: usize, version: u64) {
+        if let Some(outcome) = self.serve_op(now, |e| e.on_wake(now, server, version)) {
+            self.absorb_serve(now, outcome);
+        }
+    }
+
+    fn on_serve_transfer(&mut self, now: SimTime) {
+        let outcomes = self.serve_op(now, |e| e.on_transfers_due(now));
+        for o in outcomes {
+            self.absorb_serve(now, o);
+        }
+        // Re-arm for transfers still crossing the interconnect.
+        if let Some(at) = self.engine.as_ref().and_then(BatchedRow::next_transfer_due) {
+            self.queue.schedule(at.max(now), Ev::ServeTransfer);
+        }
+    }
+
+    /// Arrival path for the batched engine: route into the continuous
+    /// batch, then mirror the legacy accounting and event stream.
+    fn on_serve_arrival(&mut self, now: SimTime, req: Request) {
+        let priority = req.priority;
+        let tag = Self::pri_tag(priority);
+        let serve_req = ServeRequest {
+            payload: req,
+            id: req.id,
+            input_tokens: req.input_tokens,
+            output_tokens: req.output_tokens,
+            high_priority: priority == Priority::High,
+        };
+        let arrival = self.serve_op(now, |e| e.on_arrival(now, serve_req));
+        match arrival.kind {
+            AdmissionKind::Started => {
+                self.obs.record(Event::RequestDispatched {
+                    t: now.as_secs(),
+                    server: arrival.outcome.server,
+                    request: req.id,
+                    priority: tag,
+                });
+            }
+            AdmissionKind::Queued => {
+                self.obs.record(Event::RequestQueued {
+                    t: now.as_secs(),
+                    request: req.id,
+                    priority: tag,
+                });
+            }
+            AdmissionKind::Rejected => {
+                self.report.rejected += 1;
+                match priority {
+                    Priority::Low => self.report.rejected_by_priority.0 += 1,
+                    Priority::High => self.report.rejected_by_priority.1 += 1,
+                }
+                self.obs
+                    .add("cluster.requests_rejected", Label::Tag(tag), 1);
+                self.obs.record(Event::RequestRejected {
+                    t: now.as_secs(),
+                    request: req.id,
+                    priority: tag,
+                });
+            }
+        }
+        self.absorb_serve(now, arrival.outcome);
+    }
+
     fn on_arrival(&mut self, now: SimTime, req: Request) {
         self.report.offered += 1;
         let priority = req.priority;
@@ -396,6 +588,9 @@ impl<P: PowerController> ClusterSim<P> {
             Label::Tag(Self::pri_tag(priority)),
             1,
         );
+        if self.engine.is_some() {
+            return self.on_serve_arrival(now, req);
+        }
         let n = self.servers.len();
         let cursor = match priority {
             Priority::Low => &mut self.rr_cursor.0,
@@ -526,6 +721,20 @@ impl<P: PowerController> ClusterSim<P> {
             Label::Global,
             self.row_power_watts / self.ctx.provisioned_watts,
         );
+        if let Some(engine) = &self.engine {
+            self.obs
+                .gauge("serve.kv_occupancy", Label::Global, engine.kv_occupancy());
+            self.obs
+                .gauge("serve.batch_size", Label::Global, engine.mean_batch());
+            self.obs.gauge(
+                "serve.waiting_depth",
+                Label::Global,
+                engine.waiting_depth() as f64,
+            );
+            for (tag, watts) in engine.pool_power_watts() {
+                self.obs.gauge("serve.pool_power_w", Label::Tag(tag), watts);
+            }
+        }
         let observed = self.row_signal.read(now);
         // One combined publish per tick (truth first, then the delayed
         // view) so subscribers with interior locking lock only once.
@@ -591,6 +800,11 @@ impl<P: PowerController> ClusterSim<P> {
                     ControlAction::PowerBrake { on } => Event::BrakeEngaged { t, server: idx, on },
                 }
             });
+            if self.engine.is_some() {
+                let outcome = self.serve_op(now, |e| e.apply_action(now, idx, cmd.action));
+                self.absorb_serve(now, outcome);
+                continue;
+            }
             let resched = self.mutate_server(now, idx, |s| s.apply_action(now, cmd.action));
             if let Some((end_at, version)) = resched {
                 self.queue.schedule(
@@ -715,6 +929,14 @@ impl<P: PowerController, S: RequestSource> RowSim<P, S> {
                     let _p = prof.time(Phase::ControlDelivery);
                     self.sim.on_control_delivery(now)
                 }
+                Ev::ServeWake { server, version } => {
+                    let _p = prof.time(Phase::ServeIteration);
+                    self.sim.on_serve_wake(now, server, version)
+                }
+                Ev::ServeTransfer => {
+                    let _p = prof.time(Phase::ServeIteration);
+                    self.sim.on_serve_transfer(now)
+                }
             }
         }
         if limit > self.stepped_to {
@@ -745,6 +967,11 @@ impl<P: PowerController, S: RequestSource> RowSim<P, S> {
     /// Immutable view of the servers.
     pub fn servers(&self) -> &[InferenceServer] {
         self.sim.servers()
+    }
+
+    /// The continuous-batching engine, when one is configured.
+    pub fn batched_row(&self) -> Option<&BatchedRow<Request>> {
+        self.sim.batched_row()
     }
 
     /// Read-only view of the report accumulated so far (totals are

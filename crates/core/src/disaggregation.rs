@@ -12,9 +12,10 @@
 //! interconnect, and compares the power envelope against an aggregated
 //! deployment at equal throughput.
 
-use polca_cluster::{RowConfig, HOT_IDLE_INTENSITY};
+use polca_cluster::{EngineKind, RowConfig, HOT_IDLE_INTENSITY};
 use polca_gpu::DvfsModel;
 use polca_llm::{InferenceConfig, InferenceModel};
+use polca_serve::ServeConfig;
 use polca_trace::WorkloadClass;
 
 /// A phase-split deployment plan for one row.
@@ -58,6 +59,24 @@ impl Default for DisaggregationConfig {
             interconnect_bytes_per_s: 200e9,
             pool_utilization: 0.8,
             token_clock_mhz: 1110.0,
+        }
+    }
+}
+
+impl DisaggregationConfig {
+    /// The continuous-batching engine matching this analysis. With
+    /// `split_pools`, the row runs disaggregated prefill/decode pools:
+    /// KV-cache handoffs ship over this interconnect and the decode
+    /// pool holds the §5.2 token clock; otherwise every server serves
+    /// both phases (aggregated) under the default [`ServeConfig`].
+    pub fn batched_engine(&self, split_pools: bool) -> EngineKind {
+        if split_pools {
+            EngineKind::Batched(ServeConfig::split_pools(
+                self.interconnect_bytes_per_s,
+                Some(self.token_clock_mhz),
+            ))
+        } else {
+            EngineKind::Batched(ServeConfig::default())
         }
     }
 }

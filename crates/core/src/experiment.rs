@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use polca_cluster::{ClusterSim, Priority, Request, RowConfig, SimConfig};
+use polca_cluster::{ClusterSim, EngineKind, Priority, Request, RowConfig, SimConfig};
 use polca_obs::{Event, Phase, ProfCounter, Recorder};
 use polca_sim::SimTime;
 use polca_stats::{Quantiles, TimeSeries};
@@ -130,6 +130,7 @@ pub struct OversubscriptionStudy {
     profile: TimeSeries,
     base_schedule: RateSchedule,
     record_power: bool,
+    engine: EngineKind,
     reference: OnceLock<Reference>,
     /// Synthesized arrival traces keyed by `added_fraction` bits —
     /// every policy compared at the same oversubscription level replays
@@ -151,6 +152,7 @@ impl Clone for OversubscriptionStudy {
             profile: self.profile.clone(),
             base_schedule: self.base_schedule.clone(),
             record_power: self.record_power,
+            engine: self.engine.clone(),
             reference: self.reference.clone(),
             trace_cache: Mutex::new(
                 self.trace_cache
@@ -187,6 +189,7 @@ impl OversubscriptionStudy {
             profile,
             base_schedule,
             record_power: true,
+            engine: EngineKind::Legacy,
             reference: OnceLock::new(),
             trace_cache: Mutex::new(HashMap::new()),
             recorder: Recorder::disabled(),
@@ -245,6 +248,22 @@ impl OversubscriptionStudy {
         self.record_power = record;
     }
 
+    /// Selects the row serving engine for every subsequent run,
+    /// including the cached reference — latencies normalize against an
+    /// un-capped reference on the *same* engine, so the comparison
+    /// isolates the policy, not the serving model.
+    ///
+    /// Call before the first run: a reference cached under another
+    /// engine is not invalidated.
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        self.engine = engine;
+    }
+
+    /// The serving engine runs execute on.
+    pub fn engine(&self) -> &EngineKind {
+        &self.engine
+    }
+
     /// Attaches an observability recorder. Policy runs started after
     /// this call record events, metrics, and profiling spans into it;
     /// the cached reference run stays un-instrumented so the event log
@@ -289,6 +308,7 @@ impl OversubscriptionStudy {
             seed: self.seed,
             power_scale,
             record_power_series: self.record_power,
+            engine: self.engine.clone(),
             ..SimConfig::default()
         }
     }

@@ -10,7 +10,9 @@
 
 use std::sync::OnceLock;
 
-use polca_cluster::{ClusterSim, NoopController, PowerController, Request, RowConfig, SimConfig};
+use polca_cluster::{
+    ClusterSim, EngineKind, NoopController, PowerController, Request, RowConfig, SimConfig,
+};
 use polca_obs::Recorder;
 use polca_sim::SimTime;
 use polca_stats::Quantiles;
@@ -58,6 +60,7 @@ pub struct TraceEvaluation {
     until: SimTime,
     requests: Vec<Request>,
     record_power: bool,
+    engine: EngineKind,
     recorder: Recorder,
     oob_taps: RowPowerTaps,
     reference: OnceLock<(Quantiles, Quantiles)>,
@@ -76,6 +79,7 @@ impl TraceEvaluation {
             until: SimTime::from_secs(last_arrival + DRAIN_S),
             requests,
             record_power: false,
+            engine: EngineKind::Legacy,
             recorder: Recorder::disabled(),
             oob_taps: RowPowerTaps::new(),
             reference: OnceLock::new(),
@@ -90,6 +94,19 @@ impl TraceEvaluation {
     /// Enables/disables the row-power timeseries in reports.
     pub fn set_record_power(&mut self, record: bool) {
         self.record_power = record;
+    }
+
+    /// Selects the row serving engine for every subsequent run,
+    /// including the cached un-capped reference — normalization always
+    /// compares like with like. Call before the first run: a reference
+    /// cached under another engine is not invalidated.
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        self.engine = engine;
+    }
+
+    /// The serving engine runs execute on.
+    pub fn engine(&self) -> &EngineKind {
+        &self.engine
     }
 
     /// Attaches an observability recorder to subsequent policy runs
@@ -125,6 +142,7 @@ impl TraceEvaluation {
         SimConfig {
             seed: self.seed,
             record_power_series: self.record_power,
+            engine: self.engine.clone(),
             recorder,
             ..SimConfig::default()
         }

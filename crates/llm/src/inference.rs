@@ -288,7 +288,13 @@ impl InferenceModel {
     /// token count (`input × batch`, Figure 8a/8c) and with model scale,
     /// saturating at the transient peak.
     fn prompt_intensity(&self, cfg: &InferenceConfig) -> f64 {
-        let tokens = (cfg.input_tokens as f64 * cfg.batch as f64).max(1.0);
+        self.prompt_intensity_for_tokens(cfg.input_tokens as f64 * cfg.batch as f64)
+    }
+
+    /// Prompt intensity from a raw parallel-token count (shared by
+    /// whole-request profiles and per-iteration batch compositions).
+    fn prompt_intensity_for_tokens(&self, tokens: f64) -> f64 {
+        let tokens = tokens.max(1.0);
         let saturation = ((tokens / 128.0).ln() / (16384.0f64 / 128.0).ln()).clamp(0.0, 1.0);
         let raw = (0.62 + 0.38 * saturation)
             * (0.55 + 0.45 * self.model.relative_scale())
@@ -346,11 +352,79 @@ impl InferenceModel {
     /// batch size (more tokens processed concurrently, Figure 8c) but
     /// insensitive to input/output sizes (Figure 8a/8e).
     fn token_intensity(&self, cfg: &InferenceConfig) -> f64 {
-        let batch_boost = 0.025 * (cfg.batch as f64).log2();
+        self.token_intensity_for_batch(cfg.batch as f64)
+    }
+
+    /// Token intensity from a raw decode batch size (shared by
+    /// whole-request profiles and per-iteration batch compositions).
+    fn token_intensity_for_batch(&self, batch: f64) -> f64 {
+        let batch_boost = 0.025 * batch.max(1.0).log2();
         let raw = (0.40 + 0.35 * self.model.relative_scale() + batch_boost)
             * self.dtype.peak_power_factor();
         raw.clamp(0.0, 1.0)
     }
+
+    /// Profiles one continuous-batching *iteration* at the maximum SM
+    /// clock (the polca-serve engine's unit of work).
+    ///
+    /// One iteration runs a chunk of prompt prefill (`prefill_tokens`
+    /// processed in parallel) fused with one decode step for each of
+    /// `decode_seqs` running sequences. The weights are streamed from
+    /// HBM exactly once per iteration — the continuous-batching win —
+    /// while compute scales with the total token count, so
+    /// prefill-heavy iterations are compute-bound (near-TDP intensity,
+    /// Figure 8a) and decode-only iterations are memory-bound (lower,
+    /// batch-nudged intensity, Figure 8c).
+    ///
+    /// Intensity is the token-share-weighted blend of the prompt and
+    /// token phase intensities for the same composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the composition is empty (no tokens to process).
+    pub fn iteration_profile(&self, comp: &BatchComposition) -> PhaseProfile {
+        let total = comp.prefill_tokens as f64 + comp.decode_seqs as f64;
+        assert!(total > 0.0, "iteration_profile: empty batch composition");
+        let params = self.model.params();
+        let weight_bytes = params * self.dtype.bytes_per_param();
+
+        let compute_s = 2.0 * params * total / self.compute_flops();
+        let mem_s = weight_bytes / self.memory_bandwidth();
+        let duration_s = compute_s + mem_s;
+
+        let prefill_share = comp.prefill_tokens as f64 / total;
+        let intensity = prefill_share
+            * self.prompt_intensity_for_tokens(comp.prefill_tokens as f64)
+            + (1.0 - prefill_share) * self.token_intensity_for_batch(comp.decode_seqs as f64);
+
+        PhaseProfile {
+            duration_s,
+            intensity,
+            compute_fraction: compute_s / duration_s,
+        }
+    }
+
+    /// HBM headroom left for KV-cache after weights and the runtime
+    /// reserve, in GiB — what a paged-KV allocator may hand out.
+    pub fn free_kv_gib(&self) -> f64 {
+        let available = self.n_gpus as f64 * self.gpu.memory_gib;
+        let weights = self.model.params_b * self.dtype.bytes_per_param();
+        (available - weights - RUNTIME_RESERVE_GIB).max(0.0)
+    }
+}
+
+/// Token composition of one continuous-batching iteration: how many
+/// prompt tokens are prefilled this step and how many running
+/// sequences take one decode step. Built by the polca-serve
+/// `BatchScheduler`; consumed by
+/// [`InferenceModel::iteration_profile`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchComposition {
+    /// Prompt tokens processed in parallel this iteration (the chunked
+    /// prefill share).
+    pub prefill_tokens: u32,
+    /// Sequences in their decode phase, each generating one token.
+    pub decode_seqs: u32,
 }
 
 #[cfg(test)]

@@ -37,6 +37,8 @@ pub mod training;
 pub mod zoo;
 
 pub use dtype::DType;
-pub use inference::{InferenceConfig, InferenceModel, ModelFitError, PhaseProfile, RequestProfile};
+pub use inference::{
+    BatchComposition, InferenceConfig, InferenceModel, ModelFitError, PhaseProfile, RequestProfile,
+};
 pub use training::{TrainingJob, TrainingPhase};
 pub use zoo::{Architecture, ModelSpec};

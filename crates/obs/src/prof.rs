@@ -81,10 +81,19 @@ pub enum Phase {
     TraceSynthesis,
     /// Recorder artifact rendering and file I/O (`write_dir`).
     RecorderIo,
+    /// One batched-engine iteration epoch: fluid progress, boundary
+    /// transitions, and wake rescheduling (polca-serve).
+    ServeIteration,
+    /// Paged KV-cache block accounting: allocation, growth, frees, and
+    /// preemption on exhaustion (polca-serve).
+    ServeKvAlloc,
+    /// Continuous-batching admission: chunked-prefill selection and
+    /// waiting-queue scheduling (polca-serve).
+    ServeSchedule,
 }
 
 /// Number of [`Phase`] variants (the accumulator array length).
-pub const PHASE_COUNT: usize = 11;
+pub const PHASE_COUNT: usize = 14;
 
 impl Phase {
     /// Every phase, in discriminant order.
@@ -100,6 +109,9 @@ impl Phase {
         Phase::PowerAggregation,
         Phase::TraceSynthesis,
         Phase::RecorderIo,
+        Phase::ServeIteration,
+        Phase::ServeKvAlloc,
+        Phase::ServeSchedule,
     ];
 
     /// Short dotted name used in tables, JSON, and Prometheus labels.
@@ -116,6 +128,9 @@ impl Phase {
             Phase::PowerAggregation => "fleet.power_aggregation",
             Phase::TraceSynthesis => "study.trace_synthesis",
             Phase::RecorderIo => "obs.recorder_io",
+            Phase::ServeIteration => "serve.iteration",
+            Phase::ServeKvAlloc => "serve.kv_alloc",
+            Phase::ServeSchedule => "serve.schedule",
         }
     }
 
@@ -137,6 +152,9 @@ impl Phase {
             Phase::PowerAggregation => "fleet.window;power_aggregation",
             Phase::TraceSynthesis => "study;trace_synthesis",
             Phase::RecorderIo => "obs;recorder_io",
+            Phase::ServeIteration => "row.step;serve.iteration",
+            Phase::ServeKvAlloc => "row.step;serve.iteration;kv_alloc",
+            Phase::ServeSchedule => "row.step;serve.iteration;schedule",
         }
     }
 }
@@ -173,10 +191,19 @@ pub enum ProfCounter {
     /// Commands actually delivered by the OOB control plane (issued
     /// minus silent failures and still-in-flight).
     OobCommandsDelivered,
+    /// High-water mark of KV-cache blocks in use on any one server of
+    /// the batched engine (merged by max).
+    ServeKvPeakBlocks,
+    /// Sequences preempted by the batched engine on KV-cache
+    /// exhaustion (each restarts with a recompute prefill).
+    ServePreemptions,
+    /// High-water mark of running sequences (prefilling + decoding) on
+    /// any one server of the batched engine (merged by max).
+    ServePeakBatch,
 }
 
 /// Number of [`ProfCounter`] variants.
-pub const COUNTER_COUNT: usize = 10;
+pub const COUNTER_COUNT: usize = 13;
 
 impl ProfCounter {
     /// Every counter, in discriminant order.
@@ -191,6 +218,9 @@ impl ProfCounter {
         ProfCounter::TraceCacheHits,
         ProfCounter::OobCommandsIssued,
         ProfCounter::OobCommandsDelivered,
+        ProfCounter::ServeKvPeakBlocks,
+        ProfCounter::ServePreemptions,
+        ProfCounter::ServePeakBatch,
     ];
 
     /// Snake-case name used in JSON and Prometheus output.
@@ -206,13 +236,21 @@ impl ProfCounter {
             ProfCounter::TraceCacheHits => "trace_cache_hits",
             ProfCounter::OobCommandsIssued => "oob_commands_issued",
             ProfCounter::OobCommandsDelivered => "oob_commands_delivered",
+            ProfCounter::ServeKvPeakBlocks => "serve_kv_peak_blocks",
+            ProfCounter::ServePreemptions => "serve_preemptions",
+            ProfCounter::ServePeakBatch => "serve_peak_batch",
         }
     }
 
     /// Whether merging two profiles takes the max (high-water marks)
     /// instead of the sum.
     pub fn merges_by_max(self) -> bool {
-        matches!(self, ProfCounter::PeakQueueDepth)
+        matches!(
+            self,
+            ProfCounter::PeakQueueDepth
+                | ProfCounter::ServeKvPeakBlocks
+                | ProfCounter::ServePeakBatch
+        )
     }
 }
 

@@ -1,0 +1,85 @@
+//! Engine configuration: batching knobs and the pool topology.
+
+/// How a row's servers are organized for serving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolTopology {
+    /// Every server runs both phases: arrivals prefill and decode on
+    /// the same machine (the classic continuous-batching deployment).
+    Aggregated,
+    /// Disaggregated prefill/decode pools (§5.2): arrivals prefill on
+    /// a dedicated pool, then ship their KV-cache over the
+    /// interconnect to a decode pool. Each priority class is split
+    /// independently; a class with fewer than two servers falls back
+    /// to aggregated serving.
+    Split {
+        /// Fraction of each class's servers dedicated to prefill
+        /// (at least one server on each side).
+        prefill_fraction: f64,
+        /// KV-transfer bandwidth between the pools in bytes/s.
+        interconnect_bytes_per_s: f64,
+        /// Optional fixed SM clock for the decode pool — decode is
+        /// memory-bound, so it tolerates a lower clock at near-zero
+        /// throughput cost (Insight 7).
+        decode_clock_mhz: Option<f64>,
+    },
+}
+
+impl PoolTopology {
+    /// Whether this topology disaggregates prefill and decode.
+    pub fn is_split(&self) -> bool {
+        matches!(self, PoolTopology::Split { .. })
+    }
+}
+
+/// Tuning knobs for the continuous-batching engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Tokens per KV-cache block (vLLM-style paging granularity).
+    pub block_tokens: u32,
+    /// KV blocks per server; `None` derives the budget from the HBM
+    /// left after weights and the runtime reserve
+    /// ([`InferenceModel::free_kv_gib`](polca_llm::InferenceModel::free_kv_gib)).
+    pub kv_blocks: Option<u32>,
+    /// Maximum running sequences per server (prefilling + decoding).
+    pub max_batch: usize,
+    /// Maximum prompt tokens prefilled per iteration (the chunked-
+    /// prefill chunk size, Sarathi-style).
+    pub chunk_tokens: u32,
+    /// Token budget per iteration across prefill and decode; the
+    /// effective prefill chunk shrinks as the decode batch grows.
+    pub iteration_budget_tokens: u32,
+    /// Waiting-queue depth per server; arrivals beyond it are
+    /// rejected.
+    pub max_waiting: usize,
+    /// Pool organization for the row.
+    pub pools: PoolTopology,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            block_tokens: 16,
+            kv_blocks: None,
+            max_batch: 32,
+            chunk_tokens: 512,
+            iteration_budget_tokens: 640,
+            max_waiting: 32,
+            pools: PoolTopology::Aggregated,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration with disaggregated prefill/decode
+    /// pools.
+    pub fn split_pools(interconnect_bytes_per_s: f64, decode_clock_mhz: Option<f64>) -> Self {
+        ServeConfig {
+            pools: PoolTopology::Split {
+                prefill_fraction: 0.25,
+                interconnect_bytes_per_s,
+                decode_clock_mhz,
+            },
+            ..ServeConfig::default()
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Paged KV-cache accounting: fixed-size token blocks carved out of
+//! the HBM left over after weights and the runtime reserve.
+//!
+//! The pager is deliberately simple — a block budget and a free count.
+//! What makes it interesting is who calls it: the batch engine
+//! allocates a sequence's prompt blocks up front at admission
+//! (vLLM-style), grows the allocation one block at a time as decode
+//! appends tokens, and on exhaustion preempts the youngest running
+//! sequence, freeing its blocks for older work and recomputing its
+//! prefill later.
+
+/// Tolerance when converting fluid token counts to whole blocks, so a
+/// sequence that advanced to exactly a block boundary (modulo float
+/// error) does not claim a block for the error term.
+pub(crate) const TOKEN_EPS: f64 = 1e-6;
+
+/// A per-server paged KV-cache allocator: `total_blocks` blocks of
+/// `block_tokens` tokens each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvPager {
+    total_blocks: u32,
+    free_blocks: u32,
+    block_tokens: u32,
+}
+
+impl KvPager {
+    /// A pager over `total_blocks` blocks of `block_tokens` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(total_blocks: u32, block_tokens: u32) -> Self {
+        assert!(total_blocks > 0, "KV pool must hold at least one block");
+        assert!(block_tokens > 0, "KV blocks must hold at least one token");
+        KvPager {
+            total_blocks,
+            free_blocks: total_blocks,
+            block_tokens,
+        }
+    }
+
+    /// Blocks required to hold `tokens` KV entries (0 for an empty
+    /// sequence).
+    pub fn blocks_for_tokens(&self, tokens: f64) -> u32 {
+        if tokens <= TOKEN_EPS {
+            return 0;
+        }
+        ((tokens - TOKEN_EPS) / self.block_tokens as f64).ceil() as u32
+    }
+
+    /// Claims `blocks` from the free pool; `false` (and no change) if
+    /// the pool cannot satisfy the request.
+    pub fn try_alloc(&mut self, blocks: u32) -> bool {
+        if blocks > self.free_blocks {
+            return false;
+        }
+        self.free_blocks -= blocks;
+        true
+    }
+
+    /// Returns `blocks` to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on freeing more than is outstanding.
+    pub fn free(&mut self, blocks: u32) {
+        debug_assert!(blocks <= self.used_blocks(), "double free of KV blocks");
+        self.free_blocks = (self.free_blocks + blocks).min(self.total_blocks);
+    }
+
+    /// Tokens per block.
+    pub fn block_tokens(&self) -> u32 {
+        self.block_tokens
+    }
+
+    /// Total blocks in the pool.
+    pub fn total_blocks(&self) -> u32 {
+        self.total_blocks
+    }
+
+    /// Blocks currently free.
+    pub fn free_blocks(&self) -> u32 {
+        self.free_blocks
+    }
+
+    /// Blocks currently allocated.
+    pub fn used_blocks(&self) -> u32 {
+        self.total_blocks - self.free_blocks
+    }
+
+    /// Allocated fraction of the pool in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.used_blocks() as f64 / self.total_blocks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_math_rounds_up() {
+        let p = KvPager::new(10, 16);
+        assert_eq!(p.blocks_for_tokens(0.0), 0);
+        assert_eq!(p.blocks_for_tokens(1.0), 1);
+        assert_eq!(p.blocks_for_tokens(16.0), 1);
+        assert_eq!(p.blocks_for_tokens(17.0), 2);
+        // Float noise at a block boundary does not claim a block.
+        assert_eq!(p.blocks_for_tokens(32.0 + 1e-9), 2);
+    }
+
+    #[test]
+    fn alloc_free_cycle_tracks_occupancy() {
+        let mut p = KvPager::new(4, 16);
+        assert!(p.try_alloc(3));
+        assert_eq!(p.used_blocks(), 3);
+        assert!((p.occupancy() - 0.75).abs() < 1e-12);
+        // Exhaustion: a request past the free count fails atomically.
+        assert!(!p.try_alloc(2));
+        assert_eq!(p.used_blocks(), 3);
+        assert!(p.try_alloc(1));
+        p.free(4);
+        assert_eq!(p.free_blocks(), 4);
+    }
+}

@@ -170,6 +170,12 @@ fn prof_prometheus_matches_golden_file() {
     snap.set_counter(ProfCounter::FleetRowWindows, 30);
     snap.set_counter(ProfCounter::TraceCacheMisses, 1);
     snap.set_counter(ProfCounter::TraceCacheHits, 3);
+    snap.set(Phase::ServeIteration, agg(24));
+    snap.set(Phase::ServeKvAlloc, agg(48));
+    snap.set(Phase::ServeSchedule, agg(24));
+    snap.set_counter(ProfCounter::ServeKvPeakBlocks, 537);
+    snap.set_counter(ProfCounter::ServePreemptions, 2);
+    snap.set_counter(ProfCounter::ServePeakBatch, 12);
 
     let rendered = snap.to_prometheus();
     let golden = include_str!("golden/prof_metrics.prom");

@@ -1,0 +1,188 @@
+//! Serving-engine guarantees (ISSUE 7 acceptance criteria):
+//!
+//! * the legacy engine is *untouched* — `EngineKind::Legacy` (the
+//!   default) reproduces the pre-serve event log byte-for-byte at a
+//!   fixed seed, and selecting it explicitly changes nothing,
+//! * the batched engine inherits the determinism contract — same seed
+//!   ⇒ byte-identical `events.jsonl`, and the four-policy panel is
+//!   byte-identical at `jobs=1` and `jobs=4`,
+//! * the full POLCA policy comparison runs end-to-end on the batched
+//!   engine, with KV occupancy, batch size, and per-pool power visible
+//!   in the obs metrics and the serve prof counters populated.
+
+use polca::{
+    DisaggregationConfig, OversubscriptionStudy, PolcaPolicy, PolicyKind, TraceEvaluation,
+};
+use polca_cluster::{EngineKind, Priority, Request, RowConfig};
+use polca_obs::{ObsLevel, ProfCounter, Recorder};
+use polca_sim::SimTime;
+use proptest::prelude::*;
+
+/// Runs the quick-demo study under POLCA on the given engine.
+fn run_quick(seed: u64, engine: Option<EngineKind>) -> (polca::PolicyOutcome, Recorder) {
+    let recorder = Recorder::new(ObsLevel::Full);
+    let mut study = OversubscriptionStudy::quick_demo(seed);
+    study.set_recorder(recorder.clone());
+    if let Some(engine) = engine {
+        study.set_engine(engine);
+    }
+    (study.run(PolicyKind::Polca, 0.30, 1.0), recorder)
+}
+
+/// The aggregated batched engine built from the §5.2 constants.
+fn batched() -> EngineKind {
+    DisaggregationConfig::default().batched_engine(false)
+}
+
+/// Golden-file pin of the legacy engine: the exact `polca-cli evaluate
+/// --days 0.02 --seed 17` event log committed before the serve engine
+/// existed. Any drift here means the default engine's behavior changed
+/// — which the engine flag exists to prevent.
+#[test]
+fn legacy_engine_reproduces_the_pre_serve_event_log() {
+    let recorder = Recorder::new(ObsLevel::Full);
+    let mut study = OversubscriptionStudy::new(
+        RowConfig::paper_inference_row(),
+        PolcaPolicy::default(),
+        0.02,
+        17,
+    );
+    study.set_record_power(false);
+    study.set_recorder(recorder.clone());
+    let _ = study.run(PolicyKind::Polca, 0.30, 1.0);
+    let golden = include_str!("golden/legacy_events.jsonl");
+    assert_eq!(recorder.artifacts().events_jsonl(), golden);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The default engine IS the legacy engine: never touching
+    /// `set_engine` and selecting `EngineKind::Legacy` explicitly give
+    /// byte-identical event logs and equal outcomes at any seed.
+    #[test]
+    fn legacy_is_the_default_engine(seed in 0u64..1000) {
+        let (a, rec_a) = run_quick(seed, None);
+        let (b, rec_b) = run_quick(seed, Some(EngineKind::Legacy));
+        prop_assert_eq!(a.counts, b.counts);
+        prop_assert_eq!(a.brake_engagements, b.brake_engagements);
+        prop_assert_eq!(a.peak_utilization, b.peak_utilization);
+        let (a, b) = (rec_a.artifacts(), rec_b.artifacts());
+        prop_assert!(!a.events.is_empty());
+        prop_assert_eq!(a.events_jsonl(), b.events_jsonl());
+        prop_assert_eq!(a.metrics_json(), b.metrics_json());
+    }
+
+    /// The batched engine honors the determinism contract: same seed ⇒
+    /// byte-identical artifacts, run to run.
+    #[test]
+    fn batched_engine_event_log_is_deterministic(seed in 0u64..1000) {
+        let (o1, rec1) = run_quick(seed, Some(batched()));
+        let (o2, rec2) = run_quick(seed, Some(batched()));
+        prop_assert_eq!(o1.counts, o2.counts);
+        prop_assert!(o1.counts.1 > 0, "batched engine completed nothing");
+        let (a, b) = (rec1.artifacts(), rec2.artifacts());
+        prop_assert!(!a.events.is_empty());
+        prop_assert_eq!(a.events_jsonl(), b.events_jsonl());
+        prop_assert_eq!(a.metrics_json(), b.metrics_json());
+        prop_assert_eq!(a.metrics_prometheus(), b.metrics_prometheus());
+    }
+}
+
+fn burst_requests(n: u64, gap_s: f64) -> Vec<Request> {
+    (0..n)
+        .map(|i| {
+            Request::new(
+                i,
+                SimTime::from_secs(i as f64 * gap_s),
+                1200,
+                400,
+                if i % 2 == 0 {
+                    Priority::High
+                } else {
+                    Priority::Low
+                },
+            )
+        })
+        .collect()
+}
+
+/// The four-policy replay panel on the batched engine is byte-identical
+/// at `jobs=1` and `jobs=4` — parallel scheduling stays invisible.
+#[test]
+fn batched_panel_is_jobs_invariant() {
+    let run = |jobs: usize| {
+        let recorder = Recorder::new(ObsLevel::Full);
+        let mut row = RowConfig::paper_inference_row();
+        row.base_servers = 20;
+        let mut eval =
+            TraceEvaluation::new(row, PolcaPolicy::default(), burst_requests(300, 1.5), 3);
+        eval.set_engine(batched());
+        eval.set_recorder(recorder.clone());
+        (eval.run_all(jobs), recorder)
+    };
+    let (seq, rec_seq) = run(1);
+    let (par, rec_par) = run(4);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.counts, b.counts);
+        assert!(a.counts.1 > 0, "{:?} completed nothing", a.kind);
+        assert_eq!(a.commands_issued, b.commands_issued);
+        assert_eq!(a.low_normalized.p99, b.low_normalized.p99);
+        assert_eq!(a.high_normalized.p99, b.high_normalized.p99);
+        assert_eq!(a.peak_utilization, b.peak_utilization);
+    }
+    let (a, b) = (rec_seq.artifacts(), rec_par.artifacts());
+    assert!(!a.events.is_empty());
+    assert_eq!(a.events_jsonl(), b.events_jsonl());
+    assert_eq!(a.metrics_json(), b.metrics_json());
+}
+
+/// The full POLCA policy comparison runs end-to-end on the batched
+/// engine, and the serve plane is observable: KV occupancy, batch
+/// size, and pool power land in the metrics, the serve phases and
+/// counters in the profile.
+#[test]
+fn polca_policy_comparison_runs_on_the_batched_engine() {
+    for kind in PolicyKind::all() {
+        let recorder = Recorder::new(ObsLevel::Full);
+        let mut study = OversubscriptionStudy::quick_demo(11);
+        study.set_recorder(recorder.clone());
+        study.set_engine(batched());
+        let o = study.run(kind, 0.30, 1.0);
+        assert_eq!(o.kind, kind);
+        assert!(o.counts.1 > 0, "{kind:?} completed nothing");
+        let prom = recorder.artifacts().metrics_prometheus();
+        assert!(prom.contains("serve_kv_occupancy"), "{kind:?}: {prom}");
+        assert!(prom.contains("serve_batch_size"), "{kind:?}");
+        assert!(
+            prom.contains("serve_pool_power_w{tag=\"aggregated\"}"),
+            "{kind:?}"
+        );
+        let snap = recorder.prof().snapshot();
+        assert!(snap.counter(ProfCounter::ServePeakBatch) > 0, "{kind:?}");
+        assert!(snap.counter(ProfCounter::ServeKvPeakBlocks) > 0, "{kind:?}");
+    }
+}
+
+/// Split pools run the same comparison with per-pool power split into
+/// prefill and decode gauges.
+#[test]
+fn split_pools_expose_per_pool_power() {
+    let recorder = Recorder::new(ObsLevel::Full);
+    let mut study = OversubscriptionStudy::quick_demo(11);
+    study.set_recorder(recorder.clone());
+    study.set_engine(DisaggregationConfig::default().batched_engine(true));
+    let o = study.run(PolicyKind::Polca, 0.30, 1.0);
+    assert!(o.counts.1 > 0, "split pools completed nothing");
+    let prom = recorder.artifacts().metrics_prometheus();
+    assert!(
+        prom.contains("serve_pool_power_w{tag=\"prefill\"}"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("serve_pool_power_w{tag=\"decode\"}"),
+        "{prom}"
+    );
+}

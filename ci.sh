@@ -30,8 +30,19 @@ cargo run -q --offline --release -p polca-cli -- \
     ingest tests/golden/sample_trace.csv
 
 echo "== polca-cli fleet smoke test =="
-fleet_out="$(mktemp -d)"
-trap 'rm -rf "$fleet_out"' EXIT
+# One trap for every smoke-test scratch dir: each step registers its
+# mktemp dir here instead of re-issuing `trap ... EXIT`, which would
+# silently *replace* the previous handler and leak the earlier dirs.
+scratch_dirs=()
+cleanup() { ((${#scratch_dirs[@]})) && rm -rf "${scratch_dirs[@]}" || :; }
+trap cleanup EXIT
+scratch() {
+    local dir
+    dir="$(mktemp -d)"
+    scratch_dirs+=("$dir")
+    printf '%s' "$dir"
+}
+fleet_out="$(scratch)"
 cargo run -q --offline --release -p polca-cli -- \
     evaluate --trace-csv tests/golden/sample_trace.csv \
     --rows 4 --jobs 2 --servers 10 --obs-out "$fleet_out"
@@ -43,8 +54,7 @@ done
     || { echo "missing fleet-level metrics.json"; exit 1; }
 
 echo "== polca-cli watch smoke test =="
-watch_out="$(mktemp -d)"
-trap 'rm -rf "$watch_out" "$fleet_out"' EXIT
+watch_out="$(scratch)"
 cargo run -q --offline --release -p polca-cli -- \
     evaluate --trace-csv tests/golden/sample_trace.csv \
     --policy polca --watch --obs-out "$watch_out"
@@ -61,8 +71,7 @@ if [[ -s "$watch_out/incidents.jsonl" ]]; then
 fi
 
 echo "== polca-cli serve smoke test =="
-serve_out="$(mktemp -d)"
-trap 'rm -rf "$serve_out" "$watch_out" "$fleet_out"' EXIT
+serve_out="$(scratch)"
 cargo run -q --offline --release -p polca-cli -- \
     evaluate --engine batched --days 0.02 --obs-out "$serve_out/agg"
 cargo run -q --offline --release -p polca-cli -- \
@@ -85,6 +94,26 @@ grep -q 'serve_pool_power_w{tag="prefill"}' "$serve_out/split/metrics.prom" \
 grep -q 'serve_pool_power_w{tag="decode"}' "$serve_out/split/metrics.prom" \
     || { echo "no decode pool power gauge"; exit 1; }
 
+echo "== polca-cli req-trace smoke test =="
+req_out="$(scratch)"
+cargo run -q --offline --release -p polca-cli -- \
+    evaluate --engine batched --req-trace --days 0.02 --obs-out "$req_out"
+[[ -s "$req_out/requests.jsonl" ]] \
+    || { echo "req-trace wrote no requests.jsonl"; exit 1; }
+# Every record must carry the lifecycle + energy schema fields.
+for field in '"id"' '"priority"' '"queue_s"' '"ttft_s"' '"tbt_mean_s"' \
+             '"tbt_max_s"' '"preemptions"' '"joules"' '"joules_per_token"'; do
+    grep -vq "$field" "$req_out/requests.jsonl" \
+        && { echo "requests.jsonl line missing $field"; exit 1; }
+done
+# The per-priority TTFT histograms land in the Prometheus export.
+grep -q '^# TYPE req_ttft_s summary' "$req_out/metrics.prom" \
+    || { echo "no req_ttft_s histogram in metrics.prom"; exit 1; }
+grep -q '^req_ttft_s{tag="' "$req_out/metrics.prom" \
+    || { echo "req_ttft_s has no per-priority series"; exit 1; }
+grep -q '^req_joules_per_token{tag="' "$req_out/metrics.prom" \
+    || { echo "no joules-per-token histogram in metrics.prom"; exit 1; }
+
 echo "== bench-smoke (polca-cli profile vs committed BENCH_*.json) =="
 # The committed BENCH_sim.json / BENCH_watch.json / BENCH_ingest.json
 # at the repository root are the perf-trajectory baseline, written by:
@@ -99,8 +128,7 @@ echo "== bench-smoke (polca-cli profile vs committed BENCH_*.json) =="
 # hot-path regression. Absolute numbers are machine-dependent:
 # re-baseline with the command above when CI hardware changes, or
 # raise the tolerance via the environment for shared/noisy runners.
-bench_out="$(mktemp -d)"
-trap 'rm -rf "$bench_out" "$serve_out" "$watch_out" "$fleet_out"' EXIT
+bench_out="$(scratch)"
 cargo run -q --offline --release -p polca-cli -- \
     profile --reps 3 --bench-out "$bench_out" > "$bench_out/profile.txt"
 grep -q '^accounted: ' "$bench_out/profile.txt" \

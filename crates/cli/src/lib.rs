@@ -38,7 +38,7 @@ use polca_ingest::{
     requests_to_csv, IngestedTrace, ReplayOptions, TraceCalibration, TraceReplay, TraceStats,
 };
 use polca_llm::{InferenceConfig, InferenceModel, ModelSpec};
-use polca_obs::{BenchReport, ObsLevel, ProfCounter, Recorder};
+use polca_obs::{BenchReport, ObsLevel, ProfCounter, Recorder, ReqTraceConfig};
 use polca_sim::{SimRng, SimTime};
 use polca_telemetry::RowPowerTaps;
 use polca_trace::replicate::production_reference;
@@ -107,7 +107,13 @@ impl std::error::Error for CliError {}
 /// missing its value.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, CliError> {
     /// Flags that take no value; their presence stores `"true"`.
-    const BOOL_FLAGS: &[&str] = &["watch", "enforce-budgets", "profile", "split-pools"];
+    const BOOL_FLAGS: &[&str] = &[
+        "watch",
+        "enforce-budgets",
+        "profile",
+        "split-pools",
+        "req-trace",
+    ];
     let mut iter = args.into_iter();
     let command = iter.next().ok_or(CliError::MissingCommand)?;
     let mut options = HashMap::new();
@@ -261,6 +267,16 @@ COMMANDS
                 transfer over the interconnect
                 [--profile] print the polca-prof attribution table for
                 the run (forces obs level full)
+                [--req-trace] trace every request's lifecycle with
+                polca-req: TTFT/TBT/queue-time histograms per priority
+                class land in metrics.prom, and per-request records
+                (phase breakdown, preemption/recompute episodes, KV
+                hops, joules and joules-per-token) land in
+                requests.jsonl plus per-request lanes in trace.json
+                (forces obs level >= events)
+                [--req-sample N] keep every Nth request record in
+                requests.jsonl (histograms still see all requests;
+                implies --req-trace)
                 [--watch] run the online alerting/incident plane on the
                 delayed OOB telemetry (forces obs level >= events; with
                 --obs-out also writes incidents.jsonl, report.md, and
@@ -461,6 +477,54 @@ fn ingest(inv: &Invocation) -> Result<(), CliError> {
         config.schedule.max_rate()
     );
     Ok(())
+}
+
+/// Parses `--req-trace` / `--req-sample N` into the polca-req
+/// configuration. `--req-sample` alone implies tracing; the stride is
+/// floored at 1 so `--req-sample 0` means "keep everything".
+fn parse_req_trace(inv: &Invocation) -> Result<Option<ReqTraceConfig>, CliError> {
+    let sample: Option<u64> = inv.get_opt("req-sample")?;
+    if !inv.options.contains_key("req-trace") && sample.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(ReqTraceConfig {
+        sample: sample.unwrap_or(1).max(1),
+    }))
+}
+
+/// Builds the run recorder, attaching the polca-req trace config when
+/// requested.
+fn build_recorder(obs_level: ObsLevel, req: Option<ReqTraceConfig>) -> Recorder {
+    let recorder = Recorder::new(obs_level);
+    match req {
+        Some(cfg) => recorder.with_req_trace(cfg),
+        None => recorder,
+    }
+}
+
+/// One-line digest of a finished req-trace run.
+fn print_req_summary(recorder: &Recorder, indent: &str) {
+    let run = recorder.artifacts();
+    if !run.req_trace {
+        return;
+    }
+    let n = run.requests.len();
+    if n == 0 {
+        println!("{indent}req-trace: 0 request record(s) sampled");
+        return;
+    }
+    let joules: f64 = run.requests.iter().map(|r| r.joules).sum();
+    let tokens: f64 = run
+        .requests
+        .iter()
+        .map(|r| f64::from(r.output_tokens.max(1)))
+        .sum();
+    println!(
+        "{indent}req-trace: {n} request record(s) sampled, \
+         {:.1} J/request, {:.2} J/token (busy power, sampled set)",
+        joules / n as f64,
+        joules / tokens
+    );
 }
 
 /// Builds the watch plane when `--watch` was given, loading
@@ -674,13 +738,14 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
     // stream, so `--watch` needs at least the events level; polca-prof
     // accumulators only exist at the full level.
     let mut obs_level = parse_obs_level(inv, &obs_out)?;
-    if inv.options.contains_key("watch") {
+    let req_trace = parse_req_trace(inv)?;
+    if inv.options.contains_key("watch") || req_trace.is_some() {
         obs_level = obs_level.max(ObsLevel::Events);
     }
     if profiling {
         obs_level = obs_level.max(ObsLevel::Full);
     }
-    let recorder = Recorder::new(obs_level);
+    let recorder = build_recorder(obs_level, req_trace);
 
     let mut study = OversubscriptionStudy::new(
         RowConfig::paper_inference_row(),
@@ -724,6 +789,7 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
         value.extra_servers,
         value.avoided_capex_usd / 1e6
     );
+    print_req_summary(&recorder, "  ");
     if profiling {
         // Snapshot before artifact I/O so the table accounts against
         // the run's wall time only.
@@ -783,8 +849,12 @@ fn evaluate_fleet(inv: &Invocation, rows: usize) -> Result<(), CliError> {
         println!("note: --watch applies to single-row runs; ignoring it for the fleet");
     }
     let obs_out: Option<String> = inv.get_opt("obs-out")?;
-    let obs_level = parse_obs_level(inv, &obs_out)?;
-    let recorder = Recorder::new(obs_level);
+    let req_trace = parse_req_trace(inv)?;
+    let mut obs_level = parse_obs_level(inv, &obs_out)?;
+    if req_trace.is_some() {
+        obs_level = obs_level.max(ObsLevel::Events);
+    }
+    let recorder = build_recorder(obs_level, req_trace);
 
     // The fleet serves the same production-shaped workload as the
     // single-row study, scaled so each of the `rows` rows sees the
@@ -850,12 +920,13 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
     let rows: usize = inv.get("rows", 1)?;
     let jobs: usize = inv.get("jobs", 1)?;
     let obs_out: Option<String> = inv.get_opt("obs-out")?;
-    let obs_level = if inv.options.contains_key("watch") {
+    let req_trace = parse_req_trace(inv)?;
+    let obs_level = if inv.options.contains_key("watch") || req_trace.is_some() {
         parse_obs_level(inv, &obs_out)?.max(ObsLevel::Events)
     } else {
         parse_obs_level(inv, &obs_out)?
     };
-    let recorder = Recorder::new(obs_level);
+    let recorder = build_recorder(obs_level, req_trace);
 
     let trace = IngestedTrace::from_csv_path_observed(Path::new(&path), &recorder)
         .map_err(|e| CliError::Ingest(e.to_string()))?;
@@ -998,6 +1069,7 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
             }
         }
     }
+    print_req_summary(&recorder, "  ");
     if let Some(dir) = &obs_out {
         let files = recorder
             .write_dir(Path::new(dir))
@@ -1484,6 +1556,50 @@ mod tests {
         let inv = parse_args(args(&["evaluate", "--enforce-budgets", "--rows", "4"])).unwrap();
         assert_eq!(inv.options.get("enforce-budgets").unwrap(), "true");
         assert_eq!(inv.get::<usize>("rows", 1).unwrap(), 4);
+    }
+
+    #[test]
+    fn req_trace_is_a_boolean_flag() {
+        let inv = parse_args(args(&["evaluate", "--req-trace", "--req-sample", "4"])).unwrap();
+        assert_eq!(inv.options.get("req-trace").unwrap(), "true");
+        assert_eq!(inv.get::<u64>("req-sample", 1).unwrap(), 4);
+        // --req-sample alone implies tracing; bare --req-trace samples
+        // every request.
+        let inv = parse_args(args(&["evaluate", "--req-sample", "4"])).unwrap();
+        assert_eq!(parse_req_trace(&inv).unwrap().unwrap().sample, 4);
+        let inv = parse_args(args(&["evaluate", "--req-trace"])).unwrap();
+        assert_eq!(parse_req_trace(&inv).unwrap().unwrap().sample, 1);
+        let inv = parse_args(args(&["evaluate"])).unwrap();
+        assert!(parse_req_trace(&inv).unwrap().is_none());
+    }
+
+    #[test]
+    fn evaluate_req_trace_writes_requests_jsonl() {
+        let dir = std::env::temp_dir().join(format!("polca-cli-req-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        let inv = parse_args(args(&[
+            "evaluate",
+            "--engine",
+            "batched",
+            "--req-trace",
+            "--days",
+            "0.02",
+            "--added",
+            "30",
+            "--obs-out",
+            &out,
+        ]))
+        .unwrap();
+        run(&inv).unwrap();
+        let body = std::fs::read_to_string(dir.join("requests.jsonl")).unwrap();
+        let first = body.lines().next().expect("at least one record");
+        for field in ["\"ttft_s\":", "\"tbt_mean_s\":", "\"joules_per_token\":"] {
+            assert!(first.contains(field), "{field} missing from {first}");
+        }
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(prom.contains("req_ttft_s"), "TTFT histogram missing");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -276,7 +276,7 @@ impl<P: PowerController, S: RequestSource> FleetSim<P, S> {
         let mut rows = Vec::with_capacity(fleet.rows);
         let mut row_recorders = Vec::with_capacity(fleet.rows);
         for i in 0..fleet.rows {
-            let recorder = Recorder::new(fleet.base.recorder.level());
+            let recorder = fleet.base.recorder.fresh_cell();
             let mut cfg = fleet.base.clone();
             cfg.seed = row_seed(fleet.base.seed, i);
             cfg.recorder = recorder.clone();

@@ -23,7 +23,7 @@
 //! downstream consumer works unchanged on either.
 
 use polca_llm::InferenceModel;
-use polca_obs::{Event, Label, Phase, Recorder, SpanGuard};
+use polca_obs::{Event, Label, Phase, Recorder, ReqSpan, SpanGuard};
 use polca_serve::{
     AdmissionKind, BatchedRow, BatchedRowParams, ServeConfig, ServeOutcome, ServeRequest,
 };
@@ -291,6 +291,18 @@ enum Ev {
     ServeTransfer,
 }
 
+/// Per-server polca-req state for the legacy engine: the span of the
+/// request in service plus the last time its energy integral was
+/// folded. The legacy server runs one request at a time, so the whole
+/// server draw between power-changing transitions belongs to it.
+#[derive(Clone, Debug)]
+struct LegacyTrace {
+    /// Last time this server's power was folded into the active span.
+    last_t: SimTime,
+    /// `(service_start, span)` of the request in service, if any.
+    active: Option<(SimTime, ReqSpan)>,
+}
+
 /// The cluster simulator.
 pub struct ClusterSim<P> {
     servers: Vec<InferenceServer>,
@@ -312,6 +324,10 @@ pub struct ClusterSim<P> {
     last_power_change: SimTime,
     power_integral: f64,
     obs: Recorder,
+    /// polca-req spans for the legacy engine, one slot per server;
+    /// `None` unless the recorder has request tracing on (the batched
+    /// engine threads spans through its own sequences instead).
+    legacy_trace: Option<Vec<LegacyTrace>>,
 }
 
 impl<P: PowerController> ClusterSim<P> {
@@ -358,6 +374,15 @@ impl<P: PowerController> ClusterSim<P> {
             provisioned_watts: row.provisioned_watts(),
             n_servers: servers.len(),
         };
+        let legacy_trace = (engine.is_none() && obs.req_enabled()).then(|| {
+            vec![
+                LegacyTrace {
+                    last_t: SimTime::ZERO,
+                    active: None,
+                };
+                servers.len()
+            ]
+        });
         ClusterSim {
             row_signal: DelayedSignal::new(SimTime::from_secs(config.telemetry_delay_s)),
             plane,
@@ -373,6 +398,7 @@ impl<P: PowerController> ClusterSim<P> {
             ctx,
             config,
             controller,
+            legacy_trace,
         }
     }
 
@@ -446,6 +472,16 @@ impl<P: PowerController> ClusterSim<P> {
     ) -> T {
         self.accumulate_power(now);
         let before = self.servers[idx].power_watts();
+        // polca-req legacy ledger: the server's draw was `before` watts
+        // since the last fold, all of it serving the active request —
+        // charge it before the mutation can change the power.
+        if let Some(traces) = self.legacy_trace.as_mut() {
+            let tr = &mut traces[idx];
+            if let Some((_, span)) = tr.active.as_mut() {
+                span.joules += before * now.saturating_sub(tr.last_t).as_secs();
+            }
+            tr.last_t = now;
+        }
         let out = f(&mut self.servers[idx]);
         let after = self.servers[idx].power_watts();
         self.row_power_watts += after - before;
@@ -489,12 +525,16 @@ impl<P: PowerController> ClusterSim<P> {
                 .add("serve.preemptions", Label::Global, outcome.preemptions);
         }
         for c in outcome.completions {
-            self.record_completion(CompletedRequest {
+            let record = CompletedRequest {
                 request: c.payload,
                 started_at: c.started_at,
                 completed_at: now,
                 server: c.server,
-            });
+            };
+            self.record_completion(record);
+            if self.obs.req_enabled() {
+                self.record_request_span(&c.span, &record);
+            }
         }
         if let Some((at, version)) = outcome.wake {
             self.queue.schedule(
@@ -615,6 +655,7 @@ impl<P: PowerController> ClusterSim<P> {
                 priority: Self::pri_tag(priority),
             });
             let (end_at, version) = self.mutate_server(now, i, |s| s.start_request(now, req));
+            self.start_legacy_span(now, i);
             self.queue
                 .schedule(end_at, Ev::PhaseEnd { server: i, version });
             return;
@@ -662,17 +703,69 @@ impl<P: PowerController> ClusterSim<P> {
         match outcome {
             PhaseOutcome::Ignored => {}
             PhaseOutcome::TokenStarted { end_at, version } => {
+                // The prompt phase just finished: under the legacy
+                // whole-request model the first output token becomes
+                // available now.
+                if let Some(traces) = self.legacy_trace.as_mut() {
+                    if let Some((start, span)) = traces[server].active.as_mut() {
+                        span.prefill_s = now.saturating_sub(*start).as_secs();
+                        span.first_token_s = Some(now.as_secs());
+                    }
+                }
                 self.queue
                     .schedule(end_at, Ev::PhaseEnd { server, version });
             }
             PhaseOutcome::Completed { record, next } => {
+                let span = self
+                    .legacy_trace
+                    .as_mut()
+                    .and_then(|traces| traces[server].active.take());
                 self.record_completion(record);
+                if let Some((_, mut span)) = span {
+                    if let Some(first) = span.first_token_s {
+                        span.decode_s = (now.as_secs() - first).max(0.0);
+                        span.last_token_s = Some(now.as_secs());
+                    }
+                    self.record_request_span(&span, &record);
+                }
                 if let Some((end_at, version)) = next {
+                    // A buffered request was dequeued and started.
+                    self.start_legacy_span(now, server);
                     self.queue
                         .schedule(end_at, Ev::PhaseEnd { server, version });
                 }
             }
         }
+    }
+
+    /// Opens a polca-req span for the request that just entered service
+    /// on legacy server `idx` (no-op unless request tracing is on).
+    fn start_legacy_span(&mut self, now: SimTime, idx: usize) {
+        if let Some(traces) = self.legacy_trace.as_mut() {
+            let tr = &mut traces[idx];
+            tr.active = Some((now, ReqSpan::default()));
+            tr.last_t = now;
+        }
+    }
+
+    /// Closes `span` against a completed request and lands the derived
+    /// record in the polca-req plane. The legacy engine serves the
+    /// token phase as one fluid span, so its `tbt_max` falls back to
+    /// the mean gap; the batched engine reports real per-iteration
+    /// gaps.
+    fn record_request_span(&self, span: &ReqSpan, record: &CompletedRequest) {
+        let req = record.request;
+        let rec = span.finish(
+            req.id,
+            Self::pri_tag(req.priority),
+            record.server,
+            req.arrival.as_secs(),
+            record.started_at.as_secs(),
+            record.completed_at.as_secs(),
+            req.input_tokens,
+            req.output_tokens,
+        );
+        self.obs.record_request(&rec);
     }
 
     fn record_completion(&mut self, record: CompletedRequest) {

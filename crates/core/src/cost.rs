@@ -89,6 +89,18 @@ impl CostModel {
     /// Energy per completed request in watt-hours — the power-efficiency
     /// metric oversubscription improves (more work amortizes the idle
     /// and facility overhead).
+    ///
+    /// This is the *aggregate* estimator: it spreads the whole row's
+    /// mean draw — hot-idle floor, idle servers, and the PUE facility
+    /// overhead included — evenly across completed requests. The
+    /// polca-req ledger (`ReqRecord::joules`) is the *attributed*
+    /// view of the same quantity: each request is charged only the
+    /// busy power of the iterations it actually rode, so idle and
+    /// facility overhead are excluded. The aggregate therefore upper-
+    /// bounds the mean of the per-request ledger, and the two agree
+    /// within the idle/PUE overhead factor (see the
+    /// `aggregate_energy_estimator_bounds_the_req_ledger` test in
+    /// `tests/req_trace.rs`).
     pub fn energy_per_request_wh(
         &self,
         outcome: &PolicyOutcome,
@@ -96,10 +108,25 @@ impl CostModel {
         days: f64,
     ) -> Option<f64> {
         let completed = outcome.counts.1;
+        self.energy_per_request_wh_raw(outcome.mean_utilization, completed, row, days)
+    }
+
+    /// [`energy_per_request_wh`](Self::energy_per_request_wh) from raw
+    /// utilization and counts, for outcome types other than
+    /// [`PolicyOutcome`] (the trace-replay paths).
+    pub fn energy_per_request_wh_raw(
+        &self,
+        mean_utilization: f64,
+        completed: u64,
+        row: &RowConfig,
+        days: f64,
+    ) -> Option<f64> {
         if completed == 0 {
             return None;
         }
-        Some(self.energy_kwh(outcome, row, days) * 1000.0 / completed as f64)
+        let mean_watts = mean_utilization * row.provisioned_watts();
+        let energy_kwh = mean_watts * self.pue * days * 24.0 / 1000.0;
+        Some(energy_kwh * 1000.0 / completed as f64)
     }
 }
 

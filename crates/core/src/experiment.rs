@@ -489,10 +489,9 @@ impl OversubscriptionStudy {
     ///
     /// Panics if `jobs` is zero.
     pub fn sweep(&self, cells: &[(PolicyKind, f64, f64)], jobs: usize) -> Vec<PolicyOutcome> {
-        let level = self.recorder.level();
         let results = crate::sweep::run_parallel(jobs, cells.len(), |i| {
             let (kind, added_fraction, power_scale) = cells[i];
-            let cell_obs = Recorder::new(level);
+            let cell_obs = self.recorder.fresh_cell();
             let outcome =
                 self.run_cell(kind, added_fraction, power_scale, &cell_obs, &self.oob_taps);
             (outcome, cell_obs)

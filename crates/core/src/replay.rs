@@ -245,9 +245,8 @@ impl TraceEvaluation {
     /// Panics if `jobs` is zero.
     pub fn run_all(&self, jobs: usize) -> Vec<ReplayOutcome> {
         let kinds = PolicyKind::all();
-        let level = self.recorder.level();
         let results = crate::sweep::run_parallel(jobs, kinds.len(), |i| {
-            let cell_obs = Recorder::new(level);
+            let cell_obs = self.recorder.fresh_cell();
             let outcome = self.run_cell(kinds[i], &cell_obs, &self.oob_taps);
             (outcome, cell_obs)
         });

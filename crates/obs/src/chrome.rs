@@ -44,6 +44,18 @@ pub fn trace_json(events: &[Event]) -> String {
 /// the cluster track (tid 0). With an empty slice the output is
 /// byte-identical to [`trace_json`].
 pub fn trace_json_annotated(events: &[Event], annotations: &[Annotation]) -> String {
+    trace_json_with_extra(events, annotations, &[])
+}
+
+/// Like [`trace_json_annotated`] but also appends pre-rendered
+/// trace-event lines (the polca-req request lanes) after the
+/// annotations. With empty slices the output is byte-identical to
+/// [`trace_json`].
+pub fn trace_json_with_extra(
+    events: &[Event],
+    annotations: &[Annotation],
+    extra: &[String],
+) -> String {
     let mut out: Vec<String> = Vec::new();
     let t_end = events.iter().map(Event::t).fold(0.0_f64, f64::max);
 
@@ -275,6 +287,8 @@ pub fn trace_json_annotated(events: &[Event], annotations: &[Annotation]) -> Str
             &format!("{{\"detail\":\"{}\"}}", esc(&a.detail)),
         ));
     }
+
+    out.extend(extra.iter().cloned());
 
     let mut doc = String::from("{\"traceEvents\":[\n");
     doc.push_str(&out.join(",\n"));

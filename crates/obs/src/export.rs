@@ -6,6 +6,8 @@
 //! | file              | contents                                         |
 //! |-------------------|--------------------------------------------------|
 //! | `events.jsonl`    | the structured event log, one JSON object/line   |
+//! | `requests.jsonl`  | polca-req per-request lifecycle records (only    |
+//! |                   | when request tracing is on)                      |
 //! | `metrics.json`    | counters, gauges, histogram summaries            |
 //! | `metrics.prom`    | registry + deterministic polca-prof counters in  |
 //! |                   | Prometheus text exposition                       |
@@ -36,6 +38,7 @@ use crate::json::num;
 use crate::metrics::MetricsRegistry;
 use crate::prof::ProfSnapshot;
 use crate::recorder::ObsLevel;
+use crate::req::{self, ReqRecord};
 use crate::span::SpanStats;
 
 /// Renders a table as CSV: a header row followed by one line per row,
@@ -88,6 +91,13 @@ pub struct RunArtifacts {
     pub metrics: MetricsRegistry,
     /// Wall-clock span aggregates (empty below [`ObsLevel::Full`]).
     pub spans: SpanStats,
+    /// polca-req lifecycle records for sampled completed requests
+    /// (empty unless request tracing was on at [`ObsLevel::Events`]+).
+    pub requests: Vec<ReqRecord>,
+    /// Whether the recorder had request tracing enabled — gates the
+    /// `requests.jsonl` artifact so untraced runs keep their exact
+    /// file set.
+    pub req_trace: bool,
     /// polca-prof phase and counter totals (empty below
     /// [`ObsLevel::Full`]).
     pub prof: ProfSnapshot,
@@ -153,15 +163,31 @@ impl RunArtifacts {
         s
     }
 
-    /// The event log rendered as Chrome trace-event JSON.
+    /// The polca-req request log as JSON Lines (one completed request
+    /// per line — the `requests.jsonl` body).
+    pub fn requests_jsonl(&self) -> String {
+        req::requests_jsonl(&self.requests)
+    }
+
+    /// The event log rendered as Chrome trace-event JSON; when request
+    /// tracing captured records, per-request lanes ride along on a
+    /// dedicated `polca-req` process.
     pub fn chrome_trace_json(&self) -> String {
-        chrome::trace_json(&self.events)
+        chrome::trace_json_with_extra(&self.events, &[], &self.request_lanes())
     }
 
     /// Chrome trace-event JSON with extra instant markers merged onto
     /// the cluster track (the watch plane's incident annotations).
     pub fn chrome_trace_json_with(&self, annotations: &[chrome::Annotation]) -> String {
-        chrome::trace_json_annotated(&self.events, annotations)
+        chrome::trace_json_with_extra(&self.events, annotations, &self.request_lanes())
+    }
+
+    fn request_lanes(&self) -> Vec<String> {
+        if self.req_trace {
+            req::chrome_request_lanes(&self.requests)
+        } else {
+            Vec::new()
+        }
     }
 
     /// Wall-clock span timings as JSON.
@@ -192,7 +218,8 @@ impl RunArtifacts {
     ///
     /// * `ObsLevel::Metrics` → `metrics.json`, `metrics.prom`
     /// * `ObsLevel::Events` → plus `events.jsonl`, `power.csv`,
-    ///   `latency.csv`, `trace.json`
+    ///   `latency.csv`, `trace.json` (and `requests.jsonl` when
+    ///   request tracing is on)
     /// * `ObsLevel::Full` → plus `profile.json`, `prof.json`,
     ///   `prof.folded`, `prof.trace.json`
     pub fn write_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
@@ -210,6 +237,9 @@ impl RunArtifacts {
         }
         if self.level.events_enabled() {
             put("events.jsonl", self.events_jsonl())?;
+            if self.req_trace {
+                put("requests.jsonl", self.requests_jsonl())?;
+            }
             put("power.csv", self.power_csv())?;
             put("latency.csv", self.latency_csv())?;
             put("trace.json", self.chrome_trace_json())?;
@@ -248,6 +278,8 @@ mod tests {
             ],
             metrics,
             spans: SpanStats::default(),
+            requests: Vec::new(),
+            req_trace: false,
             prof: ProfSnapshot::default(),
         }
     }
@@ -307,6 +339,37 @@ mod tests {
         assert!(dir.join("prof.json").exists());
         assert!(dir.join("prof.folded").exists());
         assert!(dir.join("prof.trace.json").exists());
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn req_trace_adds_requests_jsonl_and_chrome_lanes() {
+        let dir = std::env::temp_dir().join(format!(
+            "polca-req-export-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+
+        let mut a = sample();
+        let without = a.chrome_trace_json();
+        a.req_trace = true;
+        a.requests
+            .push(crate::req::ReqSpan::default().finish(7, "high", 0, 0.0, 1.0, 9.0, 100, 10));
+        let files = a.write_dir(&dir).unwrap();
+        assert_eq!(files.len(), 7);
+        let jsonl = fs::read_to_string(dir.join("requests.jsonl")).unwrap();
+        assert_eq!(jsonl, a.requests_jsonl());
+        assert!(jsonl.contains("\"ttft_s\":"));
+        let with = a.chrome_trace_json();
+        assert_ne!(with, without);
+        assert!(with.contains("\"name\":\"polca-req\""));
+
+        // req_trace on with no captured records: the lane process is
+        // omitted and the trace matches the untraced rendering.
+        a.requests.clear();
+        assert_eq!(a.chrome_trace_json(), without);
 
         fs::remove_dir_all(&dir).unwrap();
     }

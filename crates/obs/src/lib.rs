@@ -20,6 +20,10 @@
 //!   folded-stack/speedscope and Chrome-trace exports, and the
 //!   [`BenchReport`] machinery behind the `BENCH_*.json` perf
 //!   trajectory,
+//! * [`ReqSpan`]/[`ReqRecord`] (polca-req) — per-request lifecycle
+//!   tracing: TTFT, mean/max time-between-tokens, queue/recompute/KV
+//!   -shipping breakdowns, and a joules-per-token ledger, exported as
+//!   `requests.jsonl` plus Chrome-trace request lanes,
 //! * [`RunArtifacts`] — exporters: a JSONL event log, CSV power and
 //!   latency timeseries, and a Chrome trace-event JSON that opens
 //!   directly in Perfetto (`https://ui.perfetto.dev`) or
@@ -54,6 +58,7 @@ pub mod json;
 pub mod metrics;
 pub mod prof;
 pub mod recorder;
+pub mod req;
 pub mod span;
 
 pub use chrome::Annotation;
@@ -62,4 +67,5 @@ pub use export::RunArtifacts;
 pub use metrics::{Label, MetricsRegistry, StreamingHistogram};
 pub use prof::{BenchReport, Phase, PhaseAgg, ProfCounter, ProfGuard, ProfSnapshot, Profiler};
 pub use recorder::{EventTap, ObsLevel, QueueProbe, Recorder};
+pub use req::{ReqRecord, ReqSpan, ReqTraceConfig};
 pub use span::{SpanGuard, SpanStats};

@@ -18,6 +18,7 @@ use crate::event::Event;
 use crate::export::RunArtifacts;
 use crate::metrics::{Label, MetricsRegistry};
 use crate::prof::{Phase, ProfCounter, ProfGuard, ProfSnapshot, Profiler};
+use crate::req::{ReqRecord, ReqTraceConfig};
 use crate::span::{SpanGuard, SpanStats};
 
 /// How much a [`Recorder`] captures.
@@ -93,6 +94,13 @@ impl fmt::Display for ObsLevel {
 pub trait EventTap: Send + Sync {
     /// Called with each event as it is recorded.
     fn on_event(&self, event: &Event);
+
+    /// Called with each completed request record when request tracing
+    /// is on (see [`Recorder::with_req_trace`]). Taps see *every*
+    /// record regardless of the `requests.jsonl` sampling rate, so an
+    /// online consumer (the watch plane's TTFT/TBT burn trackers) is
+    /// never starved by sampling. Default: ignore.
+    fn on_request(&self, _record: &ReqRecord) {}
 }
 
 /// Holds the optional event tap inside the shared core (newtype so the
@@ -114,6 +122,7 @@ pub(crate) struct ObsCore {
     pub(crate) events: Vec<Event>,
     pub(crate) metrics: MetricsRegistry,
     pub(crate) spans: SpanStats,
+    pub(crate) requests: Vec<ReqRecord>,
     pub(crate) tap: TapSlot,
 }
 
@@ -133,6 +142,7 @@ pub struct Recorder {
     level: ObsLevel,
     core: Option<Arc<Mutex<ObsCore>>>,
     prof: Profiler,
+    req: Option<ReqTraceConfig>,
 }
 
 impl PartialEq for Recorder {
@@ -152,7 +162,41 @@ impl Recorder {
     pub fn new(level: ObsLevel) -> Self {
         let core = (level > ObsLevel::Off).then(|| Arc::new(Mutex::new(ObsCore::default())));
         let prof = Profiler::new(level.profiling_enabled());
-        Recorder { level, core, prof }
+        Recorder {
+            level,
+            core,
+            prof,
+            req: None,
+        }
+    }
+
+    /// Enables polca-req request tracing on this recorder (builder
+    /// style). Histograms need [`ObsLevel::Metrics`] and record
+    /// storage/taps need [`ObsLevel::Events`] — the usual level gates
+    /// apply on top of this switch.
+    pub fn with_req_trace(mut self, cfg: ReqTraceConfig) -> Self {
+        self.req = Some(cfg);
+        self
+    }
+
+    /// Whether request tracing is enabled (regardless of level).
+    pub fn req_enabled(&self) -> bool {
+        self.req.is_some()
+    }
+
+    /// The request-tracing configuration, if enabled.
+    pub fn req_trace(&self) -> Option<ReqTraceConfig> {
+        self.req
+    }
+
+    /// A fresh recorder with the same configuration (level and request
+    /// tracing) but an empty core — the per-cell recorder the parallel
+    /// sweep/replay runners create for each job before
+    /// [`absorb`](Self::absorb)ing them in canonical order.
+    pub fn fresh_cell(&self) -> Recorder {
+        let mut cell = Recorder::new(self.level);
+        cell.req = self.req;
+        cell
     }
 
     /// The capture level this recorder was created with.
@@ -249,6 +293,41 @@ impl Recorder {
         }
     }
 
+    /// Lands one completed request in the polca-req plane (no-op
+    /// unless request tracing is on, see
+    /// [`with_req_trace`](Self::with_req_trace)).
+    ///
+    /// At [`ObsLevel::Metrics`] and above the record feeds the
+    /// per-priority-class streaming histograms (`req.ttft_s`,
+    /// `req.tbt_s`, `req.queue_s`, `req.joules_per_token`). At
+    /// [`ObsLevel::Events`] and above it also streams to the attached
+    /// [`EventTap::on_request`] and — subject to the configured
+    /// sampling rate — is stored for `requests.jsonl`.
+    pub fn record_request(&self, record: &ReqRecord) {
+        let Some(cfg) = self.req else {
+            return;
+        };
+        let Some(mut core) = self.lock() else {
+            return;
+        };
+        if self.level.metrics_enabled() {
+            let label = Label::Tag(record.priority);
+            core.metrics.observe("req.ttft_s", label, record.ttft_s);
+            core.metrics.observe("req.tbt_s", label, record.tbt_mean_s);
+            core.metrics.observe("req.queue_s", label, record.queue_s);
+            core.metrics
+                .observe("req.joules_per_token", label, record.joules_per_token);
+        }
+        if self.level.events_enabled() {
+            if let Some(tap) = &core.tap.0 {
+                tap.on_request(record);
+            }
+            if record.id.is_multiple_of(cfg.sample.max(1)) {
+                core.requests.push(record.clone());
+            }
+        }
+    }
+
     /// Starts a wall-clock span; the returned guard records its
     /// elapsed time on drop. Returns `None` below [`ObsLevel::Full`],
     /// so the idiom is simply `let _span = obs.time("sim.loop");`.
@@ -301,6 +380,7 @@ impl Recorder {
         let src = theirs.lock().unwrap_or_else(|e| e.into_inner());
         if self.level.events_enabled() {
             core.events.extend(src.events.iter().cloned());
+            core.requests.extend(src.requests.iter().cloned());
         }
         if self.level.metrics_enabled() {
             core.metrics.merge_from(&src.metrics);
@@ -343,6 +423,8 @@ impl Recorder {
                 events: core.events.clone(),
                 metrics: core.metrics.clone(),
                 spans: core.spans.clone(),
+                requests: core.requests.clone(),
+                req_trace: self.req.is_some(),
                 prof: self.prof.snapshot(),
             },
             None => RunArtifacts {
@@ -350,6 +432,8 @@ impl Recorder {
                 events: Vec::new(),
                 metrics: MetricsRegistry::default(),
                 spans: SpanStats::default(),
+                requests: Vec::new(),
+                req_trace: self.req.is_some(),
                 prof: ProfSnapshot::default(),
             },
         }
@@ -577,6 +661,80 @@ mod tests {
         r.absorb(&other);
         assert_eq!(r.artifacts().events.len(), 1);
         assert_eq!(tap.0.load(Ordering::Relaxed), 0);
+    }
+
+    fn req_record(id: u64) -> ReqRecord {
+        crate::req::ReqSpan::default().finish(id, "low", 0, 0.0, 1.0, 9.0, 100, 10)
+    }
+
+    #[test]
+    fn record_request_requires_opt_in() {
+        let r = Recorder::new(ObsLevel::Full);
+        r.record_request(&req_record(1));
+        let a = r.artifacts();
+        assert!(a.requests.is_empty());
+        assert!(!a.req_trace);
+        assert!(a.metrics.is_empty());
+    }
+
+    #[test]
+    fn record_request_feeds_histograms_and_stores_sampled_records() {
+        let r = Recorder::new(ObsLevel::Full).with_req_trace(ReqTraceConfig { sample: 2 });
+        for id in 0..6 {
+            r.record_request(&req_record(id));
+        }
+        let a = r.artifacts();
+        assert!(a.req_trace);
+        // Sampling keeps ids 0, 2, 4 but the histograms see all six.
+        assert_eq!(a.requests.len(), 3);
+        assert!(a
+            .metrics
+            .to_prometheus()
+            .contains("req_ttft_s_count{tag=\"low\"} 6"));
+    }
+
+    #[test]
+    fn metrics_level_keeps_req_histograms_drops_records() {
+        let r = Recorder::new(ObsLevel::Metrics).with_req_trace(ReqTraceConfig::default());
+        r.record_request(&req_record(1));
+        let a = r.artifacts();
+        assert!(a.requests.is_empty());
+        assert!(a.metrics.to_prometheus().contains("req_ttft_s"));
+    }
+
+    #[test]
+    fn absorb_merges_request_records_in_order() {
+        let a = Recorder::new(ObsLevel::Events).with_req_trace(ReqTraceConfig::default());
+        let b = a.fresh_cell();
+        assert!(b.req_enabled());
+        a.record_request(&req_record(1));
+        b.record_request(&req_record(2));
+        a.absorb(&b);
+        let ids: Vec<u64> = a.artifacts().requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn request_tap_sees_every_record_despite_sampling() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[derive(Default)]
+        struct Counting(AtomicUsize);
+        impl EventTap for Counting {
+            fn on_event(&self, _event: &Event) {}
+            fn on_request(&self, _record: &ReqRecord) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let r = Recorder::new(ObsLevel::Events).with_req_trace(ReqTraceConfig { sample: 100 });
+        let tap = Arc::new(Counting::default());
+        r.set_tap(tap.clone());
+        for id in 0..5 {
+            r.record_request(&req_record(id));
+        }
+        assert_eq!(tap.0.load(Ordering::Relaxed), 5);
+        assert_eq!(r.artifacts().requests.len(), 1); // only id 0 sampled
     }
 
     #[test]

@@ -287,11 +287,13 @@ impl<T> BatchedRow<T> {
         self.total_power += self.servers[idx].power_watts - before;
 
         let mut transfers_queued = false;
-        for seq in result.handoffs.drain(..) {
+        for mut seq in result.handoffs.drain(..) {
             let bytes = seq.kv_tokens * self.kv_bytes_per_token;
             let bandwidth = self
                 .interconnect_bytes_per_s
                 .expect("hand-off from a prefill pool requires an interconnect");
+            seq.trace.kv_hops += 1;
+            seq.trace.kv_ship_s += bytes / bandwidth;
             let due = now + SimTime::from_secs(bytes / bandwidth);
             self.in_flight.push((due, seq));
             transfers_queued = true;

@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 
 use polca_gpu::DvfsModel;
 use polca_llm::{BatchComposition, InferenceModel};
-use polca_obs::{Phase, ProfCounter, Profiler};
+use polca_obs::{Phase, ProfCounter, Profiler, ReqSpan};
 use polca_sim::SimTime;
 use polca_telemetry::ControlAction;
 
@@ -116,6 +116,10 @@ pub(crate) struct Seq<T> {
     pub kv_tokens: f64,
     /// KV blocks held from the server's pager.
     pub blocks: u32,
+    /// polca-req lifecycle accumulator. Write-only from the engine's
+    /// perspective — scheduling never reads it, so tracing cannot
+    /// perturb outcomes.
+    pub trace: ReqSpan,
 }
 
 impl<T> Seq<T> {
@@ -138,6 +142,7 @@ impl<T> Seq<T> {
             decoded: 0.0,
             kv_tokens: 0.0,
             blocks: 0,
+            trace: ReqSpan::default(),
         }
     }
 
@@ -161,6 +166,8 @@ pub struct Completion<T> {
     pub server: usize,
     /// When the request first entered service (prefill start).
     pub started_at: SimTime,
+    /// The accumulated polca-req lifecycle span.
+    pub span: ReqSpan,
 }
 
 /// Everything one engine operation produced for one server.
@@ -352,21 +359,72 @@ impl<T> BatchServer<T> {
     /// preempting the youngest sequences if the pool runs dry.
     /// Returns the number of preemptions.
     fn advance_to(&mut self, now: SimTime, prof: &Profiler) -> u64 {
+        let t0 = self.epoch_start.as_secs();
         let dt = now.saturating_sub(self.epoch_start).as_secs();
         self.epoch_start = now;
         if dt <= 0.0 || self.running() == 0 || !self.iter_s.is_finite() {
             return 0;
         }
         let iters = dt / self.iter_s;
+
+        // polca-req energy attribution: this epoch burned
+        // `power_watts × dt` joules (the power cached at the last
+        // recompute, so a capped or braked epoch is priced at its
+        // slowed draw). Split it across the batch in proportion to
+        // token progress — the requests inside a brake-slowed
+        // iteration visibly pay for it.
+        let prefill_adv = self
+            .prefilling
+            .front()
+            .map(|h| (iters * self.prefill_per_iter).min(h.prefill_total - h.prefill_done))
+            .unwrap_or(0.0);
+        let decode_adv: f64 = self
+            .decoding
+            .iter()
+            .map(|s| iters.min((s.output_tokens as f64 - s.decoded).max(0.0)))
+            .sum();
+        let advanced = prefill_adv + decode_adv;
+        let joules_per_token = if advanced > TOKEN_EPS {
+            self.power_watts * dt / advanced
+        } else {
+            0.0
+        };
+
         if let Some(head) = self.prefilling.front_mut() {
             let adv = (iters * self.prefill_per_iter).min(head.prefill_total - head.prefill_done);
             head.prefill_done += adv;
             head.kv_tokens += adv;
+            head.trace.joules += adv * joules_per_token;
+            if head.trace.preemptions > 0 {
+                head.trace.recompute_s += dt;
+            } else {
+                head.trace.prefill_s += dt;
+            }
         }
         for seq in &mut self.decoding {
+            let before = seq.decoded;
             let adv = iters.min((seq.output_tokens as f64 - seq.decoded).max(0.0));
             seq.decoded += adv;
             seq.kv_tokens += adv;
+            if adv > 0.0 {
+                seq.trace.joules += adv * joules_per_token;
+                seq.trace.decode_s += dt;
+                if seq.trace.first_token_s.is_none() && seq.decoded + TOKEN_EPS >= 1.0 {
+                    // The first token crossed inside this epoch; it
+                    // completed after the fraction of an iteration it
+                    // still needed.
+                    seq.trace.first_token_s = Some(t0 + (1.0 - before).max(0.0) * self.iter_s);
+                }
+                if let Some(prev) = seq.trace.last_token_s {
+                    // The gap spanning the epoch boundary: the first
+                    // token of this epoch lands one iteration in.
+                    seq.trace.tbt_max_s = seq.trace.tbt_max_s.max(t0 + self.iter_s - prev);
+                }
+                if adv > 1.0 {
+                    seq.trace.tbt_max_s = seq.trace.tbt_max_s.max(self.iter_s);
+                }
+                seq.trace.last_token_s = Some(t0 + adv * self.iter_s);
+            }
         }
 
         let _g = prof.time(Phase::ServeKvAlloc);
@@ -393,6 +451,8 @@ impl<T> BatchServer<T> {
             victim.prefill_total = victim.input_tokens as f64 + victim.decoded;
             victim.prefill_done = 0.0;
             victim.kv_tokens = 0.0;
+            victim.trace.preemptions += 1;
+            victim.trace.recompute_tokens += victim.prefill_total;
             self.waiting.push_front(victim);
             preempted += 1;
         }
@@ -445,6 +505,7 @@ impl<T> BatchServer<T> {
                     payload: seq.payload,
                     server: self.id,
                     started_at: seq.started_at.expect("completed without admission"),
+                    span: seq.trace,
                 });
             } else {
                 i += 1;

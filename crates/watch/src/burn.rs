@@ -39,6 +39,16 @@ pub struct BurnConfig {
     pub low_good_latency_s: f64,
     /// Good-latency bound for high-priority requests, in seconds.
     pub high_good_latency_s: f64,
+    /// Good time-to-first-token bound for low-priority requests, in
+    /// seconds (polca-req signal).
+    pub low_good_ttft_s: f64,
+    /// Good time-to-first-token bound for high-priority requests.
+    pub high_good_ttft_s: f64,
+    /// Good mean time-between-tokens bound for low-priority requests,
+    /// in seconds (polca-req signal).
+    pub low_good_tbt_s: f64,
+    /// Good mean time-between-tokens bound for high-priority requests.
+    pub high_good_tbt_s: f64,
 }
 
 impl Default for BurnConfig {
@@ -53,6 +63,10 @@ impl Default for BurnConfig {
             min_requests: 20,
             low_good_latency_s: 60.0,
             high_good_latency_s: 30.0,
+            low_good_ttft_s: 30.0,
+            high_good_ttft_s: 15.0,
+            low_good_tbt_s: 0.5,
+            high_good_tbt_s: 0.25,
         }
     }
 }
@@ -65,12 +79,52 @@ impl BurnConfig {
             Priority::High => self.high_good_latency_s,
         }
     }
+
+    /// The good-TTFT bound for `priority`.
+    pub fn good_ttft_s(&self, priority: Priority) -> f64 {
+        match priority {
+            Priority::Low => self.low_good_ttft_s,
+            Priority::High => self.high_good_ttft_s,
+        }
+    }
+
+    /// The good mean-TBT bound for `priority`.
+    pub fn good_tbt_s(&self, priority: Priority) -> f64 {
+        match priority {
+            Priority::Low => self.low_good_tbt_s,
+            Priority::High => self.high_good_tbt_s,
+        }
+    }
+}
+
+/// Which SLO signal a burn observation or transition concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BurnSignal {
+    /// End-to-end request latency (fed from `RequestCompleted` events).
+    Latency,
+    /// Time to first token (fed from polca-req request records).
+    Ttft,
+    /// Mean time between tokens (fed from polca-req request records).
+    Tbt,
+}
+
+impl BurnSignal {
+    /// Stable lowercase tag for rule names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            BurnSignal::Latency => "slo",
+            BurnSignal::Ttft => "ttft",
+            BurnSignal::Tbt => "tbt",
+        }
+    }
 }
 
 /// A burn-level transition for one class, reported by
 /// [`BurnTracker::evaluate`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BurnTransition {
+    /// The SLO signal whose level changed.
+    pub signal: BurnSignal,
     /// The class whose level changed.
     pub priority: Priority,
     /// The new level (`None` = back under budget).
@@ -122,19 +176,16 @@ impl ClassBurn {
     }
 }
 
-/// Streaming multi-window burn-rate tracker over both priority classes.
+/// Both priority classes of one SLO signal.
 #[derive(Debug, Clone)]
-pub struct BurnTracker {
-    cfg: BurnConfig,
+struct SignalBurn {
     low: ClassBurn,
     high: ClassBurn,
 }
 
-impl BurnTracker {
-    /// A tracker with the given parameters.
-    pub fn new(cfg: BurnConfig) -> Self {
-        BurnTracker {
-            cfg,
+impl SignalBurn {
+    fn new() -> Self {
+        SignalBurn {
             low: ClassBurn::new(),
             high: ClassBurn::new(),
         }
@@ -146,15 +197,41 @@ impl BurnTracker {
             Priority::High => &mut self.high,
         }
     }
+}
 
-    /// Records one completion.
-    pub fn record(&mut self, t: f64, priority: Priority, latency_s: f64) {
-        let good = latency_s <= self.cfg.good_latency_s(priority);
+/// Streaming multi-window burn-rate tracker over both priority classes
+/// and all three SLO signals (end-to-end latency, plus TTFT and TBT
+/// when polca-req records flow in).
+#[derive(Debug, Clone)]
+pub struct BurnTracker {
+    cfg: BurnConfig,
+    latency: SignalBurn,
+    ttft: SignalBurn,
+    tbt: SignalBurn,
+}
+
+impl BurnTracker {
+    /// A tracker with the given parameters.
+    pub fn new(cfg: BurnConfig) -> Self {
+        BurnTracker {
+            cfg,
+            latency: SignalBurn::new(),
+            ttft: SignalBurn::new(),
+            tbt: SignalBurn::new(),
+        }
+    }
+
+    fn signal_mut(&mut self, signal: BurnSignal) -> &mut SignalBurn {
+        match signal {
+            BurnSignal::Latency => &mut self.latency,
+            BurnSignal::Ttft => &mut self.ttft,
+            BurnSignal::Tbt => &mut self.tbt,
+        }
+    }
+
+    fn observe(&mut self, signal: BurnSignal, t: f64, priority: Priority, good: bool) {
         let bucket = (t / self.cfg.bucket_s).floor() * self.cfg.bucket_s;
-        let class = match priority {
-            Priority::Low => &mut self.low,
-            Priority::High => &mut self.high,
-        };
+        let class = self.signal_mut(signal).class_mut(priority);
         class.total += 1;
         if !good {
             class.bad += 1;
@@ -173,6 +250,21 @@ impl BurnTracker {
                     .push((bucket, u64::from(good), u64::from(!good)));
             }
         }
+    }
+
+    /// Records one completion (the end-to-end latency signal).
+    pub fn record(&mut self, t: f64, priority: Priority, latency_s: f64) {
+        let good = latency_s <= self.cfg.good_latency_s(priority);
+        self.observe(BurnSignal::Latency, t, priority, good);
+    }
+
+    /// Records one polca-req lifecycle record: TTFT and mean TBT each
+    /// feed their own burn windows.
+    pub fn record_req(&mut self, t: f64, priority: Priority, ttft_s: f64, tbt_s: f64) {
+        let ttft_good = ttft_s <= self.cfg.good_ttft_s(priority);
+        self.observe(BurnSignal::Ttft, t, priority, ttft_good);
+        let tbt_good = tbt_s <= self.cfg.good_tbt_s(priority);
+        self.observe(BurnSignal::Tbt, t, priority, tbt_good);
     }
 
     /// Burn multiple over `[now - window, now]` for a class, plus the
@@ -196,53 +288,58 @@ impl BurnTracker {
         (bad_fraction / cfg.budget, total)
     }
 
-    /// Re-evaluates both classes at `now`, pruning expired buckets, and
-    /// returns any level transitions.
+    /// Re-evaluates every signal and class at `now`, pruning expired
+    /// buckets, and returns any level transitions (latency first, then
+    /// TTFT, then TBT; high priority before low within each).
     pub fn evaluate(&mut self, now: f64) -> Vec<BurnTransition> {
         let mut out = Vec::new();
-        for priority in [Priority::High, Priority::Low] {
-            let cfg = self.cfg.clone();
-            let class = self.class_mut(priority);
-            let horizon = now - cfg.slow_window_s - cfg.bucket_s;
-            class.buckets.retain(|&(start, _, _)| start > horizon);
-            let (fast_burn, fast_n) = Self::burn_over(&cfg, class, now, cfg.fast_window_s);
-            let (slow_burn, _) = Self::burn_over(&cfg, class, now, cfg.slow_window_s);
-            class.peak_fast = class.peak_fast.max(fast_burn);
-            class.peak_slow = class.peak_slow.max(slow_burn);
-            let level = if fast_n < cfg.min_requests {
-                None
-            } else if fast_burn >= cfg.critical_burn && slow_burn >= cfg.critical_burn {
-                Some(Severity::Critical)
-            } else if fast_burn >= cfg.warning_burn && slow_burn >= cfg.warning_burn {
-                Some(Severity::Warning)
-            } else {
-                None
-            };
-            // Report rises and full recoveries; a critical-to-warning
-            // decay is not a new alert (the open incident covers it).
-            let changed = match (class.level, level) {
-                (None, Some(_)) => true,
-                (Some(a), Some(b)) => b > a,
-                (Some(_), None) => true,
-                (None, None) => false,
-            };
-            if changed {
-                class.level = level;
-                out.push(BurnTransition {
-                    priority,
-                    to: level,
-                    fast_burn,
-                    slow_burn,
-                });
-            } else if level.is_some() {
-                // Remember decay without alerting on it.
-                class.level = class.level.max(level);
+        for signal in [BurnSignal::Latency, BurnSignal::Ttft, BurnSignal::Tbt] {
+            for priority in [Priority::High, Priority::Low] {
+                let cfg = self.cfg.clone();
+                let class = self.signal_mut(signal).class_mut(priority);
+                let horizon = now - cfg.slow_window_s - cfg.bucket_s;
+                class.buckets.retain(|&(start, _, _)| start > horizon);
+                let (fast_burn, fast_n) = Self::burn_over(&cfg, class, now, cfg.fast_window_s);
+                let (slow_burn, _) = Self::burn_over(&cfg, class, now, cfg.slow_window_s);
+                class.peak_fast = class.peak_fast.max(fast_burn);
+                class.peak_slow = class.peak_slow.max(slow_burn);
+                let level = if fast_n < cfg.min_requests {
+                    None
+                } else if fast_burn >= cfg.critical_burn && slow_burn >= cfg.critical_burn {
+                    Some(Severity::Critical)
+                } else if fast_burn >= cfg.warning_burn && slow_burn >= cfg.warning_burn {
+                    Some(Severity::Warning)
+                } else {
+                    None
+                };
+                // Report rises and full recoveries; a critical-to-warning
+                // decay is not a new alert (the open incident covers it).
+                let changed = match (class.level, level) {
+                    (None, Some(_)) => true,
+                    (Some(a), Some(b)) => b > a,
+                    (Some(_), None) => true,
+                    (None, None) => false,
+                };
+                if changed {
+                    class.level = level;
+                    out.push(BurnTransition {
+                        signal,
+                        priority,
+                        to: level,
+                        fast_burn,
+                        slow_burn,
+                    });
+                } else if level.is_some() {
+                    // Remember decay without alerting on it.
+                    class.level = class.level.max(level);
+                }
             }
         }
         out
     }
 
-    /// End-of-run per-class accounting, high priority first.
+    /// End-of-run per-class accounting of the end-to-end latency
+    /// signal, high priority first.
     pub fn summaries(&self) -> [BurnSummary; 2] {
         let mk = |priority, class: &ClassBurn| BurnSummary {
             priority,
@@ -251,7 +348,10 @@ impl BurnTracker {
             peak_fast_burn: class.peak_fast,
             peak_slow_burn: class.peak_slow,
         };
-        [mk(Priority::High, &self.high), mk(Priority::Low, &self.low)]
+        [
+            mk(Priority::High, &self.latency.high),
+            mk(Priority::Low, &self.latency.low),
+        ]
     }
 
     /// The tracker's configuration.
@@ -294,6 +394,7 @@ mod tests {
         }
         let ts = b.evaluate(100.0);
         assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].signal, BurnSignal::Latency);
         assert_eq!(ts[0].priority, Priority::Low);
         assert_eq!(ts[0].to, Some(Severity::Critical));
         assert!(ts[0].fast_burn > 14.4);
@@ -321,6 +422,35 @@ mod tests {
             ts.is_empty(),
             "slow window should veto the fast spike: {ts:?}"
         );
+    }
+
+    #[test]
+    fn ttft_and_tbt_burn_independently_of_latency() {
+        let mut b = tracker();
+        // Fast end-to-end latency but terrible TTFT: only the TTFT
+        // signal should fire.
+        for i in 0..100 {
+            let t = i as f64;
+            b.record(t, Priority::High, 1.0);
+            b.record_req(t, Priority::High, 120.0, 0.05);
+        }
+        let ts = b.evaluate(100.0);
+        assert_eq!(ts.len(), 1, "{ts:?}");
+        assert_eq!(ts[0].signal, BurnSignal::Ttft);
+        assert_eq!(ts[0].to, Some(Severity::Critical));
+        // Latency summaries are untouched by req records.
+        let [high, _] = b.summaries();
+        assert_eq!(high.bad, 0);
+
+        // Now a TBT regression (brake-style slowdown) on the low class.
+        let mut b = tracker();
+        for i in 0..100 {
+            b.record_req(i as f64, Priority::Low, 1.0, 2.0);
+        }
+        let ts = b.evaluate(100.0);
+        assert_eq!(ts.len(), 1, "{ts:?}");
+        assert_eq!(ts[0].signal, BurnSignal::Tbt);
+        assert_eq!(ts[0].priority, Priority::Low);
     }
 
     #[test]

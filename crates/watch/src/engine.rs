@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 use polca_cluster::Priority;
 use polca_obs::Event;
 
-use crate::burn::{BurnConfig, BurnTracker, BurnTransition};
+use crate::burn::{BurnConfig, BurnSignal, BurnTracker, BurnTransition};
 use crate::incident::IncidentLog;
 use crate::rules::{Rule, RuleKind, RuleSet, Severity};
 
@@ -461,6 +461,13 @@ impl WatchEngine {
         // is the engine's evaluation granularity.
     }
 
+    /// Feeds one polca-req lifecycle record into the TTFT/TBT burn
+    /// windows. Like [`event`](Self::event), no shared tick: the
+    /// telemetry grid drives evaluation.
+    pub fn request(&mut self, t: f64, priority: Priority, ttft_s: f64, tbt_s: f64) {
+        self.burn.record_req(t, priority, ttft_s, tbt_s);
+    }
+
     /// Shared per-feed housekeeping: expire count windows, re-evaluate
     /// burn levels, advance incident resolution timers.
     fn tick(&mut self, now: f64) {
@@ -492,36 +499,41 @@ impl WatchEngine {
     }
 
     fn apply_burn_transition(&mut self, now: f64, tr: BurnTransition) {
-        let rule = match tr.priority {
-            Priority::Low => "slo-burn-low",
-            Priority::High => "slo-burn-high",
+        let class = match tr.priority {
+            Priority::Low => "low",
+            Priority::High => "high",
         };
+        // Rule names: slo-burn-{class} for end-to-end latency,
+        // ttft-burn-{class} / tbt-burn-{class} for the polca-req
+        // signals.
+        let rule = format!("{}-burn-{class}", tr.signal.tag());
         match tr.to {
             Some(severity) => {
                 let cfg = self.burn.config();
-                let class = match tr.priority {
-                    Priority::Low => "low",
-                    Priority::High => "high",
+                let signal = match tr.signal {
+                    BurnSignal::Latency => "latency",
+                    BurnSignal::Ttft => "TTFT",
+                    BurnSignal::Tbt => "TBT",
                 };
                 Self::fire(
                     &mut self.alerts,
                     &mut self.incidents,
                     Alert {
                         t: now,
-                        rule: rule.to_string(),
+                        rule,
                         severity,
                         value: tr.fast_burn,
                         // Burn is computed from completion events,
                         // which are exact: detected as soon as knowable.
                         truth_t: Some(now),
                         detail: format!(
-                            "{class}-priority burn-rate: {:.1}x over {:.0}s and {:.1}x over {:.0}s",
+                            "{class}-priority {signal} burn-rate: {:.1}x over {:.0}s and {:.1}x over {:.0}s",
                             tr.fast_burn, cfg.fast_window_s, tr.slow_burn, cfg.slow_window_s
                         ),
                     },
                 );
             }
-            None => self.incidents.on_clear(rule, now),
+            None => self.incidents.on_clear(&rule, now),
         }
     }
 

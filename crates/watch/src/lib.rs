@@ -47,11 +47,12 @@ use std::sync::{Arc, Mutex};
 use std::{fs, io};
 
 use polca::SloTargets;
-use polca_obs::{Annotation, Event, EventTap, Recorder};
+use polca_cluster::Priority;
+use polca_obs::{Annotation, Event, EventTap, Recorder, ReqRecord};
 use polca_sim::SimTime;
 use polca_telemetry::{RowPowerSubscriber, RowPowerTaps};
 
-pub use burn::{BurnConfig, BurnSummary};
+pub use burn::{BurnConfig, BurnSignal, BurnSummary};
 pub use engine::{Alert, WatchEngine};
 pub use incident::{Incident, IncidentState};
 pub use rules::{Rule, RuleKind, RuleParseError, RuleSet, Severity};
@@ -132,6 +133,23 @@ impl EventTap for WatchShared {
             return;
         }
         self.engine.lock().unwrap().event(event);
+    }
+
+    fn on_request(&self, record: &ReqRecord) {
+        // polca-req records stream in regardless of the requests.jsonl
+        // sampling rate, so the TTFT/TBT burn windows see the full
+        // population.
+        let priority = if record.priority == "high" {
+            Priority::High
+        } else {
+            Priority::Low
+        };
+        self.engine.lock().unwrap().request(
+            record.completed_s,
+            priority,
+            record.ttft_s,
+            record.tbt_mean_s,
+        );
     }
 }
 

@@ -53,6 +53,35 @@ done
 [[ -f "$fleet_out/metrics.json" ]] \
     || { echo "missing fleet-level metrics.json"; exit 1; }
 
+echo "== polca-cli site smoke test =="
+# Determinism gate for the parallel site simulator: a 3-datacenter
+# site stepped on 2 worker threads must produce byte-identical
+# events.jsonl to the same site stepped sequentially.
+site_seq="$(scratch)"
+site_par="$(scratch)"
+cargo run -q --offline --release -p polca-cli -- \
+    evaluate --trace-csv tests/golden/sample_trace.csv \
+    --rows 2 --datacenters 3 --servers 10 --enforce-budgets \
+    --fleet-threads 1 --obs-out "$site_seq" > /dev/null
+cargo run -q --offline --release -p polca-cli -- \
+    evaluate --trace-csv tests/golden/sample_trace.csv \
+    --rows 2 --datacenters 3 --servers 10 --enforce-budgets \
+    --fleet-threads 2 --obs-out "$site_par" > /dev/null
+cmp "$site_seq/events.jsonl" "$site_par/events.jsonl" \
+    || { echo "site events.jsonl differs across --fleet-threads"; exit 1; }
+for row in 0 1 2 3 4 5; do
+    cmp "$site_seq/row$row/events.jsonl" "$site_par/row$row/events.jsonl" \
+        || { echo "row$row events.jsonl differs across --fleet-threads"; exit 1; }
+done
+grep -q 'datacenter="2"' "$site_seq/metrics.prom" \
+    || { echo "no per-datacenter series in site metrics.prom"; exit 1; }
+# --jobs (sweep workers) and --fleet-threads (row workers) nest: the
+# four-policy panel path must still run with both set.
+cargo run -q --offline --release -p polca-cli -- \
+    evaluate --trace-csv tests/golden/sample_trace.csv \
+    --rows 2 --datacenters 2 --servers 10 --jobs 2 --fleet-threads 2 \
+    > /dev/null
+
 echo "== polca-cli watch smoke test =="
 watch_out="$(scratch)"
 cargo run -q --offline --release -p polca-cli -- \
@@ -115,8 +144,9 @@ grep -q '^req_joules_per_token{tag="' "$req_out/metrics.prom" \
     || { echo "no joules-per-token histogram in metrics.prom"; exit 1; }
 
 echo "== bench-smoke (polca-cli profile vs committed BENCH_*.json) =="
-# The committed BENCH_sim.json / BENCH_watch.json / BENCH_ingest.json
-# at the repository root are the perf-trajectory baseline, written by:
+# The committed BENCH_sim.json / BENCH_watch.json / BENCH_ingest.json /
+# BENCH_serve.json / BENCH_fleet.json at the repository root are the
+# perf-trajectory baseline, written by:
 #
 #   cargo run --release -p polca-cli -- profile --bench-out .
 #
@@ -158,5 +188,6 @@ check_bench sim sim_s_per_s
 check_bench watch watch_runs_per_s
 check_bench ingest rows_per_s
 check_bench serve serve_sim_s_per_s
+check_bench fleet fleet_sim_s_per_s
 
 echo "CI OK"

@@ -32,7 +32,7 @@ use polca::{
     CostModel, DisaggregationConfig, NoCapController, OversubscriptionStudy, PolcaController,
     PolcaPolicy, PolicyKind, SingleThresholdController, TraceEvaluation,
 };
-use polca_cluster::{EngineKind, FleetConfig, FleetReport, FleetSim, PowerController, RowConfig};
+use polca_cluster::{EngineKind, PowerController, RowConfig, SiteConfig, SiteReport, SiteSim};
 use polca_gpu::{Gpu, GpuSpec};
 use polca_ingest::{
     requests_to_csv, IngestedTrace, ReplayOptions, TraceCalibration, TraceReplay, TraceStats,
@@ -40,7 +40,7 @@ use polca_ingest::{
 use polca_llm::{InferenceConfig, InferenceModel, ModelSpec};
 use polca_obs::{BenchReport, ObsLevel, ProfCounter, Recorder, ReqTraceConfig};
 use polca_sim::{SimRng, SimTime};
-use polca_telemetry::RowPowerTaps;
+use polca_telemetry::{merge_tick_columns, RowPowerTaps, RowTickBuffer};
 use polca_trace::replicate::production_reference;
 use polca_trace::{ArrivalGenerator, DiurnalPattern, TraceConfig, WorkloadClass};
 use polca_watch::{IncidentState, RuleSet, WatchArtifacts, WatchConfig, WatchPlane};
@@ -282,21 +282,34 @@ COMMANDS
                 --obs-out also writes incidents.jsonl, report.md, and
                 alert markers merged into trace.json)
                 [--watch-rules FILE] override the built-in alert rules
-                [--rows N] simulate an N-row fleet (round-robin
-                dispatch under per-PDU and datacenter power budgets)
-                and print the per-row + aggregate fleet table;
-                [--rows-per-pdu 2] sets the PDU fan-in and
+                [--rows N] simulate a multi-row fleet (round-robin
+                dispatch under per-PDU, datacenter, and site power
+                budgets) and print the per-row + aggregate table;
+                --rows sizes one *datacenter*, no longer the top of
+                the hierarchy — [--datacenters D] simulates a
+                D-datacenter site of N rows each;
+                [--rows-per-pdu 2] sets the PDU fan-in,
                 [--enforce-budgets] brakes every row behind an
-                overloaded PDU; with --obs-out, fleet artifacts land
-                in DIR/ and each row's in DIR/rowN/
+                overloaded PDU, datacenter, or site,
+                [--fleet-threads K] steps rows on K worker threads
+                (0 = all cores); artifacts are byte-identical
+                whatever K is;
+                [--site-budget-mw X] caps the site at X megawatts,
+                [--oversub-dc PCT] / [--oversub-site PCT] derive the
+                datacenter / site budget from an oversubscription
+                percentage (budget = provisioned / (1 + PCT/100));
+                with --obs-out, site artifacts land in DIR/, each
+                row's in DIR/rowN/ (global row index), and with
+                --watch each datacenter's incident set in DIR/dcD/
                 [--jobs N] worker threads for multi-cell runs (the
                 four-policy --trace-csv panel); artifacts and tables
                 are byte-identical whatever N is
                 with --trace-csv FILE: replay an ingested trace through
                 all four Figure 17 policies instead of synthesizing;
                 [--rate-scale 1.0] [--time-scale 1.0] [--servers 40]
-                [--added 30] (--rows N replays the stream across an
-                N-row fleet under one policy instead)
+                [--added 30] (--rows N / --datacenters D replays the
+                stream across a site fleet under one policy instead;
+                all site flags above apply)
   plan          find the SLO-safe oversubscription maximum
                 [--days 2] [--seed 17] [--servers 40] [--jobs N]
   profile       self-profile the simulator (polca-prof) on the
@@ -307,9 +320,9 @@ COMMANDS
                 prof.json, prof.folded (load in speedscope), and
                 prof.trace.json (open in Perfetto)
                 [--bench-out DIR] write the BENCH_sim.json,
-                BENCH_watch.json, BENCH_ingest.json, BENCH_serve.json
-                perf baselines that ci.sh's bench-smoke step gates
-                against
+                BENCH_watch.json, BENCH_ingest.json, BENCH_serve.json,
+                BENCH_fleet.json perf baselines that ci.sh's
+                bench-smoke step gates against
   help          print this text
 ";
 
@@ -631,9 +644,73 @@ fn fleet_controller(
     }
 }
 
-/// Prints the fleet table: one line per row, an aggregate line, and
-/// the PDU / datacenter budget summary.
-fn print_fleet_table(report: &FleetReport) {
+/// Flags that, when present, show the caller is aware of the site
+/// level; their absence on a multi-row run triggers the
+/// compatibility note in [`parse_site_config`].
+const SITE_FLAGS: &[&str] = &[
+    "datacenters",
+    "fleet-threads",
+    "site-budget-mw",
+    "oversub-dc",
+    "oversub-site",
+];
+
+/// Parses the site-shape flags shared by the synthetic and
+/// trace-replay fleet paths into a [`SiteConfig`] (shape, budgets, and
+/// threading; the caller fills `base`). `--fleet-threads 0` means
+/// "all cores".
+fn parse_site_config(
+    inv: &Invocation,
+    rows: usize,
+    datacenters: usize,
+) -> Result<SiteConfig, CliError> {
+    if datacenters == 0 {
+        return Err(CliError::BadValue {
+            flag: "datacenters".into(),
+            value: "0".into(),
+        });
+    }
+    if rows == 0 {
+        return Err(CliError::BadValue {
+            flag: "rows".into(),
+            value: "0".into(),
+        });
+    }
+    let mut site = SiteConfig {
+        datacenters,
+        rows_per_datacenter: rows,
+        rows_per_pdu: inv.get("rows-per-pdu", 2)?,
+        enforce_budgets: inv.options.contains_key("enforce-budgets"),
+        ..SiteConfig::default()
+    };
+    let threads: usize = inv.get("fleet-threads", 1)?;
+    site.threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    };
+    if let Some(mw) = inv.get_opt::<f64>("site-budget-mw")? {
+        site.site_budget_watts = Some(mw * 1e6);
+    }
+    if let Some(pct) = inv.get_opt::<f64>("oversub-dc")? {
+        site.datacenter_oversubscription = Some(pct / 100.0);
+    }
+    if let Some(pct) = inv.get_opt::<f64>("oversub-site")? {
+        site.site_oversubscription = Some(pct / 100.0);
+    }
+    if rows > 1 && datacenters == 1 && !SITE_FLAGS.iter().any(|f| inv.options.contains_key(*f)) {
+        println!(
+            "note: --rows now sizes one datacenter, not the whole hierarchy; \
+             defaulting to a 1-datacenter site (add --datacenters N to scale out)"
+        );
+    }
+    Ok(site)
+}
+
+/// Prints the site table: one line per row, an aggregate line, the
+/// PDU budget summary, and one line per datacenter (plus the site
+/// line when the site level is active).
+fn print_site_table(report: &SiteReport, site_active: bool) {
     println!(
         "  {:<6} {:>8} {:>10} {:>9} {:>9} {:>9} {:>7}",
         "row", "offered", "completed", "rejected", "peak kW", "mean kW", "brakes"
@@ -656,8 +733,8 @@ fn print_fleet_table(report: &FleetReport) {
         report.offered(),
         report.completed(),
         report.rejected(),
-        report.datacenter_peak_watts / 1000.0,
-        report.mean_fleet_watts() / 1000.0,
+        report.site_peak_watts / 1000.0,
+        report.mean_site_watts() / 1000.0,
         report.fleet_brake_engagements
     );
     for (pdu, (&peak, &budget)) in report
@@ -672,27 +749,51 @@ fn print_fleet_table(report: &FleetReport) {
             budget / 1000.0
         );
     }
-    println!(
-        "  datacenter: peak {:.1} kW / budget {:.1} kW (util {:.1}%), \
-         {} PDU / {} datacenter violation sample(s)",
-        report.datacenter_peak_watts / 1000.0,
-        report.datacenter_budget_watts / 1000.0,
-        report.datacenter_peak_utilization() * 100.0,
-        report.pdu_violation_samples,
-        report.datacenter_violation_samples
-    );
+    if report.datacenters == 1 {
+        println!(
+            "  datacenter: peak {:.1} kW / budget {:.1} kW (util {:.1}%), \
+             {} PDU / {} datacenter violation sample(s)",
+            report.datacenter_peak_watts[0] / 1000.0,
+            report.datacenter_budget_watts / 1000.0,
+            report.datacenter_peak_utilization(0) * 100.0,
+            report.pdu_violation_samples,
+            report.datacenter_violation_samples
+        );
+    } else {
+        for d in 0..report.datacenters {
+            println!(
+                "  datacenter {d}: peak {:.1} kW / budget {:.1} kW (util {:.1}%)",
+                report.datacenter_peak_watts[d] / 1000.0,
+                report.datacenter_budget_watts / 1000.0,
+                report.datacenter_peak_utilization(d) * 100.0
+            );
+        }
+    }
+    if site_active {
+        println!(
+            "  site: peak {:.2} MW / budget {:.2} MW (util {:.1}%), \
+             {} PDU / {} datacenter / {} site violation sample(s)",
+            report.site_peak_watts / 1e6,
+            report.site_budget_watts / 1e6,
+            report.site_peak_utilization() * 100.0,
+            report.pdu_violation_samples,
+            report.datacenter_violation_samples,
+            report.site_violation_samples
+        );
+    }
 }
 
-/// Writes the fleet-level artifacts into `dir` and each row's
-/// artifacts into `dir/rowN/`.
+/// Writes the site-level artifacts into `dir` and each row's
+/// artifacts into `dir/rowN/` (global row index, flat across
+/// datacenters).
 ///
 /// Each row's `prof.json` lands in its own `rowN/` directory, and the
-/// fleet-level `prof.json` aggregates every row's profile (plus the
-/// fleet loop's own power-aggregation phase) so one file answers
-/// "where did the whole fleet run spend its time".
-fn write_fleet_artifacts(
+/// site-level `prof.json` aggregates every row's profile (plus the
+/// window loop's own merge and power-aggregation phases) so one file
+/// answers "where did the whole site run spend its time".
+fn write_site_artifacts(
     recorder: &Recorder,
-    report: &FleetReport,
+    report: &SiteReport,
     dir: &str,
     obs_level: ObsLevel,
 ) -> Result<(), CliError> {
@@ -711,10 +812,70 @@ fn write_fleet_artifacts(
             .len();
     }
     println!(
-        "  obs artifacts ({obs_level}): {total} file(s) in {}/ (fleet level) and row0..row{}/",
+        "  obs artifacts ({obs_level}): {total} file(s) in {}/ (site level) and row0..row{}/",
         dir.trim_end_matches('/'),
         report.rows.len() - 1
     );
+    Ok(())
+}
+
+/// When `--watch` was given on a fleet path, subscribes a per-row
+/// tick buffer to `taps` and returns it; the buffered ticks are
+/// replayed per datacenter after the run by [`finalize_site_watch`].
+fn site_watch_buffer(
+    inv: &Invocation,
+    taps: &mut RowPowerTaps,
+    n_rows: usize,
+) -> std::sync::Arc<RowTickBuffer> {
+    debug_assert!(inv.options.contains_key("watch"));
+    let buffer = RowTickBuffer::new(n_rows);
+    taps.subscribe(buffer.clone());
+    buffer
+}
+
+/// Replays each datacenter's buffered, canonically-merged OOB power
+/// stream through its own watch plane and prints/writes the per-DC
+/// incident artifacts (`DIR/dcD/`). Replay order is global row order
+/// within each datacenter, so the incident set is byte-identical
+/// whatever `--fleet-threads` was.
+///
+/// Fleet watch planes ride the power telemetry only (the event-stream
+/// rules stay a single-row feature: row event logs are per-recorder
+/// and would interleave across datacenters).
+fn finalize_site_watch(
+    inv: &Invocation,
+    buffer: &RowTickBuffer,
+    report: &SiteReport,
+    dc_provisioned_watts: f64,
+    horizon: SimTime,
+    obs_out: Option<&str>,
+) -> Result<(), CliError> {
+    for d in 0..report.datacenters {
+        let columns: Vec<_> = report
+            .rows_in_datacenter(d)
+            .map(|row| buffer.take_row(row))
+            .collect();
+        let merged = merge_tick_columns(&columns);
+        let plane = build_watch_plane(inv, dc_provisioned_watts)?.expect("watch flag checked");
+        let sub = plane.subscriber();
+        for tick in &merged {
+            sub.on_tick(tick.t, tick.truth_watts, tick.observed_watts);
+        }
+        let artifacts = plane.finalize(horizon);
+        println!("  datacenter {d}:");
+        print_watch_summary(&artifacts, "    ");
+        if let Some(dir) = obs_out {
+            let dc_dir = Path::new(dir).join(format!("dc{d}"));
+            let files = artifacts
+                .write_dir(&dc_dir)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            println!(
+                "    watch artifacts: {} file(s) in {}/dc{d}/",
+                files.len(),
+                dir.trim_end_matches('/')
+            );
+        }
+    }
     Ok(())
 }
 
@@ -723,8 +884,9 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
         return evaluate_trace(inv);
     }
     let rows: usize = inv.get("rows", 1)?;
-    if rows > 1 {
-        return evaluate_fleet(inv, rows);
+    let datacenters: usize = inv.get("datacenters", 1)?;
+    if rows > 1 || datacenters > 1 {
+        return evaluate_fleet(inv, rows, datacenters);
     }
     let policy_name: String = inv.get("policy", "polca".to_string())?;
     let kind = find_policy(&policy_name)?;
@@ -833,21 +995,17 @@ fn parse_obs_level(inv: &Invocation, obs_out: &Option<String>) -> Result<ObsLeve
     }
 }
 
-/// The `evaluate --rows N` path: a multi-row fleet on the synthetic
-/// production-shaped workload, dispatched round-robin across rows
-/// under per-PDU and datacenter power budgets.
-fn evaluate_fleet(inv: &Invocation, rows: usize) -> Result<(), CliError> {
+/// The `evaluate --rows N [--datacenters D]` path: a site fleet on
+/// the synthetic production-shaped workload, dispatched round-robin
+/// across all rows under per-PDU, datacenter, and site power budgets.
+fn evaluate_fleet(inv: &Invocation, rows: usize, datacenters: usize) -> Result<(), CliError> {
     let policy_name: String = inv.get("policy", "polca".to_string())?;
     let kind = find_policy(&policy_name)?;
     let added: f64 = inv.get("added", 30.0)?;
     let days: f64 = inv.get("days", 2.0)?;
     let seed: u64 = inv.get("seed", 17)?;
     let power_scale: f64 = inv.get("power-scale", 1.0)?;
-    let rows_per_pdu: usize = inv.get("rows-per-pdu", 2)?;
-    let enforce = inv.options.contains_key("enforce-budgets");
-    if inv.options.contains_key("watch") {
-        println!("note: --watch applies to single-row runs; ignoring it for the fleet");
-    }
+    let mut site = parse_site_config(inv, rows, datacenters)?;
     let obs_out: Option<String> = inv.get_opt("obs-out")?;
     let req_trace = parse_req_trace(inv)?;
     let mut obs_level = parse_obs_level(inv, &obs_out)?;
@@ -856,9 +1014,10 @@ fn evaluate_fleet(inv: &Invocation, rows: usize) -> Result<(), CliError> {
     }
     let recorder = build_recorder(obs_level, req_trace);
 
-    // The fleet serves the same production-shaped workload as the
-    // single-row study, scaled so each of the `rows` rows sees the
+    // The site serves the same production-shaped workload as the
+    // single-row study, scaled so each of the rows sees the
     // oversubscribed per-row offered load after round-robin dispatch.
+    let total_rows = rows * datacenters;
     let base_row = RowConfig::paper_inference_row();
     let study = OversubscriptionStudy::new(base_row.clone(), PolcaPolicy::default(), days, seed);
     let horizon = SimTime::from_days(days);
@@ -867,41 +1026,69 @@ fn evaluate_fleet(inv: &Invocation, rows: usize) -> Result<(), CliError> {
         horizon,
         schedule: study
             .base_schedule()
-            .scaled((1.0 + added / 100.0) * rows as f64),
+            .scaled((1.0 + added / 100.0) * total_rows as f64),
         mix: WorkloadClass::table6(),
     };
     let source = ArrivalGenerator::new(&config);
     let row = base_row.with_added_servers(added / 100.0);
 
-    let mut fleet_cfg = FleetConfig::with_rows(rows);
-    fleet_cfg.rows_per_pdu = rows_per_pdu;
-    fleet_cfg.enforce_budgets = enforce;
-    fleet_cfg.base.seed = seed;
-    fleet_cfg.base.power_scale = power_scale;
-    fleet_cfg.base.record_power_series = false;
-    fleet_cfg.base.recorder = recorder.clone();
+    site.base.seed = seed;
+    site.base.power_scale = power_scale;
+    site.base.record_power_series = false;
+    site.base.recorder = recorder.clone();
     let engine = parse_engine(inv)?;
-    fleet_cfg.base.engine = engine.clone();
+    site.base.engine = engine.clone();
+    let watch_buffer = if inv.options.contains_key("watch") {
+        let mut taps = RowPowerTaps::new();
+        let buffer = site_watch_buffer(inv, &mut taps, total_rows);
+        site.base.oob_taps = taps;
+        Some(buffer)
+    } else {
+        None
+    };
+    let site_active = site.site_active();
+    let enforce = site.enforce_budgets;
     let policy = PolcaPolicy::default();
-    let fleet = FleetSim::new(
-        row,
-        fleet_cfg,
+    let sim = SiteSim::new(
+        row.clone(),
+        site,
         |_, rec| fleet_controller(kind, &policy, rec),
         source,
         horizon,
     );
-    let report = fleet.run();
-    println!(
-        "{} fleet: {rows} rows (+{added:.0}% servers each), {} PDU(s), \
-         {days} day(s), engine {}, budgets {}:",
-        kind.name(),
-        report.pdu_budget_watts.len(),
-        engine_tag(&engine),
-        if enforce { "enforced" } else { "monitored" }
-    );
-    print_fleet_table(&report);
+    let report = sim.run();
+    if datacenters > 1 {
+        println!(
+            "{} site: {datacenters} datacenters × {rows} rows (+{added:.0}% servers each), \
+             {} PDU(s), {days} day(s), engine {}, budgets {}:",
+            kind.name(),
+            report.pdu_budget_watts.len(),
+            engine_tag(&engine),
+            if enforce { "enforced" } else { "monitored" }
+        );
+    } else {
+        println!(
+            "{} fleet: {rows} rows (+{added:.0}% servers each), {} PDU(s), \
+             {days} day(s), engine {}, budgets {}:",
+            kind.name(),
+            report.pdu_budget_watts.len(),
+            engine_tag(&engine),
+            if enforce { "enforced" } else { "monitored" }
+        );
+    }
+    print_site_table(&report, site_active);
     if let Some(dir) = &obs_out {
-        write_fleet_artifacts(&recorder, &report, dir, obs_level)?;
+        write_site_artifacts(&recorder, &report, dir, obs_level)?;
+    }
+    if let Some(buffer) = &watch_buffer {
+        finalize_site_watch(
+            inv,
+            buffer,
+            &report,
+            rows as f64 * row.provisioned_watts(),
+            horizon,
+            obs_out.as_deref(),
+        )?;
     }
     Ok(())
 }
@@ -918,6 +1105,7 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
     let servers: usize = inv.get("servers", 40)?;
     let added: f64 = inv.get("added", 30.0)?;
     let rows: usize = inv.get("rows", 1)?;
+    let datacenters: usize = inv.get("datacenters", 1)?;
     let jobs: usize = inv.get("jobs", 1)?;
     let obs_out: Option<String> = inv.get_opt("obs-out")?;
     let req_trace = parse_req_trace(inv)?;
@@ -947,14 +1135,12 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
     let eval_row_provisioned = row.provisioned_watts();
     let engine = parse_engine(inv)?;
 
-    if rows > 1 {
-        // Fleet replay: the ingested stream fans out round-robin
-        // across `rows` identical rows under one policy.
-        if inv.options.contains_key("watch") {
-            println!("note: --watch applies to single-row runs; ignoring it for the fleet");
-        }
-        let rows_per_pdu: usize = inv.get("rows-per-pdu", 2)?;
-        let enforce = inv.options.contains_key("enforce-budgets");
+    if rows > 1 || datacenters > 1 {
+        // Site replay: the ingested stream fans out round-robin
+        // across all `rows × datacenters` identical rows under one
+        // policy.
+        let mut site = parse_site_config(inv, rows, datacenters)?;
+        let total_rows = rows * datacenters;
         let kind = match inv.get_opt::<String>("policy")? {
             Some(name) => find_policy(&name)?,
             None => PolicyKind::Polca,
@@ -962,36 +1148,53 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
         let last_arrival = requests.last().map(|r| r.arrival.as_secs()).unwrap_or(0.0);
         let horizon = SimTime::from_secs(last_arrival + FLEET_DRAIN_S);
         println!(
-            "replaying {path} across {rows} rows: {n} requests over {:.1} h on \
+            "replaying {path} across {total_rows} rows: {n} requests over {:.1} h on \
              {deployed} servers/row (+{added:.0}% oversubscribed, rate ×{rate_scale}, \
              time ×{time_scale})",
             trace.duration_s() * time_scale / 3600.0
         );
-        let mut fleet_cfg = FleetConfig::with_rows(rows);
-        fleet_cfg.rows_per_pdu = rows_per_pdu;
-        fleet_cfg.enforce_budgets = enforce;
-        fleet_cfg.base.seed = seed;
-        fleet_cfg.base.record_power_series = false;
-        fleet_cfg.base.recorder = recorder.clone();
-        fleet_cfg.base.engine = engine.clone();
+        site.base.seed = seed;
+        site.base.record_power_series = false;
+        site.base.recorder = recorder.clone();
+        site.base.engine = engine.clone();
+        let watch_buffer = if inv.options.contains_key("watch") {
+            let mut taps = RowPowerTaps::new();
+            let buffer = site_watch_buffer(inv, &mut taps, total_rows);
+            site.base.oob_taps = taps;
+            Some(buffer)
+        } else {
+            None
+        };
+        let site_active = site.site_active();
+        let enforce = site.enforce_budgets;
         let policy = PolcaPolicy::default();
-        let fleet = FleetSim::new(
-            row,
-            fleet_cfg,
+        let sim = SiteSim::new(
+            row.clone(),
+            site,
             |_, rec| fleet_controller(kind, &policy, rec),
             requests.into_iter(),
             horizon,
         );
-        let report = fleet.run();
+        let report = sim.run();
         println!(
             "{} fleet: {} PDU(s), budgets {}:",
             kind.name(),
             report.pdu_budget_watts.len(),
             if enforce { "enforced" } else { "monitored" }
         );
-        print_fleet_table(&report);
+        print_site_table(&report, site_active);
         if let Some(dir) = &obs_out {
-            write_fleet_artifacts(&recorder, &report, dir, obs_level)?;
+            write_site_artifacts(&recorder, &report, dir, obs_level)?;
+        }
+        if let Some(buffer) = &watch_buffer {
+            finalize_site_watch(
+                inv,
+                buffer,
+                &report,
+                rows as f64 * row.provisioned_watts(),
+                horizon,
+                obs_out.as_deref(),
+            )?;
         }
         return Ok(());
     }
@@ -1270,6 +1473,35 @@ fn profile(inv: &Invocation) -> Result<(), CliError> {
         serve_snap.counter(ProfCounter::ServePreemptions),
     );
 
+    // --- fleet: the site simulator, sequential vs all-core stepping ---
+    let fleet_dcs = FLEET_BENCH_DCS;
+    let fleet_rows = FLEET_BENCH_ROWS_PER_DC;
+    let fleet_horizon_s = FLEET_BENCH_HORIZON_S;
+    let fleet_requests = profile_fleet_requests(seed, fleet_horizon_s);
+    let threads_max = std::thread::available_parallelism().map_or(1, usize::from);
+    let fleet_best = |threads: usize| -> f64 {
+        let mut best = f64::MAX;
+        for _ in 0..reps {
+            best = best.min(profile_fleet_run(seed, threads, &fleet_requests));
+        }
+        best
+    };
+    let fleet_seq = fleet_best(1);
+    let fleet_par = if threads_max > 1 {
+        fleet_best(threads_max)
+    } else {
+        fleet_seq
+    };
+    let fleet_wall = fleet_seq.min(fleet_par);
+    let fleet_speedup = fleet_seq / fleet_par;
+    let fleet_rate = fleet_horizon_s / fleet_wall;
+    println!(
+        "fleet (site sim): {fleet_dcs} datacenters × {fleet_rows} rows, \
+         {fleet_horizon_s:.0} simulated s — 1 thread {fleet_seq:.3} s, \
+         {threads_max} thread(s) {fleet_par:.3} s ({fleet_speedup:.2}×, \
+         {fleet_rate:.0} simulated-seconds/sec)"
+    );
+
     if let Some(dir) = &out {
         let files = recorder
             .write_dir(Path::new(dir))
@@ -1323,7 +1555,15 @@ fn profile(inv: &Invocation) -> Result<(), CliError> {
                 "preemptions",
                 serve_snap.counter(ProfCounter::ServePreemptions),
             );
-        for report in [&sim, &watch, &ingest, &serve] {
+        let fleet = BenchReport::new("fleet")
+            .metric("fleet_sim_s_per_s", fleet_rate)
+            .metric("fleet_parallel_speedup", fleet_speedup)
+            .metric("wall_s_threads_1", fleet_seq)
+            .metric("wall_s_threads_max", fleet_par)
+            .metric_u64("threads_max", threads_max as u64)
+            .metric_u64("datacenters", fleet_dcs as u64)
+            .metric_u64("rows_per_datacenter", fleet_rows as u64);
+        for report in [&sim, &watch, &ingest, &serve, &fleet] {
             let path = report
                 .write(dir_path)
                 .map_err(|e| CliError::Io(e.to_string()))?;
@@ -1364,6 +1604,67 @@ fn profile_ingest_corpus(seed: u64) -> String {
     };
     let requests: Vec<_> = ArrivalGenerator::new(&config).collect();
     requests_to_csv(&requests)
+}
+
+/// Shape of the `profile` fleet pass / `BENCH_fleet.json` workload: a
+/// 100-row site (25 datacenters × 4 rows) of small rows. The horizon is
+/// sized so one rep takes ~100 ms — long enough that per-run setup
+/// jitter stays well inside the bench-smoke tolerance, short enough for
+/// ci-smoke territory.
+const FLEET_BENCH_DCS: usize = 25;
+/// Rows per datacenter in the fleet bench workload.
+const FLEET_BENCH_ROWS_PER_DC: usize = 4;
+/// Simulated horizon of one fleet bench run, in seconds.
+const FLEET_BENCH_HORIZON_S: f64 = 8640.0;
+/// RNG stream for the fleet bench arrival schedule.
+const FLEET_BENCH_STREAM: u64 = 0xF1EE;
+
+/// The small row every fleet bench run simulates.
+fn profile_fleet_row() -> RowConfig {
+    let mut row = RowConfig::paper_inference_row();
+    row.base_servers = 4;
+    row
+}
+
+/// Pre-materializes the fleet bench arrival stream once (synthesis is
+/// not what the bench measures), sized to keep all 100 rows busy.
+fn profile_fleet_requests(seed: u64, horizon_s: f64) -> Vec<polca_cluster::Request> {
+    let pattern = DiurnalPattern {
+        base_rate: 20.0,
+        ..DiurnalPattern::default()
+    };
+    let mut rng = SimRng::from_seed_stream(seed, FLEET_BENCH_STREAM);
+    let config = TraceConfig {
+        seed,
+        horizon: SimTime::from_secs(horizon_s),
+        schedule: pattern.schedule(horizon_s, 60.0, &mut rng),
+        mix: WorkloadClass::table6(),
+    };
+    ArrivalGenerator::new(&config).collect()
+}
+
+/// One timed fleet bench run at `threads` worker threads.
+fn profile_fleet_run(seed: u64, threads: usize, requests: &[polca_cluster::Request]) -> f64 {
+    let mut site = SiteConfig {
+        datacenters: FLEET_BENCH_DCS,
+        rows_per_datacenter: FLEET_BENCH_ROWS_PER_DC,
+        rows_per_pdu: 2,
+        threads,
+        ..SiteConfig::default()
+    };
+    site.base.seed = seed;
+    site.base.record_power_series = false;
+    let policy = PolcaPolicy::default();
+    let sim = SiteSim::new(
+        profile_fleet_row(),
+        site,
+        |_, rec| fleet_controller(PolicyKind::Polca, &policy, rec),
+        requests.iter().copied(),
+        SimTime::from_secs(FLEET_BENCH_HORIZON_S),
+    );
+    let start = Instant::now();
+    let _ = sim.run();
+    start.elapsed().as_secs_f64()
 }
 
 #[cfg(test)]
@@ -1468,6 +1769,52 @@ mod tests {
         assert!(HELP.contains("characterize"));
         assert!(HELP.contains("ingest"));
         assert!(HELP.contains("--trace-csv"));
+        assert!(HELP.contains("--datacenters"));
+        assert!(HELP.contains("--fleet-threads"));
+        assert!(HELP.contains("BENCH_fleet.json"));
+    }
+
+    #[test]
+    fn site_flags_parse_into_the_site_config() {
+        let inv = parse_args(args(&[
+            "evaluate",
+            "--rows",
+            "3",
+            "--datacenters",
+            "4",
+            "--fleet-threads",
+            "2",
+            "--site-budget-mw",
+            "1.5",
+            "--oversub-dc",
+            "25",
+            "--oversub-site",
+            "10",
+            "--enforce-budgets",
+        ]))
+        .unwrap();
+        let site = parse_site_config(&inv, 3, 4).unwrap();
+        assert_eq!(site.datacenters, 4);
+        assert_eq!(site.rows_per_datacenter, 3);
+        assert_eq!(site.threads, 2);
+        assert_eq!(site.site_budget_watts, Some(1.5e6));
+        assert_eq!(site.datacenter_oversubscription, Some(0.25));
+        assert_eq!(site.site_oversubscription, Some(0.10));
+        assert!(site.enforce_budgets);
+        assert!(site.site_active());
+        // --fleet-threads 0 means "all cores" (at least one).
+        let inv = parse_args(args(&["evaluate", "--rows", "2", "--fleet-threads", "0"])).unwrap();
+        assert!(parse_site_config(&inv, 2, 1).unwrap().threads >= 1);
+        // A zero-datacenter or zero-row site is a clean CLI error, not
+        // a hierarchy panic.
+        assert!(matches!(
+            parse_site_config(&inv, 2, 0),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse_site_config(&inv, 0, 2),
+            Err(CliError::BadValue { .. })
+        ));
     }
 
     #[test]
@@ -1642,6 +1989,51 @@ mod tests {
             fleet_prof.contains("\"batched_tick_occupancy\""),
             "{fleet_prof}"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn evaluate_site_writes_per_datacenter_artifacts() {
+        let dir = std::env::temp_dir().join(format!("polca-cli-site-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        let inv = parse_args(args(&[
+            "evaluate",
+            "--rows",
+            "2",
+            "--datacenters",
+            "2",
+            "--fleet-threads",
+            "2",
+            "--watch",
+            "--days",
+            "0.02",
+            "--added",
+            "30",
+            "--obs-out",
+            &out,
+        ]))
+        .unwrap();
+        run(&inv).unwrap();
+        assert!(dir.join("metrics.json").exists(), "site metrics missing");
+        for row in 0..4 {
+            assert!(
+                dir.join(format!("row{row}/events.jsonl")).exists(),
+                "row{row} artifacts missing"
+            );
+        }
+        for d in 0..2 {
+            for file in ["incidents.jsonl", "report.md"] {
+                assert!(
+                    dir.join(format!("dc{d}/{file}")).exists(),
+                    "dc{d}/{file} missing"
+                );
+            }
+        }
+        // The site-level prom export partitions datacenter gauges.
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(prom.contains("datacenter=\"1\""), "{prom}");
+        assert!(prom.contains("site_power_w"), "{prom}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,5 +1,5 @@
-//! Multi-row fleet composition: N resumable row engines under the
-//! PDU/datacenter budget hierarchy.
+//! Single-datacenter fleet composition: N resumable row engines under
+//! the PDU/datacenter budget hierarchy.
 //!
 //! The paper's evaluation simulates one 52-server row (§6.4); its
 //! characterization argues at cluster scale (§5, Table 4). [`FleetSim`]
@@ -9,6 +9,13 @@
 //! telemetry window at a time, and between windows aggregates
 //! ground-truth row power up the [`PowerHierarchy`] to check per-PDU
 //! and datacenter budgets.
+//!
+//! Since the site refactor, `FleetSim` is a thin shell over
+//! [`SiteSim`](crate::site::SiteSim) configured as a 1-datacenter
+//! site — the window loop, work deque, and budget monitor live in
+//! [`crate::site`], and multi-datacenter shapes plus parallel row
+//! stepping are reached through [`SiteConfig`](crate::site::SiteConfig)
+//! directly.
 //!
 //! Determinism is the design constraint everything here serves:
 //!
@@ -20,24 +27,17 @@
 //! * budget *monitoring* is passive by default — a 1-row fleet run is
 //!   bit-identical (events.jsonl and all) to the legacy single-row
 //!   [`ClusterSim`] path. Active enforcement (braking the rows behind
-//!   an overloaded PDU) is opt-in via
+//!   an overloaded PDU or datacenter) is opt-in via
 //!   [`FleetConfig::enforce_budgets`].
 
-use std::cell::RefCell;
-use std::collections::VecDeque;
-use std::rc::Rc;
-
-use polca_obs::{Event, Label, Phase, ProfCounter, Recorder};
+use polca_obs::Recorder;
 use polca_sim::SimTime;
-use polca_telemetry::ControlAction;
 
 use crate::hierarchy::PowerHierarchy;
-use crate::request::{Priority, Request};
+use crate::request::Priority;
 use crate::row::RowConfig;
-use crate::sim::{
-    ClusterSim, ControlRequest, ControlTarget, PowerController, RequestSource, RowSim, SimConfig,
-    SimReport,
-};
+use crate::sim::{PowerController, RequestSource, SimConfig, SimReport};
+use crate::site::{SiteConfig, SiteReport, SiteSim, RELEASE_FRACTION};
 
 /// Derives the seed for fleet row `row` from the fleet seed.
 ///
@@ -86,13 +86,28 @@ impl FleetConfig {
     /// Aggregate power must fall below this fraction of the budget
     /// before an enforcement brake releases (hysteresis against
     /// brake/unbrake limit cycles at the breaker threshold).
-    pub const RELEASE_FRACTION: f64 = 0.95;
+    pub const RELEASE_FRACTION: f64 = RELEASE_FRACTION;
 
     /// A fleet of `rows` rows with default per-row knobs.
     pub fn with_rows(rows: usize) -> Self {
         FleetConfig {
             rows,
             ..Default::default()
+        }
+    }
+
+    /// The equivalent 1-datacenter [`SiteConfig`] — the shape
+    /// [`FleetSim`] actually runs.
+    pub fn into_site(self) -> SiteConfig {
+        SiteConfig {
+            datacenters: 1,
+            rows_per_datacenter: self.rows,
+            rows_per_pdu: self.rows_per_pdu,
+            pdu_budget_watts: self.pdu_budget_watts,
+            datacenter_budget_watts: self.datacenter_budget_watts,
+            enforce_budgets: self.enforce_budgets,
+            base: self.base,
+            ..SiteConfig::default()
         }
     }
 }
@@ -107,42 +122,6 @@ impl Default for FleetConfig {
             enforce_budgets: false,
             base: SimConfig::default(),
         }
-    }
-}
-
-/// Round-robin arrival dispatcher shared by every row's feed.
-struct Dispatch<S> {
-    source: S,
-    buffers: Vec<VecDeque<Request>>,
-    next_row: usize,
-}
-
-impl<S: RequestSource> Dispatch<S> {
-    /// Next request routed to `row`, pulling (and routing) from the
-    /// shared source until that row's buffer is non-empty or the
-    /// source is exhausted.
-    fn pull_for(&mut self, row: usize) -> Option<Request> {
-        loop {
-            if let Some(req) = self.buffers[row].pop_front() {
-                return Some(req);
-            }
-            let req = self.source.next_request()?;
-            let target = self.next_row;
-            self.next_row = (self.next_row + 1) % self.buffers.len();
-            self.buffers[target].push_back(req);
-        }
-    }
-}
-
-/// One row's view of the shared dispatcher (a lazy [`RequestSource`]).
-struct RowFeed<S> {
-    shared: Rc<RefCell<Dispatch<S>>>,
-    row: usize,
-}
-
-impl<S: RequestSource> RequestSource for RowFeed<S> {
-    fn next_request(&mut self) -> Option<Request> {
-        self.shared.borrow_mut().pull_for(self.row)
     }
 }
 
@@ -174,6 +153,23 @@ pub struct FleetReport {
 }
 
 impl FleetReport {
+    /// Repackages a 1-datacenter [`SiteReport`].
+    fn from_site(site: SiteReport) -> Self {
+        debug_assert_eq!(site.datacenters, 1, "FleetSim always runs one datacenter");
+        FleetReport {
+            rows: site.rows,
+            row_recorders: site.row_recorders,
+            pdu_peak_watts: site.pdu_peak_watts,
+            pdu_budget_watts: site.pdu_budget_watts,
+            datacenter_peak_watts: site.datacenter_peak_watts[0],
+            datacenter_budget_watts: site.datacenter_budget_watts,
+            pdu_violation_samples: site.pdu_violation_samples,
+            datacenter_violation_samples: site.datacenter_violation_samples,
+            fleet_brake_engagements: site.fleet_brake_engagements,
+            duration: site.duration,
+        }
+    }
+
     /// Total requests offered across rows.
     pub fn offered(&self) -> u64 {
         self.rows.iter().map(|r| r.offered).sum()
@@ -216,28 +212,18 @@ impl FleetReport {
     }
 }
 
-/// N lockstep row engines under the fleet power hierarchy.
+/// N lockstep row engines under the fleet power hierarchy — a
+/// 1-datacenter [`SiteSim`].
 ///
 /// See the [module docs](self) for the determinism contract. Controller
 /// construction is a factory so every row gets an independent policy
 /// instance (policies carry mutable per-row state).
-pub struct FleetSim<P, S> {
-    rows: Vec<RowSim<P, RowFeed<S>>>,
-    row_recorders: Vec<Recorder>,
+pub struct FleetSim<P> {
+    inner: SiteSim<P>,
     hierarchy: PowerHierarchy,
-    obs: Recorder,
-    window: SimTime,
-    horizon: SimTime,
-    enforce: bool,
-    pdu_braked: Vec<bool>,
-    pdu_peak: Vec<f64>,
-    datacenter_peak: f64,
-    pdu_violations: u64,
-    datacenter_violations: u64,
-    fleet_brakes: u64,
 }
 
-impl<P: PowerController, S: RequestSource> FleetSim<P, S> {
+impl<P: PowerController> FleetSim<P> {
     /// Builds a fleet of `fleet.rows` copies of `row`, each driven by
     /// its share of `source` (round-robin) and controlled by its own
     /// `make_controller(row_index, row_recorder)` instance, up to
@@ -249,17 +235,13 @@ impl<P: PowerController, S: RequestSource> FleetSim<P, S> {
     ///
     /// Panics if `fleet.rows` or `fleet.rows_per_pdu` is zero, or the
     /// base telemetry interval is not positive.
-    pub fn new(
+    pub fn new<S: RequestSource>(
         row: RowConfig,
         fleet: FleetConfig,
-        mut make_controller: impl FnMut(usize, &Recorder) -> P,
+        make_controller: impl FnMut(usize, &Recorder) -> P,
         source: S,
         horizon: SimTime,
     ) -> Self {
-        assert!(
-            fleet.base.telemetry_interval_s > 0.0,
-            "fleet stepping needs a positive telemetry interval"
-        );
         let mut hierarchy =
             PowerHierarchy::provisioned(fleet.rows, fleet.rows_per_pdu, row.provisioned_watts());
         if let Some(w) = fleet.pdu_budget_watts {
@@ -268,48 +250,15 @@ impl<P: PowerController, S: RequestSource> FleetSim<P, S> {
         if let Some(w) = fleet.datacenter_budget_watts {
             hierarchy = hierarchy.with_datacenter_budget(w);
         }
-        let shared = Rc::new(RefCell::new(Dispatch {
-            source,
-            buffers: vec![VecDeque::new(); fleet.rows],
-            next_row: 0,
-        }));
-        let mut rows = Vec::with_capacity(fleet.rows);
-        let mut row_recorders = Vec::with_capacity(fleet.rows);
-        for i in 0..fleet.rows {
-            let recorder = fleet.base.recorder.fresh_cell();
-            let mut cfg = fleet.base.clone();
-            cfg.seed = row_seed(fleet.base.seed, i);
-            cfg.recorder = recorder.clone();
-            cfg.oob_taps = fleet.base.oob_taps.for_row(i);
-            let feed = RowFeed {
-                shared: Rc::clone(&shared),
-                row: i,
-            };
-            let controller = make_controller(i, &recorder);
-            rows.push(ClusterSim::new(row.clone(), cfg, controller).into_row_sim(feed, horizon));
-            row_recorders.push(recorder);
-        }
-        let n_pdus = hierarchy.n_pdus();
         FleetSim {
-            rows,
-            row_recorders,
-            obs: fleet.base.recorder,
-            window: SimTime::from_secs(fleet.base.telemetry_interval_s),
-            horizon,
-            enforce: fleet.enforce_budgets,
-            pdu_braked: vec![false; n_pdus],
-            pdu_peak: vec![0.0; n_pdus],
-            datacenter_peak: 0.0,
-            pdu_violations: 0,
-            datacenter_violations: 0,
-            fleet_brakes: 0,
+            inner: SiteSim::new(row, fleet.into_site(), make_controller, source, horizon),
             hierarchy,
         }
     }
 
     /// Number of rows in the fleet.
     pub fn n_rows(&self) -> usize {
-        self.rows.len()
+        self.inner.n_rows()
     }
 
     /// The fleet power hierarchy (budgets, PDU grouping).
@@ -319,130 +268,17 @@ impl<P: PowerController, S: RequestSource> FleetSim<P, S> {
 
     /// Runs every row to the horizon, aggregating power at each
     /// telemetry-window boundary, and returns the fleet report.
-    pub fn run(mut self) -> FleetReport {
-        let mut t = SimTime::ZERO;
-        loop {
-            let target = (t + self.window).min(self.horizon);
-            for row in &mut self.rows {
-                row.step_until(target);
-            }
-            t = target;
-            self.observe_boundary(t);
-            if t >= self.horizon {
-                break;
-            }
-        }
-        let pdu_budget_watts: Vec<f64> = (0..self.hierarchy.n_pdus())
-            .map(|p| self.hierarchy.pdu_budget_watts(p))
-            .collect();
-        FleetReport {
-            rows: self.rows.into_iter().map(RowSim::finish).collect(),
-            row_recorders: self.row_recorders,
-            pdu_peak_watts: self.pdu_peak,
-            pdu_budget_watts,
-            datacenter_peak_watts: self.datacenter_peak,
-            datacenter_budget_watts: self.hierarchy.datacenter_budget_watts(),
-            pdu_violation_samples: self.pdu_violations,
-            datacenter_violation_samples: self.datacenter_violations,
-            fleet_brake_engagements: self.fleet_brakes,
-            duration: self.horizon,
-        }
-    }
-
-    /// Aggregates ground-truth power at a window boundary: records
-    /// fleet metrics/events, tracks peaks and violations, and (in
-    /// enforcement mode) engages or releases PDU-scoped brakes.
-    fn observe_boundary(&mut self, now: SimTime) {
-        let _p = self.obs.prof().time(Phase::PowerAggregation);
-        self.obs.prof().count(ProfCounter::FleetWindows, 1);
-        self.obs
-            .prof()
-            .count(ProfCounter::FleetRowWindows, self.rows.len() as u64);
-        let row_watts: Vec<f64> = self.rows.iter().map(RowSim::row_power_watts).collect();
-        let t = now.as_secs();
-        for (i, &w) in row_watts.iter().enumerate() {
-            self.obs.gauge("fleet.row_power_w", Label::Row(i), w);
-            self.obs.record(Event::FleetPowerSample {
-                t,
-                row: i,
-                watts: w,
-            });
-        }
-        let pdu_powers = self.hierarchy.pdu_powers(&row_watts);
-        let mut any_pdu_violation = false;
-        for (pdu, &w) in pdu_powers.iter().enumerate() {
-            let budget = self.hierarchy.pdu_budget_watts(pdu);
-            self.obs.gauge("fleet.pdu_power_w", Label::Pdu(pdu), w);
-            if w > self.pdu_peak[pdu] {
-                self.pdu_peak[pdu] = w;
-            }
-            if w > budget {
-                any_pdu_violation = true;
-                self.obs.add("fleet.pdu_violations", Label::Pdu(pdu), 1);
-                self.obs.record(Event::BudgetViolation {
-                    t,
-                    scope: "pdu",
-                    unit: pdu,
-                    watts: w,
-                    budget_watts: budget,
-                });
-            }
-            if self.enforce {
-                self.enforce_pdu(now, pdu, w, budget);
-            }
-        }
-        if any_pdu_violation {
-            self.pdu_violations += 1;
-        }
-        let dc = self.hierarchy.datacenter_power(&row_watts);
-        let dc_budget = self.hierarchy.datacenter_budget_watts();
-        self.obs
-            .gauge("fleet.datacenter_power_w", Label::Global, dc);
-        if dc > self.datacenter_peak {
-            self.datacenter_peak = dc;
-        }
-        if dc > dc_budget {
-            self.datacenter_violations += 1;
-            self.obs
-                .add("fleet.datacenter_violations", Label::Global, 1);
-            self.obs.record(Event::BudgetViolation {
-                t,
-                scope: "datacenter",
-                unit: 0,
-                watts: dc,
-                budget_watts: dc_budget,
-            });
-        }
-    }
-
-    /// PDU-scoped brake with hysteresis: engage above budget, release
-    /// below [`FleetConfig::RELEASE_FRACTION`] of it.
-    fn enforce_pdu(&mut self, now: SimTime, pdu: usize, watts: f64, budget: f64) {
-        let engage = watts > budget && !self.pdu_braked[pdu];
-        let release = self.pdu_braked[pdu] && watts < budget * FleetConfig::RELEASE_FRACTION;
-        if !(engage || release) {
-            return;
-        }
-        self.pdu_braked[pdu] = engage;
-        if engage {
-            self.fleet_brakes += 1;
-            self.obs.add("fleet.brake_engagements", Label::Pdu(pdu), 1);
-        }
-        let cr = ControlRequest {
-            target: ControlTarget::All,
-            action: ControlAction::PowerBrake { on: engage },
-        };
-        for row in self.hierarchy.rows_in_pdu(pdu) {
-            self.rows[row].inject(now, cr);
-        }
+    pub fn run(self) -> FleetReport {
+        FleetReport::from_site(self.inner.run())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::NoopController;
-    use polca_obs::ObsLevel;
+    use crate::request::Request;
+    use crate::sim::{ClusterSim, NoopController};
+    use polca_obs::{Event, ObsLevel};
 
     fn t(s: f64) -> SimTime {
         SimTime::from_secs(s)

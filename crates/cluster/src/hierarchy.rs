@@ -23,8 +23,15 @@ use crate::server::InferenceServer;
 ///
 /// Budgets default to the provisioned power of the members (each PDU's
 /// budget is `rows-behind-it × row_provisioned_watts`, the datacenter's
-/// is the sum over all rows) and can be overridden to model
-/// oversubscription at either level.
+/// is the sum over all rows) and can be tightened per level in two
+/// ways: an absolute override in watts, or an oversubscription
+/// *fraction* `f` that derives the budget as `provisioned / (1 + f)` —
+/// the paper's framing, where deploying `f` more servers under the same
+/// breaker is equivalent to shrinking the per-server budget headroom.
+/// An absolute override wins over a fraction when both are set.
+///
+/// A multi-datacenter site adds one more level on top; see
+/// [`SiteHierarchy`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerHierarchy {
     n_rows: usize,
@@ -32,6 +39,8 @@ pub struct PowerHierarchy {
     row_provisioned_watts: f64,
     pdu_budget_override: Option<f64>,
     datacenter_budget_override: Option<f64>,
+    pdu_oversubscription: Option<f64>,
+    datacenter_oversubscription: Option<f64>,
 }
 
 impl PowerHierarchy {
@@ -50,6 +59,8 @@ impl PowerHierarchy {
             row_provisioned_watts,
             pdu_budget_override: None,
             datacenter_budget_override: None,
+            pdu_oversubscription: None,
+            datacenter_oversubscription: None,
         }
     }
 
@@ -66,9 +77,40 @@ impl PowerHierarchy {
         self
     }
 
+    /// Oversubscribes every PDU breaker by fraction `f`: budget becomes
+    /// `provisioned / (1 + f)`. Ignored when an absolute PDU override
+    /// is also set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is negative.
+    pub fn with_pdu_oversubscription(mut self, f: f64) -> Self {
+        assert!(f >= 0.0, "oversubscription fraction must be non-negative");
+        self.pdu_oversubscription = Some(f);
+        self
+    }
+
+    /// Oversubscribes the datacenter bus by fraction `f`: budget
+    /// becomes `provisioned / (1 + f)`. Ignored when an absolute
+    /// datacenter override is also set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is negative.
+    pub fn with_datacenter_oversubscription(mut self, f: f64) -> Self {
+        assert!(f >= 0.0, "oversubscription fraction must be non-negative");
+        self.datacenter_oversubscription = Some(f);
+        self
+    }
+
     /// Number of rows in the fleet.
     pub fn n_rows(&self) -> usize {
         self.n_rows
+    }
+
+    /// Total provisioned power of every row, in watts.
+    pub fn provisioned_watts(&self) -> f64 {
+        self.n_rows as f64 * self.row_provisioned_watts
     }
 
     /// Number of PDUs (the last one may feed fewer rows).
@@ -87,18 +129,26 @@ impl PowerHierarchy {
         start..((start + self.rows_per_pdu).min(self.n_rows))
     }
 
-    /// Budget of PDU `pdu` in watts: the override if set, otherwise the
-    /// provisioned power of the rows it actually feeds.
+    /// Budget of PDU `pdu` in watts: the absolute override if set, else
+    /// the oversubscription-derived budget, else the provisioned power
+    /// of the rows it actually feeds.
     pub fn pdu_budget_watts(&self, pdu: usize) -> f64 {
-        self.pdu_budget_override
-            .unwrap_or(self.rows_in_pdu(pdu).len() as f64 * self.row_provisioned_watts)
+        let provisioned = self.rows_in_pdu(pdu).len() as f64 * self.row_provisioned_watts;
+        self.pdu_budget_override.unwrap_or_else(|| {
+            self.pdu_oversubscription
+                .map_or(provisioned, |f| provisioned / (1.0 + f))
+        })
     }
 
-    /// The datacenter budget in watts: the override if set, otherwise
-    /// the provisioned power of every row.
+    /// The datacenter budget in watts: the absolute override if set,
+    /// else the oversubscription-derived budget, else the provisioned
+    /// power of every row.
     pub fn datacenter_budget_watts(&self) -> f64 {
-        self.datacenter_budget_override
-            .unwrap_or(self.n_rows as f64 * self.row_provisioned_watts)
+        let provisioned = self.provisioned_watts();
+        self.datacenter_budget_override.unwrap_or_else(|| {
+            self.datacenter_oversubscription
+                .map_or(provisioned, |f| provisioned / (1.0 + f))
+        })
     }
 
     /// Per-PDU aggregate power for the given per-row powers.
@@ -127,6 +177,233 @@ impl PowerHierarchy {
             .enumerate()
             .filter(|&(pdu, p)| p > self.pdu_budget_watts(pdu))
             .map(|(pdu, _)| pdu)
+            .collect()
+    }
+}
+
+/// A multi-datacenter site: `datacenters` identical copies of one
+/// [`PowerHierarchy`] fed by a single site bus (a utility substation in
+/// the 100 MW-scale deployments of the related provisioning work).
+///
+/// Rows and PDUs carry *global* indices — datacenter `d` owns rows
+/// `d * rows_per_datacenter ..` and PDUs `d * pdus_per_datacenter ..` —
+/// so per-row power vectors, event labels, and artifact directories
+/// stay flat and a 1-datacenter site degenerates exactly to the
+/// underlying hierarchy.
+///
+/// The site budget follows the same precedence as the lower levels:
+/// absolute override, else `provisioned / (1 + oversubscription)`,
+/// else provisioned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteHierarchy {
+    datacenters: usize,
+    per_dc: PowerHierarchy,
+    site_budget_override: Option<f64>,
+    site_oversubscription: Option<f64>,
+}
+
+impl SiteHierarchy {
+    /// A site of `datacenters` identical datacenters, each holding
+    /// `rows_per_datacenter` rows grouped `rows_per_pdu` behind each
+    /// PDU, with every budget equal to provisioned power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    pub fn uniform(
+        datacenters: usize,
+        rows_per_datacenter: usize,
+        rows_per_pdu: usize,
+        row_provisioned_watts: f64,
+    ) -> Self {
+        assert!(datacenters > 0, "a site needs at least one datacenter");
+        SiteHierarchy {
+            datacenters,
+            per_dc: PowerHierarchy::provisioned(
+                rows_per_datacenter,
+                rows_per_pdu,
+                row_provisioned_watts,
+            ),
+            site_budget_override: None,
+            site_oversubscription: None,
+        }
+    }
+
+    /// Overrides every PDU's budget (see
+    /// [`PowerHierarchy::with_pdu_budget`]).
+    pub fn with_pdu_budget(mut self, watts: f64) -> Self {
+        self.per_dc = self.per_dc.with_pdu_budget(watts);
+        self
+    }
+
+    /// Overrides every datacenter's budget (see
+    /// [`PowerHierarchy::with_datacenter_budget`]).
+    pub fn with_datacenter_budget(mut self, watts: f64) -> Self {
+        self.per_dc = self.per_dc.with_datacenter_budget(watts);
+        self
+    }
+
+    /// Oversubscribes every PDU breaker by fraction `f` (see
+    /// [`PowerHierarchy::with_pdu_oversubscription`]).
+    pub fn with_pdu_oversubscription(mut self, f: f64) -> Self {
+        self.per_dc = self.per_dc.with_pdu_oversubscription(f);
+        self
+    }
+
+    /// Oversubscribes every datacenter bus by fraction `f` (see
+    /// [`PowerHierarchy::with_datacenter_oversubscription`]).
+    pub fn with_datacenter_oversubscription(mut self, f: f64) -> Self {
+        self.per_dc = self.per_dc.with_datacenter_oversubscription(f);
+        self
+    }
+
+    /// Overrides the site-level budget with `watts`.
+    pub fn with_site_budget(mut self, watts: f64) -> Self {
+        self.site_budget_override = Some(watts);
+        self
+    }
+
+    /// Oversubscribes the site bus by fraction `f`: the site budget
+    /// becomes `provisioned / (1 + f)`. Ignored when an absolute site
+    /// override is also set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is negative.
+    pub fn with_site_oversubscription(mut self, f: f64) -> Self {
+        assert!(f >= 0.0, "oversubscription fraction must be non-negative");
+        self.site_oversubscription = Some(f);
+        self
+    }
+
+    /// Number of datacenters on the site bus.
+    pub fn n_datacenters(&self) -> usize {
+        self.datacenters
+    }
+
+    /// Rows per datacenter.
+    pub fn rows_per_datacenter(&self) -> usize {
+        self.per_dc.n_rows()
+    }
+
+    /// Total rows across the site.
+    pub fn n_rows(&self) -> usize {
+        self.datacenters * self.per_dc.n_rows()
+    }
+
+    /// PDUs per datacenter.
+    pub fn pdus_per_datacenter(&self) -> usize {
+        self.per_dc.n_pdus()
+    }
+
+    /// Total PDUs across the site.
+    pub fn n_pdus(&self) -> usize {
+        self.datacenters * self.per_dc.n_pdus()
+    }
+
+    /// The single-datacenter hierarchy template every datacenter uses.
+    pub fn datacenter(&self) -> &PowerHierarchy {
+        &self.per_dc
+    }
+
+    /// The datacenter owning global row index `row`.
+    pub fn datacenter_of(&self, row: usize) -> usize {
+        row / self.per_dc.n_rows()
+    }
+
+    /// Global row indices inside datacenter `d`.
+    pub fn rows_in_datacenter(&self, d: usize) -> Range<usize> {
+        let start = d * self.per_dc.n_rows();
+        start..start + self.per_dc.n_rows()
+    }
+
+    /// The global PDU index feeding global row `row`.
+    pub fn pdu_of(&self, row: usize) -> usize {
+        let d = self.datacenter_of(row);
+        d * self.per_dc.n_pdus() + self.per_dc.pdu_of(row - d * self.per_dc.n_rows())
+    }
+
+    /// Global row indices behind global PDU `pdu`.
+    pub fn rows_in_pdu(&self, pdu: usize) -> Range<usize> {
+        let d = pdu / self.per_dc.n_pdus();
+        let local = self.per_dc.rows_in_pdu(pdu % self.per_dc.n_pdus());
+        let base = d * self.per_dc.n_rows();
+        base + local.start..base + local.end
+    }
+
+    /// Budget of global PDU `pdu` in watts.
+    pub fn pdu_budget_watts(&self, pdu: usize) -> f64 {
+        self.per_dc.pdu_budget_watts(pdu % self.per_dc.n_pdus())
+    }
+
+    /// Budget of each datacenter in watts (identical across the site).
+    pub fn datacenter_budget_watts(&self) -> f64 {
+        self.per_dc.datacenter_budget_watts()
+    }
+
+    /// Provisioned power of one datacenter, in watts.
+    pub fn datacenter_provisioned_watts(&self) -> f64 {
+        self.per_dc.provisioned_watts()
+    }
+
+    /// Total provisioned power of the site, in watts.
+    pub fn site_provisioned_watts(&self) -> f64 {
+        self.datacenters as f64 * self.per_dc.provisioned_watts()
+    }
+
+    /// The site budget in watts: the absolute override if set, else the
+    /// oversubscription-derived budget, else provisioned power.
+    pub fn site_budget_watts(&self) -> f64 {
+        let provisioned = self.site_provisioned_watts();
+        self.site_budget_override.unwrap_or_else(|| {
+            self.site_oversubscription
+                .map_or(provisioned, |f| provisioned / (1.0 + f))
+        })
+    }
+
+    /// Per-PDU aggregate power (global PDU order) for the given per-row
+    /// powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_watts` does not hold exactly one entry per row.
+    pub fn pdu_powers(&self, row_watts: &[f64]) -> Vec<f64> {
+        assert_eq!(row_watts.len(), self.n_rows(), "one power entry per row");
+        let mut powers = vec![0.0; self.n_pdus()];
+        for (row, &w) in row_watts.iter().enumerate() {
+            powers[self.pdu_of(row)] += w;
+        }
+        powers
+    }
+
+    /// Per-datacenter aggregate power for the given per-row powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_watts` does not hold exactly one entry per row.
+    pub fn datacenter_powers(&self, row_watts: &[f64]) -> Vec<f64> {
+        assert_eq!(row_watts.len(), self.n_rows(), "one power entry per row");
+        let mut powers = vec![0.0; self.datacenters];
+        for (row, &w) in row_watts.iter().enumerate() {
+            powers[self.datacenter_of(row)] += w;
+        }
+        powers
+    }
+
+    /// Total site power for the given per-row powers.
+    pub fn site_power(&self, row_watts: &[f64]) -> f64 {
+        row_watts.iter().sum()
+    }
+
+    /// Indices of datacenters whose aggregate power exceeds the
+    /// datacenter budget.
+    pub fn overloaded_datacenters(&self, row_watts: &[f64]) -> Vec<usize> {
+        let budget = self.datacenter_budget_watts();
+        self.datacenter_powers(row_watts)
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, p)| p > budget)
+            .map(|(d, _)| d)
             .collect()
     }
 }
@@ -292,5 +569,70 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_capacity_rejected() {
         let _ = RackLayout::new(0);
+    }
+
+    #[test]
+    fn oversubscription_fraction_derives_budgets() {
+        let h = PowerHierarchy::provisioned(4, 2, 1000.0)
+            .with_pdu_oversubscription(0.30)
+            .with_datacenter_oversubscription(0.25);
+        assert!((h.pdu_budget_watts(0) - 2000.0 / 1.30).abs() < 1e-9);
+        assert!((h.datacenter_budget_watts() - 4000.0 / 1.25).abs() < 1e-9);
+        // An absolute override beats the fraction.
+        let h = h.with_pdu_budget(1234.0);
+        assert_eq!(h.pdu_budget_watts(1), 1234.0);
+    }
+
+    #[test]
+    fn site_hierarchy_uses_global_indices() {
+        // 3 datacenters × 5 rows (2 per PDU → 3 PDUs each, last partial).
+        let s = SiteHierarchy::uniform(3, 5, 2, 1000.0);
+        assert_eq!(s.n_rows(), 15);
+        assert_eq!(s.n_pdus(), 9);
+        assert_eq!(s.datacenter_of(4), 0);
+        assert_eq!(s.datacenter_of(5), 1);
+        assert_eq!(s.rows_in_datacenter(1), 5..10);
+        // Row 7 is local row 2 of datacenter 1 → local PDU 1 → global 4.
+        assert_eq!(s.pdu_of(7), 4);
+        assert_eq!(s.rows_in_pdu(4), 7..9);
+        // Partial PDU of datacenter 2: local PDU 2 → global 8, one row.
+        assert_eq!(s.rows_in_pdu(8), 14..15);
+        assert_eq!(s.pdu_budget_watts(8), 1000.0);
+        assert_eq!(s.datacenter_budget_watts(), 5000.0);
+        assert_eq!(s.site_budget_watts(), 15_000.0);
+    }
+
+    #[test]
+    fn site_levels_aggregate_consistently() {
+        // Child sums must equal the parent reading at every level: the
+        // invariant the budget-violation proptest leans on.
+        let s = SiteHierarchy::uniform(2, 3, 2, 1000.0);
+        let watts: Vec<f64> = (0..6).map(|i| 100.0 * (i + 1) as f64).collect();
+        let pdus = s.pdu_powers(&watts);
+        let dcs = s.datacenter_powers(&watts);
+        assert_eq!(pdus, vec![300.0, 300.0, 900.0, 600.0]);
+        assert_eq!(dcs, vec![600.0, 1500.0]);
+        for (d, dc_watts) in dcs.iter().enumerate() {
+            let from_pdus: f64 = (0..s.n_pdus())
+                .filter(|&p| p / s.pdus_per_datacenter() == d)
+                .map(|p| pdus[p])
+                .sum();
+            assert!((from_pdus - dc_watts).abs() < 1e-9);
+        }
+        assert!((s.site_power(&watts) - dcs.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn site_budget_precedence_matches_lower_levels() {
+        let s = SiteHierarchy::uniform(4, 2, 2, 1000.0).with_site_oversubscription(0.60);
+        assert!((s.site_budget_watts() - 8000.0 / 1.60).abs() < 1e-9);
+        let s = s.with_site_budget(6500.0);
+        assert_eq!(s.site_budget_watts(), 6500.0);
+        let s2 = SiteHierarchy::uniform(2, 2, 2, 1000.0).with_datacenter_oversubscription(1.0);
+        assert_eq!(s2.datacenter_budget_watts(), 1000.0);
+        assert_eq!(
+            s2.overloaded_datacenters(&[600.0, 600.0, 100.0, 100.0]),
+            [0]
+        );
     }
 }

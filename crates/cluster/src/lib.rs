@@ -27,7 +27,12 @@
 //!   supports `step_until`-style incremental execution and drives
 //!   either serving engine,
 //! * [`fleet`] — [`fleet::FleetSim`]: N rows stepped in lockstep under
-//!   the per-PDU and datacenter budgets of [`hierarchy::PowerHierarchy`],
+//!   the per-PDU and datacenter budgets of [`hierarchy::PowerHierarchy`]
+//!   (a 1-datacenter site since the site refactor),
+//! * [`site`] — [`site::SiteSim`]: N datacenters of M rows each under a
+//!   [`hierarchy::SiteHierarchy`], stepped in lockstep telemetry
+//!   windows by an optional scoped thread pool with a deterministic
+//!   canonical-order merge at every boundary,
 //! * [`training`] — the synchronized training-cluster power model behind
 //!   Table 4's training column.
 //!
@@ -51,10 +56,11 @@ pub mod row;
 pub mod server;
 pub mod server_spec;
 pub mod sim;
+pub mod site;
 pub mod training;
 
 pub use fleet::{row_seed, FleetConfig, FleetReport, FleetSim};
-pub use hierarchy::{PowerHierarchy, RackLayout};
+pub use hierarchy::{PowerHierarchy, RackLayout, SiteHierarchy};
 pub use request::{CompletedRequest, Priority, Request};
 pub use row::RowConfig;
 pub use server::{InferenceServer, ServerState, HOT_IDLE_INTENSITY};
@@ -63,4 +69,5 @@ pub use sim::{
     ClusterSim, ControlRequest, ControlTarget, EngineKind, NoopController, PowerController,
     RequestSource, RowContext, RowSim, SimConfig, SimReport,
 };
+pub use site::{SiteConfig, SiteReport, SiteSim};
 pub use training::TrainingCluster;

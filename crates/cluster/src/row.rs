@@ -12,7 +12,10 @@ use crate::server_spec::ServerSpec;
 /// The paper's evaluation row (Table 2) holds 40 DGX-A100 servers, all
 /// serving BLOOM-176B, with telemetry every 2 s. Power is provisioned at
 /// the servers' rated draw; POLCA's oversubscription adds servers under
-/// the *same* row budget.
+/// the *same* row budget. A row is the *bottom* of the power hierarchy,
+/// not the top: rows aggregate into PDUs, PDUs into datacenters, and
+/// datacenters into a site (see [`crate::hierarchy::SiteHierarchy`] and
+/// [`crate::site::SiteSim`]), each level with its own budget knobs.
 #[derive(Debug, Clone)]
 pub struct RowConfig {
     /// Servers the row was originally provisioned for.

@@ -91,7 +91,13 @@ impl<I: Iterator<Item = Request>> RequestSource for I {
 /// (2 s) with the *delayed* power observation — `None` until the first
 /// reading propagates. POLCA and the baseline policies implement this in
 /// the `polca` crate.
-pub trait PowerController {
+///
+/// Controllers must be [`Send`]: a multi-datacenter [`SiteSim`]
+/// (`crate::site`) steps its rows on a scoped thread pool, carrying
+/// each row's controller to whichever worker claims the row that
+/// window. Controllers are plain decision state (no shared interior
+/// mutability), so this is not a restriction in practice.
+pub trait PowerController: Send {
     /// Reacts to a telemetry tick, returning control requests to issue
     /// on the OOB plane.
     fn on_telemetry(
@@ -1050,6 +1056,18 @@ impl<P: PowerController, S: RequestSource> RowSim<P, S> {
     /// Instantaneous ground-truth row power, in watts.
     pub fn row_power_watts(&self) -> f64 {
         self.sim.row_power_watts
+    }
+
+    /// Timestamp of the next queued event, or `None` when the queue is
+    /// drained (the row will never act again unless a command is
+    /// [`inject`](Self::inject)ed).
+    ///
+    /// A site-level window scheduler uses this to build its per-window
+    /// work deque: a row whose next event lies beyond the window
+    /// boundary needs no `step_until` call at all — by construction it
+    /// would process zero events.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.sim.queue.peek_time()
     }
 
     /// The row context (provisioned budget, server count).

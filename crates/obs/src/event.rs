@@ -154,9 +154,10 @@ pub enum Event {
     BudgetViolation {
         /// Simulation time in seconds.
         t: f64,
-        /// Hierarchy level (`"pdu"` or `"datacenter"`).
+        /// Hierarchy level (`"pdu"`, `"datacenter"`, or `"site"`).
         scope: &'static str,
-        /// Index of the violated unit (PDU index; 0 for the datacenter).
+        /// Index of the violated unit (PDU or datacenter index; 0 for
+        /// the site).
         unit: usize,
         /// Aggregate power at the sample, in watts.
         watts: f64,

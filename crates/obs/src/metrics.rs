@@ -25,6 +25,8 @@ pub enum Label {
     Row(usize),
     /// One series per power distribution unit in the fleet hierarchy.
     Pdu(usize),
+    /// One series per datacenter in a multi-datacenter site.
+    Datacenter(usize),
 }
 
 impl Label {
@@ -35,6 +37,7 @@ impl Label {
             Label::Tag(t) => format!("\"{}\"", esc(t)),
             Label::Row(i) => format!("{{\"row\":{i}}}"),
             Label::Pdu(i) => format!("{{\"pdu\":{i}}}"),
+            Label::Datacenter(i) => format!("{{\"datacenter\":{i}}}"),
         }
     }
 }
@@ -373,6 +376,7 @@ impl MetricsRegistry {
                 Label::Tag(t) => pairs.push(format!("tag=\"{}\"", label_escape(t))),
                 Label::Row(i) => pairs.push(format!("row=\"{i}\"")),
                 Label::Pdu(i) => pairs.push(format!("pdu=\"{i}\"")),
+                Label::Datacenter(i) => pairs.push(format!("datacenter=\"{i}\"")),
             }
             if let Some((k, v)) = extra {
                 pairs.push(format!("{k}=\"{}\"", label_escape(v)));

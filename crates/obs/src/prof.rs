@@ -90,10 +90,17 @@ pub enum Phase {
     /// Continuous-batching admission: chunked-prefill selection and
     /// waiting-queue scheduling (polca-serve).
     ServeSchedule,
+    /// Site window boundary: canonical-order merge of per-row state
+    /// (next event times, instantaneous powers) after the parallel
+    /// step, before budgets are evaluated.
+    FleetMerge,
+    /// Site-level aggregation: datacenter/site power roll-up and
+    /// budget checks above the single-datacenter fleet path.
+    SiteAggregation,
 }
 
 /// Number of [`Phase`] variants (the accumulator array length).
-pub const PHASE_COUNT: usize = 14;
+pub const PHASE_COUNT: usize = 16;
 
 impl Phase {
     /// Every phase, in discriminant order.
@@ -112,6 +119,8 @@ impl Phase {
         Phase::ServeIteration,
         Phase::ServeKvAlloc,
         Phase::ServeSchedule,
+        Phase::FleetMerge,
+        Phase::SiteAggregation,
     ];
 
     /// Short dotted name used in tables, JSON, and Prometheus labels.
@@ -131,6 +140,8 @@ impl Phase {
             Phase::ServeIteration => "serve.iteration",
             Phase::ServeKvAlloc => "serve.kv_alloc",
             Phase::ServeSchedule => "serve.schedule",
+            Phase::FleetMerge => "fleet.merge",
+            Phase::SiteAggregation => "site.aggregate",
         }
     }
 
@@ -155,6 +166,8 @@ impl Phase {
             Phase::ServeIteration => "row.step;serve.iteration",
             Phase::ServeKvAlloc => "row.step;serve.iteration;kv_alloc",
             Phase::ServeSchedule => "row.step;serve.iteration;schedule",
+            Phase::FleetMerge => "fleet.window;merge",
+            Phase::SiteAggregation => "fleet.window;site_aggregate",
         }
     }
 }
@@ -178,9 +191,10 @@ pub enum ProfCounter {
     EventsRecorded,
     /// Fleet telemetry-window boundaries observed.
     FleetWindows,
-    /// Row-windows aggregated across all boundaries; divided by
-    /// [`FleetWindows`](Self::FleetWindows) this is the batched-tick
-    /// occupancy (rows advanced per lockstep window).
+    /// Row-windows actually *stepped* (rows with a due event) across
+    /// all boundaries; divided by [`FleetWindows`](Self::FleetWindows)
+    /// this is the batched-tick occupancy (rows advanced per lockstep
+    /// window).
     FleetRowWindows,
     /// Arrival-trace cache misses (full synthesis runs).
     TraceCacheMisses,
@@ -200,10 +214,14 @@ pub enum ProfCounter {
     /// High-water mark of running sequences (prefilling + decoding) on
     /// any one server of the batched engine (merged by max).
     ServePeakBatch,
+    /// Row-windows *skipped* by the due-event work deque: rows whose
+    /// next queued event lies beyond the window boundary pay nothing
+    /// instead of a no-op scan.
+    FleetRowsSkipped,
 }
 
 /// Number of [`ProfCounter`] variants.
-pub const COUNTER_COUNT: usize = 13;
+pub const COUNTER_COUNT: usize = 14;
 
 impl ProfCounter {
     /// Every counter, in discriminant order.
@@ -221,6 +239,7 @@ impl ProfCounter {
         ProfCounter::ServeKvPeakBlocks,
         ProfCounter::ServePreemptions,
         ProfCounter::ServePeakBatch,
+        ProfCounter::FleetRowsSkipped,
     ];
 
     /// Snake-case name used in JSON and Prometheus output.
@@ -239,6 +258,7 @@ impl ProfCounter {
             ProfCounter::ServeKvPeakBlocks => "serve_kv_peak_blocks",
             ProfCounter::ServePreemptions => "serve_preemptions",
             ProfCounter::ServePeakBatch => "serve_peak_batch",
+            ProfCounter::FleetRowsSkipped => "fleet_rows_skipped",
         }
     }
 

@@ -33,6 +33,7 @@
 //! assert_eq!(sig.read(SimTime::from_secs(2.0)), Some(100.0));
 //! ```
 
+pub mod buffer;
 pub mod control;
 pub mod delay;
 pub mod fanout;
@@ -40,6 +41,7 @@ pub mod interfaces;
 pub mod monitors;
 pub mod sampler;
 
+pub use buffer::{merge_tick_columns, BufferedTick, RowTickBuffer};
 pub use control::{ControlAction, ControlCommand, OobControlPlane};
 pub use delay::DelayedSignal;
 pub use fanout::{RowPowerSubscriber, RowPowerTaps};

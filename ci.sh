@@ -131,7 +131,8 @@ cargo run -q --offline --release -p polca-cli -- \
     || { echo "req-trace wrote no requests.jsonl"; exit 1; }
 # Every record must carry the lifecycle + energy schema fields.
 for field in '"id"' '"priority"' '"queue_s"' '"ttft_s"' '"tbt_mean_s"' \
-             '"tbt_max_s"' '"preemptions"' '"joules"' '"joules_per_token"'; do
+             '"tbt_max_s"' '"preemptions"' '"joules"' '"joules_per_token"' \
+             '"co2e_g"' '"pue_applied"'; do
     grep -vq "$field" "$req_out/requests.jsonl" \
         && { echo "requests.jsonl line missing $field"; exit 1; }
 done
@@ -143,10 +144,35 @@ grep -q '^req_ttft_s{tag="' "$req_out/metrics.prom" \
 grep -q '^req_joules_per_token{tag="' "$req_out/metrics.prom" \
     || { echo "no joules-per-token histogram in metrics.prom"; exit 1; }
 
+echo "== polca-cli energy smoke test =="
+energy_out="$(scratch)"
+cargo run -q --offline --release -p polca-cli -- \
+    evaluate --engine batched --carbon-diurnal --days 0.02 \
+    --obs-out "$energy_out" > "$energy_out/summary.txt"
+for f in energy.json energy.csv metrics.prom; do
+    [[ -s "$energy_out/$f" ]] \
+        || { echo "missing energy artifact: $f"; exit 1; }
+done
+grep -q '^energy_site_wh ' "$energy_out/metrics.prom" \
+    || { echo "no energy_site_wh gauge in metrics.prom"; exit 1; }
+grep -q '^carbon_site_g ' "$energy_out/metrics.prom" \
+    || { echo "no carbon_site_g gauge in metrics.prom"; exit 1; }
+grep -q 'gCO2e' "$energy_out/summary.txt" \
+    || { echo "evaluate printed no energy ledger table"; exit 1; }
+# The bundled grid trace drives the same run (sample-and-hold CSV
+# ingestion), and the ledger lands with a non-trivial carbon account.
+energy_trace_out="$(scratch)"
+cargo run -q --offline --release -p polca-cli -- \
+    evaluate --engine batched --days 0.02 \
+    --carbon-trace tests/golden/carbon_intensity_24h.csv \
+    --obs-out "$energy_trace_out"
+grep -q '^carbon_mean_g_per_kwh ' "$energy_trace_out/metrics.prom" \
+    || { echo "carbon trace run emitted no mean intensity"; exit 1; }
+
 echo "== bench-smoke (polca-cli profile vs committed BENCH_*.json) =="
 # The committed BENCH_sim.json / BENCH_watch.json / BENCH_ingest.json /
-# BENCH_serve.json / BENCH_fleet.json at the repository root are the
-# perf-trajectory baseline, written by:
+# BENCH_serve.json / BENCH_fleet.json / BENCH_energy.json at the
+# repository root are the perf-trajectory baseline, written by:
 #
 #   cargo run --release -p polca-cli -- profile --bench-out .
 #
@@ -189,5 +215,6 @@ check_bench watch watch_runs_per_s
 check_bench ingest rows_per_s
 check_bench serve serve_sim_s_per_s
 check_bench fleet fleet_sim_s_per_s
+check_bench energy energy_runs_per_s
 
 echo "CI OK"

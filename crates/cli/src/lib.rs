@@ -38,12 +38,17 @@ use polca_ingest::{
     requests_to_csv, IngestedTrace, ReplayOptions, TraceCalibration, TraceReplay, TraceStats,
 };
 use polca_llm::{InferenceConfig, InferenceModel, ModelSpec};
-use polca_obs::{BenchReport, ObsLevel, ProfCounter, Recorder, ReqTraceConfig};
+use polca_obs::{
+    BenchReport, CarbonSignal, CarbonTrace, EnergyLedger, EnergyPlan, ObsLevel, ProfCounter,
+    Recorder, ReqTraceConfig,
+};
 use polca_sim::{SimRng, SimTime};
 use polca_telemetry::{merge_tick_columns, RowPowerTaps, RowTickBuffer};
 use polca_trace::replicate::production_reference;
 use polca_trace::{ArrivalGenerator, DiurnalPattern, TraceConfig, WorkloadClass};
-use polca_watch::{IncidentState, RuleSet, WatchArtifacts, WatchConfig, WatchPlane};
+use polca_watch::{
+    IncidentState, RuleSet, WatchArtifacts, WatchConfig, WatchEnergyConfig, WatchPlane,
+};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +118,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         "profile",
         "split-pools",
         "req-trace",
+        "carbon-diurnal",
     ];
     let mut iter = args.into_iter();
     let command = iter.next().ok_or(CliError::MissingCommand)?;
@@ -277,6 +283,21 @@ COMMANDS
                 [--req-sample N] keep every Nth request record in
                 requests.jsonl (histograms still see all requests;
                 implies --req-trace)
+                [--carbon-trace FILE | --carbon-diurnal] attach the
+                polca-energy ledger: trapezoid-integrate ground-truth
+                power into Wh / gCO2e rollups per row, PDU, datacenter,
+                and site, per priority class, and per prefill/decode
+                pool, and print the per-datacenter ledger table; the
+                grid carbon-intensity signal comes from a CSV
+                (hour,carbon_g_per_kwh; sample-and-hold, wraps) or the
+                built-in diurnal model; with --obs-out also writes
+                energy.json + energy.csv, energy_*/carbon_* gauges in
+                metrics.prom, and counter lanes in trace.json
+                [--pue X[,Y,...]] per-datacenter PUE table (default
+                1.25; implies --carbon-diurnal when no signal is given)
+                [--carbon-budget G_PER_H] / [--carbon-per-token G]
+                with --watch, arm the built-in carbon-budget-burn /
+                co2e-per-token-high rules on the delayed OOB feed
                 [--watch] run the online alerting/incident plane on the
                 delayed OOB telemetry (forces obs level >= events; with
                 --obs-out also writes incidents.jsonl, report.md, and
@@ -321,8 +342,8 @@ COMMANDS
                 prof.trace.json (open in Perfetto)
                 [--bench-out DIR] write the BENCH_sim.json,
                 BENCH_watch.json, BENCH_ingest.json, BENCH_serve.json,
-                BENCH_fleet.json perf baselines that ci.sh's
-                bench-smoke step gates against
+                BENCH_fleet.json, BENCH_energy.json perf baselines that
+                ci.sh's bench-smoke step gates against
   help          print this text
 ";
 
@@ -505,13 +526,125 @@ fn parse_req_trace(inv: &Invocation) -> Result<Option<ReqTraceConfig>, CliError>
     }))
 }
 
-/// Builds the run recorder, attaching the polca-req trace config when
-/// requested.
-fn build_recorder(obs_level: ObsLevel, req: Option<ReqTraceConfig>) -> Recorder {
-    let recorder = Recorder::new(obs_level);
-    match req {
-        Some(cfg) => recorder.with_req_trace(cfg),
-        None => recorder,
+/// Builds the run recorder, attaching the polca-req trace config and
+/// the polca-energy plan when requested.
+fn build_recorder(
+    obs_level: ObsLevel,
+    req: Option<ReqTraceConfig>,
+    energy: Option<EnergyPlan>,
+) -> Recorder {
+    let mut recorder = Recorder::new(obs_level);
+    if let Some(cfg) = req {
+        recorder = recorder.with_req_trace(cfg);
+    }
+    if let Some(plan) = energy {
+        recorder = recorder.with_energy(plan);
+    }
+    recorder
+}
+
+/// Parses `--carbon-trace CSV | --carbon-diurnal [--pue X[,Y,…]]` into
+/// the polca-energy plan. `--pue` alone implies the built-in diurnal
+/// grid signal (like `--req-sample` implies `--req-trace`); a
+/// comma-separated `--pue` list sets per-datacenter PUEs, clamped to
+/// the last entry for higher datacenter indices.
+fn parse_energy(inv: &Invocation) -> Result<Option<EnergyPlan>, CliError> {
+    let trace_path = inv.options.get("carbon-trace");
+    let diurnal = inv.options.contains_key("carbon-diurnal");
+    let pue_raw = inv.options.get("pue");
+    if trace_path.is_none() && !diurnal && pue_raw.is_none() {
+        return Ok(None);
+    }
+    let signal = match trace_path {
+        Some(path) => {
+            if diurnal {
+                return Err(CliError::BadValue {
+                    flag: "carbon-diurnal".into(),
+                    value: "conflicts with --carbon-trace".into(),
+                });
+            }
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            let trace = CarbonTrace::from_csv_str(&text).map_err(|e| CliError::BadValue {
+                flag: "carbon-trace".into(),
+                value: e.to_string(),
+            })?;
+            CarbonSignal::Trace(trace)
+        }
+        None => CarbonSignal::diurnal_default(),
+    };
+    let mut plan = EnergyPlan::new(signal);
+    if let Some(raw) = pue_raw {
+        let pue: Vec<f64> = raw
+            .split(',')
+            .map(|p| p.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| CliError::BadValue {
+                flag: "pue".into(),
+                value: raw.clone(),
+            })?;
+        if pue.is_empty() || pue.iter().any(|p| !p.is_finite() || *p < 1.0) {
+            return Err(CliError::BadValue {
+                flag: "pue".into(),
+                value: raw.clone(),
+            });
+        }
+        plan = plan.with_pue(&pue);
+    }
+    Ok(Some(plan))
+}
+
+/// Prints the per-datacenter energy/carbon ledger table for a finished
+/// run, if an energy plan was attached and produced any rows.
+fn print_energy_summary(recorder: &Recorder, completed: u64, indent: &str) {
+    let run = recorder.artifacts();
+    let ledger = run.energy_ledger();
+    if ledger.is_empty() {
+        return;
+    }
+    print_energy_ledger(&ledger, completed, indent);
+}
+
+/// The ledger table itself (split out so the fleet path can print from
+/// an explicitly merged ledger).
+fn print_energy_ledger(ledger: &EnergyLedger, completed: u64, indent: &str) {
+    println!(
+        "{indent}energy ledger (grid mean {:.0} gCO2e/kWh):",
+        ledger.mean_g_per_kwh()
+    );
+    println!(
+        "{indent}  {:<6} {:>5} {:>10} {:>12} {:>10} {:>10}",
+        "dc", "pue", "IT Wh", "facility Wh", "gCO2e", "rows"
+    );
+    for &(dc, ref level, pue) in &ledger.datacenters {
+        let rows = ledger.rows.iter().filter(|r| r.dc == dc).count();
+        println!(
+            "{indent}  {:<6} {:>5.2} {:>10.1} {:>12.1} {:>10.1} {:>10}",
+            dc, pue, level.it_wh, level.facility_wh, level.co2e_g, rows
+        );
+    }
+    let site = &ledger.site;
+    println!(
+        "{indent}  site: {:.1} IT Wh ({:.1} busy), {:.1} facility Wh, {:.1} gCO2e",
+        site.it_wh, site.busy_wh, site.facility_wh, site.co2e_g
+    );
+    if site.tokens > 0 {
+        println!(
+            "{indent}  per token: {:.2} J (busy {:.2} J), {:.4} gCO2e over {} token(s)",
+            site.joules_per_token(),
+            site.busy_wh * 3600.0 / site.tokens as f64,
+            site.co2e_g_per_token(),
+            site.tokens
+        );
+    }
+    if completed > 0 {
+        println!(
+            "{indent}  per request: {:.2} Wh facility (measured, supersedes the \
+             utilization-model estimate) over {completed} completed",
+            CostModel::default()
+                .energy_per_request_wh_measured(ledger, completed)
+                .unwrap_or(0.0)
+        );
     }
 }
 
@@ -541,10 +674,14 @@ fn print_req_summary(recorder: &Recorder, indent: &str) {
 }
 
 /// Builds the watch plane when `--watch` was given, loading
-/// `--watch-rules` if present.
+/// `--watch-rules` if present. When an energy plan is active and a
+/// carbon threshold (`--carbon-budget` gCO2e/h or `--carbon-per-token`
+/// gCO2e) was supplied, the built-in carbon rules ride along on the
+/// same delayed OOB feed.
 fn build_watch_plane(
     inv: &Invocation,
     provisioned_watts: f64,
+    energy: Option<&EnergyPlan>,
 ) -> Result<Option<WatchPlane>, CliError> {
     if !inv.options.contains_key("watch") {
         return Ok(None);
@@ -557,6 +694,19 @@ fn build_watch_plane(
             flag: "watch-rules".into(),
             value: e.to_string(),
         })?;
+    }
+    if let Some(plan) = energy {
+        let budget: Option<f64> = inv.get_opt("carbon-budget")?;
+        let per_token: Option<f64> = inv.get_opt("carbon-per-token")?;
+        if budget.is_some() || per_token.is_some() {
+            cfg = cfg.with_energy(WatchEnergyConfig {
+                signal: plan.signal.clone(),
+                pue: plan.pue_for_dc(),
+                budget_g_per_h: budget.unwrap_or(f64::INFINITY),
+                co2e_per_token_g: per_token.unwrap_or(f64::INFINITY),
+                window_s: 600.0,
+            });
+        }
     }
     Ok(Some(WatchPlane::new(cfg)))
 }
@@ -849,6 +999,7 @@ fn finalize_site_watch(
     dc_provisioned_watts: f64,
     horizon: SimTime,
     obs_out: Option<&str>,
+    energy: Option<&EnergyPlan>,
 ) -> Result<(), CliError> {
     for d in 0..report.datacenters {
         let columns: Vec<_> = report
@@ -856,7 +1007,8 @@ fn finalize_site_watch(
             .map(|row| buffer.take_row(row))
             .collect();
         let merged = merge_tick_columns(&columns);
-        let plane = build_watch_plane(inv, dc_provisioned_watts)?.expect("watch flag checked");
+        let plane =
+            build_watch_plane(inv, dc_provisioned_watts, energy)?.expect("watch flag checked");
         let sub = plane.subscriber();
         for tick in &merged {
             sub.on_tick(tick.t, tick.truth_watts, tick.observed_watts);
@@ -901,13 +1053,18 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
     // accumulators only exist at the full level.
     let mut obs_level = parse_obs_level(inv, &obs_out)?;
     let req_trace = parse_req_trace(inv)?;
+    let energy = parse_energy(inv)?;
     if inv.options.contains_key("watch") || req_trace.is_some() {
         obs_level = obs_level.max(ObsLevel::Events);
+    }
+    if energy.is_some() {
+        // The ledger records through the metrics gate.
+        obs_level = obs_level.max(ObsLevel::Metrics);
     }
     if profiling {
         obs_level = obs_level.max(ObsLevel::Full);
     }
-    let recorder = build_recorder(obs_level, req_trace);
+    let recorder = build_recorder(obs_level, req_trace, energy.clone());
 
     let mut study = OversubscriptionStudy::new(
         RowConfig::paper_inference_row(),
@@ -919,7 +1076,7 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
     study.set_recorder(recorder.clone());
     let engine = parse_engine(inv)?;
     study.set_engine(engine.clone());
-    let watch = build_watch_plane(inv, study.row().provisioned_watts())?;
+    let watch = build_watch_plane(inv, study.row().provisioned_watts(), energy.as_ref())?;
     if let Some(plane) = &watch {
         let mut taps = RowPowerTaps::new();
         taps.subscribe(plane.subscriber());
@@ -952,6 +1109,7 @@ fn evaluate(inv: &Invocation) -> Result<(), CliError> {
         value.avoided_capex_usd / 1e6
     );
     print_req_summary(&recorder, "  ");
+    print_energy_summary(&recorder, o.counts.1, "  ");
     if profiling {
         // Snapshot before artifact I/O so the table accounts against
         // the run's wall time only.
@@ -1008,11 +1166,15 @@ fn evaluate_fleet(inv: &Invocation, rows: usize, datacenters: usize) -> Result<(
     let mut site = parse_site_config(inv, rows, datacenters)?;
     let obs_out: Option<String> = inv.get_opt("obs-out")?;
     let req_trace = parse_req_trace(inv)?;
+    let energy = parse_energy(inv)?;
     let mut obs_level = parse_obs_level(inv, &obs_out)?;
     if req_trace.is_some() {
         obs_level = obs_level.max(ObsLevel::Events);
     }
-    let recorder = build_recorder(obs_level, req_trace);
+    if energy.is_some() {
+        obs_level = obs_level.max(ObsLevel::Metrics);
+    }
+    let recorder = build_recorder(obs_level, req_trace, energy.clone());
 
     // The site serves the same production-shaped workload as the
     // single-row study, scaled so each of the rows sees the
@@ -1077,6 +1239,15 @@ fn evaluate_fleet(inv: &Invocation, rows: usize, datacenters: usize) -> Result<(
         );
     }
     print_site_table(&report, site_active);
+    if energy.is_some() {
+        // Row energy accounts live in the row-private recorders; merge
+        // them into the site recorder in canonical row order so the
+        // site-level ledger (table, energy.json) covers the fleet.
+        for rec in &report.row_recorders {
+            recorder.absorb_energy(rec);
+        }
+        print_energy_summary(&recorder, report.completed(), "  ");
+    }
     if let Some(dir) = &obs_out {
         write_site_artifacts(&recorder, &report, dir, obs_level)?;
     }
@@ -1088,6 +1259,7 @@ fn evaluate_fleet(inv: &Invocation, rows: usize, datacenters: usize) -> Result<(
             rows as f64 * row.provisioned_watts(),
             horizon,
             obs_out.as_deref(),
+            energy.as_ref(),
         )?;
     }
     Ok(())
@@ -1109,12 +1281,15 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
     let jobs: usize = inv.get("jobs", 1)?;
     let obs_out: Option<String> = inv.get_opt("obs-out")?;
     let req_trace = parse_req_trace(inv)?;
-    let obs_level = if inv.options.contains_key("watch") || req_trace.is_some() {
-        parse_obs_level(inv, &obs_out)?.max(ObsLevel::Events)
-    } else {
-        parse_obs_level(inv, &obs_out)?
-    };
-    let recorder = build_recorder(obs_level, req_trace);
+    let energy = parse_energy(inv)?;
+    let mut obs_level = parse_obs_level(inv, &obs_out)?;
+    if inv.options.contains_key("watch") || req_trace.is_some() {
+        obs_level = obs_level.max(ObsLevel::Events);
+    }
+    if energy.is_some() {
+        obs_level = obs_level.max(ObsLevel::Metrics);
+    }
+    let recorder = build_recorder(obs_level, req_trace, energy.clone());
 
     let trace = IngestedTrace::from_csv_path_observed(Path::new(&path), &recorder)
         .map_err(|e| CliError::Ingest(e.to_string()))?;
@@ -1183,6 +1358,12 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
             if enforce { "enforced" } else { "monitored" }
         );
         print_site_table(&report, site_active);
+        if energy.is_some() {
+            for rec in &report.row_recorders {
+                recorder.absorb_energy(rec);
+            }
+            print_energy_summary(&recorder, report.completed(), "  ");
+        }
         if let Some(dir) = &obs_out {
             write_site_artifacts(&recorder, &report, dir, obs_level)?;
         }
@@ -1194,6 +1375,7 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
                 rows as f64 * row.provisioned_watts(),
                 horizon,
                 obs_out.as_deref(),
+                energy.as_ref(),
             )?;
         }
         return Ok(());
@@ -1246,7 +1428,7 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
         // comparison).
         let provisioned = eval_row_provisioned;
         for kind in kinds {
-            let watch = build_watch_plane(inv, provisioned)?;
+            let watch = build_watch_plane(inv, provisioned, energy.as_ref())?;
             if let Some(plane) = &watch {
                 let mut taps = RowPowerTaps::new();
                 taps.subscribe(plane.subscriber());
@@ -1273,6 +1455,9 @@ fn evaluate_trace(inv: &Invocation) -> Result<(), CliError> {
         }
     }
     print_req_summary(&recorder, "  ");
+    // On the multi-policy panel the ledger aggregates every cell (each
+    // run contributes one row-0 account, merged in canonical order).
+    print_energy_summary(&recorder, 0, "  ");
     if let Some(dir) = &obs_out {
         let files = recorder
             .write_dir(Path::new(dir))
@@ -1502,6 +1687,38 @@ fn profile(inv: &Invocation) -> Result<(), CliError> {
          {fleet_rate:.0} simulated-seconds/sec)"
     );
 
+    // --- energy: ledger-attach cost on the same study ---
+    // Best-of-N on both sides like the watch pair; the baseline runs at
+    // the same metrics level so the delta isolates the ledger itself.
+    let mut energy_base_s = f64::MAX;
+    let mut energy_s = f64::MAX;
+    let (mut ledger_wh, mut ledger_g) = (0.0, 0.0);
+    for _ in 0..reps {
+        let rec = Recorder::new(ObsLevel::Metrics);
+        study.set_recorder(rec);
+        let start = Instant::now();
+        let _ = study.run(PolicyKind::Polca, 0.30, 1.0);
+        energy_base_s = energy_base_s.min(start.elapsed().as_secs_f64());
+        let rec = Recorder::new(ObsLevel::Metrics)
+            .with_energy(EnergyPlan::new(CarbonSignal::diurnal_default()));
+        study.set_recorder(rec.clone());
+        let start = Instant::now();
+        let _ = study.run(PolicyKind::Polca, 0.30, 1.0);
+        energy_s = energy_s.min(start.elapsed().as_secs_f64());
+        let ledger = rec.artifacts().energy_ledger();
+        ledger_wh = ledger.site.facility_wh;
+        ledger_g = ledger.site.co2e_g;
+    }
+    let energy_overhead_pct = if energy_base_s > 0.0 {
+        (energy_s - energy_base_s) / energy_base_s * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "energy ledger: baseline {energy_base_s:.3} s, with ledger {energy_s:.3} s \
+         ({energy_overhead_pct:+.1}% — {ledger_wh:.1} facility Wh, {ledger_g:.1} gCO2e)"
+    );
+
     if let Some(dir) = &out {
         let files = recorder
             .write_dir(Path::new(dir))
@@ -1563,7 +1780,14 @@ fn profile(inv: &Invocation) -> Result<(), CliError> {
             .metric_u64("threads_max", threads_max as u64)
             .metric_u64("datacenters", fleet_dcs as u64)
             .metric_u64("rows_per_datacenter", fleet_rows as u64);
-        for report in [&sim, &watch, &ingest, &serve, &fleet] {
+        let energy = BenchReport::new("energy")
+            .metric("energy_runs_per_s", 1.0 / energy_s.max(1e-9))
+            .metric("wall_s_baseline", energy_base_s)
+            .metric("wall_s_energy", energy_s)
+            .metric("overhead_pct", energy_overhead_pct)
+            .metric("site_facility_wh", ledger_wh)
+            .metric("site_co2e_g", ledger_g);
+        for report in [&sim, &watch, &ingest, &serve, &fleet, &energy] {
             let path = report
                 .write(dir_path)
                 .map_err(|e| CliError::Io(e.to_string()))?;

@@ -23,7 +23,7 @@
 //! downstream consumer works unchanged on either.
 
 use polca_llm::InferenceModel;
-use polca_obs::{Event, Label, Phase, Recorder, ReqSpan, SpanGuard};
+use polca_obs::{EnergyAccum, Event, Label, Phase, Recorder, ReqSpan, SpanGuard};
 use polca_serve::{
     AdmissionKind, BatchedRow, BatchedRowParams, ServeConfig, ServeOutcome, ServeRequest,
 };
@@ -329,6 +329,25 @@ pub struct ClusterSim<P> {
     /// Integral bookkeeping for mean power.
     last_power_change: SimTime,
     power_integral: f64,
+    /// Cached Σ power of servers that are actively serving, maintained
+    /// incrementally next to `row_power_watts`. Feeds `busy_integral`
+    /// in the same `accumulate_power` fold, so the busy energy is
+    /// exact at event resolution (not a telemetry-window trapezoid) —
+    /// that exactness is what pins the polca-energy reconciliation
+    /// bound: busy energy ≥ Σ per-request attributed joules.
+    busy_watts: f64,
+    /// Exact integral of `busy_watts` over time, in joules.
+    busy_integral: f64,
+    /// polca-energy row accumulator (present when the recorder carries
+    /// an energy plan), ticked on the telemetry grid.
+    energy: Option<EnergyAccum>,
+    /// Instantaneous per-priority-class power, `[low, high]` — cached
+    /// incrementally next to `row_power_watts` for the legacy server
+    /// path (the batched engine keeps its own class cache), so energy
+    /// ticks cost O(buckets) instead of a per-server scan.
+    class_watts: [f64; 2],
+    /// Reusable per-pool `(tag, watts)` buffer for energy ticks.
+    pool_scratch: Vec<(&'static str, f64)>,
     obs: Recorder,
     /// polca-req spans for the legacy engine, one slot per server;
     /// `None` unless the recorder has request tracing on (the batched
@@ -369,6 +388,38 @@ impl<P: PowerController> ClusterSim<P> {
             Some(e) => e.total_power_watts(),
             None => servers.iter().map(InferenceServer::power_watts).sum(),
         };
+        let busy_watts: f64 = match &engine {
+            Some(e) => e.busy_power_watts(),
+            None => servers
+                .iter()
+                .filter(|s| !s.is_idle())
+                .map(InferenceServer::power_watts)
+                .sum(),
+        };
+        let class_watts: [f64; 2] = match &engine {
+            Some(e) => e.class_power_watts(),
+            None => {
+                let mut cw = [0.0; 2];
+                for s in &servers {
+                    cw[usize::from(s.priority() == Priority::High)] += s.power_watts();
+                }
+                cw
+            }
+        };
+        let mut pool_scratch: Vec<(&'static str, f64)> = Vec::new();
+        match &engine {
+            Some(e) => e.write_pool_power(&mut pool_scratch),
+            None => pool_scratch.push(("aggregated", row_power_watts)),
+        }
+        let energy = obs.energy_plan().map(|plan| {
+            EnergyAccum::new(
+                plan.clone(),
+                0.0,
+                class_watts[0],
+                class_watts[1],
+                &pool_scratch,
+            )
+        });
         let mut plane = OobControlPlane::new(config.seed)
             .with_cap_latency(config.oob_cap_latency_s.0, config.oob_cap_latency_s.1)
             .with_brake_latency(config.oob_brake_latency_s.0, config.oob_brake_latency_s.1)
@@ -398,6 +449,11 @@ impl<P: PowerController> ClusterSim<P> {
             rr_cursor: (0, 0),
             last_power_change: SimTime::ZERO,
             power_integral: 0.0,
+            busy_watts,
+            busy_integral: 0.0,
+            energy,
+            class_watts,
+            pool_scratch,
             obs,
             servers,
             engine,
@@ -465,6 +521,7 @@ impl<P: PowerController> ClusterSim<P> {
     fn accumulate_power(&mut self, now: SimTime) {
         let dt = now.saturating_sub(self.last_power_change).as_secs();
         self.power_integral += self.row_power_watts * dt;
+        self.busy_integral += self.busy_watts * dt;
         self.last_power_change = now;
     }
 
@@ -478,6 +535,7 @@ impl<P: PowerController> ClusterSim<P> {
     ) -> T {
         self.accumulate_power(now);
         let before = self.servers[idx].power_watts();
+        let serving_before = !self.servers[idx].is_idle();
         // polca-req legacy ledger: the server's draw was `before` watts
         // since the last fold, all of it serving the active request —
         // charge it before the mutation can change the power.
@@ -491,6 +549,16 @@ impl<P: PowerController> ClusterSim<P> {
         let out = f(&mut self.servers[idx]);
         let after = self.servers[idx].power_watts();
         self.row_power_watts += after - before;
+        // Class membership is static, so the delta lands in exactly
+        // one slot (the batched engine keeps its own class cache).
+        self.class_watts[usize::from(self.servers[idx].priority() == Priority::High)] +=
+            after - before;
+        let busy_after = if self.servers[idx].is_idle() {
+            0.0
+        } else {
+            after
+        };
+        self.busy_watts += busy_after - if serving_before { before } else { 0.0 };
         if self.row_power_watts > self.report.peak_row_watts {
             self.report.peak_row_watts = self.row_power_watts;
         }
@@ -516,6 +584,7 @@ impl<P: PowerController> ClusterSim<P> {
             .expect("serve_op without batched engine");
         let out = f(engine);
         self.row_power_watts = engine.total_power_watts();
+        self.busy_watts = engine.busy_power_watts();
         if self.row_power_watts > self.report.peak_row_watts {
             self.report.peak_row_watts = self.row_power_watts;
         }
@@ -761,7 +830,7 @@ impl<P: PowerController> ClusterSim<P> {
     /// gaps.
     fn record_request_span(&self, span: &ReqSpan, record: &CompletedRequest) {
         let req = record.request;
-        let rec = span.finish(
+        let mut rec = span.finish(
             req.id,
             Self::pri_tag(req.priority),
             record.server,
@@ -771,11 +840,25 @@ impl<P: PowerController> ClusterSim<P> {
             req.input_tokens,
             req.output_tokens,
         );
+        // With the energy ledger attached, convert the attributed
+        // joules to facility-level grams at the intensity in force when
+        // the request completed.
+        if let Some(acc) = self.energy.as_ref() {
+            rec.pue_applied = acc.pue();
+            rec.co2e_g =
+                rec.joules / 3.6e6 * rec.pue_applied * acc.g_per_kwh(record.completed_at.as_secs());
+        }
         self.obs.record_request(&rec);
     }
 
     fn record_completion(&mut self, record: CompletedRequest) {
         self.report.completed += 1;
+        if let Some(acc) = self.energy.as_mut() {
+            acc.add_tokens(
+                record.request.priority == Priority::High,
+                u64::from(record.request.output_tokens),
+            );
+        }
         let latency = record.latency_s();
         match record.request.priority {
             Priority::Low => {
@@ -801,8 +884,37 @@ impl<P: PowerController> ClusterSim<P> {
         });
     }
 
+    /// Ticks the polca-energy accumulator with the current per-bucket
+    /// ground-truth draw (no-op when no energy plan is attached). Runs
+    /// on the row's own telemetry grid — and once more at the horizon —
+    /// so the trapezoidal Wh integral covers exactly the windows every
+    /// other ground-truth consumer sees. All bucket sums are cached
+    /// incrementally (by this sim for the legacy path, by the batched
+    /// engine for itself), so a tick costs O(buckets), not O(servers).
+    fn tick_energy(&mut self, now: SimTime) {
+        if self.energy.is_none() {
+            return;
+        }
+        match &self.engine {
+            Some(e) => {
+                self.class_watts = e.class_power_watts();
+                e.write_pool_power(&mut self.pool_scratch);
+            }
+            None => self.pool_scratch[0].1 = self.row_power_watts,
+        }
+        if let Some(acc) = self.energy.as_mut() {
+            acc.tick(
+                now.as_secs(),
+                self.class_watts[0],
+                self.class_watts[1],
+                &self.pool_scratch,
+            );
+        }
+    }
+
     fn on_telemetry(&mut self, now: SimTime) {
         self.accumulate_power(now);
+        self.tick_energy(now);
         self.row_signal.record(now, self.row_power_watts);
         if self.config.record_power_series {
             self.report
@@ -1113,6 +1225,14 @@ impl<P: PowerController, S: RequestSource> RowSim<P, S> {
         self.step_until(self.horizon);
         let sim = &mut self.sim;
         sim.accumulate_power(self.horizon);
+        // Seal the polca-energy account: close the last (possibly
+        // partial) telemetry window at the horizon, then land the
+        // finished row in the recorder for the main-thread ledger.
+        sim.tick_energy(self.horizon);
+        if let Some(acc) = sim.energy.take() {
+            let row = acc.finish(self.horizon.as_secs(), sim.busy_integral);
+            sim.obs.record_energy(row);
+        }
         sim.report.duration = self.horizon;
         sim.report.mean_row_watts = if self.horizon == SimTime::ZERO {
             sim.row_power_watts

@@ -619,7 +619,17 @@ impl<P: PowerController> SiteSim<P> {
         let mut rows = Vec::with_capacity(n);
         let mut row_recorders = Vec::with_capacity(n);
         for (i, feed) in feeds.into_iter().enumerate() {
-            let recorder = site.base.recorder.fresh_cell();
+            let mut recorder = site.base.recorder.fresh_cell();
+            // Stamp each row's hierarchy coordinates onto its energy
+            // plan so the polca-energy ledger can roll rows up into
+            // PDU/datacenter/site levels.
+            if let Some(plan) = site.base.recorder.energy_plan() {
+                recorder = recorder.with_energy(plan.at_location(
+                    i,
+                    hierarchy.pdu_of(i),
+                    hierarchy.datacenter_of(i),
+                ));
+            }
             let mut cfg = site.base.clone();
             cfg.seed = row_seed(site.base.seed, i);
             cfg.recorder = recorder.clone();

@@ -8,6 +8,7 @@
 //! oversubscription unlocks, and the energy bill of a simulated run.
 
 use polca_cluster::RowConfig;
+use polca_obs::EnergyLedger;
 
 use crate::experiment::PolicyOutcome;
 
@@ -128,6 +129,42 @@ impl CostModel {
         let energy_kwh = mean_watts * self.pue * days * 24.0 / 1000.0;
         Some(energy_kwh * 1000.0 / completed as f64)
     }
+
+    /// Energy per completed request in watt-hours, *measured*: when a
+    /// polca-energy ledger was attached to the run, use its integrated
+    /// facility energy instead of the utilization × PUE estimator. The
+    /// ledger already applied its own (possibly per-datacenter) PUE, so
+    /// this model's [`pue`](CostModel::pue) constant plays no part —
+    /// the two planes cannot double-count facility overhead. Returns
+    /// `None` when the ledger is empty or no requests completed, in
+    /// which case callers fall back to the estimator.
+    pub fn energy_per_request_wh_measured(
+        &self,
+        ledger: &EnergyLedger,
+        completed: u64,
+    ) -> Option<f64> {
+        if ledger.is_empty() || completed == 0 {
+            return None;
+        }
+        Some(ledger.site.facility_wh / completed as f64)
+    }
+
+    /// [`energy_per_request_wh`](Self::energy_per_request_wh) preferring
+    /// the measured ledger value when one is available: the exact
+    /// trapezoidal integral replaces the documented upper-bound
+    /// estimator, which stays as the ledger-off fallback.
+    pub fn energy_per_request_wh_with_ledger(
+        &self,
+        ledger: Option<&EnergyLedger>,
+        mean_utilization: f64,
+        completed: u64,
+        row: &RowConfig,
+        days: f64,
+    ) -> Option<f64> {
+        ledger
+            .and_then(|l| self.energy_per_request_wh_measured(l, completed))
+            .or_else(|| self.energy_per_request_wh_raw(mean_utilization, completed, row, days))
+    }
 }
 
 #[cfg(test)]
@@ -177,5 +214,55 @@ mod tests {
     fn negative_fraction_rejected() {
         let _ =
             CostModel::default().oversubscription_value(&RowConfig::paper_inference_row(), -0.1);
+    }
+
+    fn ledger_with_facility_wh(facility_wh: f64) -> EnergyLedger {
+        EnergyLedger::from_rows(&[polca_obs::RowEnergy {
+            row: 0,
+            pdu: 0,
+            dc: 0,
+            pue: 1.25,
+            horizon_s: 3600.0,
+            it_wh: facility_wh / 1.25,
+            busy_wh: facility_wh / 2.0,
+            facility_wh,
+            co2e_g: 0.0,
+            wh_low: 0.0,
+            wh_high: facility_wh / 1.25,
+            pool_wh: vec![("aggregated", facility_wh / 1.25)],
+            tokens_low: 0,
+            tokens_high: 100,
+            samples: Vec::new(),
+        }])
+    }
+
+    #[test]
+    fn measured_energy_per_request_replaces_the_estimator() {
+        let model = CostModel::default();
+        let row = RowConfig::paper_inference_row();
+        let ledger = ledger_with_facility_wh(500.0);
+        assert_eq!(
+            model.energy_per_request_wh_measured(&ledger, 50),
+            Some(10.0)
+        );
+        assert_eq!(model.energy_per_request_wh_measured(&ledger, 0), None);
+        let empty = EnergyLedger::from_rows(&[]);
+        assert_eq!(model.energy_per_request_wh_measured(&empty, 50), None);
+        // With a ledger attached, the dispatcher reports the measured
+        // value; without one it falls back to the estimator.
+        let measured = model
+            .energy_per_request_wh_with_ledger(Some(&ledger), 0.8, 50, &row, 1.0)
+            .unwrap();
+        assert_eq!(measured, 10.0);
+        let estimated = model
+            .energy_per_request_wh_with_ledger(None, 0.8, 50, &row, 1.0)
+            .unwrap();
+        assert_eq!(
+            Some(estimated),
+            model.energy_per_request_wh_raw(0.8, 50, &row, 1.0)
+        );
+        // The estimator spreads the full mean draw (idle floor + PUE)
+        // over requests, so it dominates any realistic measured value.
+        assert!(estimated > measured);
     }
 }

@@ -33,6 +33,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::chrome;
+use crate::energy::{EnergyLedger, RowEnergy};
 use crate::event::Event;
 use crate::json::num;
 use crate::metrics::MetricsRegistry;
@@ -98,6 +99,10 @@ pub struct RunArtifacts {
     /// `requests.jsonl` artifact so untraced runs keep their exact
     /// file set.
     pub req_trace: bool,
+    /// polca-energy per-row accounts (empty unless the energy ledger
+    /// was attached) — gate the `energy.json`/`energy.csv` artifacts
+    /// so unmetered runs keep their exact file set.
+    pub energy_rows: Vec<RowEnergy>,
     /// polca-prof phase and counter totals (empty below
     /// [`ObsLevel::Full`]).
     pub prof: ProfSnapshot,
@@ -126,7 +131,14 @@ impl RunArtifacts {
     pub fn metrics_prometheus(&self) -> String {
         let mut s = self.metrics.to_prometheus();
         s.push_str(&self.prof.to_prometheus());
+        s.push_str(&self.energy_ledger().prometheus());
         s
+    }
+
+    /// The polca-energy ledger assembled from the recorded per-row
+    /// accounts (empty when the ledger was not attached).
+    pub fn energy_ledger(&self) -> EnergyLedger {
+        EnergyLedger::from_rows(&self.energy_rows)
     }
 
     /// The aggregate power timeseries as CSV (`t_s,watts`).
@@ -183,11 +195,15 @@ impl RunArtifacts {
     }
 
     fn request_lanes(&self) -> Vec<String> {
-        if self.req_trace {
+        let mut lanes = if self.req_trace {
             req::chrome_request_lanes(&self.requests)
         } else {
             Vec::new()
+        };
+        if !self.energy_rows.is_empty() {
+            lanes.extend(self.energy_ledger().chrome_counter_lanes());
         }
+        lanes
     }
 
     /// Wall-clock span timings as JSON.
@@ -216,7 +232,9 @@ impl RunArtifacts {
     /// creating the directory if needed, and returns the written
     /// paths in a deterministic order.
     ///
-    /// * `ObsLevel::Metrics` → `metrics.json`, `metrics.prom`
+    /// * `ObsLevel::Metrics` → `metrics.json`, `metrics.prom` (and
+    ///   `energy.json` + `energy.csv` when the energy ledger recorded
+    ///   rows)
     /// * `ObsLevel::Events` → plus `events.jsonl`, `power.csv`,
     ///   `latency.csv`, `trace.json` (and `requests.jsonl` when
     ///   request tracing is on)
@@ -234,6 +252,11 @@ impl RunArtifacts {
         if self.level.metrics_enabled() {
             put("metrics.json", self.metrics_json())?;
             put("metrics.prom", self.metrics_prometheus())?;
+            if !self.energy_rows.is_empty() {
+                let ledger = self.energy_ledger();
+                put("energy.json", ledger.to_json())?;
+                put("energy.csv", ledger.series_csv())?;
+            }
         }
         if self.level.events_enabled() {
             put("events.jsonl", self.events_jsonl())?;
@@ -280,6 +303,7 @@ mod tests {
             spans: SpanStats::default(),
             requests: Vec::new(),
             req_trace: false,
+            energy_rows: Vec::new(),
             prof: ProfSnapshot::default(),
         }
     }
@@ -339,6 +363,45 @@ mod tests {
         assert!(dir.join("prof.json").exists());
         assert!(dir.join("prof.folded").exists());
         assert!(dir.join("prof.trace.json").exists());
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn energy_rows_add_ledger_artifacts_and_counter_lanes() {
+        use crate::energy::{CarbonSignal, EnergyAccum, EnergyPlan};
+
+        let dir = std::env::temp_dir().join(format!(
+            "polca-energy-export-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+
+        let mut a = sample();
+        let without = a.chrome_trace_json();
+        assert!(!a.metrics_prometheus().contains("energy_site_wh"));
+        let mut acc = EnergyAccum::new(
+            EnergyPlan::new(CarbonSignal::Constant(100.0)),
+            0.0,
+            200.0,
+            0.0,
+            &[("aggregated", 200.0)],
+        );
+        acc.tick(1800.0, 200.0, 0.0, &[("aggregated", 200.0)]);
+        a.energy_rows.push(acc.finish(1800.0, 3600.0));
+        let files = a.write_dir(&dir).unwrap();
+        assert_eq!(files.len(), 8);
+        let json = fs::read_to_string(dir.join("energy.json")).unwrap();
+        assert_eq!(json, a.energy_ledger().to_json());
+        assert!(json.contains("\"site\""));
+        let csv = fs::read_to_string(dir.join("energy.csv")).unwrap();
+        assert!(csv.starts_with("t_s,it_wh,facility_wh,co2e_g,g_per_kwh\n"));
+        assert!(a.metrics_prometheus().contains("energy_site_wh"));
+        assert!(a.metrics_prometheus().contains("carbon_site_g"));
+        let with = a.chrome_trace_json();
+        assert_ne!(with, without);
+        assert!(with.contains("\"name\":\"polca-energy\""));
 
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -24,6 +24,12 @@
 //!   tracing: TTFT, mean/max time-between-tokens, queue/recompute/KV
 //!   -shipping breakdowns, and a joules-per-token ledger, exported as
 //!   `requests.jsonl` plus Chrome-trace request lanes,
+//! * [`EnergyLedger`] (polca-energy) — hierarchical Wh/gCO2e accounting
+//!   over the telemetry windows with per-datacenter PUE and a grid
+//!   carbon-intensity signal (constant, synthetic diurnal, or CSV
+//!   trace), exported as `energy.json`, an `energy.csv` timeseries,
+//!   `energy_*`/`carbon_*` Prometheus lines, and Chrome-trace counter
+//!   lanes,
 //! * [`RunArtifacts`] — exporters: a JSONL event log, CSV power and
 //!   latency timeseries, and a Chrome trace-event JSON that opens
 //!   directly in Perfetto (`https://ui.perfetto.dev`) or
@@ -52,6 +58,7 @@
 #![deny(missing_docs)]
 
 pub mod chrome;
+pub mod energy;
 pub mod event;
 pub mod export;
 pub mod json;
@@ -62,6 +69,10 @@ pub mod req;
 pub mod span;
 
 pub use chrome::Annotation;
+pub use energy::{
+    CarbonSignal, CarbonTrace, EnergyAccum, EnergyLedger, EnergyPlan, EnergySample, LevelEnergy,
+    RowEnergy, DEFAULT_PUE,
+};
 pub use event::Event;
 pub use export::RunArtifacts;
 pub use metrics::{Label, MetricsRegistry, StreamingHistogram};

@@ -14,6 +14,7 @@ use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use crate::energy::{EnergyPlan, RowEnergy};
 use crate::event::Event;
 use crate::export::RunArtifacts;
 use crate::metrics::{Label, MetricsRegistry};
@@ -123,6 +124,7 @@ pub(crate) struct ObsCore {
     pub(crate) metrics: MetricsRegistry,
     pub(crate) spans: SpanStats,
     pub(crate) requests: Vec<ReqRecord>,
+    pub(crate) energy_rows: Vec<RowEnergy>,
     pub(crate) tap: TapSlot,
 }
 
@@ -143,6 +145,7 @@ pub struct Recorder {
     core: Option<Arc<Mutex<ObsCore>>>,
     prof: Profiler,
     req: Option<ReqTraceConfig>,
+    energy: Option<EnergyPlan>,
 }
 
 impl PartialEq for Recorder {
@@ -167,6 +170,7 @@ impl Recorder {
             core,
             prof,
             req: None,
+            energy: None,
         }
     }
 
@@ -184,6 +188,40 @@ impl Recorder {
         self.req.is_some()
     }
 
+    /// Enables the polca-energy ledger on this recorder (builder
+    /// style). The cluster sim reads the plan back via
+    /// [`energy_plan`](Self::energy_plan) and lands one [`RowEnergy`]
+    /// per finished row via [`record_energy`](Self::record_energy).
+    /// Needs [`ObsLevel::Metrics`] or above, like the rest of the
+    /// accounting plane.
+    pub fn with_energy(mut self, plan: EnergyPlan) -> Self {
+        self.energy = Some(plan);
+        self
+    }
+
+    /// Whether energy/carbon accounting is enabled (regardless of
+    /// level).
+    pub fn energy_enabled(&self) -> bool {
+        self.energy.is_some()
+    }
+
+    /// The energy accounting plan, if enabled.
+    pub fn energy_plan(&self) -> Option<&EnergyPlan> {
+        self.energy.as_ref()
+    }
+
+    /// Lands a finished row's energy/carbon account (no-op unless
+    /// [`with_energy`](Self::with_energy) was called and the level is
+    /// at least [`ObsLevel::Metrics`]).
+    pub fn record_energy(&self, row: RowEnergy) {
+        if self.energy.is_none() || !self.level.metrics_enabled() {
+            return;
+        }
+        if let Some(mut core) = self.lock() {
+            core.energy_rows.push(row);
+        }
+    }
+
     /// The request-tracing configuration, if enabled.
     pub fn req_trace(&self) -> Option<ReqTraceConfig> {
         self.req
@@ -196,6 +234,7 @@ impl Recorder {
     pub fn fresh_cell(&self) -> Recorder {
         let mut cell = Recorder::new(self.level);
         cell.req = self.req;
+        cell.energy = self.energy.clone();
         cell
     }
 
@@ -384,6 +423,7 @@ impl Recorder {
         }
         if self.level.metrics_enabled() {
             core.metrics.merge_from(&src.metrics);
+            core.energy_rows.extend(src.energy_rows.iter().cloned());
         }
         core.spans.merge_from(&src.spans);
     }
@@ -410,6 +450,26 @@ impl Recorder {
         core.spans.merge_from(&src.spans);
     }
 
+    /// Folds only `other`'s polca-energy row accounts into this
+    /// recorder, leaving events, metrics, and profiling untouched.
+    ///
+    /// This builds the site-level ledger: fleet/site rows keep their
+    /// own event logs (written under `DIR/rowN/`), while the site
+    /// recorder's `energy.json` rolls every row up the hierarchy. Call
+    /// it in canonical row order; a disabled side or a recorder sharing
+    /// the same core is a no-op.
+    pub fn absorb_energy(&self, other: &Recorder) {
+        let (Some(own), Some(theirs)) = (self.core.as_ref(), other.core.as_ref()) else {
+            return;
+        };
+        if Arc::ptr_eq(own, theirs) {
+            return;
+        }
+        let mut core = own.lock().unwrap_or_else(|e| e.into_inner());
+        let src = theirs.lock().unwrap_or_else(|e| e.into_inner());
+        core.energy_rows.extend(src.energy_rows.iter().cloned());
+    }
+
     /// A probe suitable for attaching to `polca_sim::EventQueue`.
     pub fn queue_probe(&self) -> QueueProbe {
         QueueProbe { rec: self.clone() }
@@ -425,6 +485,7 @@ impl Recorder {
                 spans: core.spans.clone(),
                 requests: core.requests.clone(),
                 req_trace: self.req.is_some(),
+                energy_rows: core.energy_rows.clone(),
                 prof: self.prof.snapshot(),
             },
             None => RunArtifacts {
@@ -434,6 +495,7 @@ impl Recorder {
                 spans: SpanStats::default(),
                 requests: Vec::new(),
                 req_trace: self.req.is_some(),
+                energy_rows: Vec::new(),
                 prof: ProfSnapshot::default(),
             },
         }
@@ -735,6 +797,36 @@ mod tests {
         }
         assert_eq!(tap.0.load(Ordering::Relaxed), 5);
         assert_eq!(r.artifacts().requests.len(), 1); // only id 0 sampled
+    }
+
+    #[test]
+    fn energy_rows_record_absorb_and_fresh_cell() {
+        use crate::energy::{CarbonSignal, EnergyAccum, EnergyPlan};
+        let plan = EnergyPlan::new(CarbonSignal::Constant(100.0));
+        let mk = |row: usize| {
+            let mut acc = EnergyAccum::new(
+                plan.at_location(row, 0, 0),
+                0.0,
+                100.0,
+                0.0,
+                &[("aggregated", 100.0)],
+            );
+            acc.tick(3600.0, 100.0, 0.0, &[("aggregated", 100.0)]);
+            acc.finish(3600.0, 0.0)
+        };
+        let r = Recorder::new(ObsLevel::Metrics).with_energy(plan.clone());
+        assert!(r.energy_enabled());
+        let cell = r.fresh_cell();
+        assert!(cell.energy_enabled());
+        cell.record_energy(mk(1));
+        r.record_energy(mk(0));
+        r.absorb(&cell);
+        assert_eq!(r.artifacts().energy_rows.len(), 2);
+        // Without the plan, record_energy is a no-op.
+        let off = Recorder::new(ObsLevel::Full);
+        assert!(!off.energy_enabled());
+        off.record_energy(mk(0));
+        assert!(off.artifacts().energy_rows.is_empty());
     }
 
     #[test]

@@ -133,6 +133,8 @@ impl ReqSpan {
             kv_ship_s: self.kv_ship_s,
             joules: self.joules,
             joules_per_token: self.joules / gen_tokens,
+            co2e_g: 0.0,
+            pue_applied: 1.0,
         }
     }
 }
@@ -186,6 +188,14 @@ pub struct ReqRecord {
     pub joules: f64,
     /// `joules / output_tokens` — the per-generated-token ledger.
     pub joules_per_token: f64,
+    /// Facility-level emissions attributed to this request, in grams
+    /// CO2e: `joules` converted to kWh, multiplied by the datacenter
+    /// PUE and the grid carbon intensity at completion time. Zero when
+    /// no energy ledger is attached.
+    pub co2e_g: f64,
+    /// The PUE multiplier used for `co2e_g` (1.0 when no energy ledger
+    /// is attached).
+    pub pue_applied: f64,
 }
 
 impl ReqRecord {
@@ -222,6 +232,8 @@ impl ReqRecord {
             ",\"joules_per_token\":{}",
             num(self.joules_per_token)
         ));
+        s.push_str(&format!(",\"co2e_g\":{}", num(self.co2e_g)));
+        s.push_str(&format!(",\"pue_applied\":{}", num(self.pue_applied)));
         s.push('}');
         s
     }
@@ -348,9 +360,14 @@ mod tests {
             "recompute_tokens",
             "kv_hops",
             "joules_per_token",
+            "co2e_g",
+            "pue_applied",
         ] {
             assert!(j.contains(&format!("\"{field}\":")), "{field} in {j}");
         }
+        // The carbon fields sit last, in stable order, with ledger-off
+        // defaults.
+        assert!(j.ends_with(",\"co2e_g\":0,\"pue_applied\":1}"), "{j}");
         assert_eq!(requests_jsonl(&[r]).lines().count(), 1);
     }
 

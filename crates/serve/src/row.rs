@@ -107,6 +107,19 @@ pub struct BatchedRow<T> {
     kv_bytes_per_token: f64,
     kv_blocks_per_server: u32,
     total_power: f64,
+    /// Power drawn by servers with a non-empty running batch (cached
+    /// incrementally like `total_power`) — the polca-energy busy
+    /// integral's source on this engine.
+    busy_power: f64,
+    /// Instantaneous power per priority class, `[low, high]` (cached
+    /// incrementally; class membership is static, so every power delta
+    /// lands in exactly one slot).
+    class_power: [f64; 2],
+    /// Instantaneous power per pool role, indexed by [`Self::role_idx`]
+    /// (cached incrementally; roles are assigned at construction).
+    role_power: [f64; 3],
+    /// Which pool roles exist in this row (fixed at construction).
+    roles_present: [bool; 3],
     prof: Profiler,
 }
 
@@ -181,6 +194,19 @@ impl<T> BatchedRow<T> {
             })
             .collect();
         let total_power = servers.iter().map(|s| s.power_watts).sum();
+        let busy_power = servers
+            .iter()
+            .filter(|s| s.running() > 0)
+            .map(|s| s.power_watts)
+            .sum();
+        let mut class_power = [0.0; 2];
+        let mut role_power = [0.0; 3];
+        let mut roles_present = [false; 3];
+        for s in &servers {
+            class_power[usize::from(s.high_priority)] += s.power_watts;
+            role_power[Self::role_idx(s.role)] += s.power_watts;
+            roles_present[Self::role_idx(s.role)] = true;
+        }
         BatchedRow {
             servers,
             in_flight: Vec::new(),
@@ -188,7 +214,22 @@ impl<T> BatchedRow<T> {
             kv_bytes_per_token,
             kv_blocks_per_server: kv_blocks,
             total_power,
+            busy_power,
+            class_power,
+            role_power,
+            roles_present,
             prof,
+        }
+    }
+
+    /// Fixed slot of a pool role in the cached [`Self::role_power`]
+    /// array; the order matches the role-tag order of
+    /// [`pool_power_watts`](Self::pool_power_watts).
+    fn role_idx(role: PoolRole) -> usize {
+        match role {
+            PoolRole::Prefill => 0,
+            PoolRole::Decode => 1,
+            PoolRole::Aggregated => 2,
         }
     }
 
@@ -224,22 +265,38 @@ impl<T> BatchedRow<T> {
         self.servers[i].power_watts
     }
 
+    /// Instantaneous power drawn by servers that are actively serving
+    /// (running batch non-empty), in watts. Upper-bounds the power the
+    /// iteration loop attributes to requests, since attribution only
+    /// charges epochs with token progress.
+    pub fn busy_power_watts(&self) -> f64 {
+        self.busy_power
+    }
+
     /// Instantaneous power summed per pool role, in role-tag order
-    /// (only roles present in the row appear).
+    /// (only roles present in the row appear; cached incrementally).
     pub fn pool_power_watts(&self) -> Vec<(&'static str, f64)> {
-        let mut pools: Vec<(&'static str, f64)> = Vec::new();
+        let mut pools = Vec::new();
+        self.write_pool_power(&mut pools);
+        pools
+    }
+
+    /// Fills `out` with the cached per-pool power, in role-tag order,
+    /// without allocating when `out` already has capacity — the
+    /// polca-energy tick path calls this every telemetry window.
+    pub fn write_pool_power(&self, out: &mut Vec<(&'static str, f64)>) {
+        out.clear();
         for role in [PoolRole::Prefill, PoolRole::Decode, PoolRole::Aggregated] {
-            let watts: f64 = self
-                .servers
-                .iter()
-                .filter(|s| s.role == role)
-                .map(|s| s.power_watts)
-                .sum();
-            if self.servers.iter().any(|s| s.role == role) {
-                pools.push((role.tag(), watts));
+            if self.roles_present[Self::role_idx(role)] {
+                out.push((role.tag(), self.role_power[Self::role_idx(role)]));
             }
         }
-        pools
+    }
+
+    /// Instantaneous power per priority class, `[low, high]` (cached
+    /// incrementally).
+    pub fn class_power_watts(&self) -> [f64; 2] {
+        self.class_power
     }
 
     /// Mean KV-pool occupancy across servers in `[0, 1]`.
@@ -282,9 +339,23 @@ impl<T> BatchedRow<T> {
         op: impl FnOnce(&mut BatchServer<T>, &Profiler, &mut PumpResult<T>),
     ) -> ServeOutcome<T> {
         let before = self.servers[idx].power_watts;
+        let busy_before = if self.servers[idx].running() > 0 {
+            before
+        } else {
+            0.0
+        };
         let mut result = PumpResult::default();
         op(&mut self.servers[idx], &self.prof, &mut result);
-        self.total_power += self.servers[idx].power_watts - before;
+        let delta = self.servers[idx].power_watts - before;
+        self.total_power += delta;
+        self.class_power[usize::from(self.servers[idx].high_priority)] += delta;
+        self.role_power[Self::role_idx(self.servers[idx].role)] += delta;
+        let busy_after = if self.servers[idx].running() > 0 {
+            self.servers[idx].power_watts
+        } else {
+            0.0
+        };
+        self.busy_power += busy_after - busy_before;
 
         let mut transfers_queued = false;
         for mut seq in result.handoffs.drain(..) {

@@ -16,13 +16,91 @@
 //! simulation produces byte-identical alert and incident logs.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use polca_cluster::Priority;
-use polca_obs::Event;
+use polca_obs::{CarbonSignal, Event};
 
 use crate::burn::{BurnConfig, BurnSignal, BurnTracker, BurnTransition};
 use crate::incident::IncidentLog;
 use crate::rules::{Rule, RuleKind, RuleSet, Severity};
+
+/// Configuration for the built-in carbon rules. Like every other rule,
+/// they run on the *delayed* observed power feed: the watch plane sees
+/// emissions only as fast as the out-of-band telemetry discloses them.
+#[derive(Debug, Clone)]
+pub struct WatchEnergyConfig {
+    /// Grid carbon-intensity signal (shared with the polca-energy
+    /// ledger, so the watch plane and the ground-truth accounting use
+    /// the same grid model).
+    pub signal: Arc<CarbonSignal>,
+    /// PUE multiplier applied to observed IT power before conversion
+    /// to emissions.
+    pub pue: f64,
+    /// Carbon budget: sustained emission rate, grams CO2e per hour,
+    /// above which the `carbon-budget-burn` rule fires.
+    pub budget_g_per_h: f64,
+    /// Efficiency floor: grams CO2e per output token above which the
+    /// `co2e-per-token-high` rule fires.
+    pub co2e_per_token_g: f64,
+    /// Rolling evaluation window, seconds. Both rules need at least
+    /// half a window of observed samples before they judge, mirroring
+    /// the SLO burn-rate discipline.
+    pub window_s: f64,
+}
+
+impl WatchEnergyConfig {
+    /// A config with the default 10-minute window.
+    pub fn new(signal: CarbonSignal, pue: f64, budget_g_per_h: f64, co2e_per_token_g: f64) -> Self {
+        WatchEnergyConfig {
+            signal: Arc::new(signal),
+            pue,
+            budget_g_per_h,
+            co2e_per_token_g,
+            window_s: 600.0,
+        }
+    }
+}
+
+/// Runtime state of the carbon rules.
+#[derive(Debug, Clone)]
+struct EnergyRt {
+    cfg: WatchEnergyConfig,
+    /// Last observed `(t, watts)` — trapezoid partner for the next
+    /// sample. Reset on telemetry gaps so silent failures never get
+    /// emissions invented across them.
+    prev: Option<(f64, f64)>,
+    /// Cumulative observed emissions, grams CO2e.
+    co2e_cum: f64,
+    /// `(t, co2e_cum)` at each observed tick within the window.
+    window: VecDeque<(f64, f64)>,
+    /// Output-token completions within the window.
+    token_times: VecDeque<(f64, u64)>,
+    /// Running sum of `token_times` counts.
+    tokens_window: u64,
+    burn_asserted: bool,
+    per_token_asserted: bool,
+}
+
+impl EnergyRt {
+    fn new(cfg: WatchEnergyConfig) -> Self {
+        EnergyRt {
+            cfg,
+            prev: None,
+            co2e_cum: 0.0,
+            window: VecDeque::new(),
+            token_times: VecDeque::new(),
+            tokens_window: 0,
+            burn_asserted: false,
+            per_token_asserted: false,
+        }
+    }
+}
+
+/// Rule name of the carbon-budget burn-rate rule.
+pub const CARBON_BUDGET_RULE: &str = "carbon-budget-burn";
+/// Rule name of the per-token carbon-efficiency rule.
+pub const CARBON_PER_TOKEN_RULE: &str = "co2e-per-token-high";
 
 /// One fired alert.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +206,7 @@ pub struct WatchEngine {
     /// feed drives, precomputed so `event()` skips the rest.
     count_idx: Vec<usize>,
     burn: BurnTracker,
+    energy: Option<EnergyRt>,
     incidents: IncidentLog,
     alerts: Vec<Alert>,
     /// Time of the last observed (non-gap) sample.
@@ -163,6 +242,7 @@ impl WatchEngine {
             rt,
             count_idx,
             burn: BurnTracker::new(burn),
+            energy: None,
             incidents: IncidentLog::new(escalate_after_alerts, resolve_after_s),
             alerts: Vec::new(),
             last_observed_t: None,
@@ -175,6 +255,119 @@ impl WatchEngine {
         alerts.push(alert);
     }
 
+    /// Enables the built-in carbon rules ([`CARBON_BUDGET_RULE`] and
+    /// [`CARBON_PER_TOKEN_RULE`]). They are constructed here rather
+    /// than in the default rule set because they need a grid signal
+    /// and budgets that have no meaningful universal default.
+    pub fn attach_energy(&mut self, cfg: WatchEnergyConfig) {
+        self.energy = Some(EnergyRt::new(cfg));
+    }
+
+    /// Carbon bookkeeping for one observed sample: integrate delayed
+    /// power into emissions and evaluate both carbon rules.
+    fn energy_observe(&mut self, now: f64, watts: f64) {
+        let Some(e) = self.energy.as_mut() else {
+            return;
+        };
+        if let Some((pt, pw)) = e.prev {
+            let dt = now - pt;
+            if dt > 0.0 {
+                let wh = 0.5 * (pw + watts) * dt / 3600.0;
+                let mid = 0.5 * (pt + now);
+                e.co2e_cum += wh * e.cfg.pue / 1000.0 * e.cfg.signal.g_per_kwh(mid);
+            }
+        }
+        e.prev = Some((now, watts));
+        e.window.push_back((now, e.co2e_cum));
+        while e
+            .window
+            .front()
+            .is_some_and(|&(t, _)| now - t > e.cfg.window_s)
+        {
+            e.window.pop_front();
+        }
+        while e
+            .token_times
+            .front()
+            .is_some_and(|&(t, _)| now - t > e.cfg.window_s)
+        {
+            e.tokens_window -= e.token_times.pop_front().expect("front checked").1;
+        }
+        let Some(&(t0, c0)) = e.window.front() else {
+            return;
+        };
+        let span = now - t0;
+        // Burn-rate style guard: judge only once at least half a window
+        // of samples has accumulated.
+        if span < 0.5 * e.cfg.window_s {
+            return;
+        }
+        let window_g = e.co2e_cum - c0;
+        let rate_g_per_h = window_g / span * 3600.0;
+        if rate_g_per_h >= e.cfg.budget_g_per_h {
+            if !e.burn_asserted {
+                e.burn_asserted = true;
+                Self::fire(
+                    &mut self.alerts,
+                    &mut self.incidents,
+                    Alert {
+                        t: now,
+                        rule: CARBON_BUDGET_RULE.to_string(),
+                        severity: Severity::Critical,
+                        value: rate_g_per_h,
+                        // Emissions are only knowable through the
+                        // delayed feed; there is no truth shadow.
+                        truth_t: None,
+                        detail: format!(
+                            "observed emissions at {rate_g_per_h:.1} gCO2e/h over {span:.0}s \
+                             (budget {:.1} gCO2e/h)",
+                            e.cfg.budget_g_per_h
+                        ),
+                    },
+                );
+            }
+        } else if rate_g_per_h < 0.9 * e.cfg.budget_g_per_h && e.burn_asserted {
+            e.burn_asserted = false;
+            self.incidents.on_clear(CARBON_BUDGET_RULE, now);
+        }
+        if e.tokens_window > 0 {
+            let per_token = window_g / e.tokens_window as f64;
+            if per_token >= e.cfg.co2e_per_token_g {
+                if !e.per_token_asserted {
+                    e.per_token_asserted = true;
+                    Self::fire(
+                        &mut self.alerts,
+                        &mut self.incidents,
+                        Alert {
+                            t: now,
+                            rule: CARBON_PER_TOKEN_RULE.to_string(),
+                            severity: Severity::Warning,
+                            value: per_token,
+                            truth_t: None,
+                            detail: format!(
+                                "observed {per_token:.4} gCO2e/token over {span:.0}s \
+                                 (limit {:.4})",
+                                e.cfg.co2e_per_token_g
+                            ),
+                        },
+                    );
+                }
+            } else if per_token < 0.9 * e.cfg.co2e_per_token_g && e.per_token_asserted {
+                e.per_token_asserted = false;
+                self.incidents.on_clear(CARBON_PER_TOKEN_RULE, now);
+            }
+        }
+    }
+
+    /// Feeds output-token completions into the carbon per-token window.
+    /// No-op unless [`attach_energy`](Self::attach_energy) was called.
+    pub fn request_tokens(&mut self, t: f64, tokens: u64) {
+        if let Some(e) = self.energy.as_mut() {
+            e.token_times.push_back((t, tokens));
+            e.tokens_window += tokens;
+        }
+    }
+
     /// Feeds one *delayed* observed row-power reading.
     pub fn observe(&mut self, now: f64, watts: f64) {
         let frac = if self.provisioned_watts > 0.0 {
@@ -183,6 +376,7 @@ impl WatchEngine {
             0.0
         };
         self.last_observed_t = Some(now);
+        self.energy_observe(now, watts);
         for (rule, rt) in self.rules.iter().zip(self.rt.iter_mut()) {
             match (&rule.kind, rt) {
                 (
@@ -293,6 +487,11 @@ impl WatchEngine {
     /// (start-up or a silent telemetry failure).
     pub fn gap(&mut self, now: f64) {
         let last = self.last_observed_t;
+        if let Some(e) = self.energy.as_mut() {
+            // A silent telemetry failure: never invent emissions
+            // across the hole.
+            e.prev = None;
+        }
         for (rule, rt) in self.rules.iter().zip(self.rt.iter_mut()) {
             if let (RuleKind::Absence { gap_s }, RuleRt::Absence { asserted }) = (&rule.kind, rt) {
                 let gap = now - last.unwrap_or(0.0);
@@ -705,6 +904,117 @@ mod tests {
         // incident back into its cool-down.
         assert_eq!(inc.state, IncidentState::MitigateObserved);
         assert!(inc.escalated_t.is_some());
+    }
+
+    fn energy_cfg(budget_g_per_h: f64, co2e_per_token_g: f64) -> WatchEnergyConfig {
+        let mut cfg = WatchEnergyConfig::new(
+            CarbonSignal::Constant(500.0),
+            1.25,
+            budget_g_per_h,
+            co2e_per_token_g,
+        );
+        cfg.window_s = 60.0;
+        cfg
+    }
+
+    #[test]
+    fn carbon_budget_rule_fires_on_sustained_emissions() {
+        let mut e = engine("hot threshold over=0.99 hold=0s\n");
+        // 800 W × 1.25 PUE × 500 g/kWh = 500 g/h: over a 400 g/h budget.
+        e.attach_energy(energy_cfg(400.0, f64::INFINITY));
+        for i in 0..40 {
+            e.observe(i as f64 * 2.0, 800.0);
+        }
+        let alert = e
+            .alerts()
+            .iter()
+            .find(|a| a.rule == CARBON_BUDGET_RULE)
+            .expect("carbon-budget-burn alert");
+        assert_eq!(alert.severity, Severity::Critical);
+        // Fires at the first evaluation past half the 60s window.
+        assert_eq!(alert.t, 30.0);
+        assert!((alert.value - 500.0).abs() < 1.0, "{}", alert.value);
+        assert_eq!(e.alerts().len(), 1, "fires once while asserted");
+        // Power collapses: the windowed rate sinks under 90% of budget
+        // and the incident observes its mitigation.
+        for i in 40..80 {
+            e.observe(i as f64 * 2.0, 10.0);
+        }
+        let inc = e
+            .incidents()
+            .incidents()
+            .iter()
+            .find(|i| i.rule == CARBON_BUDGET_RULE)
+            .expect("incident");
+        assert_eq!(inc.state, IncidentState::MitigateObserved);
+    }
+
+    #[test]
+    fn carbon_per_token_rule_judges_efficiency() {
+        let mut e = engine("hot threshold over=0.99 hold=0s\n");
+        // 500 g/h ≈ 0.278 g per 2s tick; one token per tick ⇒ ~0.28
+        // g/token, over a 0.1 g/token limit.
+        e.attach_energy(energy_cfg(f64::INFINITY, 0.1));
+        for i in 0..40 {
+            let t = i as f64 * 2.0;
+            e.request_tokens(t, 1);
+            e.observe(t, 800.0);
+        }
+        let alert = e
+            .alerts()
+            .iter()
+            .find(|a| a.rule == CARBON_PER_TOKEN_RULE)
+            .expect("co2e-per-token-high alert");
+        assert_eq!(alert.severity, Severity::Warning);
+        assert!(alert.value > 0.1, "{}", alert.value);
+        // Throughput surges: the same emissions spread over far more
+        // tokens clears the rule.
+        for i in 40..80 {
+            let t = i as f64 * 2.0;
+            e.request_tokens(t, 1000);
+            e.observe(t, 800.0);
+        }
+        let inc = e
+            .incidents()
+            .incidents()
+            .iter()
+            .find(|i| i.rule == CARBON_PER_TOKEN_RULE)
+            .expect("incident");
+        assert_eq!(inc.state, IncidentState::MitigateObserved);
+    }
+
+    #[test]
+    fn gaps_never_invent_emissions() {
+        // The gapped run integrates strictly less energy — the hole is
+        // skipped, not bridged — so silent telemetry failures can only
+        // delay carbon detection, never inflate it.
+        let mut gapped = engine("hot threshold over=0.99 hold=0s\n");
+        gapped.attach_energy(energy_cfg(400.0, f64::INFINITY));
+        let mut solid = gapped.clone();
+        for i in 0..40 {
+            let t = i as f64 * 2.0;
+            solid.observe(t, 800.0);
+            if (10..20).contains(&i) {
+                gapped.gap(t);
+            } else {
+                gapped.observe(t, 800.0);
+            }
+        }
+        let cum = |e: &WatchEngine| e.energy.as_ref().unwrap().co2e_cum;
+        assert!(cum(&gapped) < cum(&solid));
+    }
+
+    #[test]
+    fn no_energy_config_means_no_carbon_rules() {
+        let mut e = engine(crate::rules::DEFAULT_RULES);
+        e.request_tokens(0.0, 100);
+        for i in 0..100 {
+            e.observe(i as f64 * 2.0, 900.0);
+        }
+        assert!(e
+            .alerts()
+            .iter()
+            .all(|a| a.rule != CARBON_BUDGET_RULE && a.rule != CARBON_PER_TOKEN_RULE));
     }
 
     #[test]

@@ -53,7 +53,9 @@ use polca_sim::SimTime;
 use polca_telemetry::{RowPowerSubscriber, RowPowerTaps};
 
 pub use burn::{BurnConfig, BurnSignal, BurnSummary};
-pub use engine::{Alert, WatchEngine};
+pub use engine::{
+    Alert, WatchEnergyConfig, WatchEngine, CARBON_BUDGET_RULE, CARBON_PER_TOKEN_RULE,
+};
 pub use incident::{Incident, IncidentState};
 pub use rules::{Rule, RuleKind, RuleParseError, RuleSet, Severity};
 
@@ -74,6 +76,12 @@ pub struct WatchConfig {
     pub escalate_after_alerts: u64,
     /// Quiet seconds after mitigation before an incident resolves.
     pub resolve_after_s: f64,
+    /// Built-in carbon rules (budget burn rate, gCO2e/token), enabled
+    /// only when a grid signal and budgets are supplied. They are
+    /// constructed programmatically rather than in the default rule
+    /// text because they carry a carbon-intensity signal no rule
+    /// grammar line can express.
+    pub energy: Option<WatchEnergyConfig>,
 }
 
 impl WatchConfig {
@@ -88,7 +96,14 @@ impl WatchConfig {
             burn: BurnConfig::default(),
             escalate_after_alerts: 3,
             resolve_after_s: 300.0,
+            energy: None,
         }
+    }
+
+    /// Enables the built-in carbon rules.
+    pub fn with_energy(mut self, energy: WatchEnergyConfig) -> Self {
+        self.energy = Some(energy);
+        self
     }
 }
 
@@ -144,12 +159,14 @@ impl EventTap for WatchShared {
         } else {
             Priority::Low
         };
-        self.engine.lock().unwrap().request(
+        let mut engine = self.engine.lock().unwrap();
+        engine.request(
             record.completed_s,
             priority,
             record.ttft_s,
             record.tbt_mean_s,
         );
+        engine.request_tokens(record.completed_s, u64::from(record.output_tokens));
     }
 }
 
@@ -165,13 +182,16 @@ pub struct WatchPlane {
 impl WatchPlane {
     /// A fresh plane with no observations yet.
     pub fn new(config: WatchConfig) -> Self {
-        let engine = WatchEngine::new(
+        let mut engine = WatchEngine::new(
             config.provisioned_watts,
             &config.rules,
             config.burn,
             config.escalate_after_alerts,
             config.resolve_after_s,
         );
+        if let Some(energy) = config.energy {
+            engine.attach_energy(energy);
+        }
         WatchPlane {
             shared: Arc::new(WatchShared {
                 engine: Mutex::new(engine),

@@ -21,7 +21,9 @@ use polca::{
 };
 use polca_cluster::{EngineKind, Priority, Request, RowConfig};
 use polca_ingest::{IngestedTrace, ReplayOptions, TraceReplay};
-use polca_obs::{ObsLevel, ProfCounter, Recorder, ReqSpan, ReqTraceConfig};
+use polca_obs::{
+    CarbonSignal, EnergyPlan, ObsLevel, ProfCounter, Recorder, ReqSpan, ReqTraceConfig,
+};
 use polca_serve::ServeConfig;
 use polca_sim::SimTime;
 use proptest::prelude::*;
@@ -181,7 +183,9 @@ fn aggregate_energy_estimator_bounds_the_req_ledger() {
     let trace = IngestedTrace::from_reader(csv.as_bytes()).unwrap();
     let requests: Vec<Request> =
         TraceReplay::with_options(&trace, ReplayOptions::default()).collect();
-    let recorder = Recorder::new(ObsLevel::Full).with_req_trace(ReqTraceConfig::default());
+    let recorder = Recorder::new(ObsLevel::Full)
+        .with_req_trace(ReqTraceConfig::default())
+        .with_energy(EnergyPlan::new(CarbonSignal::Constant(400.0)));
     let mut row = RowConfig::paper_inference_row();
     row.base_servers = 10;
     let mut eval = TraceEvaluation::new(row.clone(), PolcaPolicy::default(), requests, 17);
@@ -209,6 +213,31 @@ fn aggregate_energy_estimator_bounds_the_req_ledger() {
         "aggregate {aggregate_wh} < ledger {ledger_mean_wh}"
     );
     assert!(ratio < 10.0, "overhead factor blew up: {ratio}");
+
+    // With the polca-energy ledger attached to the same run, the
+    // *measured* per-request figure (facility Wh over completions)
+    // replaces the estimator, and sits between the two views: it
+    // includes idle draw and PUE (so it bounds the attributed mean)
+    // but spends no margin on the estimator's utilization model.
+    let ledger = run.energy_ledger();
+    assert!(!ledger.is_empty());
+    let measured = CostModel::default()
+        .energy_per_request_wh_measured(&ledger, o.counts.1)
+        .unwrap();
+    assert!(
+        measured >= ledger_mean_wh,
+        "measured {measured} < attributed mean {ledger_mean_wh}"
+    );
+    assert!(
+        measured <= aggregate_wh * 1.05,
+        "measured {measured} blew past estimate {aggregate_wh}"
+    );
+    // Every record carries the emissions view, stamped with the PUE
+    // that was applied: constant 400 g/kWh grid, default 1.25 PUE.
+    for r in &run.requests {
+        assert!(r.co2e_g > 0.0, "{r:?}");
+        assert_eq!(r.pue_applied, 1.25, "{r:?}");
+    }
 }
 
 /// Golden-file pin of the per-priority request histograms: a

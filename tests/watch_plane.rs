@@ -139,6 +139,7 @@ fn detection_lag_equals_the_telemetry_propagation_delay() {
         burn: BurnConfig::default(),
         escalate_after_alerts: 3,
         resolve_after_s: 300.0,
+        energy: None,
     };
     let plane = WatchPlane::new(config);
     let mut sim_config = SimConfig::default();
